@@ -1,0 +1,127 @@
+// Command durbench regenerates the paper's evaluation (Figure 2): for
+// each of the five workload panels it sweeps every queue across
+// thread counts and prints the throughput graph, the
+// ratio-to-DurableMSQ graph, and the per-operation persist statistics
+// that explain them.
+//
+// Examples:
+//
+//	durbench -workload pairs -threads 1,2,4 -duration 2s
+//	durbench -workload all -csv > fig2.csv
+//	durbench -workload random -no-invalidate     # Ice Lake-like ablation
+//	durbench -workload pairs -nvm-read-ns 600    # latency sensitivity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/pmem"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "all", "random|pairs|enq|deq|prodcons|all")
+		queuesFlag  = flag.String("queues", "", "comma-separated queue names (default: all benchmarkable queues)")
+		threadsFlag = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		duration    = flag.Duration("duration", 2*time.Second, "duration of timed workloads")
+		prefill     = flag.Int("prefill", 1_000_000, "initial queue size for the dequeue-only workload (paper: 12M)")
+		ops         = flag.Int("ops", 100_000, "ops per thread per phase for producers-consumers (paper: 1M)")
+		heapMB      = flag.Int64("heap-mb", 0, "persistent heap size in MiB (0 = auto)")
+		nvmReadNs   = flag.Int64("nvm-read-ns", 300, "NVRAM read latency charged on access to flushed lines")
+		fenceNs     = flag.Int64("fence-ns", 120, "SFENCE latency")
+		noInval     = flag.Bool("no-invalidate", false, "model flushes that retain cache lines (future-platform ablation)")
+		csvOut      = flag.Bool("csv", false, "emit CSV instead of tables")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		ablations   = flag.Bool("ablations", false, "include ablation variants (warning: linked-naive is O(queue length) per enqueue; avoid unbounded workloads)")
+	)
+	flag.Parse()
+
+	threadCounts, err := parseInts(*threadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var queueNames []string
+	if *queuesFlag == "" {
+		for _, in := range harness.AllQueues() {
+			if in.Ablation && !*ablations {
+				continue
+			}
+			queueNames = append(queueNames, in.Name)
+		}
+	} else {
+		queueNames = strings.Split(*queuesFlag, ",")
+	}
+
+	lat := pmem.DefaultLatency()
+	lat.NVMReadNs = *nvmReadNs
+	lat.FenceNs = *fenceNs
+
+	var wls []harness.Workload
+	if *workload == "all" {
+		wls = harness.Workloads()
+	} else {
+		w, err := harness.ParseWorkload(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		wls = []harness.Workload{w}
+	}
+
+	for _, wl := range wls {
+		base := harness.Config{
+			Workload:         wl,
+			Duration:         *duration,
+			OpsPerThread:     *ops,
+			HeapBytes:        *heapMB << 20,
+			Latency:          lat,
+			FlushRetainsLine: *noInval,
+			Seed:             *seed,
+		}
+		switch wl {
+		case harness.WorkloadDeqOnly:
+			base.InitialSize = *prefill
+			if base.Duration > time.Second {
+				base.Duration = time.Second // the paper runs this panel for 1s
+			}
+		case harness.WorkloadEnqOnly:
+			base.InitialSize = 0
+		default:
+			base.InitialSize = 10
+		}
+		results, err := harness.Sweep(base, queueNames, threadCounts)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("[%s] initial=%d", wl.Name(), base.InitialSize)
+		if *csvOut {
+			fmt.Print(harness.CSV(results))
+			continue
+		}
+		fmt.Println(harness.ThroughputTable(title, threadCounts, results))
+		fmt.Println(harness.RatioTable(title, "durable-msq", threadCounts, results))
+		fmt.Println(harness.StatsTable(title, threadCounts, results))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad thread count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "durbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package repro is a Go reproduction of "Durable Queues: The Second
+// Amendment" (Gal Sela and Erez Petrank, SPAA 2021): durably
+// linearizable lock-free FIFO queues for non-volatile main memory
+// that execute one blocking persist operation per operation and — in
+// their optimized ("second amendment") form — zero accesses to
+// explicitly flushed cache lines.
+//
+// The persistence substrate is a simulated NVRAM (internal/pmem) that
+// models CLWB/SFENCE/movnti semantics, Cascade Lake's
+// flush-invalidates-line behaviour, per-cache-line crash-prefix
+// semantics, and Optane-like latencies. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+//
+// The benchmark suite in bench_test.go regenerates every panel of the
+// paper's Figure 2; the cmd/durbench tool runs the full sweeps.
+package repro

@@ -1,0 +1,130 @@
+// Broker: a persistent message broker built on a durable queue — the
+// use case the paper's introduction motivates (IBM MQ, Oracle Tuxedo
+// MQ, RabbitMQ keep FIFO queues at their core, today structured for
+// block storage; NVRAM queues remove the marshaling and file-system
+// layers).
+//
+// Producers publish messages; a publish is "acknowledged" once the
+// queue operation returns, at which point durable linearizability
+// guarantees it survives any crash. The broker is crashed at a random
+// moment mid-traffic, recovered, and audited: every acknowledged
+// message is either already delivered or still in the recovered
+// queue; nothing is duplicated.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/pmem"
+	"repro/internal/queues"
+)
+
+const (
+	producers   = 3
+	consumers   = 1
+	perProducer = 5000
+)
+
+func main() {
+	h := pmem.New(pmem.Config{
+		Bytes:      128 << 20,
+		Mode:       pmem.ModeCrash,
+		MaxThreads: producers + consumers + 1,
+	})
+	broker := queues.NewOptLinkedQ(h, producers+consumers)
+
+	// Crash somewhere inside the expected traffic volume.
+	h.ScheduleCrashAtAccess(int64(rand.New(rand.NewSource(7)).Intn(100_000)) + 10_000)
+
+	acked := make([][]uint64, producers) // per-producer acknowledged publishes
+	delivered := make([][]uint64, consumers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for m := uint64(1); m <= perProducer; m++ {
+				msg := uint64(p+1)<<32 | m
+				if pmem.Protect(func() { broker.Enqueue(p, msg) }) {
+					return // crash: this publish was never acknowledged
+				}
+				acked[p] = append(acked[p], msg)
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tid := producers + c
+			for {
+				var msg uint64
+				var ok bool
+				if pmem.Protect(func() { msg, ok = broker.Dequeue(tid) }) {
+					return // crash mid-dequeue
+				}
+				if ok {
+					delivered[c] = append(delivered[c], msg)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if !h.Crashed() {
+		h.CrashNow()
+	}
+	fmt.Println("-- broker crashed mid-traffic --")
+	h.FinalizeCrash(rand.New(rand.NewSource(42)))
+	h.Restart()
+
+	recovered := queues.RecoverOptLinkedQ(h, producers+consumers)
+
+	// Audit: acked ⊆ delivered ∪ recovered-queue, no duplicates.
+	seen := map[uint64]string{}
+	dup := 0
+	for c := range delivered {
+		for _, m := range delivered[c] {
+			seen[m] = "delivered"
+		}
+	}
+	var backlog int
+	for {
+		m, ok := recovered.Dequeue(0)
+		if !ok {
+			break
+		}
+		if _, already := seen[m]; already {
+			dup++
+		}
+		seen[m] = "recovered"
+		backlog++
+	}
+	lost := 0
+	for p := range acked {
+		for _, m := range acked[p] {
+			if _, ok := seen[m]; !ok {
+				lost++
+			}
+		}
+	}
+	totalAcked := 0
+	for p := range acked {
+		totalAcked += len(acked[p])
+	}
+	totalDelivered := 0
+	for c := range delivered {
+		totalDelivered += len(delivered[c])
+	}
+	fmt.Printf("acknowledged publishes : %d\n", totalAcked)
+	fmt.Printf("delivered before crash : %d\n", totalDelivered)
+	fmt.Printf("recovered backlog      : %d\n", backlog)
+	fmt.Printf("acknowledged-and-lost  : %d (pending consumer dequeues may account for at most 1 each)\n", lost)
+	fmt.Printf("duplicated messages    : %d\n", dup)
+	if lost > consumers || dup > 0 {
+		fmt.Println("BROKER AUDIT FAILED")
+		return
+	}
+	fmt.Println("audit passed: no acknowledged message lost, none duplicated")
+}

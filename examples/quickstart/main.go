@@ -1,0 +1,68 @@
+// Quickstart: create a durable queue on simulated NVRAM, use it,
+// crash the whole system, recover, and observe that every completed
+// operation survived — while the queue paid exactly one blocking
+// persist per operation and never touched a flushed cache line.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pmem"
+	"repro/internal/queues"
+)
+
+func main() {
+	// A 64 MiB simulated persistent heap. ModeCrash journals stores
+	// per cache line so a crash can be materialized with the paper's
+	// Assumption-1 semantics (each line retains a prefix of its
+	// stores).
+	h := pmem.New(pmem.Config{
+		Bytes:      64 << 20,
+		Mode:       pmem.ModeCrash,
+		MaxThreads: 4,
+	})
+
+	// OptUnlinkedQ: the paper's fastest queue (second amendment).
+	q := queues.NewOptUnlinkedQ(h, 2)
+	h.ResetStats() // count persists of the operations only, not setup
+
+	fmt.Println("enqueue 1..5 on thread 0")
+	for v := uint64(1); v <= 5; v++ {
+		q.Enqueue(0, v)
+	}
+	a, _ := q.Dequeue(1)
+	b, _ := q.Dequeue(1)
+	fmt.Printf("thread 1 dequeued: %d, %d\n", a, b)
+
+	s := h.TotalStats()
+	fmt.Printf("persist profile: %d fences for 7 operations, %d accesses to flushed lines\n",
+		s.Fences, s.PostFlushAccesses)
+
+	// Power failure: all volatile state (caches, the Volatile halves
+	// of the nodes, the Go objects) is gone; each NVRAM cache line
+	// keeps a random prefix of its unfenced stores.
+	fmt.Println("\n-- simulated full-system crash --")
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(1)))
+	h.Restart()
+
+	// Recovery scans the allocator's designated areas, resurrects
+	// linked nodes beyond the persisted head index, and rebuilds the
+	// volatile structure.
+	rq := queues.RecoverOptUnlinkedQ(h, 2)
+	fmt.Print("recovered queue contents: ")
+	for {
+		v, ok := rq.Dequeue(0)
+		if !ok {
+			break
+		}
+		fmt.Printf("%d ", v)
+	}
+	fmt.Println("\n(3, 4, 5 — every completed operation survived)")
+
+	// The recovered queue is immediately usable.
+	rq.Enqueue(0, 99)
+	v, _ := rq.Dequeue(1)
+	fmt.Printf("post-recovery roundtrip: %d\n", v)
+}

@@ -1,0 +1,119 @@
+// Spooler: a durable document spooler built on the multi-cache-line
+// payload queue (package blobq) — the footnote-3 generalization of
+// the paper's queues to items spanning several cache lines, still
+// with one blocking persist per operation and zero accesses to
+// flushed content.
+//
+// Documents with bodies up to 240 bytes are spooled by producers and
+// printed by a consumer. The machine dies mid-spool; after recovery,
+// every acknowledged document is either already printed or still
+// spooled, byte-exact (verified by checksum), and no torn document is
+// ever observed.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/blobq"
+	"repro/internal/pmem"
+)
+
+const producers = 3
+
+func document(id uint64) []byte {
+	body := fmt.Sprintf("document %d: ", id)
+	rng := rand.New(rand.NewSource(int64(id)))
+	for len(body) < 40+int(id%180) {
+		body += string(rune('a' + rng.Intn(26)))
+	}
+	return []byte(body)
+}
+
+func main() {
+	h := pmem.New(pmem.Config{Bytes: 128 << 20, Mode: pmem.ModeCrash, MaxThreads: producers + 2})
+	cfg := blobq.Config{Threads: producers + 1, MaxPayload: 240}
+	spool := blobq.New(h, cfg)
+
+	h.ScheduleCrashAtAccess(150_000)
+	acked := make([][]uint64, producers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				id := uint64(p+1)*1_000_000 + i
+				if pmem.Protect(func() { spool.Enqueue(p, document(id)) }) {
+					return
+				}
+				acked[p] = append(acked[p], id)
+			}
+		}(p)
+	}
+	printed := map[uint64]bool{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tid := producers
+		for {
+			var doc []byte
+			var ok bool
+			if pmem.Protect(func() { doc, ok = spool.Dequeue(tid) }) {
+				return
+			}
+			if ok {
+				printed[parseID(doc)] = true
+			}
+		}
+	}()
+	wg.Wait()
+	if !h.Crashed() {
+		h.CrashNow()
+	}
+	fmt.Println("-- power failure mid-spool --")
+	h.FinalizeCrash(rand.New(rand.NewSource(3)))
+	h.Restart()
+
+	recovered := blobq.Recover(h, cfg)
+	backlog := 0
+	for {
+		doc, ok := recovered.Dequeue(0)
+		if !ok {
+			break
+		}
+		id := parseID(doc)
+		want := document(id)
+		if string(doc) != string(want) {
+			fmt.Printf("CORRUPT DOCUMENT %d\n", id)
+			return
+		}
+		printed[id] = true
+		backlog++
+	}
+	lost := 0
+	total := 0
+	for p := range acked {
+		total += len(acked[p])
+		for _, id := range acked[p] {
+			if !printed[id] {
+				lost++
+			}
+		}
+	}
+	fmt.Printf("acknowledged documents : %d\n", total)
+	fmt.Printf("recovered backlog      : %d (all byte-exact)\n", backlog)
+	fmt.Printf("acknowledged-and-lost  : %d (at most 1 per pending dequeue)\n", lost)
+	if lost <= 1 {
+		fmt.Println("spooler audit passed")
+	} else {
+		fmt.Println("SPOOLER AUDIT FAILED")
+	}
+}
+
+func parseID(doc []byte) uint64 {
+	var id uint64
+	fmt.Sscanf(string(doc), "document %d:", &id)
+	return id
+}

@@ -1,0 +1,335 @@
+// Package blobq generalizes the paper's queues to items that span
+// multiple cache lines — the extension footnote 3 points at: "The
+// method of [Cohen, Friedman, Larus] can be used to generalize the
+// algorithms to nodes that span multiple cache lines without adding
+// fence operations."
+//
+// Queue is an OptUnlinkedQ (Section 6.1) whose items are byte
+// payloads stored in persistent blobs. A blob occupies a fixed number
+// of cache lines; every line carries 56 payload bytes plus an 8-byte
+// seal combining a globally unique blob tag with the line number. The
+// enqueuer writes the payload lines (data before seal, per line),
+// issues asynchronous flushes for all of them, then links the node
+// and rides the operation's single fence — no additional blocking
+// persist. Recovery accepts a node only if its blob's every seal
+// matches the node's tag, so a node whose linked flag was evicted
+// early while its payload was not cannot resurrect garbage: under
+// durable linearizability such an enqueue was pending and is
+// discarded.
+//
+// Normal-path reads never touch the flushed blob lines: the payload
+// also lives in the node's Volatile half (a Go byte slice), so the
+// queue retains the second amendment's zero-post-flush-access
+// property.
+package blobq
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+	"repro/internal/ssmem"
+)
+
+// Blob geometry: per cache line, 56 payload bytes + one seal word.
+const (
+	lineData = pmem.CacheLineBytes - pmem.WordBytes
+	sealOff  = pmem.Addr(lineData)
+)
+
+// Persistent node layout (one line): [index, linked, blob, tag, len].
+const (
+	pnIndex  = pmem.Addr(0)
+	pnLinked = pmem.Addr(8)
+	pnBlob   = pmem.Addr(16)
+	pnTag    = pmem.Addr(24)
+	pnLen    = pmem.Addr(32)
+)
+
+// Root slots (a heap hosts one queue).
+const (
+	slotPool     = 2
+	slotLocal    = 3
+	slotBlobPool = 6
+	slotEpoch    = 7
+)
+
+// Config parameterizes a Queue.
+type Config struct {
+	// Threads is the number of thread ids that may operate.
+	Threads int
+	// MaxPayload is the largest payload in bytes (rounded up to whole
+	// blob lines). Default 240.
+	MaxPayload int
+}
+
+func (c *Config) norm() {
+	if c.MaxPayload == 0 {
+		c.MaxPayload = 240
+	}
+}
+
+func (c Config) blobLines() int { return (c.MaxPayload + lineData - 1) / lineData }
+
+// vnode is the Volatile half of a node.
+type vnode struct {
+	payload []byte
+	index   uint64
+	next    atomic.Pointer[vnode]
+	pnode   pmem.Addr
+	blob    pmem.Addr
+}
+
+type perThread struct {
+	nodeToRetire *vnode
+	tagSeq       uint64
+	_            [48]byte
+}
+
+// blobTag builds a tag that is unique across the heap's lifetime:
+// boot incarnations never share tags, so a recycled blob's stale
+// seals can never validate a half-written new payload.
+func blobTag(epoch uint64, tid int, seq uint64) uint64 {
+	return epoch<<40 | uint64(tid+1)<<32 | seq&0xffffffff
+}
+
+// Queue is a durable lock-free FIFO of byte payloads with one
+// blocking persist per operation and no access to flushed content.
+type Queue struct {
+	h         *pmem.Heap
+	cfg       Config
+	nodes     *ssmem.Pool
+	blobs     *ssmem.Pool
+	head      atomic.Pointer[vnode]
+	tail      atomic.Pointer[vnode]
+	localBase pmem.Addr
+	epoch     uint64 // persistent boot incarnation, salts blob tags
+	per       []perThread
+}
+
+// New creates an empty payload queue.
+func New(h *pmem.Heap, cfg Config) *Queue {
+	cfg.norm()
+	q := &Queue{
+		h:   h,
+		cfg: cfg,
+		nodes: ssmem.NewPool(h, ssmem.Config{
+			SlotBytes: pmem.CacheLineBytes, SlotsPerArea: 4096,
+			Threads: cfg.Threads, RootSlot: slotPool,
+		}),
+		blobs: ssmem.NewPool(h, ssmem.Config{
+			SlotBytes: cfg.blobLines() * pmem.CacheLineBytes, SlotsPerArea: 1024,
+			Threads: cfg.Threads, RootSlot: slotBlobPool,
+		}),
+		per: make([]perThread, cfg.Threads),
+	}
+	size := int64(cfg.Threads) * pmem.CacheLineBytes
+	q.localBase = h.AllocRaw(0, size, pmem.CacheLineBytes)
+	h.InitRange(0, q.localBase, size)
+	h.Store(0, h.RootAddr(slotLocal), uint64(q.localBase))
+	h.Persist(0, h.RootAddr(slotLocal))
+	q.epoch = 1
+	h.Store(0, h.RootAddr(slotEpoch), q.epoch)
+	h.Persist(0, h.RootAddr(slotEpoch))
+
+	pn := q.nodes.Alloc(0)
+	dummy := &vnode{pnode: pn}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// MaxPayload reports the configured payload capacity in bytes.
+func (q *Queue) MaxPayload() int { return q.cfg.blobLines() * lineData }
+
+// writeBlob writes payload into blob lines, data words before the
+// sealing word of each line (Assumption 1 orders them in NVRAM), and
+// issues asynchronous flushes. The caller's fence covers them.
+func (q *Queue) writeBlob(tid int, blob pmem.Addr, tag uint64, payload []byte) {
+	h := q.h
+	lines := q.cfg.blobLines()
+	for l := 0; l < lines; l++ {
+		base := blob + pmem.Addr(l*pmem.CacheLineBytes)
+		chunk := l * lineData
+		for w := 0; w < lineData/pmem.WordBytes; w++ {
+			var word uint64
+			for b := 0; b < 8; b++ {
+				idx := chunk + w*8 + b
+				if idx < len(payload) {
+					word |= uint64(payload[idx]) << (8 * b)
+				}
+			}
+			h.Store(tid, base+pmem.Addr(w*8), word)
+		}
+		h.Store(tid, base+sealOff, tag<<8|uint64(l)+1)
+		h.Flush(tid, base)
+	}
+}
+
+func readBlob(h *pmem.Heap, blob pmem.Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		l := i / lineData
+		off := i % lineData
+		w := h.Load(0, blob+pmem.Addr(l*pmem.CacheLineBytes)+pmem.Addr(off&^7))
+		out[i] = byte(w >> (8 * (off & 7)))
+	}
+	return out
+}
+
+func blobSealed(h *pmem.Heap, blob pmem.Addr, tag uint64, lines int) bool {
+	for l := 0; l < lines; l++ {
+		if h.Load(0, blob+pmem.Addr(l*pmem.CacheLineBytes)+sealOff) != tag<<8|uint64(l)+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Enqueue appends payload (at most MaxPayload bytes). One blocking
+// persist, covering the blob lines and the node line together.
+func (q *Queue) Enqueue(tid int, payload []byte) {
+	if len(payload) > q.MaxPayload() {
+		panic(fmt.Sprintf("blobq: payload %d exceeds capacity %d", len(payload), q.MaxPayload()))
+	}
+	h := q.h
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	pn := q.nodes.Alloc(tid)
+	blob := q.blobs.Alloc(tid)
+	q.per[tid].tagSeq++
+	tag := blobTag(q.epoch, tid, q.per[tid].tagSeq)
+
+	vn := &vnode{payload: append([]byte(nil), payload...), pnode: pn, blob: blob}
+	h.Store(tid, pn+pnLinked, 0) // before the index, as in UnlinkedQ
+	h.Store(tid, pn+pnBlob, uint64(blob))
+	h.Store(tid, pn+pnTag, tag)
+	h.Store(tid, pn+pnLen, uint64(len(payload)))
+	q.writeBlob(tid, blob, tag, payload) // async flushes, no fence
+	for {
+		tail := q.tail.Load()
+		if next := tail.next.Load(); next == nil {
+			idx := tail.index + 1
+			h.Store(tid, pn+pnIndex, idx)
+			vn.index = idx
+			if tail.next.CompareAndSwap(nil, vn) {
+				h.Store(tid, pn+pnLinked, 1)
+				h.Flush(tid, pn)
+				h.Fence(tid) // the single fence: node + blob durable
+				q.tail.CompareAndSwap(tail, vn)
+				return
+			}
+		} else {
+			q.tail.CompareAndSwap(tail, next)
+		}
+	}
+}
+
+// Dequeue removes the oldest payload. One blocking persist; the
+// payload is served from the Volatile copy, never from flushed lines.
+func (q *Queue) Dequeue(tid int) ([]byte, bool) {
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	for {
+		head := q.head.Load()
+		next := head.next.Load()
+		if next == nil {
+			q.h.NTStore(tid, q.localBase+pmem.Addr(tid)*pmem.CacheLineBytes, head.index)
+			q.h.Fence(tid)
+			return nil, false
+		}
+		if q.head.CompareAndSwap(head, next) {
+			p := next.payload
+			q.h.NTStore(tid, q.localBase+pmem.Addr(tid)*pmem.CacheLineBytes, next.index)
+			q.h.Fence(tid)
+			if r := q.per[tid].nodeToRetire; r != nil {
+				q.nodes.Retire(tid, r.pnode)
+				if r.blob != 0 {
+					q.blobs.Retire(tid, r.blob)
+				}
+			}
+			q.per[tid].nodeToRetire = head
+			return p, true
+		}
+	}
+}
+
+// Recover rebuilds the queue after a crash: a node is resurrected
+// only if it is linked, beyond the recovered head index, and its blob
+// is fully sealed with the node's tag.
+func Recover(h *pmem.Heap, cfg Config) *Queue {
+	cfg.norm()
+	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
+	var headIdx uint64
+	for t := 0; t < cfg.Threads; t++ {
+		if v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes); v > headIdx {
+			headIdx = v
+		}
+	}
+	blobCfg := ssmem.Config{
+		SlotBytes: cfg.blobLines() * pmem.CacheLineBytes, SlotsPerArea: 1024,
+		Threads: cfg.Threads, RootSlot: slotBlobPool,
+	}
+	blobAreas := ssmem.Areas(h, blobCfg)
+
+	// Bump the boot incarnation first so tags minted after this
+	// recovery can never collide with pre-crash seals.
+	epoch := h.Load(0, h.RootAddr(slotEpoch)) + 1
+	h.Store(0, h.RootAddr(slotEpoch), epoch)
+	h.Persist(0, h.RootAddr(slotEpoch))
+
+	type rec struct {
+		pnode, blob pmem.Addr
+		idx, n      uint64
+	}
+	var live []rec
+	liveBlobs := map[pmem.Addr]bool{}
+	nodes := ssmem.RecoverPool(h, ssmem.Config{
+		SlotBytes: pmem.CacheLineBytes, SlotsPerArea: 4096,
+		Threads: cfg.Threads, RootSlot: slotPool,
+	}, func(a pmem.Addr) bool {
+		if h.Load(0, a+pnLinked) != 1 || h.Load(0, a+pnIndex) <= headIdx {
+			return false
+		}
+		blob := pmem.Addr(h.Load(0, a+pnBlob))
+		tag := h.Load(0, a+pnTag)
+		n := h.Load(0, a+pnLen)
+		if !ssmem.ValidSlot(blobAreas, blobCfg.SlotBytes, blob) ||
+			n > uint64(cfg.blobLines()*lineData) ||
+			!blobSealed(h, blob, tag, cfg.blobLines()) {
+			// Torn enqueue: the node's flag or index was evicted
+			// before the payload became durable; the operation was
+			// pending and is discarded.
+			return false
+		}
+		live = append(live, rec{pnode: a, blob: blob, idx: h.Load(0, a+pnIndex), n: n})
+		liveBlobs[blob] = true
+		return true
+	})
+	blobs := ssmem.RecoverPool(h, blobCfg, func(a pmem.Addr) bool { return liveBlobs[a] })
+
+	sort.Slice(live, func(i, j int) bool { return live[i].idx < live[j].idx })
+	q := &Queue{
+		h: h, cfg: cfg, nodes: nodes, blobs: blobs,
+		localBase: localBase, epoch: epoch, per: make([]perThread, cfg.Threads),
+	}
+	dummyPn := nodes.Alloc(0)
+	h.Store(0, dummyPn+pnLinked, 0)
+	h.Store(0, dummyPn+pnIndex, headIdx)
+	dummy := &vnode{index: headIdx, pnode: dummyPn}
+	prev := dummy
+	for _, r := range live {
+		vn := &vnode{
+			payload: readBlob(h, r.blob, int(r.n)),
+			index:   r.idx,
+			pnode:   r.pnode,
+			blob:    r.blob,
+		}
+		prev.next.Store(vn)
+		prev = vn
+	}
+	q.head.Store(dummy)
+	q.tail.Store(prev)
+	return q
+}

@@ -1,0 +1,390 @@
+package blobq
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newHeap(mode pmem.Mode) *pmem.Heap {
+	return pmem.New(pmem.Config{Bytes: 32 << 20, Mode: mode, MaxThreads: 6})
+}
+
+func payloadFor(v uint64, n int) []byte {
+	p := make([]byte, n)
+	rng := rand.New(rand.NewSource(int64(v)))
+	rng.Read(p)
+	return p
+}
+
+func TestRoundTripSizes(t *testing.T) {
+	q := New(newHeap(pmem.ModePerf), Config{Threads: 1, MaxPayload: 240})
+	sizes := []int{0, 1, 7, 8, 55, 56, 57, 112, 113, 168, 240}
+	for _, n := range sizes {
+		q.Enqueue(0, payloadFor(uint64(n), n))
+	}
+	for _, n := range sizes {
+		got, ok := q.Dequeue(0)
+		if !ok {
+			t.Fatalf("size %d: unexpected empty", n)
+		}
+		if !bytes.Equal(got, payloadFor(uint64(n), n)) {
+			t.Fatalf("size %d: payload mismatch", n)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestOversizePayloadPanics(t *testing.T) {
+	q := New(newHeap(pmem.ModePerf), Config{Threads: 1, MaxPayload: 100})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize enqueue did not panic")
+		}
+	}()
+	q.Enqueue(0, make([]byte, q.MaxPayload()+1))
+}
+
+func TestFIFOAndModel(t *testing.T) {
+	q := New(newHeap(pmem.ModePerf), Config{Threads: 1})
+	rng := rand.New(rand.NewSource(4))
+	var model []uint64
+	next := uint64(1)
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(2) == 0 {
+			q.Enqueue(0, payloadFor(next, int(next%200)))
+			model = append(model, next)
+			next++
+		} else {
+			p, ok := q.Dequeue(0)
+			if len(model) == 0 {
+				if ok {
+					t.Fatal("dequeue on empty succeeded")
+				}
+				continue
+			}
+			want := model[0]
+			model = model[1:]
+			if !ok || !bytes.Equal(p, payloadFor(want, int(want%200))) {
+				t.Fatalf("op %d: payload mismatch for %d", op, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentPayloadIntegrity(t *testing.T) {
+	const threads, per = 4, 1500
+	h := pmem.New(pmem.Config{Bytes: 128 << 20, MaxThreads: threads + 1})
+	q := New(h, Config{Threads: threads})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	delivered := map[uint64]bool{}
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)))
+			seq := uint64(1)
+			for i := 0; i < per; i++ {
+				if rng.Intn(2) == 0 {
+					v := uint64(tid+1)<<32 | seq
+					seq++
+					q.Enqueue(tid, encodedPayload(v))
+				} else if p, ok := q.Dequeue(tid); ok {
+					v, err := decodePayload(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					if delivered[v] {
+						t.Errorf("duplicate payload %x", v)
+					}
+					delivered[v] = true
+					mu.Unlock()
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	for {
+		p, ok := q.Dequeue(0)
+		if !ok {
+			break
+		}
+		if _, err := decodePayload(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// encodedPayload embeds v and a checksum into a variable-length body
+// so corruption or cross-wiring of blobs is detectable.
+func encodedPayload(v uint64) []byte {
+	n := 16 + int(v%150)
+	p := make([]byte, n)
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
+	var sum byte
+	for i := 16; i < n; i++ {
+		p[i] = byte(int(v) + i)
+		sum += p[i]
+	}
+	p[8] = sum
+	p[9] = byte(n)
+	return p
+}
+
+func decodePayload(p []byte) (uint64, error) {
+	if len(p) < 16 {
+		return 0, fmt.Errorf("payload too short: %d", len(p))
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[i]) << (8 * i)
+	}
+	if int(p[9]) != len(p) {
+		return v, fmt.Errorf("payload %x: length %d, embedded %d", v, len(p), p[9])
+	}
+	var sum byte
+	for i := 16; i < len(p); i++ {
+		if p[i] != byte(int(v)+i) {
+			return v, fmt.Errorf("payload %x: corrupt body at %d", v, i)
+		}
+		sum += p[i]
+	}
+	if p[8] != sum {
+		return v, fmt.Errorf("payload %x: checksum mismatch", v)
+	}
+	return v, nil
+}
+
+// TestOneFenceZeroPostFlush: the generalized queue keeps both of the
+// paper's optimal characteristics despite multi-line items.
+func TestOneFenceZeroPostFlush(t *testing.T) {
+	h := newHeap(pmem.ModePerf)
+	q := New(h, Config{Threads: 1})
+	for i := uint64(0); i < 200; i++ {
+		q.Enqueue(0, payloadFor(i, 100))
+	}
+	for i := 0; i < 200; i++ {
+		q.Dequeue(0)
+	}
+	base := h.TotalStats()
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		q.Enqueue(0, payloadFor(i, 100))
+	}
+	for i := 0; i < n; i++ {
+		q.Dequeue(0)
+	}
+	s := h.TotalStats().Sub(base)
+	if s.Fences != 2*n {
+		t.Errorf("fences = %d for %d ops, want %d", s.Fences, 2*n, 2*n)
+	}
+	if s.PostFlushAccesses != 0 {
+		t.Errorf("post-flush accesses = %d, want 0", s.PostFlushAccesses)
+	}
+}
+
+// TestQuiescentCrashRecovery: payloads survive crashes byte-exact.
+func TestQuiescentCrashRecovery(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		h := newHeap(pmem.ModeCrash)
+		cfg := Config{Threads: 2}
+		q := New(h, cfg)
+		var model []uint64
+		next := uint64(1)
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 300; op++ {
+			if rng.Intn(3) < 2 {
+				q.Enqueue(op%2, payloadFor(next, int(next%230)))
+				model = append(model, next)
+				next++
+			} else if _, ok := q.Dequeue(op % 2); ok {
+				model = model[1:]
+			}
+		}
+		h.CrashNow()
+		h.FinalizeCrash(rand.New(rand.NewSource(seed + 100)))
+		h.Restart()
+		rq := Recover(h, cfg)
+		for i, want := range model {
+			p, ok := rq.Dequeue(0)
+			if !ok {
+				t.Fatalf("seed %d: queue ended at %d, want %d items", seed, i, len(model))
+			}
+			if !bytes.Equal(p, payloadFor(want, int(want%230))) {
+				t.Fatalf("seed %d: item %d payload mismatch", seed, i)
+			}
+		}
+		if _, ok := rq.Dequeue(0); ok {
+			t.Fatalf("seed %d: extra items after model", seed)
+		}
+	}
+}
+
+// TestExhaustiveCrashPoints sweeps every memory access of a script
+// that recycles blobs across an earlier crash (exercising the
+// boot-epoch tag salting) and validates payload integrity of whatever
+// recovery resurrects.
+func TestExhaustiveCrashPoints(t *testing.T) {
+	script := []bool{true, true, false, false, true, true, false, true, false, false}
+	// First measure the access count.
+	{
+		h := newHeap(pmem.ModeCrash)
+		q := New(h, Config{Threads: 1})
+		h.ScheduleCrashAtAccess(1 << 60)
+		runScript(q, script, nil)
+		total := h.AccessCount()
+		stride := int64(2)
+		if testing.Short() {
+			stride = 9
+		}
+		for k := int64(1); k <= total; k += stride {
+			testOneCrashPoint(t, script, k)
+		}
+	}
+}
+
+func runScript(q *Queue, script []bool, model *[]uint64) {
+	next := uint64(1)
+	for _, enq := range script {
+		if enq {
+			q.Enqueue(0, encodedPayload(next))
+			if model != nil {
+				*model = append(*model, next)
+			}
+			next++
+		} else {
+			if _, ok := q.Dequeue(0); ok && model != nil {
+				*model = (*model)[1:]
+			}
+		}
+	}
+}
+
+func testOneCrashPoint(t *testing.T, script []bool, k int64) {
+	t.Helper()
+	h := newHeap(pmem.ModeCrash)
+	cfg := Config{Threads: 1}
+	q := New(h, cfg)
+	h.ScheduleCrashAtAccess(k)
+	var model []uint64
+	var pendingEnq *uint64
+	pendingDeq := false
+	next := uint64(1)
+	for _, enq := range script {
+		enq := enq
+		v := next
+		crashed := pmem.Protect(func() {
+			if enq {
+				q.Enqueue(0, encodedPayload(v))
+			} else {
+				q.Dequeue(0)
+			}
+		})
+		if crashed {
+			if enq {
+				pendingEnq = &v
+			} else {
+				pendingDeq = true
+			}
+			break
+		}
+		if enq {
+			model = append(model, v)
+			next++
+		} else if len(model) > 0 {
+			model = model[1:]
+		}
+	}
+	if !h.Crashed() {
+		h.CrashNow()
+		pendingEnq, pendingDeq = nil, false
+	}
+	h.FinalizeCrash(rand.New(rand.NewSource(k)))
+	h.Restart()
+	rq := Recover(h, cfg)
+	var got []uint64
+	for {
+		p, ok := rq.Dequeue(0)
+		if !ok {
+			break
+		}
+		v, err := decodePayload(p)
+		if err != nil {
+			t.Fatalf("crash %d: corrupt recovered payload: %v", k, err)
+		}
+		got = append(got, v)
+	}
+	if eq(got, model) {
+		return
+	}
+	alt := append([]uint64(nil), model...)
+	if pendingEnq != nil {
+		alt = append(alt, *pendingEnq)
+	} else if pendingDeq && len(alt) > 0 {
+		alt = alt[1:]
+	}
+	if (pendingEnq != nil || pendingDeq) && eq(got, alt) {
+		return
+	}
+	t.Fatalf("crash %d: recovered %v, want %v or %v", k, got, model, alt)
+}
+
+func eq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMultiCrashWithBlobReuse drives several crash/recover cycles so
+// recovered free lists hand out blobs that were sealed in earlier
+// incarnations.
+func TestMultiCrashWithBlobReuse(t *testing.T) {
+	h := newHeap(pmem.ModeCrash)
+	cfg := Config{Threads: 2}
+	q := New(h, cfg)
+	var model []uint64
+	next := uint64(1)
+	rng := rand.New(rand.NewSource(8))
+	for cycle := 0; cycle < 5; cycle++ {
+		for op := 0; op < 150; op++ {
+			if rng.Intn(2) == 0 {
+				q.Enqueue(op%2, encodedPayload(next))
+				model = append(model, next)
+				next++
+			} else if _, ok := q.Dequeue(op % 2); ok {
+				model = model[1:]
+			}
+		}
+		h.CrashNow()
+		h.FinalizeCrash(rand.New(rand.NewSource(int64(cycle))))
+		h.Restart()
+		q = Recover(h, cfg)
+	}
+	for i, want := range model {
+		p, ok := q.Dequeue(0)
+		if !ok {
+			t.Fatalf("ended at %d of %d", i, len(model))
+		}
+		v, err := decodePayload(p)
+		if err != nil || v != want {
+			t.Fatalf("item %d: got %d (%v), want %d", i, v, err, want)
+		}
+	}
+}

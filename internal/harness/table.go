@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sweep runs one workload across queues and thread counts, returning
+// results indexed [queue][thread].
+func Sweep(base Config, queueNames []string, threadCounts []int) ([][]Result, error) {
+	out := make([][]Result, len(queueNames))
+	for qi, name := range queueNames {
+		in, ok := LookupQueue(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown queue %q", name)
+		}
+		out[qi] = make([]Result, len(threadCounts))
+		for ti, th := range threadCounts {
+			cfg := base
+			cfg.Queue = in
+			cfg.Threads = th
+			out[qi][ti] = Run(cfg)
+		}
+	}
+	return out, nil
+}
+
+// ThroughputTable renders a Figure 2 "Million Ops per Second" panel.
+func ThroughputTable(title string, threadCounts []int, results [][]Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — Million ops per second\n", title)
+	fmt.Fprintf(&b, "%-26s", "queue \\ threads")
+	for _, th := range threadCounts {
+		fmt.Fprintf(&b, "%10d", th)
+	}
+	b.WriteByte('\n')
+	for _, row := range results {
+		fmt.Fprintf(&b, "%-26s", row[0].Queue)
+		for _, r := range row {
+			fmt.Fprintf(&b, "%10.3f", r.Mops())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RatioTable renders a Figure 2 "Ops per DurableMSQ Ops" panel: the
+// throughput of each queue divided by the baseline queue's at the
+// same thread count.
+func RatioTable(title, baseline string, threadCounts []int, results [][]Result) string {
+	var base []Result
+	for _, row := range results {
+		if row[0].Queue == baseline {
+			base = row
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — Ops per %s ops\n", title, baseline)
+	fmt.Fprintf(&b, "%-26s", "queue \\ threads")
+	for _, th := range threadCounts {
+		fmt.Fprintf(&b, "%10d", th)
+	}
+	b.WriteByte('\n')
+	if base == nil {
+		fmt.Fprintf(&b, "(baseline %q not in sweep)\n", baseline)
+		return b.String()
+	}
+	for _, row := range results {
+		fmt.Fprintf(&b, "%-26s", row[0].Queue)
+		for ti, r := range row {
+			fmt.Fprintf(&b, "%10.2f", r.Mops()/base[ti].Mops())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StatsTable renders per-op persist statistics (fences and accesses
+// to flushed content), the quantities the paper's design rules target.
+func StatsTable(title string, threadCounts []int, results [][]Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — fences/op | post-flush accesses/op\n", title)
+	fmt.Fprintf(&b, "%-26s", "queue \\ threads")
+	for _, th := range threadCounts {
+		fmt.Fprintf(&b, "%16d", th)
+	}
+	b.WriteByte('\n')
+	for _, row := range results {
+		fmt.Fprintf(&b, "%-26s", row[0].Queue)
+		for _, r := range row {
+			cell := fmt.Sprintf("%.2f|%.2f", r.FencesPerOp(), r.PostFlushPerOp())
+			fmt.Fprintf(&b, "%16s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders results as comma-separated rows with a header.
+func CSV(results [][]Result) string {
+	var b strings.Builder
+	b.WriteString("workload,queue,threads,ops,seconds,mops,fences_per_op,postflush_per_op\n")
+	for _, row := range results {
+		for _, r := range row {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%.4f,%.4f,%.4f,%.4f\n",
+				r.Workload, r.Queue, r.Threads, r.Ops, r.Elapsed.Seconds(),
+				r.Mops(), r.FencesPerOp(), r.PostFlushPerOp())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestDCASConcurrentConsistency hammers a (pointer, index)-style pair
+// with DCAS from several goroutines: every successful DCAS must have
+// observed a coherent pair, and the final pair must reflect exactly
+// the successful operations.
+func TestDCASConcurrentConsistency(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20, MaxThreads: 8})
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 0)
+	h.Store(0, a+8, 1000)
+
+	const workers = 4
+	const attempts = 20000
+	var succ [workers]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				v0, v1 := h.LoadPair(tid, a)
+				// The invariant v1 == v0 + 1000 can only be observed
+				// torn by LoadPair; DCAS re-validates both words, so
+				// a torn read merely fails the DCAS.
+				if h.DCAS(tid, a, v0, v1, v0+1, v1+1) {
+					succ[tid]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range succ {
+		total += s
+	}
+	v0, v1 := h.LoadPair(0, a)
+	if v0 != total || v1 != total+1000 {
+		t.Fatalf("final pair (%d,%d) inconsistent with %d successful DCASes", v0, v1, total)
+	}
+}
+
+// TestConcurrentFlushFenceStress runs mixed stores/flushes/fences from
+// several threads in crash mode and then materializes a crash; the
+// run must be panic-free and every fenced value must survive.
+func TestConcurrentFlushFenceStress(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20, Mode: ModeCrash, MaxThreads: 8})
+	base := h.AllocRaw(0, 8*CacheLineBytes, CacheLineBytes)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			// Each thread owns one line and persists a counter on it;
+			// all threads also hammer a shared line without fencing.
+			own := base + Addr(tid)*CacheLineBytes
+			shared := base + 7*CacheLineBytes
+			for i := uint64(1); i <= 500; i++ {
+				h.Store(tid, own, i)
+				h.Flush(tid, own)
+				h.Fence(tid)
+				h.Store(tid, shared, i)
+				if i%16 == 0 {
+					h.Flush(tid, shared)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.CrashNow()
+	h.FinalizeCrash(newTestRand(3))
+	for w := 0; w < workers; w++ {
+		own := base + Addr(w)*CacheLineBytes
+		if got := h.RawImg(own); got != 500 {
+			t.Fatalf("thread %d fenced counter = %d, want 500", w, got)
+		}
+	}
+}
+
+// TestPostFlushChargeIsPerLine verifies that invalidation is tracked
+// at line granularity: flushing one word invalidates its whole line
+// and only that line.
+func TestPostFlushChargeIsPerLine(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20})
+	a := h.AllocRaw(0, 2*CacheLineBytes, CacheLineBytes)
+	h.Store(0, a, 1)
+	h.Store(0, a+CacheLineBytes, 2)
+	h.Flush(0, a+8) // flush via a different word of line 0
+	h.Fence(0)
+	_ = h.Load(0, a+24)             // same line: must be charged
+	_ = h.Load(0, a+CacheLineBytes) // other line: must not
+	if got := h.StatsOf(0).PostFlushAccesses; got != 1 {
+		t.Fatalf("post-flush accesses = %d, want 1", got)
+	}
+}
+
+// TestClearLineStateSuppressesCharge models allocator recycling.
+func TestClearLineStateSuppressesCharge(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20})
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 1)
+	h.Flush(0, a)
+	h.Fence(0)
+	h.ClearLineState(a)
+	h.Store(0, a, 2)
+	if got := h.StatsOf(0).PostFlushAccesses; got != 0 {
+		t.Fatalf("post-flush accesses after ClearLineState = %d, want 0", got)
+	}
+}
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

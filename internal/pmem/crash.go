@@ -1,0 +1,122 @@
+package pmem
+
+import "math/rand"
+
+// crashSignal is the panic payload used to stop a thread at a
+// simulated crash. It is deliberately an unexported type so that
+// Protect cannot be fooled by arbitrary panics.
+type crashSignal struct{}
+
+func (crashSignal) Error() string { return "pmem: simulated full-system crash" }
+
+// Protect runs f and reports whether it was interrupted by a simulated
+// crash. Any other panic is re-raised. Worker goroutines in crash
+// tests wrap their operation loops in Protect.
+func Protect(f func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
+}
+
+// ScheduleCrashAtAccess arms a crash that fires when n further
+// simulated memory accesses (counted across all threads) have
+// occurred. Only meaningful in ModeCrash. n <= 0 disarms.
+func (h *Heap) ScheduleCrashAtAccess(n int64) {
+	if n <= 0 {
+		h.crashAt.Store(0)
+		return
+	}
+	h.crashAt.Store(h.accessNo.Load() + n)
+}
+
+// CrashNow marks the system as crashed: every subsequent simulated
+// access by any thread panics with the crash signal (catch it with
+// Protect). Only meaningful in ModeCrash.
+func (h *Heap) CrashNow() {
+	if h.cfg.Mode != ModeCrash {
+		panic("pmem: CrashNow requires ModeCrash")
+	}
+	h.crashed.Store(true)
+}
+
+// Crashed reports whether a crash has been triggered and not yet
+// cleared by Restart.
+func (h *Heap) Crashed() bool { return h.crashed.Load() }
+
+func (h *Heap) crashCheck() {
+	if h.crashed.Load() {
+		panic(crashSignal{})
+	}
+	if at := h.crashAt.Load(); at > 0 && h.accessNo.Add(1) >= at {
+		h.crashed.Store(true)
+		panic(crashSignal{})
+	}
+}
+
+// FinalizeCrash materializes the NVRAM image at the crash point: for
+// every journalled cache line, a durable prefix of its stores is
+// chosen uniformly at random between the prefix guaranteed by fences
+// and the full store sequence (modelling unpredictable implicit cache
+// evictions under Assumption 1), and applied to the image. Must be
+// called after all worker goroutines have observed the crash and
+// stopped.
+func (h *Heap) FinalizeCrash(rng *rand.Rand) {
+	if h.cfg.Mode != ModeCrash {
+		panic("pmem: FinalizeCrash requires ModeCrash")
+	}
+	if !h.crashed.Load() {
+		panic("pmem: FinalizeCrash called before a crash was triggered")
+	}
+	for line := range h.logs {
+		lg := &h.logs[line]
+		if len(lg.entries) == 0 {
+			continue
+		}
+		k := lg.persisted
+		if n := len(lg.entries) - k; n > 0 {
+			k += rng.Intn(n + 1)
+		}
+		h.applyEntries(line, lg.entries[:k])
+		lg.entries = lg.entries[:0]
+		lg.persisted = 0
+		lg.gen++
+	}
+}
+
+// AccessCount reports how many crash-checked simulated accesses have
+// occurred since the last Restart while a crash was armed. Exhaustive
+// crash-point tests use it to enumerate injection points.
+func (h *Heap) AccessCount() int64 { return h.accessNo.Load() }
+
+// Restart models rebooting after a crash (or simply reopening the
+// persistent heap): the working view is reloaded from the NVRAM
+// image, all volatile simulator state (cache flags, pending flushes,
+// the crash flag) is discarded, and new threads may run. Statistics
+// are preserved across restarts.
+func (h *Heap) Restart() {
+	copy(h.mem, h.img)
+	for i := range h.flags {
+		h.flags[i].Store(0)
+	}
+	for i := range h.threads {
+		h.threads[i].pending = h.threads[i].pending[:0]
+		h.threads[i].npend = 0
+	}
+	if h.cfg.Mode == ModeCrash {
+		for line := range h.logs {
+			h.logs[line].entries = h.logs[line].entries[:0]
+			h.logs[line].persisted = 0
+		}
+	}
+	h.crashed.Store(false)
+	h.accessNo.Store(0)
+	h.crashAt.Store(0)
+}

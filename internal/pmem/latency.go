@@ -1,0 +1,107 @@
+package pmem
+
+import (
+	"sync"
+	"time"
+)
+
+// LatencyModel configures the delays injected by the simulator so that
+// wall-clock throughput reflects the relative costs measured on real
+// NVRAM platforms. All fields are in nanoseconds; a zero field injects
+// no delay for that event (event counting is unaffected).
+type LatencyModel struct {
+	// NVMReadNs is charged when an ordinary access touches a line
+	// that a previous flush invalidated (the paper's "access to
+	// flushed content"): the line must be re-read from NVRAM, whose
+	// read latency is roughly 3x DRAM.
+	NVMReadNs int64
+	// FenceNs is the fixed cost of an SFENCE that must wait for
+	// earlier flushes to reach the persistence domain.
+	FenceNs int64
+	// FlushNs is the issue cost of an asynchronous CLWB.
+	FlushNs int64
+	// NTStoreNs is the issue cost of a movnti non-temporal store.
+	NTStoreNs int64
+	// DrainNsPerLine is added to every fence for each line flushed or
+	// NT-stored since the previous fence, modelling write-pending-
+	// queue drain bandwidth.
+	DrainNsPerLine int64
+}
+
+// DefaultLatency returns the model used for the paper-shaped
+// benchmarks. The constants follow published Optane DC measurements
+// (random read ~300ns; persist ~100-200ns) — see EXPERIMENTS.md.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		NVMReadNs:      300,
+		FenceNs:        120,
+		FlushNs:        20,
+		NTStoreNs:      10,
+		DrainNsPerLine: 25,
+	}
+}
+
+// ZeroLatency returns a model that injects no delays. Counting of
+// fences, flushes and post-flush accesses still happens; correctness
+// tests use this model for speed.
+func ZeroLatency() LatencyModel { return LatencyModel{} }
+
+// SetLatency replaces the heap's latency model. Call only while the
+// heap is quiescent (harnesses use it to prefill queues at full speed
+// before switching the measured model on).
+func (h *Heap) SetLatency(m LatencyModel) { h.lat = m }
+
+func (h *Heap) delay(ns int64) {
+	if ns > 0 {
+		spinFor(ns)
+	}
+}
+
+var (
+	calOnce        sync.Once
+	spinItersPerNs float64
+)
+
+// spinKernel runs n xorshift64 steps. The generator never reaches
+// zero from a nonzero seed, which the caller exploits to keep the
+// loop from being optimized away without sharing a sink variable
+// across threads.
+//
+//go:noinline
+func spinKernel(n int64) uint64 {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := int64(0); i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+func calibrate() {
+	const probe = 1 << 21
+	best := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		if spinKernel(probe) == 0 {
+			panic("pmem: xorshift64 reached zero")
+		}
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+	}
+	spinItersPerNs = float64(probe) / float64(best.Nanoseconds())
+}
+
+// spinFor busy-loops for approximately ns nanoseconds without any
+// shared-memory traffic and without syscalls.
+func spinFor(ns int64) {
+	calOnce.Do(calibrate)
+	n := int64(float64(ns) * spinItersPerNs)
+	if n < 1 {
+		n = 1
+	}
+	if spinKernel(n) == 0 {
+		panic("pmem: xorshift64 reached zero")
+	}
+}

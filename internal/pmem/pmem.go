@@ -1,0 +1,503 @@
+// Package pmem simulates byte-addressable non-volatile main memory
+// (NVRAM) with the persistence semantics assumed by "Durable Queues:
+// The Second Amendment" (Sela & Petrank, SPAA 2021).
+//
+// The simulator maintains two copies of memory:
+//
+//   - the working view ("mem"), which models the cache-coherent state
+//     that running threads observe, and
+//   - the NVRAM image ("img"), which models what survives a
+//     full-system crash.
+//
+// Threads interact with the heap through Load/Store/CAS/DCAS (ordinary
+// cached accesses), Flush (an asynchronous cache-line write-back such
+// as CLWB, which on Cascade Lake also invalidates the line), Fence (an
+// SFENCE that blocks until previously issued flushes and non-temporal
+// stores are durable) and NTStore (a movnti-style non-temporal store
+// that bypasses the cache).
+//
+// The simulator implements the paper's Assumption 1: a cache line is
+// evicted to memory atomically, so after a crash the NVRAM content of
+// each line reflects a prefix of the stores performed on that line.
+// In ModeCrash every store is journalled per line; at crash time each
+// line's durable content is chosen as a random prefix that is at least
+// the prefix guaranteed by the last completed fence covering the line.
+//
+// The simulator also implements the paper's central performance
+// observation: flushing a line invalidates it, so the next ordinary
+// access to that line misses the cache and pays the (high) NVRAM read
+// latency. Those events are counted as "post-flush accesses" and are
+// charged according to the configured LatencyModel.
+package pmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a byte offset into the simulated persistent heap.
+// The zero Addr plays the role of a nil pointer; no allocation is ever
+// placed at offset 0.
+type Addr uint64
+
+// Memory geometry constants. One queue node per cache line is the
+// layout used throughout this repository (the paper's footnote 3).
+const (
+	CacheLineBytes = 64
+	WordBytes      = 8
+	WordsPerLine   = CacheLineBytes / WordBytes
+)
+
+// NumRootSlots is the number of cache-line-sized persistent root slots
+// available through RootAddr. Recovery procedures locate all durable
+// state starting from these slots.
+const NumRootSlots = 62
+
+const (
+	magicWord  = 0x447572515632 // "DurQV2"
+	brkAddr    = Addr(8)        // persistent heap break (byte offset)
+	dataStart  = Addr(64 * 64)  // first allocatable byte
+	lockShards = 1024
+	lineValid  = uint32(1) // flag bit: line was flushed and invalidated
+)
+
+// Mode selects the simulation fidelity.
+type Mode int
+
+const (
+	// ModePerf is the fast path used for benchmarking: no store
+	// journalling, crashes are not allowed.
+	ModePerf Mode = iota
+	// ModeCrash journals every store per cache line so that a crash
+	// can be materialized with per-line prefix semantics. Slower.
+	ModeCrash
+)
+
+// Config parameterizes a Heap.
+type Config struct {
+	// Bytes is the size of the persistent heap. Default 64 MiB.
+	Bytes int64
+	// Mode selects ModePerf (default) or ModeCrash.
+	Mode Mode
+	// MaxThreads bounds the thread ids that may be passed to heap
+	// operations. Default 64.
+	MaxThreads int
+	// Latency configures the injected delays. The zero value injects
+	// no delays (counting still happens).
+	Latency LatencyModel
+	// FlushRetainsLine, when true, models a platform whose flush
+	// instruction writes the line back without invalidating it (the
+	// Ice Lake behaviour the paper conjectures about). Default false
+	// models Cascade Lake: every flush invalidates the line.
+	FlushRetainsLine bool
+}
+
+type pendingFlush struct {
+	line int
+	upTo int
+	gen  uint64
+}
+
+type logEntry struct {
+	off uint8 // word offset within the line (0..7)
+	n   uint8 // number of words written atomically (1 or 2)
+	v   [2]uint64
+}
+
+type lineLog struct {
+	entries   []logEntry
+	persisted int    // prefix guaranteed durable by a completed fence
+	gen       uint64 // bumped whenever the journal is truncated
+}
+
+// threadCtx is per-thread simulator state. Each context is owned by a
+// single goroutine; padding avoids false sharing between contexts.
+type threadCtx struct {
+	stats   Stats
+	pending []pendingFlush // ModeCrash: flushes issued since last fence
+	npend   int64          // lines pending drain at the next fence
+	_       [64]byte
+}
+
+// Heap is a simulated persistent memory arena.
+//
+// All exported methods taking a tid are safe for concurrent use as
+// long as each tid is used by at most one goroutine at a time.
+type Heap struct {
+	cfg   Config
+	lat   LatencyModel
+	mem   []uint64
+	img   []uint64
+	flags []atomic.Uint32
+	lines int
+
+	threads []threadCtx
+	allocMu sync.Mutex
+
+	locks [lockShards]sync.Mutex
+	logs  []lineLog // ModeCrash only
+
+	crashed  atomic.Bool
+	accessNo atomic.Int64
+	crashAt  atomic.Int64 // 0 = no scheduled crash
+
+	// postFlushHook, when set, observes every access to a flushed
+	// line (see SetPostFlushHook).
+	postFlushHook func(tid int, a Addr)
+}
+
+// New creates a heap. It panics on invalid configuration; a simulated
+// memory that cannot be constructed is unusable, so this mirrors the
+// "panic during initialization" convention.
+func New(cfg Config) *Heap {
+	if cfg.Bytes == 0 {
+		cfg.Bytes = 64 << 20
+	}
+	if cfg.Bytes < int64(dataStart)+CacheLineBytes {
+		panic(fmt.Sprintf("pmem: heap of %d bytes is too small", cfg.Bytes))
+	}
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 64
+	}
+	cfg.Bytes = (cfg.Bytes + CacheLineBytes - 1) &^ (CacheLineBytes - 1)
+	words := int(cfg.Bytes / WordBytes)
+	h := &Heap{
+		cfg:     cfg,
+		lat:     cfg.Latency,
+		mem:     make([]uint64, words),
+		img:     make([]uint64, words),
+		flags:   make([]atomic.Uint32, words/WordsPerLine),
+		lines:   words / WordsPerLine,
+		threads: make([]threadCtx, cfg.MaxThreads),
+	}
+	if cfg.Mode == ModeCrash {
+		h.logs = make([]lineLog, h.lines)
+	}
+	h.mem[0], h.img[0] = magicWord, magicWord
+	h.mem[1], h.img[1] = uint64(dataStart), uint64(dataStart)
+	return h
+}
+
+// Bytes reports the heap size in bytes.
+func (h *Heap) Bytes() int64 { return h.cfg.Bytes }
+
+// Mode reports the simulation mode.
+func (h *Heap) Mode() Mode { return h.cfg.Mode }
+
+// MaxThreads reports the configured thread-id bound.
+func (h *Heap) MaxThreads() int { return h.cfg.MaxThreads }
+
+// RootAddr returns the address of persistent root slot i. Each slot
+// occupies a full private cache line so that flushing one root never
+// invalidates another.
+func (h *Heap) RootAddr(slot int) Addr {
+	if slot < 0 || slot >= NumRootSlots {
+		panic(fmt.Sprintf("pmem: root slot %d out of range", slot))
+	}
+	return Addr((1 + slot) * CacheLineBytes)
+}
+
+func (h *Heap) lock(line int) *sync.Mutex {
+	return &h.locks[line&(lockShards-1)]
+}
+
+// touch performs the crash check and the cache-miss accounting shared
+// by all ordinary (cached) accesses.
+func (h *Heap) touch(tid int, a Addr) {
+	if h.cfg.Mode == ModeCrash {
+		h.crashCheck()
+	}
+	line := int(a / CacheLineBytes)
+	if h.flags[line].Load()&lineValid != 0 {
+		h.flags[line].Store(0)
+		h.threads[tid].stats.PostFlushAccesses++
+		if h.postFlushHook != nil {
+			h.postFlushHook(tid, a)
+		}
+		h.delay(h.lat.NVMReadNs)
+	}
+}
+
+// SetPostFlushHook installs an observer invoked on every access to an
+// explicitly flushed cache line — the event the paper's design
+// guideline says to avoid. Algorithm developers use it to attribute
+// guideline violations to concrete addresses (see the queues tests
+// for usage). Set it before concurrent activity begins; the hook runs
+// on the accessing goroutine.
+func (h *Heap) SetPostFlushHook(fn func(tid int, a Addr)) { h.postFlushHook = fn }
+
+// Load returns the current (cache-coherent) value of the word at a.
+func (h *Heap) Load(tid int, a Addr) uint64 {
+	h.touch(tid, a)
+	h.threads[tid].stats.Loads++
+	return atomic.LoadUint64(&h.mem[a/WordBytes])
+}
+
+// Store writes v to the word at a, as an ordinary cached store.
+func (h *Heap) Store(tid int, a Addr, v uint64) {
+	h.touch(tid, a)
+	h.threads[tid].stats.Stores++
+	w := a / WordBytes
+	if h.cfg.Mode == ModeCrash {
+		line := int(a / CacheLineBytes)
+		mu := h.lock(line)
+		mu.Lock()
+		atomic.StoreUint64(&h.mem[w], v)
+		lg := &h.logs[line]
+		lg.entries = append(lg.entries, logEntry{off: uint8((a / WordBytes) % WordsPerLine), n: 1, v: [2]uint64{v}})
+		mu.Unlock()
+		return
+	}
+	atomic.StoreUint64(&h.mem[w], v)
+}
+
+// CAS atomically compares-and-swaps the word at a.
+func (h *Heap) CAS(tid int, a Addr, old, new uint64) bool {
+	h.touch(tid, a)
+	h.threads[tid].stats.CASes++
+	w := a / WordBytes
+	if h.cfg.Mode == ModeCrash {
+		line := int(a / CacheLineBytes)
+		mu := h.lock(line)
+		mu.Lock()
+		ok := atomic.LoadUint64(&h.mem[w]) == old
+		if ok {
+			atomic.StoreUint64(&h.mem[w], new)
+			lg := &h.logs[line]
+			lg.entries = append(lg.entries, logEntry{off: uint8((a / WordBytes) % WordsPerLine), n: 1, v: [2]uint64{new}})
+		}
+		mu.Unlock()
+		return ok
+	}
+	return atomic.CompareAndSwapUint64(&h.mem[w], old, new)
+}
+
+// DCAS is a double-width (16-byte) compare-and-swap over the adjacent
+// words at a and a+8; a must be 16-byte aligned so both words share a
+// cache line. Go has no 128-bit CAS, so DCAS serializes through a
+// sharded lock; the words it manages must only ever be written through
+// DCAS (concurrent Load is fine and may observe a torn pair, exactly
+// as a pair of 64-bit loads would on x86).
+func (h *Heap) DCAS(tid int, a Addr, old0, old1, new0, new1 uint64) bool {
+	if a%16 != 0 {
+		panic("pmem: DCAS address must be 16-byte aligned")
+	}
+	h.touch(tid, a)
+	h.threads[tid].stats.DCASes++
+	w := a / WordBytes
+	line := int(a / CacheLineBytes)
+	mu := h.lock(line)
+	mu.Lock()
+	ok := atomic.LoadUint64(&h.mem[w]) == old0 && atomic.LoadUint64(&h.mem[w+1]) == old1
+	if ok {
+		atomic.StoreUint64(&h.mem[w], new0)
+		atomic.StoreUint64(&h.mem[w+1], new1)
+		if h.cfg.Mode == ModeCrash {
+			lg := &h.logs[line]
+			lg.entries = append(lg.entries, logEntry{off: uint8((a / WordBytes) % WordsPerLine), n: 2, v: [2]uint64{new0, new1}})
+		}
+	}
+	mu.Unlock()
+	return ok
+}
+
+// LoadPair reads the two adjacent words at a and a+8. The pair may be
+// torn with respect to a concurrent DCAS, as on real hardware.
+func (h *Heap) LoadPair(tid int, a Addr) (uint64, uint64) {
+	h.touch(tid, a)
+	h.threads[tid].stats.Loads += 2
+	w := a / WordBytes
+	return atomic.LoadUint64(&h.mem[w]), atomic.LoadUint64(&h.mem[w+1])
+}
+
+// Flush issues an asynchronous write-back (CLWB-style) of the cache
+// line containing a. Durability is only guaranteed after a subsequent
+// Fence by the same thread. Unless the heap was configured with
+// FlushRetainsLine, the line is invalidated: the next ordinary access
+// to it pays the NVRAM read latency and is counted as a post-flush
+// access.
+func (h *Heap) Flush(tid int, a Addr) {
+	if h.cfg.Mode == ModeCrash {
+		h.crashCheck()
+	}
+	line := int(a / CacheLineBytes)
+	ts := &h.threads[tid]
+	ts.stats.Flushes++
+	if !h.cfg.FlushRetainsLine {
+		h.flags[line].Store(lineValid)
+	}
+	if h.cfg.Mode == ModeCrash {
+		mu := h.lock(line)
+		mu.Lock()
+		upTo := len(h.logs[line].entries)
+		gen := h.logs[line].gen
+		mu.Unlock()
+		ts.pending = append(ts.pending, pendingFlush{line: line, upTo: upTo, gen: gen})
+	}
+	ts.npend++
+	h.delay(h.lat.FlushNs)
+}
+
+// Fence is a store fence (SFENCE): it blocks until every Flush and
+// NTStore previously issued by this thread is durable in the NVRAM
+// image.
+func (h *Heap) Fence(tid int) {
+	if h.cfg.Mode == ModeCrash {
+		h.crashCheck()
+	}
+	ts := &h.threads[tid]
+	ts.stats.Fences++
+	if h.cfg.Mode == ModeCrash {
+		for _, p := range ts.pending {
+			mu := h.lock(p.line)
+			mu.Lock()
+			lg := &h.logs[p.line]
+			// A generation mismatch means another thread's fence
+			// already truncated the journal past this flush point;
+			// there is nothing left to guarantee.
+			if p.gen == lg.gen {
+				if p.upTo > lg.persisted {
+					lg.persisted = p.upTo
+				}
+				if lg.persisted == len(lg.entries) && lg.persisted > 0 {
+					h.applyEntries(p.line, lg.entries)
+					lg.entries = lg.entries[:0]
+					lg.persisted = 0
+					lg.gen++
+				}
+			}
+			mu.Unlock()
+		}
+		ts.pending = ts.pending[:0]
+	}
+	d := h.lat.FenceNs + h.lat.DrainNsPerLine*ts.npend
+	ts.npend = 0
+	h.delay(d)
+}
+
+// Persist is the convenience pairing of Flush and Fence used when a
+// single location must become durable immediately.
+func (h *Heap) Persist(tid int, a Addr) {
+	h.Flush(tid, a)
+	h.Fence(tid)
+}
+
+// NTStore performs a non-temporal store (movnti-style): the value is
+// written back toward memory bypassing the cache. It neither loads the
+// line into the cache nor clears or sets its invalidation state, so it
+// never causes a post-flush access. Durability is guaranteed only
+// after a subsequent Fence by the same thread.
+func (h *Heap) NTStore(tid int, a Addr, v uint64) {
+	if h.cfg.Mode == ModeCrash {
+		h.crashCheck()
+	}
+	ts := &h.threads[tid]
+	ts.stats.NTStores++
+	w := a / WordBytes
+	if h.cfg.Mode == ModeCrash {
+		line := int(a / CacheLineBytes)
+		mu := h.lock(line)
+		mu.Lock()
+		atomic.StoreUint64(&h.mem[w], v)
+		lg := &h.logs[line]
+		lg.entries = append(lg.entries, logEntry{off: uint8((a / WordBytes) % WordsPerLine), n: 1, v: [2]uint64{v}})
+		ts.pending = append(ts.pending, pendingFlush{line: line, upTo: len(lg.entries), gen: lg.gen})
+		mu.Unlock()
+	} else {
+		atomic.StoreUint64(&h.mem[w], v)
+	}
+	ts.npend++
+	h.delay(h.lat.NTStoreNs)
+}
+
+func (h *Heap) applyEntries(line int, entries []logEntry) {
+	base := line * WordsPerLine
+	for _, e := range entries {
+		h.img[base+int(e.off)] = e.v[0]
+		if e.n == 2 {
+			h.img[base+int(e.off)+1] = e.v[1]
+		}
+	}
+}
+
+// AllocRaw carves size bytes (aligned to align, a power of two ≥ 8)
+// out of the heap's bump region. The heap break itself is persisted so
+// that allocations made before a crash are never handed out again
+// after recovery. AllocRaw is intended for rare, large allocations
+// (allocator areas, registries, logs); per-node allocation goes
+// through package ssmem.
+func (h *Heap) AllocRaw(tid int, size, align int64) Addr {
+	if align < WordBytes || align&(align-1) != 0 {
+		panic("pmem: AllocRaw alignment must be a power of two >= 8")
+	}
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	brk := int64(h.Load(tid, brkAddr))
+	a := (brk + align - 1) &^ (align - 1)
+	end := a + size
+	if end > h.cfg.Bytes {
+		panic(fmt.Sprintf("pmem: out of simulated persistent memory (%d + %d > %d)", a, size, h.cfg.Bytes))
+	}
+	h.Store(tid, brkAddr, uint64(end))
+	h.Persist(tid, brkAddr)
+	return Addr(a)
+}
+
+// InitRange zeroes a freshly allocated range in both the working view
+// and the NVRAM image, modelling the paper's area initialization:
+// zero the area, issue asynchronous flushes for the whole area, and
+// one SFENCE. The range must not be concurrently accessed.
+func (h *Heap) InitRange(tid int, a Addr, size int64) {
+	if a%CacheLineBytes != 0 || size%CacheLineBytes != 0 {
+		panic("pmem: InitRange range must be cache-line aligned")
+	}
+	ts := &h.threads[tid]
+	firstLine := int(a / CacheLineBytes)
+	nLines := int(size / CacheLineBytes)
+	for line := firstLine; line < firstLine+nLines; line++ {
+		if h.cfg.Mode == ModeCrash {
+			mu := h.lock(line)
+			mu.Lock()
+			lg := &h.logs[line]
+			lg.entries = lg.entries[:0]
+			lg.persisted = 0
+			lg.gen++
+			h.zeroLine(line)
+			mu.Unlock()
+		} else {
+			h.zeroLine(line)
+		}
+		h.flags[line].Store(0)
+	}
+	ts.stats.Flushes += uint64(nLines)
+	ts.stats.Fences++
+	h.delay(h.lat.FenceNs + h.lat.DrainNsPerLine*int64(nLines))
+}
+
+func (h *Heap) zeroLine(line int) {
+	base := line * WordsPerLine
+	for w := base; w < base+WordsPerLine; w++ {
+		atomic.StoreUint64(&h.mem[w], 0)
+		h.img[w] = 0
+	}
+}
+
+// ClearLineState resets the cache-simulation state of the line
+// containing a, without any charge or event counting. Allocators call
+// it when recycling a node: the write-miss a fresh allocation incurs
+// on real hardware is an ordinary cold miss that every algorithm pays
+// (including volatile ones), not an algorithmic access to flushed
+// content in the paper's sense.
+func (h *Heap) ClearLineState(a Addr) {
+	h.flags[a/CacheLineBytes].Store(0)
+}
+
+// RawImg reads a word directly from the NVRAM image, bypassing the
+// simulation (no charges, no crash checks). Intended for tests and
+// debugging tools only.
+func (h *Heap) RawImg(a Addr) uint64 { return h.img[a/WordBytes] }
+
+// RawMem reads a word directly from the working view, bypassing the
+// simulation. Intended for tests and debugging tools only.
+func (h *Heap) RawMem(a Addr) uint64 { return atomic.LoadUint64(&h.mem[a/WordBytes]) }

@@ -1,0 +1,493 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func nowNs() int64 { return time.Now().UnixNano() }
+
+func newCrashHeap(t testing.TB) *Heap {
+	t.Helper()
+	return New(Config{Bytes: 1 << 20, Mode: ModeCrash, MaxThreads: 8})
+}
+
+func newPerfHeap(t testing.TB) *Heap {
+	t.Helper()
+	return New(Config{Bytes: 1 << 20, Mode: ModePerf, MaxThreads: 8})
+}
+
+func TestRootSlotsAreLineDisjoint(t *testing.T) {
+	h := newPerfHeap(t)
+	seen := map[Addr]bool{}
+	for i := 0; i < NumRootSlots; i++ {
+		a := h.RootAddr(i)
+		if a%CacheLineBytes != 0 {
+			t.Fatalf("root slot %d not line aligned: %d", i, a)
+		}
+		if a < CacheLineBytes {
+			t.Fatalf("root slot %d overlaps heap metadata", i)
+		}
+		if Addr(a)+CacheLineBytes > dataStart {
+			t.Fatalf("root slot %d overlaps data region", i)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate root slot address %d", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestRootAddrPanicsOutOfRange(t *testing.T) {
+	h := newPerfHeap(t)
+	for _, slot := range []int{-1, NumRootSlots} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RootAddr(%d) did not panic", slot)
+				}
+			}()
+			h.RootAddr(slot)
+		}()
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModePerf, ModeCrash} {
+		h := New(Config{Bytes: 1 << 20, Mode: mode})
+		a := h.AllocRaw(0, 64, 64)
+		h.Store(0, a, 12345)
+		h.Store(0, a+8, 67890)
+		if got := h.Load(0, a); got != 12345 {
+			t.Fatalf("mode %v: Load = %d, want 12345", mode, got)
+		}
+		if got := h.Load(0, a+8); got != 67890 {
+			t.Fatalf("mode %v: Load = %d, want 67890", mode, got)
+		}
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	for _, mode := range []Mode{ModePerf, ModeCrash} {
+		h := New(Config{Bytes: 1 << 20, Mode: mode})
+		a := h.AllocRaw(0, 64, 64)
+		h.Store(0, a, 1)
+		if h.CAS(0, a, 2, 3) {
+			t.Fatalf("mode %v: CAS with wrong expected succeeded", mode)
+		}
+		if !h.CAS(0, a, 1, 2) {
+			t.Fatalf("mode %v: CAS with right expected failed", mode)
+		}
+		if got := h.Load(0, a); got != 2 {
+			t.Fatalf("mode %v: after CAS Load = %d, want 2", mode, got)
+		}
+	}
+}
+
+func TestDCASSemantics(t *testing.T) {
+	for _, mode := range []Mode{ModePerf, ModeCrash} {
+		h := New(Config{Bytes: 1 << 20, Mode: mode})
+		a := h.AllocRaw(0, 64, 64)
+		h.Store(0, a, 10)
+		h.Store(0, a+8, 20)
+		if h.DCAS(0, a, 10, 99, 11, 21) {
+			t.Fatalf("mode %v: DCAS with wrong pair succeeded", mode)
+		}
+		if !h.DCAS(0, a, 10, 20, 11, 21) {
+			t.Fatalf("mode %v: DCAS with right pair failed", mode)
+		}
+		v0, v1 := h.LoadPair(0, a)
+		if v0 != 11 || v1 != 21 {
+			t.Fatalf("mode %v: LoadPair = (%d,%d), want (11,21)", mode, v0, v1)
+		}
+	}
+}
+
+func TestDCASRequires16ByteAlignment(t *testing.T) {
+	h := newPerfHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DCAS on 8-byte-aligned address did not panic")
+		}
+	}()
+	h.DCAS(0, a+8, 0, 0, 1, 1)
+}
+
+func TestFlushInvalidatesAndAccessCharges(t *testing.T) {
+	h := newPerfHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 7)
+	before := h.StatsOf(0)
+	h.Flush(0, a)
+	h.Fence(0)
+	// First access after the flush is a post-flush access.
+	_ = h.Load(0, a)
+	mid := h.StatsOf(0)
+	if got := mid.PostFlushAccesses - before.PostFlushAccesses; got != 1 {
+		t.Fatalf("post-flush accesses after flushed load = %d, want 1", got)
+	}
+	// The line is back in the cache: further accesses are free.
+	_ = h.Load(0, a)
+	h.Store(0, a+8, 1)
+	after := h.StatsOf(0)
+	if got := after.PostFlushAccesses - mid.PostFlushAccesses; got != 0 {
+		t.Fatalf("extra post-flush accesses on cached line = %d, want 0", got)
+	}
+}
+
+func TestFlushRetainsLineMode(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20, FlushRetainsLine: true})
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 7)
+	h.Flush(0, a)
+	h.Fence(0)
+	_ = h.Load(0, a)
+	if got := h.StatsOf(0).PostFlushAccesses; got != 0 {
+		t.Fatalf("post-flush accesses with FlushRetainsLine = %d, want 0", got)
+	}
+}
+
+func TestNTStoreDoesNotTouchCacheState(t *testing.T) {
+	h := newPerfHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 1)
+	h.Flush(0, a)
+	h.Fence(0)
+	// NTStore to the invalidated line: no post-flush access, and the
+	// line stays invalidated for ordinary accesses.
+	h.NTStore(0, a, 2)
+	if got := h.StatsOf(0).PostFlushAccesses; got != 0 {
+		t.Fatalf("NTStore charged a post-flush access: %d", got)
+	}
+	_ = h.Load(0, a)
+	if got := h.StatsOf(0).PostFlushAccesses; got != 1 {
+		t.Fatalf("load after NTStore on invalidated line: post-flush = %d, want 1", got)
+	}
+	if got := h.Load(0, a); got != 2 {
+		t.Fatalf("NTStore value not visible: got %d, want 2", got)
+	}
+}
+
+func TestPersistMakesValueDurable(t *testing.T) {
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 42)
+	h.Persist(0, a)
+	if got := h.RawImg(a); got != 42 {
+		t.Fatalf("img after Persist = %d, want 42", got)
+	}
+}
+
+func TestNTStoreDurableAfterFence(t *testing.T) {
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.NTStore(0, a, 99)
+	h.Fence(0)
+	if got := h.RawImg(a); got != 99 {
+		t.Fatalf("img after NTStore+Fence = %d, want 99", got)
+	}
+}
+
+func TestUnfencedStoreMayBeLost(t *testing.T) {
+	// With an rng that always picks the minimal prefix, an unflushed
+	// store must not appear in the image.
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 5)
+	h.Persist(0, a)
+	h.Store(0, a, 6) // not flushed
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(zeroSource{}))
+	if got := h.RawImg(a); got != 5 {
+		t.Fatalf("img = %d, want the fenced value 5", got)
+	}
+	h.Restart()
+	if got := h.Load(0, a); got != 5 {
+		t.Fatalf("post-restart load = %d, want 5", got)
+	}
+}
+
+// zeroSource drives math/rand to always return the minimum.
+type zeroSource struct{}
+
+func (zeroSource) Int63() int64 { return 0 }
+func (zeroSource) Seed(int64)   {}
+
+func TestCrashPrefixSemantics(t *testing.T) {
+	// Property: after a crash, each cache line's image content equals
+	// the replay of some prefix of the stores to that line, and that
+	// prefix covers at least the last fenced flush.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newCrashHeap(t)
+		const nLines = 3
+		base := h.AllocRaw(0, nLines*CacheLineBytes, CacheLineBytes)
+		type st struct {
+			w Addr
+			v uint64
+		}
+		history := make([][]st, nLines)
+		guaranteed := make([]int, nLines)
+		flushedAt := make([]int, nLines) // pending flush coverage
+		for i := range flushedAt {
+			flushedAt[i] = -1
+		}
+		nOps := 30 + rng.Intn(60)
+		for i := 0; i < nOps; i++ {
+			line := rng.Intn(nLines)
+			a := base + Addr(line*CacheLineBytes)
+			switch rng.Intn(4) {
+			case 0, 1: // store
+				w := a + Addr(rng.Intn(WordsPerLine))*WordBytes
+				v := rng.Uint64()
+				h.Store(0, w, v)
+				history[line] = append(history[line], st{w, v})
+			case 2: // flush
+				h.Flush(0, a)
+				flushedAt[line] = len(history[line])
+			case 3: // fence
+				h.Fence(0)
+				for l := range flushedAt {
+					if flushedAt[l] >= 0 {
+						if flushedAt[l] > guaranteed[l] {
+							guaranteed[l] = flushedAt[l]
+						}
+						flushedAt[l] = -1
+					}
+				}
+			}
+		}
+		h.CrashNow()
+		h.FinalizeCrash(rng)
+		// For each line, the image must equal replay of a prefix k,
+		// guaranteed[line] <= k <= len(history[line]).
+		for line := 0; line < nLines; line++ {
+			a := base + Addr(line*CacheLineBytes)
+			found := false
+			for k := guaranteed[line]; k <= len(history[line]); k++ {
+				var want [WordsPerLine]uint64
+				for _, s := range history[line][:k] {
+					want[(s.w-a)/WordBytes] = s.v
+				}
+				match := true
+				for w := 0; w < WordsPerLine; w++ {
+					if h.RawImg(a+Addr(w*WordBytes)) != want[w] {
+						match = false
+						break
+					}
+				}
+				if match {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("seed %d line %d: image is not a valid store prefix >= %d", seed, line, guaranteed[line])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCASIsAtomicAtCrash(t *testing.T) {
+	// A DCAS's two words must never be split by the crash prefix.
+	for seed := int64(0); seed < 50; seed++ {
+		h := newCrashHeap(t)
+		a := h.AllocRaw(0, 64, 64) // 64-aligned => 16-aligned
+		h.Store(0, a, 1)
+		h.Store(0, a+8, 100)
+		if !h.DCAS(0, a, 1, 100, 2, 200) {
+			t.Fatal("setup DCAS failed")
+		}
+		h.CrashNow()
+		h.FinalizeCrash(rand.New(rand.NewSource(seed)))
+		v0, v1 := h.RawImg(a), h.RawImg(a+8)
+		okOld := v0 == 1 && v1 == 100
+		okNew := v0 == 2 && v1 == 200
+		okZero := v0 == 0 && v1 == 0 // nothing evicted
+		okPart1 := v0 == 1 && v1 == 0
+		okPart2 := v0 == 0 && v1 == 100
+		if !okOld && !okNew && !okZero && !okPart1 && !okPart2 {
+			t.Fatalf("seed %d: torn DCAS in image: (%d,%d)", seed, v0, v1)
+		}
+	}
+}
+
+func TestProtectCatchesCrashOnly(t *testing.T) {
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.CrashNow()
+	crashed := Protect(func() { h.Store(0, a, 1) })
+	if !crashed {
+		t.Fatal("Protect did not report the crash")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Protect swallowed a non-crash panic")
+		}
+	}()
+	Protect(func() { panic("boom") })
+}
+
+func TestScheduleCrashAtAccess(t *testing.T) {
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.ScheduleCrashAtAccess(5)
+	n := 0
+	crashed := Protect(func() {
+		for i := 0; i < 100; i++ {
+			h.Store(0, a, uint64(i))
+			n++
+		}
+	})
+	if !crashed {
+		t.Fatal("scheduled crash never fired")
+	}
+	if n != 4 {
+		t.Fatalf("crash fired after %d completed stores, want 4", n)
+	}
+}
+
+func TestRestartReloadsImage(t *testing.T) {
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 11)
+	h.Persist(0, a)
+	h.Store(0, a, 22) // volatile only
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(zeroSource{}))
+	h.Restart()
+	if got := h.Load(0, a); got != 11 {
+		t.Fatalf("after restart Load = %d, want 11", got)
+	}
+	if h.Crashed() {
+		t.Fatal("heap still marked crashed after Restart")
+	}
+}
+
+func TestAllocRawSurvivesCrash(t *testing.T) {
+	h := newCrashHeap(t)
+	a1 := h.AllocRaw(0, 128, 64)
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(zeroSource{}))
+	h.Restart()
+	a2 := h.AllocRaw(0, 128, 64)
+	if a2 < a1+128 {
+		t.Fatalf("post-crash allocation %d overlaps pre-crash allocation %d", a2, a1)
+	}
+}
+
+func TestAllocRawAlignmentAndExhaustion(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20})
+	a := h.AllocRaw(0, 100, 256)
+	if a%256 != 0 {
+		t.Fatalf("allocation not 256-aligned: %d", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausting the heap did not panic")
+		}
+	}()
+	h.AllocRaw(0, 64<<20, 64)
+}
+
+func TestInitRangeZeroesBothViews(t *testing.T) {
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 2*CacheLineBytes, CacheLineBytes)
+	h.Store(0, a, 9)
+	h.Persist(0, a)
+	h.InitRange(0, a, 2*CacheLineBytes)
+	if h.Load(0, a) != 0 || h.RawImg(a) != 0 {
+		t.Fatal("InitRange left nonzero content")
+	}
+	// Post-InitRange stores then crash: prefix starts from zeroed base.
+	h.Store(0, a, 3)
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(zeroSource{}))
+	if got := h.RawImg(a); got != 0 {
+		t.Fatalf("img = %d, want 0 (store after InitRange unfenced)", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	h := newPerfHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.ResetStats()
+	h.Store(1, a, 1)
+	_ = h.Load(1, a)
+	h.CAS(1, a, 1, 2)
+	h.Flush(1, a)
+	h.Fence(1)
+	h.NTStore(1, a+8, 3)
+	s := h.StatsOf(1)
+	if s.Stores != 1 || s.Loads != 1 || s.CASes != 1 || s.Flushes != 1 || s.Fences != 1 || s.NTStores != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+	tot := h.TotalStats()
+	if tot.Stores != 1 {
+		t.Fatalf("TotalStats.Stores = %d, want 1", tot.Stores)
+	}
+}
+
+func TestConcurrentFenceTruncationRace(t *testing.T) {
+	// Regression test for the generation logic: thread 0 flushes,
+	// thread 1 flushes+fences (truncating the journal), new stores
+	// arrive, then thread 0 fences. The new stores must not become
+	// guaranteed-durable, and nothing may panic.
+	h := newCrashHeap(t)
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 1)
+	h.Flush(0, a) // thread 0 flush covers store 1
+	h.Store(1, a+8, 2)
+	h.Flush(1, a)
+	h.Fence(1) // truncates the line journal
+	h.Store(1, a+16, 3)
+	h.Fence(0) // stale pending entry: must be a no-op
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(zeroSource{}))
+	if got := h.RawImg(a + 16); got != 0 {
+		t.Fatalf("store after truncation leaked into guaranteed image: %d", got)
+	}
+	if h.RawImg(a) != 1 || h.RawImg(a+8) != 2 {
+		t.Fatalf("fenced values lost: (%d,%d)", h.RawImg(a), h.RawImg(a+8))
+	}
+}
+
+func TestLatencyModelInjectsDelay(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20, Latency: LatencyModel{FenceNs: 200_000}})
+	a := h.AllocRaw(0, 64, 64)
+	h.Store(0, a, 1)
+	h.Flush(0, a)
+	start := nowNs()
+	h.Fence(0)
+	if el := nowNs() - start; el < 50_000 {
+		t.Fatalf("fence with 200us model returned in %dns", el)
+	}
+}
+
+func BenchmarkStoreFlushFence(b *testing.B) {
+	h := New(Config{Bytes: 1 << 20, Latency: DefaultLatency()})
+	a := h.AllocRaw(0, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Store(0, a, uint64(i))
+		h.Flush(0, a)
+		h.Fence(0)
+	}
+}
+
+func BenchmarkLoadCached(b *testing.B) {
+	h := New(Config{Bytes: 1 << 20, Latency: DefaultLatency()})
+	a := h.AllocRaw(0, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Load(0, a)
+	}
+}

@@ -1,0 +1,66 @@
+package pmem
+
+// Stats counts the simulated memory events of one thread (or, via
+// TotalStats, of all threads). The counters of interest for the
+// paper's analysis are Fences (blocking persist operations), Flushes,
+// NTStores and PostFlushAccesses (accesses to explicitly flushed
+// content, the quantity the second amendment drives to zero).
+type Stats struct {
+	Loads             uint64
+	Stores            uint64
+	CASes             uint64
+	DCASes            uint64
+	Flushes           uint64
+	Fences            uint64
+	NTStores          uint64
+	PostFlushAccesses uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.CASes += o.CASes
+	s.DCASes += o.DCASes
+	s.Flushes += o.Flushes
+	s.Fences += o.Fences
+	s.NTStores += o.NTStores
+	s.PostFlushAccesses += o.PostFlushAccesses
+}
+
+// Sub returns s - o field-wise; useful for deltas around a measured
+// region.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Loads:             s.Loads - o.Loads,
+		Stores:            s.Stores - o.Stores,
+		CASes:             s.CASes - o.CASes,
+		DCASes:            s.DCASes - o.DCASes,
+		Flushes:           s.Flushes - o.Flushes,
+		Fences:            s.Fences - o.Fences,
+		NTStores:          s.NTStores - o.NTStores,
+		PostFlushAccesses: s.PostFlushAccesses - o.PostFlushAccesses,
+	}
+}
+
+// StatsOf returns a snapshot of tid's counters. The snapshot is exact
+// when the owning goroutine is quiescent.
+func (h *Heap) StatsOf(tid int) Stats { return h.threads[tid].stats }
+
+// TotalStats sums the counters of all threads. Call it while the heap
+// is quiescent for an exact result.
+func (h *Heap) TotalStats() Stats {
+	var t Stats
+	for i := range h.threads {
+		t.Add(h.threads[i].stats)
+	}
+	return t
+}
+
+// ResetStats zeroes all per-thread counters. Call only while the heap
+// is quiescent.
+func (h *Heap) ResetStats() {
+	for i := range h.threads {
+		h.threads[i].stats = Stats{}
+	}
+}

@@ -1,0 +1,234 @@
+// Package ptm provides the two persistent-transactional-memory-backed
+// queues the paper compares against (Section 10): OneFileQ and
+// RedoOptQ. Both wrap a sequential queue in a PTM engine.
+//
+// The engines are simplified re-implementations that preserve the
+// evaluation-relevant property — per-operation transaction overhead
+// (logging, extra persists, serialization) on top of a short queue
+// operation — but not the progress guarantees of the originals:
+//
+//   - OneFile (Ramalhete et al., DSN 2019) is wait-free via helping;
+//     our OneFileQ serializes writers with a lock over a redo log that
+//     is persisted, committed, and applied in place (3 fences per
+//     update transaction).
+//   - RedoOpt (Correia et al., EuroSys 2020) is a universal
+//     construction with volatile replicas; our RedoOptQ keeps a
+//     volatile replica and persists one self-sealing log record per
+//     update (1 fence), with snapshot-based log truncation.
+//
+// DESIGN.md documents these substitutions.
+package ptm
+
+import (
+	"sync"
+
+	"repro/internal/pmem"
+	"repro/internal/queues"
+	"repro/internal/ssmem"
+)
+
+// Root-slot convention for PTM queues (disjoint from the node-queue
+// slots only in meaning; a heap hosts one queue at a time).
+const (
+	slotHead = 0
+	slotTail = 1
+	slotPool = 2
+	slotTx   = 4
+)
+
+// OneFile log geometry.
+const (
+	ofMaxWrites = 16
+	// line 0: commit marker; line 1: txid + count; then entry lines
+	// holding (addr, val) pairs, four pairs per line.
+	ofCommitOff  = pmem.Addr(0)
+	ofTxidOff    = pmem.Addr(64)
+	ofCountOff   = pmem.Addr(72)
+	ofEntriesOff = pmem.Addr(128)
+	ofRegionSize = int64(128 + ofMaxWrites*16)
+)
+
+// OneFileQ is a FIFO queue whose every update runs as a redo-logged
+// persistent transaction: the write set is persisted to a log, a
+// commit record is persisted, and the writes are applied in place and
+// persisted — three blocking persists per update. Writers serialize.
+type OneFileQ struct {
+	h     *pmem.Heap
+	pool  *ssmem.Pool
+	mu    sync.Mutex
+	txA   pmem.Addr
+	headA pmem.Addr
+	tailA pmem.Addr
+	txid  uint64
+}
+
+const (
+	offItem = pmem.Addr(0)
+	offNext = pmem.Addr(8)
+)
+
+// NewOneFileQ creates an empty OneFileQ.
+func NewOneFileQ(h *pmem.Heap, threads int) *OneFileQ {
+	q := &OneFileQ{
+		h:     h,
+		headA: h.RootAddr(slotHead),
+		tailA: h.RootAddr(slotTail),
+		pool: ssmem.NewPool(h, ssmem.Config{
+			SlotBytes: pmem.CacheLineBytes, SlotsPerArea: 4096,
+			Threads: threads, RootSlot: slotPool,
+		}),
+	}
+	size := (ofRegionSize + pmem.CacheLineBytes - 1) &^ (pmem.CacheLineBytes - 1)
+	q.txA = h.AllocRaw(0, size, pmem.CacheLineBytes)
+	h.InitRange(0, q.txA, size)
+	h.Store(0, h.RootAddr(slotTx), uint64(q.txA))
+	h.Persist(0, h.RootAddr(slotTx))
+
+	dummy := q.pool.Alloc(0)
+	h.Store(0, q.headA, uint64(dummy))
+	h.Store(0, q.tailA, uint64(dummy))
+	h.Flush(0, dummy)
+	h.Flush(0, q.headA)
+	h.Flush(0, q.tailA)
+	h.Fence(0)
+	return q
+}
+
+// RecoverOneFileQ reopens the queue after a crash: if the persisted
+// log holds a committed-but-possibly-unapplied transaction it is
+// replayed (redo entries are absolute, so replay is idempotent), then
+// the queue chain is walked to rebuild allocator state.
+func RecoverOneFileQ(h *pmem.Heap, threads int) *OneFileQ {
+	txA := pmem.Addr(h.Load(0, h.RootAddr(slotTx)))
+	commit := h.Load(0, txA+ofCommitOff)
+	txid := h.Load(0, txA+ofTxidOff)
+	if commit != 0 && commit == txid {
+		// The log may still be torn: a crash while transaction T+1
+		// was overwriting it can leave commit==txid==T with a mix of
+		// T's and T+1's entry words evicted to NVRAM. Every entry's
+		// address word carries the owning txid in its high bits and
+		// is written before the value word, so validating all tags
+		// against the commit marker before applying anything rejects
+		// any such mix (in which case T was already fully applied).
+		count := h.Load(0, txA+ofCountOff)
+		valid := count <= ofMaxWrites
+		if valid {
+			for i := uint64(0); i < count; i++ {
+				w0 := h.Load(0, txA+ofEntriesOff+pmem.Addr(i*16))
+				if w0>>32 != commit&0xffffffff {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid {
+			for i := uint64(0); i < count; i++ {
+				ea := txA + ofEntriesOff + pmem.Addr(i*16)
+				addr := pmem.Addr(h.Load(0, ea) & 0xffffffff)
+				val := h.Load(0, ea+8)
+				h.Store(0, addr, val)
+				h.Flush(0, addr)
+			}
+			h.Fence(0)
+		}
+	}
+	headA := h.RootAddr(slotHead)
+	reach := map[pmem.Addr]bool{}
+	cur := pmem.Addr(h.Load(0, headA))
+	for {
+		reach[cur] = true
+		next := pmem.Addr(h.Load(0, cur+offNext))
+		if next == 0 {
+			break
+		}
+		cur = next
+	}
+	pool := ssmem.RecoverPool(h, ssmem.Config{
+		SlotBytes: pmem.CacheLineBytes, SlotsPerArea: 4096,
+		Threads: threads, RootSlot: slotPool,
+	}, func(a pmem.Addr) bool { return reach[a] })
+	h.Store(0, h.RootAddr(slotTail), uint64(cur))
+	return &OneFileQ{
+		h: h, pool: pool, txA: txA,
+		headA: headA, tailA: h.RootAddr(slotTail),
+		txid: commit,
+	}
+}
+
+// runTx persists and applies one redo-logged transaction. Caller holds
+// q.mu.
+func (q *OneFileQ) runTx(tid int, writes [][2]uint64) {
+	h := q.h
+	q.txid++
+	h.Store(tid, q.txA+ofTxidOff, q.txid)
+	h.Store(tid, q.txA+ofCountOff, uint64(len(writes)))
+	for i, w := range writes {
+		if w[0] >= 1<<32 {
+			panic("onefileq: heap too large for 32-bit redo-log addresses")
+		}
+		ea := q.txA + ofEntriesOff + pmem.Addr(i*16)
+		// Tagged address word first, value word second: under
+		// Assumption 1 a durable value word implies a durable tag.
+		h.Store(tid, ea, q.txid<<32|w[0])
+		h.Store(tid, ea+8, w[1])
+	}
+	h.Flush(tid, q.txA+ofTxidOff)
+	for i := 0; i < len(writes); i += 4 {
+		h.Flush(tid, q.txA+ofEntriesOff+pmem.Addr(i*16))
+	}
+	h.Fence(tid) // fence 1: log durable
+	h.Store(tid, q.txA+ofCommitOff, q.txid)
+	h.Flush(tid, q.txA+ofCommitOff)
+	h.Fence(tid) // fence 2: commit durable
+	for _, w := range writes {
+		h.Store(tid, pmem.Addr(w[0]), w[1])
+		h.Flush(tid, pmem.Addr(w[0]))
+	}
+	h.Fence(tid) // fence 3: in-place state durable
+}
+
+// Enqueue appends v in one persistent transaction.
+func (q *OneFileQ) Enqueue(tid int, v uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	h := q.h
+	n := q.pool.Alloc(tid)
+	tail := pmem.Addr(h.Load(tid, q.tailA))
+	q.runTx(tid, [][2]uint64{
+		{uint64(n + offItem), v},
+		{uint64(n + offNext), 0},
+		{uint64(tail + offNext), uint64(n)},
+		{uint64(q.tailA), uint64(n)},
+	})
+}
+
+// Dequeue removes the oldest item in one persistent transaction; an
+// empty-queue dequeue is a read-only transaction with no persists.
+func (q *OneFileQ) Dequeue(tid int) (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	h := q.h
+	head := pmem.Addr(h.Load(tid, q.headA))
+	next := pmem.Addr(h.Load(tid, head+offNext))
+	if next == 0 {
+		return 0, false
+	}
+	v := h.Load(tid, next+offItem)
+	q.runTx(tid, [][2]uint64{
+		{uint64(q.headA), uint64(next)},
+	})
+	q.pool.FreeImmediate(tid, head) // writers serialize; immediate reuse is safe
+	return v, true
+}
+
+// All returns the PTM-backed queue implementations.
+func All() []queues.Info {
+	return []queues.Info{
+		{Name: "onefile", Durable: true,
+			New:     func(h *pmem.Heap, n int) queues.Queue { return NewOneFileQ(h, n) },
+			Recover: func(h *pmem.Heap, n int) queues.Queue { return RecoverOneFileQ(h, n) }},
+		{Name: "redoopt", Durable: true,
+			New:     func(h *pmem.Heap, n int) queues.Queue { return NewRedoOptQ(h, n) },
+			Recover: func(h *pmem.Heap, n int) queues.Queue { return RecoverRedoOptQ(h, n) }},
+	}
+}

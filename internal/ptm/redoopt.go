@@ -1,0 +1,244 @@
+package ptm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// RedoOptQ wraps a volatile sequential queue in a redo-style
+// universal construction: each update appends one self-sealing record
+// to a persistent operation log plus a persistent log-tail marker
+// (RedoOpt's two persists per operation), applies the operation to
+// two volatile replicas (RedoOpt keeps dual instances), and returns.
+// When the ring log fills, a replica is checkpointed into the
+// inactive of two snapshot buffers and the log logically truncates.
+// Recovery loads the newest sealed snapshot header and replays the
+// log suffix.
+//
+// Records are 16 bytes: [seq<<2 | code, value]; the header word is
+// written after the value word, so under Assumption 1 a record with a
+// matching sequence number is guaranteed whole. Stale ring slots fail
+// the sequence check, so truncation needs no erasing.
+//
+// Checkpoint headers alternate between two sealed slots. A crash in
+// the middle of a header write can only leave that slot with its
+// previous (strictly smaller) seal value, so recovery — which picks
+// the slot with the larger seal — never observes a mixed-generation
+// header, and the slot it picks refers to the snapshot buffer the
+// interrupted checkpoint was not writing.
+//
+// All operations serialize on a mutex (see the package comment for
+// the substitution notes).
+type RedoOptQ struct {
+	h  *pmem.Heap
+	mu sync.Mutex
+
+	metaA pmem.Addr // header line: [snapSeq, activeBuf, itemCount, baseOpSeq]
+	tailA pmem.Addr // persistent log-tail marker, on its own line
+	logA  pmem.Addr
+	bufA  [2]pmem.Addr
+
+	logCap  uint64 // records
+	snapCap uint64 // items per snapshot buffer
+
+	seq       uint64 // last appended record sequence
+	baseSeq   uint64 // sequence covered by the active snapshot
+	snapSeq   uint64
+	activeBuf uint64 // snapshot buffer the latest checkpoint used
+
+	// RedoOpt keeps two volatile instances of the object (one being
+	// updated, one consistent for readers); both are maintained here
+	// to preserve the construction's per-operation work.
+	replica  []uint64 // volatile queue replica (head at index 0)
+	replica2 []uint64
+}
+
+const (
+	roOpEnq = 1
+	roOpDeq = 2
+
+	// Header slot field offsets (two 32-byte slots share the header
+	// line; slot k of checkpoint s is s%2).
+	roSlotBytes  = pmem.Addr(32)
+	roActiveOff  = pmem.Addr(0)
+	roCountOff   = pmem.Addr(8)
+	roBaseSeqOff = pmem.Addr(16)
+	roSnapSeqOff = pmem.Addr(24) // seal: written last
+
+	roDefaultLog = 1 << 14 // records
+)
+
+// NewRedoOptQ creates an empty RedoOptQ. Capacity defaults suit the
+// paper's workloads; the snapshot buffers bound the maximum queue
+// length (exceeding it panics, as a fixed persistent arena would).
+func NewRedoOptQ(h *pmem.Heap, threads int) *RedoOptQ {
+	return newRedoOptQ(h, roDefaultLog, minSnapCap(h))
+}
+
+// minSnapCap sizes snapshot buffers to a quarter of the heap each:
+// the maximum queue length RedoOptQ supports scales with the arena,
+// as it would for any PTM whose checkpoints live in the same pool.
+func minSnapCap(h *pmem.Heap) uint64 {
+	return uint64(h.Bytes()/4) / 8
+}
+
+func newRedoOptQ(h *pmem.Heap, logCap, snapCap uint64) *RedoOptQ {
+	q := &RedoOptQ{h: h, logCap: logCap, snapCap: snapCap}
+	q.metaA = h.AllocRaw(0, pmem.CacheLineBytes, pmem.CacheLineBytes)
+	q.tailA = h.AllocRaw(0, pmem.CacheLineBytes, pmem.CacheLineBytes)
+	h.InitRange(0, q.tailA, pmem.CacheLineBytes)
+	logBytes := int64(logCap * 16)
+	q.logA = h.AllocRaw(0, logBytes, pmem.CacheLineBytes)
+	bufBytes := (int64(snapCap*8) + pmem.CacheLineBytes - 1) &^ (pmem.CacheLineBytes - 1)
+	q.bufA[0] = h.AllocRaw(0, bufBytes, pmem.CacheLineBytes)
+	q.bufA[1] = h.AllocRaw(0, bufBytes, pmem.CacheLineBytes)
+	h.InitRange(0, q.metaA, pmem.CacheLineBytes)
+	h.InitRange(0, q.logA, logBytes)
+	// Snapshot buffers need no pre-zeroing: the header's item count
+	// bounds what recovery reads.
+	h.Store(0, h.RootAddr(slotTx), uint64(q.metaA))
+	h.Store(0, h.RootAddr(slotTx)+8, uint64(q.logA))
+	h.Store(0, h.RootAddr(slotTx)+16, uint64(q.bufA[0]))
+	h.Store(0, h.RootAddr(slotTx)+24, uint64(q.bufA[1]))
+	h.Store(0, h.RootAddr(slotTx)+32, logCap)
+	h.Store(0, h.RootAddr(slotTx)+40, snapCap)
+	h.Store(0, h.RootAddr(slotTx)+48, uint64(q.tailA))
+	h.Flush(0, h.RootAddr(slotTx))
+	h.Fence(0)
+	return q
+}
+
+// RecoverRedoOptQ reopens the queue after a crash: load the active
+// snapshot, then replay the log records that seal correctly beyond
+// the snapshot's base sequence.
+func RecoverRedoOptQ(h *pmem.Heap, threads int) *RedoOptQ {
+	root := h.RootAddr(slotTx)
+	q := &RedoOptQ{
+		h:       h,
+		metaA:   pmem.Addr(h.Load(0, root)),
+		logA:    pmem.Addr(h.Load(0, root+8)),
+		bufA:    [2]pmem.Addr{pmem.Addr(h.Load(0, root+16)), pmem.Addr(h.Load(0, root+24))},
+		logCap:  h.Load(0, root+32),
+		snapCap: h.Load(0, root+40),
+		tailA:   pmem.Addr(h.Load(0, root+48)),
+	}
+	// Pick the header slot with the larger seal; a slot torn by a
+	// crashed checkpoint still shows its previous, smaller seal.
+	slot := q.metaA
+	if h.Load(0, q.metaA+roSlotBytes+roSnapSeqOff) > h.Load(0, q.metaA+roSnapSeqOff) {
+		slot = q.metaA + roSlotBytes
+	}
+	q.snapSeq = h.Load(0, slot+roSnapSeqOff)
+	active := h.Load(0, slot+roActiveOff)
+	count := h.Load(0, slot+roCountOff)
+	q.baseSeq = h.Load(0, slot+roBaseSeqOff)
+	q.activeBuf = active
+	if count > q.snapCap {
+		panic("redooptq recovery: corrupt snapshot count")
+	}
+	q.replica = make([]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		q.replica[i] = h.Load(0, q.bufA[active]+pmem.Addr(i*8))
+	}
+	// Replay sealed records beyond the snapshot.
+	seq := q.baseSeq
+	for {
+		next := seq + 1
+		slot := q.logA + pmem.Addr((next%q.logCap)*16)
+		hdr := h.Load(0, slot)
+		if hdr>>2 != next {
+			break
+		}
+		v := h.Load(0, slot+8)
+		switch hdr & 3 {
+		case roOpEnq:
+			q.replica = append(q.replica, v)
+		case roOpDeq:
+			if len(q.replica) == 0 {
+				panic("redooptq recovery: dequeue replayed on empty replica")
+			}
+			q.replica = q.replica[1:]
+		default:
+			panic(fmt.Sprintf("redooptq recovery: bad op code %d", hdr&3))
+		}
+		seq = next
+	}
+	q.seq = seq
+	q.replica2 = append([]uint64(nil), q.replica...)
+	return q
+}
+
+// appendRecord persists one update record: value first, sealing
+// header word second (same 16-byte slot, same cache line), one flush
+// and one fence.
+func (q *RedoOptQ) appendRecord(tid int, code, value uint64) {
+	if q.seq-q.baseSeq >= q.logCap-1 {
+		q.checkpoint(tid)
+	}
+	q.seq++
+	slot := q.logA + pmem.Addr((q.seq%q.logCap)*16)
+	q.h.Store(tid, slot+8, value)
+	q.h.Store(tid, slot, q.seq<<2|code)
+	q.h.Flush(tid, slot)
+	q.h.Fence(tid)
+	// Advance the persistent log tail (RedoOpt's second persist per
+	// operation). The store lands on a line the previous operation
+	// flushed — a post-flush access, one reason PTM wrappers lose to
+	// the tailor-made queues on invalidating platforms.
+	q.h.Store(tid, q.tailA, q.seq)
+	q.h.Flush(tid, q.tailA)
+	q.h.Fence(tid)
+}
+
+// checkpoint dumps the replica into the inactive snapshot buffer and
+// flips the header, truncating the log.
+func (q *RedoOptQ) checkpoint(tid int) {
+	h := q.h
+	if uint64(len(q.replica)) > q.snapCap {
+		panic("redooptq: queue exceeds snapshot capacity")
+	}
+	target := q.activeBuf ^ 1
+	base := q.bufA[target]
+	for i, v := range q.replica {
+		h.Store(tid, base+pmem.Addr(i*8), v)
+	}
+	for off := int64(0); off < int64(len(q.replica)*8); off += pmem.CacheLineBytes {
+		h.Flush(tid, base+pmem.Addr(off))
+	}
+	h.Fence(tid) // snapshot durable before the header flips
+	q.snapSeq++
+	slot := q.metaA + pmem.Addr(q.snapSeq%2)*roSlotBytes
+	h.Store(tid, slot+roActiveOff, target)
+	h.Store(tid, slot+roCountOff, uint64(len(q.replica)))
+	h.Store(tid, slot+roBaseSeqOff, q.seq)
+	h.Store(tid, slot+roSnapSeqOff, q.snapSeq) // sealing word last
+	h.Flush(tid, q.metaA)
+	h.Fence(tid)
+	q.baseSeq = q.seq
+	q.activeBuf = target
+}
+
+// Enqueue appends v: one log record, then the replica update.
+func (q *RedoOptQ) Enqueue(tid int, v uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.appendRecord(tid, roOpEnq, v)
+	q.replica = append(q.replica, v)
+	q.replica2 = append(q.replica2, v)
+}
+
+// Dequeue removes the oldest item; an empty dequeue is read-only.
+func (q *RedoOptQ) Dequeue(tid int) (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.replica) == 0 {
+		return 0, false
+	}
+	v := q.replica[0]
+	q.appendRecord(tid, roOpDeq, 0)
+	q.replica = q.replica[1:]
+	q.replica2 = q.replica2[1:]
+	return v, true
+}

@@ -1,0 +1,134 @@
+package queues
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestDurableMSQFullFenceCounts pins the cost of the detectable
+// version: two fences per enqueue and three per dequeue — the
+// "additional cost" Section 10 mentions.
+func TestDurableMSQFullFenceCounts(t *testing.T) {
+	in, _ := Lookup("durable-msq-full")
+	enq, deq, empty := opStats(t, in)
+	if enq.Fences != 200 {
+		t.Errorf("enqueue fences = %d per 100 ops, want 200", enq.Fences)
+	}
+	if deq.Fences != 300 {
+		t.Errorf("dequeue fences = %d per 100 ops, want 300", deq.Fences)
+	}
+	if empty.Fences != 200 {
+		t.Errorf("failing dequeue fences = %d per 100 ops, want 200", empty.Fences)
+	}
+}
+
+// TestDurableMSQFullRecoversPendingResult: a dequeue cut by a crash
+// after its durable claim must be reported by recovery with the exact
+// value it obtained, and that value must not also reappear in the
+// queue.
+func TestDurableMSQFullRecoversPendingResult(t *testing.T) {
+	// Sweep crash points across a single dequeue; at every point the
+	// recovery outcome must be consistent: either the dequeue never
+	// claimed (value still queued, no result) or it claimed (value
+	// gone, result reported).
+	for crashAt := int64(1); crashAt < 60; crashAt++ {
+		h := pmem.New(pmem.Config{Bytes: 8 << 20, Mode: pmem.ModeCrash, MaxThreads: 3})
+		q := NewDurableMSQFull(h, 2)
+		q.Enqueue(0, 41)
+		q.Enqueue(0, 42)
+		h.ScheduleCrashAtAccess(crashAt)
+		var returned bool
+		crashed := pmem.Protect(func() {
+			if v, ok := q.Dequeue(1); !ok || v != 41 {
+				t.Fatalf("crashAt %d: dequeue returned (%d,%v)", crashAt, v, ok)
+			}
+			returned = true
+		})
+		if !crashed {
+			h.CrashNow()
+		}
+		h.FinalizeCrash(rand.New(rand.NewSource(crashAt)))
+		h.Restart()
+		rq, results := RecoverDurableMSQFull(h, 2)
+		rest := drain(rq, 0)
+
+		res := results[1]
+		if returned {
+			// Completed dequeue: 41 must be gone, and since the
+			// result cell is durable before completion the result
+			// must be reported.
+			if res.State != "value" || res.Value != 41 {
+				t.Fatalf("crashAt %d: completed dequeue result not recovered: %+v", crashAt, res)
+			}
+			if !sliceEq(rest, []uint64{42}) {
+				t.Fatalf("crashAt %d: queue after completed dequeue = %v", crashAt, rest)
+			}
+			continue
+		}
+		switch res.State {
+		case "value":
+			// The dequeue is linearized: value consumed exactly once.
+			if res.Value != 41 {
+				t.Fatalf("crashAt %d: recovered result = %d, want 41", crashAt, res.Value)
+			}
+			if !sliceEq(rest, []uint64{42}) {
+				t.Fatalf("crashAt %d: value both reported and queued: %v", crashAt, rest)
+			}
+		case "none", "pending-not-linearized":
+			// Not linearized: the value must still be in the queue.
+			if !sliceEq(rest, []uint64{41, 42}) {
+				t.Fatalf("crashAt %d: state %q but queue = %v", crashAt, res.State, rest)
+			}
+		default:
+			t.Fatalf("crashAt %d: unexpected outcome %+v (queue %v)", crashAt, res, rest)
+		}
+	}
+}
+
+// TestDurableMSQFullResultsPerThread: concurrent claimed dequeues cut
+// by a crash are attributed to the right threads.
+func TestDurableMSQFullResultsPerThread(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 8 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+	q := NewDurableMSQFull(h, 3)
+	for i := uint64(1); i <= 10; i++ {
+		q.Enqueue(0, i*100)
+	}
+	// Two sequential dequeues by different threads, then crash before
+	// any further progress: both results must be recoverable because
+	// claims are durable before each dequeue returns.
+	a, _ := q.Dequeue(1)
+	b, _ := q.Dequeue(2)
+	q.Dequeue(0) // and an emptiness probe result... (queue non-empty)
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(5)))
+	h.Restart()
+	_, results := RecoverDurableMSQFull(h, 3)
+	if results[1].State != "value" || results[1].Value != a {
+		t.Fatalf("tid1 outcome %+v, want value %d", results[1], a)
+	}
+	if results[2].State != "value" || results[2].Value != b {
+		t.Fatalf("tid2 outcome %+v, want value %d", results[2], b)
+	}
+	if results[0].State != "value" {
+		t.Fatalf("tid0 outcome %+v, want a value", results[0])
+	}
+}
+
+// TestDurableMSQFullEmptyOutcome: a failing dequeue's outcome is
+// recoverable as "empty".
+func TestDurableMSQFullEmptyOutcome(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 8 << 20, Mode: pmem.ModeCrash, MaxThreads: 2})
+	q := NewDurableMSQFull(h, 1)
+	q.Enqueue(0, 1)
+	q.Dequeue(0)
+	q.Dequeue(0) // fails: empty
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(6)))
+	h.Restart()
+	_, results := RecoverDurableMSQFull(h, 1)
+	if results[0].State != "empty" {
+		t.Fatalf("outcome %+v, want empty", results[0])
+	}
+}

@@ -1,0 +1,209 @@
+package queues
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+	"repro/internal/ssmem"
+)
+
+// OptUnlinkedQ is the second-amendment queue of Section 6.1 and
+// Appendix B (Figure 4): one blocking persist per operation and zero
+// accesses to explicitly flushed content.
+//
+// Every logical node is split in two. The Persistent part
+// [item, index, linked] lives in simulated NVRAM, is flushed exactly
+// once by its enqueuer, and is never read again except by recovery.
+// The Volatile part (a Go object, standing in for the DRAM copy) holds
+// duplicated item/index plus the next link and a pointer to the
+// Persistent part, and serves all normal-path reads. The global head
+// index of UnlinkedQ becomes a per-thread head index written with
+// non-temporal stores (Section 6.3), so dequeues never touch a flushed
+// line either.
+type OptUnlinkedQ struct {
+	h    *pmem.Heap
+	pool *ssmem.Pool
+	head atomic.Pointer[ouNode]
+	tail atomic.Pointer[ouNode]
+	// localBase anchors one persistent cache line per thread holding
+	// that thread's head index; recovery takes the maximum.
+	localBase pmem.Addr
+	per       []ouThread
+	// plainStoreLocal replaces the movnti write of the local head
+	// index with an ordinary store + flush (the pre-Section-6.3
+	// design); ablation only.
+	plainStoreLocal bool
+}
+
+// ouNode is the Volatile half of a node.
+type ouNode struct {
+	item  uint64
+	index uint64
+	next  atomic.Pointer[ouNode]
+	pnode pmem.Addr
+}
+
+type ouThread struct {
+	nodeToRetire *ouNode
+	_            [56]byte
+}
+
+// Persistent node layout.
+const (
+	ouItem   = pmem.Addr(0)
+	ouIndex  = pmem.Addr(8)
+	ouLinked = pmem.Addr(16)
+)
+
+// NewOptUnlinkedQ creates an empty OptUnlinkedQ.
+func NewOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	q := &OptUnlinkedQ{
+		h:    h,
+		pool: newNodePool(h, threads),
+		per:  make([]ouThread, threads),
+	}
+	q.localBase = h.AllocRaw(0, int64(threads)*pmem.CacheLineBytes, pmem.CacheLineBytes)
+	h.InitRange(0, q.localBase, int64(threads)*pmem.CacheLineBytes)
+	h.Store(0, h.RootAddr(slotLocal), uint64(q.localBase))
+	h.Persist(0, h.RootAddr(slotLocal))
+
+	pn := q.pool.Alloc(0) // fresh slot: zero index, unset linked
+	dummy := &ouNode{pnode: pn}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// NewOptUnlinkedQPlainStore is the Section 6.3 ablation: local head
+// indices are written with ordinary stores plus flushes instead of
+// non-temporal stores, reintroducing writes to flushed lines.
+func NewOptUnlinkedQPlainStore(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	q := NewOptUnlinkedQ(h, threads)
+	q.plainStoreLocal = true
+	return q
+}
+
+func (q *OptUnlinkedQ) localHeadIdxAddr(tid int) pmem.Addr {
+	return q.localBase + pmem.Addr(tid)*pmem.CacheLineBytes
+}
+
+// persistLocalHeadIdx records idx as tid's persistent head index and
+// fences (the operation's single blocking persist).
+func (q *OptUnlinkedQ) persistLocalHeadIdx(tid int, idx uint64) {
+	a := q.localHeadIdxAddr(tid)
+	if q.plainStoreLocal {
+		q.h.Store(tid, a, idx) // pays NVM read latency once flushed
+		q.h.Flush(tid, a)
+	} else {
+		q.h.NTStore(tid, a, idx) // movnti: bypasses the cache entirely
+	}
+	q.h.Fence(tid)
+}
+
+// Enqueue appends v (Figure 4, lines 107-124). One fence, zero
+// post-flush accesses: the tail's index is read from the Volatile
+// object, never from the flushed Persistent line.
+func (q *OptUnlinkedQ) Enqueue(tid int, v uint64) {
+	h := q.h
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	pn := q.pool.Alloc(tid)
+	vn := &ouNode{item: v, pnode: pn}
+	h.Store(tid, pn+ouItem, v)   // line 112
+	h.Store(tid, pn+ouLinked, 0) // line 113
+	for {
+		tail := q.tail.Load()
+		if next := tail.next.Load(); next == nil {
+			idx := tail.index + 1                  // volatile read (line 117)
+			h.Store(tid, pn+ouIndex, idx)          // Persistent copy
+			vn.index = idx                         // Volatile copy (line 118)
+			if tail.next.CompareAndSwap(nil, vn) { // line 119
+				h.Store(tid, pn+ouLinked, 1) // line 120
+				h.Flush(tid, pn)             // line 121
+				h.Fence(tid)
+				q.tail.CompareAndSwap(tail, vn) // line 122
+				return
+			}
+		} else {
+			q.tail.CompareAndSwap(tail, next) // line 124
+		}
+	}
+}
+
+// Dequeue removes the oldest item (Figure 4, lines 90-106). One
+// fence, zero post-flush accesses.
+func (q *OptUnlinkedQ) Dequeue(tid int) (uint64, bool) {
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	for {
+		head := q.head.Load()
+		next := head.next.Load()
+		if next == nil {
+			q.persistLocalHeadIdx(tid, head.index) // lines 95-96
+			return 0, false
+		}
+		if q.head.CompareAndSwap(head, next) {
+			v := next.item
+			q.persistLocalHeadIdx(tid, next.index) // lines 100-101
+			if r := q.per[tid].nodeToRetire; r != nil {
+				q.pool.Retire(tid, r.pnode) // lines 102-104
+			}
+			q.per[tid].nodeToRetire = head // line 105
+			return v, true
+		}
+	}
+}
+
+// RecoverOptUnlinkedQ rebuilds the queue after a crash (Section 6.1).
+// The head index is the maximum of the per-thread head indices; every
+// Persistent object marked linked with a larger index is resurrected;
+// matching Volatile objects are materialized and chained in index
+// order.
+func RecoverOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
+	var headIdx uint64
+	for t := 0; t < threads; t++ {
+		if v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes); v > headIdx {
+			headIdx = v
+		}
+	}
+	type rec struct {
+		addr pmem.Addr
+		idx  uint64
+	}
+	var live []rec
+	pool := recoverNodePool(h, threads, func(a pmem.Addr) bool {
+		if h.Load(0, a+ouLinked) == 1 && h.Load(0, a+ouIndex) > headIdx {
+			live = append(live, rec{a, h.Load(0, a+ouIndex)})
+			return true
+		}
+		return false
+	})
+	sort.Slice(live, func(i, j int) bool { return live[i].idx < live[j].idx })
+	for i := 1; i < len(live); i++ {
+		if live[i].idx == live[i-1].idx {
+			panic(fmt.Sprintf("optunlinkedq recovery: duplicate index %d", live[i].idx))
+		}
+	}
+
+	q := &OptUnlinkedQ{h: h, pool: pool, localBase: localBase, per: make([]ouThread, threads)}
+	dummyPn := pool.Alloc(0)
+	h.Store(0, dummyPn+ouLinked, 0)
+	h.Store(0, dummyPn+ouIndex, headIdx)
+	dummy := &ouNode{index: headIdx, pnode: dummyPn}
+	prev := dummy
+	for _, r := range live {
+		vn := &ouNode{
+			item:  h.Load(0, r.addr+ouItem),
+			index: r.idx,
+			pnode: r.addr,
+		}
+		prev.next.Store(vn)
+		prev = vn
+	}
+	q.head.Store(dummy)
+	q.tail.Store(prev)
+	return q
+}

@@ -1,0 +1,509 @@
+package queues
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func perfHeap(tb testing.TB, threads int) *pmem.Heap {
+	tb.Helper()
+	return pmem.New(pmem.Config{Bytes: 32 << 20, Mode: pmem.ModePerf, MaxThreads: threads + 1})
+}
+
+func crashHeap(tb testing.TB, threads int) *pmem.Heap {
+	tb.Helper()
+	return pmem.New(pmem.Config{Bytes: 32 << 20, Mode: pmem.ModeCrash, MaxThreads: threads + 1})
+}
+
+func drain(q Queue, tid int) []uint64 {
+	var out []uint64
+	for {
+		v, ok := q.Dequeue(tid)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func durableQueues() []Info {
+	var out []Info
+	for _, in := range All() {
+		if in.Durable {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func TestFIFOOrderSingleThread(t *testing.T) {
+	for _, in := range All() {
+		t.Run(in.Name, func(t *testing.T) {
+			q := in.New(perfHeap(t, 1), 1)
+			const n = 500
+			for i := uint64(1); i <= n; i++ {
+				q.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= n; i++ {
+				v, ok := q.Dequeue(0)
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	for _, in := range All() {
+		t.Run(in.Name, func(t *testing.T) {
+			q := in.New(perfHeap(t, 1), 1)
+			for i := 0; i < 5; i++ {
+				if v, ok := q.Dequeue(0); ok {
+					t.Fatalf("empty dequeue returned (%d,true)", v)
+				}
+			}
+			q.Enqueue(0, 7)
+			if v, ok := q.Dequeue(0); !ok || v != 7 {
+				t.Fatalf("got (%d,%v), want (7,true)", v, ok)
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue should be empty again")
+			}
+		})
+	}
+}
+
+func TestSequentialSemanticsVsModel(t *testing.T) {
+	for _, in := range All() {
+		t.Run(in.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				q := in.New(perfHeap(t, 1), 1)
+				var model []uint64
+				next := uint64(1)
+				for op := 0; op < 3000; op++ {
+					if rng.Intn(2) == 0 {
+						q.Enqueue(0, next)
+						model = append(model, next)
+						next++
+					} else {
+						v, ok := q.Dequeue(0)
+						if len(model) == 0 {
+							if ok {
+								t.Fatalf("seed %d op %d: dequeue on empty returned %d", seed, op, v)
+							}
+						} else {
+							if !ok || v != model[0] {
+								t.Fatalf("seed %d op %d: got (%d,%v), want (%d,true)", seed, op, v, ok, model[0])
+							}
+							model = model[1:]
+						}
+					}
+				}
+				got := drain(q, 0)
+				if len(got) != len(model) {
+					t.Fatalf("seed %d: drained %d items, model has %d", seed, len(got), len(model))
+				}
+				for i := range got {
+					if got[i] != model[i] {
+						t.Fatalf("seed %d: drain[%d] = %d, want %d", seed, i, got[i], model[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentNoDupNoLoss runs all queues under concurrency with
+// unique values and verifies exactness of the delivered multiset plus
+// per-enqueuer FIFO order.
+func TestConcurrentNoDupNoLoss(t *testing.T) {
+	const threads = 4
+	const opsPer = 3000
+	for _, in := range All() {
+		t.Run(in.Name, func(t *testing.T) {
+			h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: threads + 1})
+			q := in.New(h, threads)
+			type result struct {
+				enqueued []uint64
+				dequeued []uint64
+			}
+			results := make([]result, threads)
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(tid)))
+					seq := uint64(1)
+					r := &results[tid]
+					for i := 0; i < opsPer; i++ {
+						if rng.Intn(2) == 0 {
+							v := uint64(tid)<<32 | seq
+							seq++
+							q.Enqueue(tid, v)
+							r.enqueued = append(r.enqueued, v)
+						} else if v, ok := q.Dequeue(tid); ok {
+							r.dequeued = append(r.dequeued, v)
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			remaining := drain(q, 0)
+
+			enq := map[uint64]bool{}
+			for _, r := range results {
+				for _, v := range r.enqueued {
+					if enq[v] {
+						t.Fatalf("duplicate enqueue bookkeeping for %d", v)
+					}
+					enq[v] = true
+				}
+			}
+			out := map[uint64]bool{}
+			record := func(v uint64) {
+				if !enq[v] {
+					t.Fatalf("phantom value dequeued: %d", v)
+				}
+				if out[v] {
+					t.Fatalf("value dequeued twice: %d", v)
+				}
+				out[v] = true
+			}
+			for _, r := range results {
+				for _, v := range r.dequeued {
+					record(v)
+				}
+			}
+			for _, v := range remaining {
+				record(v)
+			}
+			if len(out) != len(enq) {
+				t.Fatalf("lost values: enqueued %d, accounted %d", len(enq), len(out))
+			}
+			// Per-enqueuer FIFO: the remaining items of each enqueuer
+			// must be the strictly increasing suffix of its sequence.
+			lastSeq := make(map[uint64]uint64) // tid -> last seq seen in drain
+			for _, v := range remaining {
+				tid := v >> 32
+				seq := v & 0xffffffff
+				if seq <= lastSeq[tid] {
+					t.Fatalf("drain order violates enqueuer %d FIFO: seq %d after %d", tid, seq, lastSeq[tid])
+				}
+				lastSeq[tid] = seq
+			}
+		})
+	}
+}
+
+// opStats measures per-operation persist statistics in steady state
+// (after a warmup that ensures no new allocator areas are created
+// during measurement).
+func opStats(tb testing.TB, in Info) (enq, deq, emptyDeq pmem.Stats) {
+	tb.Helper()
+	h := perfHeap(tb, 1)
+	q := in.New(h, 1)
+	for i := 0; i < 300; i++ {
+		q.Enqueue(0, uint64(i))
+	}
+	for i := 0; i < 300; i++ {
+		q.Dequeue(0)
+	}
+	q.Dequeue(0)
+
+	const n = 100
+	base := h.TotalStats()
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, uint64(i))
+	}
+	s1 := h.TotalStats()
+	for i := 0; i < n; i++ {
+		if _, ok := q.Dequeue(0); !ok {
+			tb.Fatal("unexpected empty queue")
+		}
+	}
+	s2 := h.TotalStats()
+	for i := 0; i < n; i++ {
+		if _, ok := q.Dequeue(0); ok {
+			tb.Fatal("queue should be empty")
+		}
+	}
+	s3 := h.TotalStats()
+	enq = s1.Sub(base)
+	deq = s2.Sub(s1)
+	emptyDeq = s3.Sub(s2)
+	return enq, deq, emptyDeq
+}
+
+// TestOneFencePerOperation verifies the paper's headline claim for all
+// four novel queues: exactly one blocking persist (SFENCE) per
+// operation — enqueue, successful dequeue and failing dequeue alike —
+// meeting the lower bound of Cohen et al.
+func TestOneFencePerOperation(t *testing.T) {
+	for _, name := range []string{"unlinked", "unlinked-nodcas", "linked", "opt-unlinked", "opt-linked"} {
+		in, _ := Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			enq, deq, empty := opStats(t, in)
+			if enq.Fences != 100 {
+				t.Errorf("enqueue fences = %d per 100 ops, want exactly 100", enq.Fences)
+			}
+			if deq.Fences != 100 {
+				t.Errorf("dequeue fences = %d per 100 ops, want exactly 100", deq.Fences)
+			}
+			if empty.Fences != 100 {
+				t.Errorf("failing dequeue fences = %d per 100 ops, want exactly 100", empty.Fences)
+			}
+		})
+	}
+}
+
+// TestZeroPostFlushAccesses verifies the second-amendment claim: the
+// optimized queues never touch a cache line after it was explicitly
+// flushed.
+func TestZeroPostFlushAccesses(t *testing.T) {
+	for _, name := range []string{"opt-unlinked", "opt-linked"} {
+		in, _ := Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			enq, deq, empty := opStats(t, in)
+			if n := enq.PostFlushAccesses + deq.PostFlushAccesses + empty.PostFlushAccesses; n != 0 {
+				t.Errorf("post-flush accesses = %d, want 0 (enq %d, deq %d, empty %d)",
+					n, enq.PostFlushAccesses, deq.PostFlushAccesses, empty.PostFlushAccesses)
+			}
+		})
+	}
+}
+
+// TestFirstAmendmentAccessesFlushedContent documents why UnlinkedQ and
+// LinkedQ underperform despite minimal fences: they do access flushed
+// lines (head reads, tail index reads, backward-walk reads).
+func TestFirstAmendmentAccessesFlushedContent(t *testing.T) {
+	for _, name := range []string{"unlinked", "linked", "durable-msq", "izraelevitz", "nvtraverse"} {
+		in, _ := Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			enq, deq, _ := opStats(t, in)
+			if enq.PostFlushAccesses+deq.PostFlushAccesses == 0 {
+				t.Errorf("%s shows zero post-flush accesses; expected some", name)
+			}
+		})
+	}
+}
+
+// TestDurableMSQFenceCounts pins the baseline's cost: two fences per
+// enqueue, one per dequeue — more blocking persists than the paper's
+// queues, as Section 10 states.
+func TestDurableMSQFenceCounts(t *testing.T) {
+	in, _ := Lookup("durable-msq")
+	enq, deq, empty := opStats(t, in)
+	if enq.Fences != 200 {
+		t.Errorf("enqueue fences = %d per 100 ops, want 200", enq.Fences)
+	}
+	if deq.Fences != 100 {
+		t.Errorf("dequeue fences = %d per 100 ops, want 100", deq.Fences)
+	}
+	if empty.Fences != 100 {
+		t.Errorf("failing dequeue fences = %d per 100 ops, want 100", empty.Fences)
+	}
+}
+
+// TestTransformsUseMoreFences sanity-checks that the generic
+// transforms pay far more fences than the tailor-made queues.
+func TestTransformsUseMoreFences(t *testing.T) {
+	izr, _ := Lookup("izraelevitz")
+	nvt, _ := Lookup("nvtraverse")
+	izrEnq, izrDeq, _ := opStats(t, izr)
+	nvtEnq, _, _ := opStats(t, nvt)
+	if izrEnq.Fences < 400 {
+		t.Errorf("IzraelevitzQ enqueue fences = %d per 100 ops, expected >= 400", izrEnq.Fences)
+	}
+	if izrDeq.Fences < 300 {
+		t.Errorf("IzraelevitzQ dequeue fences = %d per 100 ops, expected >= 300", izrDeq.Fences)
+	}
+	if nvtEnq.Fences >= izrEnq.Fences {
+		t.Errorf("NVTraverseQ should fence less than IzraelevitzQ: %d vs %d", nvtEnq.Fences, izrEnq.Fences)
+	}
+	if nvtEnq.Fences < 100 {
+		t.Errorf("NVTraverseQ enqueue fences = %d per 100 ops, expected >= 100", nvtEnq.Fences)
+	}
+}
+
+// TestVolatileMSQNoPersists confirms the volatile reference issues no
+// persist instructions at all.
+func TestVolatileMSQNoPersists(t *testing.T) {
+	in, _ := Lookup("msq")
+	enq, deq, empty := opStats(t, in)
+	total := enq.Fences + deq.Fences + empty.Fences + enq.Flushes + deq.Flushes + empty.Flushes
+	if total != 0 {
+		t.Errorf("volatile MSQ issued %d persist instructions", total)
+	}
+}
+
+// quiescentCrashRecoverDrain runs a workload, crashes at a quiescent
+// point, recovers, and returns the drained queue contents.
+func quiescentCrashRecoverDrain(t *testing.T, in Info, seed int64, pre func(q Queue)) []uint64 {
+	t.Helper()
+	h := crashHeap(t, 2)
+	q := in.New(h, 2)
+	pre(q)
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(seed)))
+	h.Restart()
+	rq := in.Recover(h, 2)
+	return drain(rq, 0)
+}
+
+// TestRecoveryQuiescent: after a crash at a quiescent point, recovery
+// must restore exactly the completed state, for every durable queue
+// and several randomized eviction patterns.
+func TestRecoveryQuiescent(t *testing.T) {
+	for _, in := range durableQueues() {
+		t.Run(in.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				var model []uint64
+				got := quiescentCrashRecoverDrain(t, in, seed, func(q Queue) {
+					rng := rand.New(rand.NewSource(seed * 77))
+					next := uint64(1)
+					for op := 0; op < 400; op++ {
+						if rng.Intn(3) < 2 {
+							q.Enqueue(op%2, next)
+							model = append(model, next)
+							next++
+						} else if _, ok := q.Dequeue(op % 2); ok {
+							model = model[1:]
+						}
+					}
+				})
+				if len(got) != len(model) {
+					t.Fatalf("seed %d: recovered %d items, want %d", seed, len(got), len(model))
+				}
+				for i := range got {
+					if got[i] != model[i] {
+						t.Fatalf("seed %d: item %d = %d, want %d", seed, i, got[i], model[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryEmptyQueue: recovery of a never-used and of a fully
+// drained queue must produce an empty, usable queue.
+func TestRecoveryEmptyQueue(t *testing.T) {
+	for _, in := range durableQueues() {
+		t.Run(in.Name, func(t *testing.T) {
+			for _, prep := range []func(Queue){
+				func(Queue) {},
+				func(q Queue) {
+					for i := uint64(1); i <= 50; i++ {
+						q.Enqueue(0, i)
+					}
+					for i := 0; i < 50; i++ {
+						q.Dequeue(1)
+					}
+					q.Dequeue(0) // failing dequeue persists the emptiness
+				},
+			} {
+				h := crashHeap(t, 2)
+				q := in.New(h, 2)
+				prep(q)
+				h.CrashNow()
+				h.FinalizeCrash(rand.New(rand.NewSource(5)))
+				h.Restart()
+				rq := in.Recover(h, 2)
+				if v, ok := rq.Dequeue(0); ok {
+					t.Fatalf("recovered queue not empty: got %d", v)
+				}
+				rq.Enqueue(0, 99)
+				if v, ok := rq.Dequeue(1); !ok || v != 99 {
+					t.Fatalf("recovered queue unusable: got (%d,%v)", v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryRepeatedCrashCycles exercises multiple crash/recover
+// rounds with continued operation between them, including node reuse
+// of recovered free lists.
+func TestRecoveryRepeatedCrashCycles(t *testing.T) {
+	for _, in := range durableQueues() {
+		t.Run(in.Name, func(t *testing.T) {
+			h := crashHeap(t, 2)
+			q := in.New(h, 2)
+			var model []uint64
+			next := uint64(1)
+			rng := rand.New(rand.NewSource(42))
+			for cycle := 0; cycle < 5; cycle++ {
+				for op := 0; op < 200; op++ {
+					if rng.Intn(3) < 2 {
+						q.Enqueue(op%2, next)
+						model = append(model, next)
+						next++
+					} else if _, ok := q.Dequeue(op % 2); ok {
+						model = model[1:]
+					}
+				}
+				h.CrashNow()
+				h.FinalizeCrash(rand.New(rand.NewSource(int64(cycle))))
+				h.Restart()
+				q = in.Recover(h, 2)
+				// Spot-check the head without draining.
+				if len(model) > 0 {
+					v, ok := q.Dequeue(0)
+					if !ok || v != model[0] {
+						t.Fatalf("cycle %d: head = (%d,%v), want (%d,true)", cycle, v, ok, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			got := drain(q, 1)
+			if len(got) != len(model) {
+				t.Fatalf("final drain: %d items, want %d", len(got), len(model))
+			}
+			for i := range got {
+				if got[i] != model[i] {
+					t.Fatalf("final drain[%d] = %d, want %d", i, got[i], model[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryWithLargeQueue stresses recovery's scan/sort path with a
+// queue big enough to span several allocator areas.
+func TestRecoveryWithLargeQueue(t *testing.T) {
+	for _, in := range durableQueues() {
+		t.Run(in.Name, func(t *testing.T) {
+			h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 3})
+			q := in.New(h, 2)
+			const n = 10000
+			for i := uint64(1); i <= n; i++ {
+				q.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= n/2; i++ {
+				if v, ok := q.Dequeue(1); !ok || v != i {
+					t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+				}
+			}
+			h.CrashNow()
+			h.FinalizeCrash(rand.New(rand.NewSource(9)))
+			h.Restart()
+			rq := in.Recover(h, 2)
+			for i := uint64(n/2 + 1); i <= n; i++ {
+				if v, ok := rq.Dequeue(0); !ok || v != i {
+					t.Fatalf("post-recovery dequeue: got (%d,%v), want (%d,true)", v, ok, i)
+				}
+			}
+			if _, ok := rq.Dequeue(0); ok {
+				t.Fatal("queue should be empty after full drain")
+			}
+		})
+	}
+}

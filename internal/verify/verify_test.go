@@ -1,0 +1,208 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/onll"
+	"repro/internal/ptm"
+	"repro/internal/queues"
+)
+
+func coreQueues(t *testing.T) []queues.Info {
+	t.Helper()
+	var out []queues.Info
+	for _, name := range []string{"unlinked", "linked", "opt-unlinked", "opt-linked"} {
+		in, ok := queues.Lookup(name)
+		if !ok {
+			t.Fatalf("missing queue %s", name)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func otherDurable(t *testing.T) []queues.Info {
+	t.Helper()
+	var out []queues.Info
+	for _, in := range queues.All() {
+		switch in.Name {
+		case "unlinked", "linked", "opt-unlinked", "opt-linked", "msq":
+			continue
+		}
+		out = append(out, in)
+	}
+	out = append(out, ptm.All()...)
+	out = append(out, onll.Info())
+	return out
+}
+
+// TestExhaustiveCrashPointsCore enumerates every memory-access crash
+// point of a mixed script for the paper's four queues, with two
+// eviction randomizations each.
+func TestExhaustiveCrashPointsCore(t *testing.T) {
+	script := Script(12, 1)
+	stride := int64(1)
+	if testing.Short() {
+		stride = 5
+	}
+	for _, in := range coreQueues(t) {
+		t.Run(in.Name, func(t *testing.T) {
+			res, err := ExhaustiveCrashPoints(in, script, stride, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Crashed == 0 {
+				t.Fatal("no crash point actually fired")
+			}
+			t.Logf("%d crash points exercised (%d fired)", res.Points, res.Crashed)
+		})
+	}
+}
+
+// TestExhaustiveCrashPointsOthers covers the baselines, ablations,
+// PTM queues and ONLL with a coarser stride.
+func TestExhaustiveCrashPointsOthers(t *testing.T) {
+	script := Script(12, 2)
+	stride := int64(3)
+	if testing.Short() {
+		stride = 11
+	}
+	for _, in := range otherDurable(t) {
+		t.Run(in.Name, func(t *testing.T) {
+			res, err := ExhaustiveCrashPoints(in, script, stride, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Crashed == 0 {
+				t.Fatal("no crash point actually fired")
+			}
+		})
+	}
+}
+
+// TestExhaustiveCrashPointsDeqHeavy uses a dequeue-heavy script so
+// head persistence and node recycling are crossed by crashes.
+func TestExhaustiveCrashPointsDeqHeavy(t *testing.T) {
+	script := []ScriptOp{
+		{Enq: true, V: 1}, {Enq: true, V: 2}, {Enq: true, V: 3}, {Enq: true, V: 4},
+		{}, {}, {}, {}, {}, // dequeues incl. one failing
+		{Enq: true, V: 5}, {}, {},
+	}
+	stride := int64(2)
+	if testing.Short() {
+		stride = 7
+	}
+	for _, in := range coreQueues(t) {
+		t.Run(in.Name, func(t *testing.T) {
+			if _, err := ExhaustiveCrashPoints(in, script, stride, 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentCrashFuzz cuts concurrent executions with random
+// crashes and checks durable linearizability of what survives.
+func TestConcurrentCrashFuzz(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	all := append(coreQueues(t), otherDurable(t)...)
+	for _, in := range all {
+		t.Run(in.Name, func(t *testing.T) {
+			err := ConcurrentCrashFuzz(in, FuzzConfig{
+				Threads: 3, OpsPerThread: 400, Rounds: rounds, Seed: 1234,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentCrashFuzzWithRecoveryCrashes additionally crashes the
+// recovery procedure itself before letting it complete.
+func TestConcurrentCrashFuzzWithRecoveryCrashes(t *testing.T) {
+	rounds := 4
+	if testing.Short() {
+		rounds = 1
+	}
+	for _, in := range coreQueues(t) {
+		t.Run(in.Name, func(t *testing.T) {
+			err := ConcurrentCrashFuzz(in, FuzzConfig{
+				Threads: 3, OpsPerThread: 300, Rounds: rounds, Seed: 77,
+				RecoveryCrashes: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// ---- negative tests: the checker must catch fabricated violations ----
+
+func u(v uint64) *uint64 { return &v }
+
+func TestCheckHistoryCatchesDuplicates(t *testing.T) {
+	logs := []threadLog{{enqDone: []uint64{1, 2}, deqDone: []uint64{1}}}
+	if err := CheckHistory(logs, []uint64{1, 2}); err == nil {
+		t.Fatal("duplicate delivery not detected")
+	}
+}
+
+func TestCheckHistoryCatchesPhantom(t *testing.T) {
+	logs := []threadLog{{enqDone: []uint64{1}}}
+	if err := CheckHistory(logs, []uint64{1, 99}); err == nil {
+		t.Fatal("phantom value not detected")
+	}
+}
+
+func TestCheckHistoryCatchesLoss(t *testing.T) {
+	logs := []threadLog{{enqDone: []uint64{1, 2, 3}}}
+	if err := CheckHistory(logs, []uint64{1, 3}); err == nil {
+		t.Fatal("lost completed enqueue not detected")
+	}
+}
+
+func TestCheckHistoryAllowsPendingDequeueLoss(t *testing.T) {
+	logs := []threadLog{
+		{enqDone: []uint64{1, 2, 3}},
+		{pendingDeq: true},
+	}
+	if err := CheckHistory(logs, []uint64{2, 3}); err != nil {
+		t.Fatalf("prefix loss with a pending dequeue should be legal: %v", err)
+	}
+}
+
+func TestCheckHistoryCatchesFIFOViolation(t *testing.T) {
+	// Value 2 removed while the earlier value 1 survived.
+	logs := []threadLog{
+		{enqDone: []uint64{1, 2}, deqDone: []uint64{2}},
+	}
+	if err := CheckHistory(logs, []uint64{1}); err == nil {
+		t.Fatal("FIFO violation not detected")
+	}
+}
+
+func TestCheckHistoryCatchesDrainOrderViolation(t *testing.T) {
+	logs := []threadLog{{enqDone: []uint64{1, 2}}}
+	if err := CheckHistory(logs, []uint64{2, 1}); err == nil {
+		t.Fatal("drain order violation not detected")
+	}
+}
+
+func TestCheckHistoryAllowsDroppedPendingEnqueue(t *testing.T) {
+	logs := []threadLog{{enqDone: []uint64{1}, pendingEnq: u(2)}}
+	if err := CheckHistory(logs, []uint64{1}); err != nil {
+		t.Fatalf("dropped pending enqueue should be legal: %v", err)
+	}
+}
+
+func TestCheckHistoryAllowsAppliedPendingEnqueue(t *testing.T) {
+	logs := []threadLog{{enqDone: []uint64{1}, pendingEnq: u(2)}}
+	if err := CheckHistory(logs, []uint64{1, 2}); err != nil {
+		t.Fatalf("applied pending enqueue should be legal: %v", err)
+	}
+}
