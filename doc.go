@@ -8,10 +8,13 @@
 // The persistence substrate is a simulated NVRAM (internal/pmem) that
 // models CLWB/SFENCE/movnti semantics, Cascade Lake's
 // flush-invalidates-line behaviour, per-cache-line crash-prefix
-// semantics, and Optane-like latencies. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduction of the paper's
-// evaluation.
+// semantics, and Optane-like latencies. On top of the queues,
+// internal/broker composes a sharded, multi-topic durable message
+// broker — the application the paper's introduction motivates. See
+// DESIGN.md for the full system inventory and layering.
 //
 // The benchmark suite in bench_test.go regenerates every panel of the
-// paper's Figure 2; the cmd/durbench tool runs the full sweeps.
+// paper's Figure 2; the cmd/durbench tool runs the full sweeps and
+// cmd/brokerbench sweeps the broker over shard counts and publish
+// batch sizes.
 package repro

@@ -1,72 +1,173 @@
-// Broker: a persistent message broker built on a durable queue — the
-// use case the paper's introduction motivates (IBM MQ, Oracle Tuxedo
-// MQ, RabbitMQ keep FIFO queues at their core, today structured for
-// block storage; NVRAM queues remove the marshaling and file-system
-// layers).
+// Broker: a sharded, multi-topic persistent message broker built on
+// internal/broker — the use case the paper's introduction motivates
+// (IBM MQ, Oracle Tuxedo MQ, RabbitMQ keep FIFO queues at their core,
+// today structured for block storage; NVRAM queues remove the
+// marshaling and file-system layers).
 //
-// Producers publish messages; a publish is "acknowledged" once the
-// queue operation returns, at which point durable linearizability
-// guarantees it survives any crash. The broker is crashed at a random
-// moment mid-traffic, recovered, and audited: every acknowledged
-// message is either already delivered or still in the recovered
-// queue; nothing is duplicated.
+// Two topics, four shards each, live side by side on one persistent
+// heap: "events" carries fixed 8-byte messages on OptUnlinkedQ shards,
+// "jobs" carries variable byte payloads on blobq shards. Producers mix
+// the per-message publish path (one SFENCE per message), the keyed
+// path (per-key FIFO) and the amortized batch path (one SFENCE per
+// batch); a consumer group partitions the shards. A publish is
+// "acknowledged" once the call returns, at which point durable
+// linearizability guarantees it survives any crash.
+//
+// The broker is crashed at a random moment mid-traffic, re-discovered
+// from its durable catalog alone, recovered shard by shard, and
+// audited: every acknowledged message is either already delivered or
+// still in the recovered backlog; nothing is duplicated.
 package main
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/broker"
 	"repro/internal/pmem"
-	"repro/internal/queues"
 )
 
 const (
 	producers   = 3
-	consumers   = 1
-	perProducer = 5000
+	consumers   = 2
+	perProducer = 4000
+	threads     = producers + consumers
 )
 
+func jobPayload(id uint64) []byte {
+	p := make([]byte, 16+int(id%48))
+	copy(p, broker.U64(id))
+	for i := 8; i < len(p); i++ {
+		p[i] = byte(id) ^ byte(i)
+	}
+	return p
+}
+
 func main() {
+	// Producers, consumers and the crash monitor must interleave for
+	// the mid-traffic crash to be meaningful on small machines.
+	if runtime.GOMAXPROCS(0) < threads+1 {
+		runtime.GOMAXPROCS(threads + 1)
+	}
 	h := pmem.New(pmem.Config{
 		Bytes:      128 << 20,
 		Mode:       pmem.ModeCrash,
-		MaxThreads: producers + consumers + 1,
+		MaxThreads: threads,
 	})
-	broker := queues.NewOptLinkedQ(h, producers+consumers)
+	b, err := broker.New(h, broker.Config{
+		Topics: []broker.TopicConfig{
+			{Name: "events", Shards: 4},
+			{Name: "jobs", Shards: 4, MaxPayload: 64},
+		},
+		Threads: threads,
+	})
+	if err != nil {
+		panic(err)
+	}
+	g, err := b.NewGroup([]string{"events", "jobs"}, consumers)
+	if err != nil {
+		panic(err)
+	}
 
-	// Crash somewhere inside the expected traffic volume.
-	h.ScheduleCrashAtAccess(int64(rand.New(rand.NewSource(7)).Intn(100_000)) + 10_000)
+	// Crash mid-traffic: once a third of the publishes have been
+	// acknowledged, a monitor pulls the plug on the whole system
+	// (every thread observes the crash at its next memory access).
+	// Main joins the monitor before recovering so a late-scheduled
+	// CrashNow can never land after Restart.
+	var ackedTotal atomic.Uint64
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		target := uint64(producers*perProducer) / 3
+		for ackedTotal.Load() < target && !h.Crashed() {
+			time.Sleep(100 * time.Microsecond)
+		}
+		h.CrashNow()
+	}()
 
 	acked := make([][]uint64, producers) // per-producer acknowledged publishes
-	delivered := make([][]uint64, consumers)
+	delivered := make([]map[uint64]bool, consumers)
+	redelivered := make([]int, consumers) // same message polled twice by one consumer
+	var producersDone sync.WaitGroup
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
+		producersDone.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			for m := uint64(1); m <= perProducer; m++ {
-				msg := uint64(p+1)<<32 | m
-				if pmem.Protect(func() { broker.Enqueue(p, msg) }) {
-					return // crash: this publish was never acknowledged
+			defer producersDone.Done()
+			rng := rand.New(rand.NewSource(int64(p) + 100))
+			events, jobs := b.Topic("events"), b.Topic("jobs")
+			for m := uint64(1); m <= perProducer; {
+				id := uint64(p+1)<<32 | m
+				switch rng.Intn(3) {
+				case 0: // one event, one fence
+					if pmem.Protect(func() { events.Publish(p, broker.U64(id)) }) {
+						return // crash: this publish was never acknowledged
+					}
+					acked[p] = append(acked[p], id)
+					ackedTotal.Add(1)
+					m++
+				case 1: // keyed job: all messages of a key share a shard
+					if pmem.Protect(func() { jobs.PublishKey(p, broker.U64(id%3), jobPayload(id)) }) {
+						return
+					}
+					acked[p] = append(acked[p], id)
+					ackedTotal.Add(1)
+					m++
+				default: // batch of 8 jobs riding a single fence
+					var batch [][]byte
+					var ids []uint64
+					for len(batch) < 8 && m <= perProducer {
+						ids = append(ids, uint64(p+1)<<32|m)
+						batch = append(batch, jobPayload(ids[len(ids)-1]))
+						m++
+					}
+					if pmem.Protect(func() { jobs.PublishBatch(p, batch) }) {
+						return // crash: the whole batch is unacknowledged
+					}
+					acked[p] = append(acked[p], ids...)
+					ackedTotal.Add(uint64(len(ids)))
 				}
-				acked[p] = append(acked[p], msg)
 			}
 		}(p)
 	}
+	done := make(chan struct{})
+	go func() { producersDone.Wait(); close(done) }()
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
+		delivered[c] = map[uint64]bool{}
 		go func(c int) {
 			defer wg.Done()
 			tid := producers + c
+			cons := g.Consumer(c)
+			idle := false
 			for {
-				var msg uint64
+				var msg broker.Message
 				var ok bool
-				if pmem.Protect(func() { msg, ok = broker.Dequeue(tid) }) {
-					return // crash mid-dequeue
+				if pmem.Protect(func() { msg, ok = cons.Poll(tid) }) {
+					return // crash mid-poll
 				}
 				if ok {
-					delivered[c] = append(delivered[c], msg)
+					id := broker.AsU64(msg.Payload[:8])
+					if delivered[c][id] {
+						redelivered[c]++
+					}
+					delivered[c][id] = true
+					idle = false
+					continue
+				}
+				select {
+				case <-done:
+					if idle {
+						return
+					}
+					idle = true
+				default:
 				}
 			}
 		}(c)
@@ -75,45 +176,60 @@ func main() {
 	if !h.Crashed() {
 		h.CrashNow()
 	}
+	<-monitorDone
 	fmt.Println("-- broker crashed mid-traffic --")
 	h.FinalizeCrash(rand.New(rand.NewSource(42)))
 	h.Restart()
 
-	recovered := queues.RecoverOptLinkedQ(h, producers+consumers)
+	// Recover the whole broker from the durable catalog alone.
+	r, err := broker.Recover(h, threads)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered %d topics from the durable catalog:", len(r.Topics()))
+	for _, t := range r.Topics() {
+		fmt.Printf(" %s(%d shards)", t.Name(), t.Shards())
+	}
+	fmt.Println()
 
-	// Audit: acked ⊆ delivered ∪ recovered-queue, no duplicates.
-	seen := map[uint64]string{}
+	// Audit: acked ⊆ delivered ∪ recovered-backlog, no duplicates.
+	seen := map[uint64]bool{}
 	dup := 0
 	for c := range delivered {
-		for _, m := range delivered[c] {
-			seen[m] = "delivered"
+		dup += redelivered[c]
+		for id := range delivered[c] {
+			if seen[id] {
+				dup++ // delivered to more than one consumer
+			}
+			seen[id] = true
 		}
 	}
-	var backlog int
-	for {
-		m, ok := recovered.Dequeue(0)
-		if !ok {
-			break
+	backlog := 0
+	for _, t := range r.Topics() {
+		for s := 0; s < t.Shards(); s++ {
+			for {
+				p, ok := t.DequeueShard(0, s)
+				if !ok {
+					break
+				}
+				id := broker.AsU64(p[:8])
+				if seen[id] {
+					dup++
+				}
+				seen[id] = true
+				backlog++
+			}
 		}
-		if _, already := seen[m]; already {
-			dup++
-		}
-		seen[m] = "recovered"
-		backlog++
 	}
-	lost := 0
+	lost, totalAcked, totalDelivered := 0, 0, 0
 	for p := range acked {
-		for _, m := range acked[p] {
-			if _, ok := seen[m]; !ok {
+		totalAcked += len(acked[p])
+		for _, id := range acked[p] {
+			if !seen[id] {
 				lost++
 			}
 		}
 	}
-	totalAcked := 0
-	for p := range acked {
-		totalAcked += len(acked[p])
-	}
-	totalDelivered := 0
 	for c := range delivered {
 		totalDelivered += len(delivered[c])
 	}

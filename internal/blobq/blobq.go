@@ -187,28 +187,31 @@ func blobSealed(h *pmem.Heap, blob pmem.Addr, tag uint64, lines int) bool {
 	return true
 }
 
-// Enqueue appends payload (at most MaxPayload bytes). One blocking
-// persist, covering the blob lines and the node line together.
-func (q *Queue) Enqueue(tid int, payload []byte) {
+// enqueueOne runs the enqueue protocol up to but not including the
+// blocking fence: allocate node and blob, write and asynchronously
+// flush the sealed payload lines, link via CAS, set the linked flag
+// and flush the node line. It returns the tail observed at link time
+// and the new node so the caller can order its fence and tail advance
+// (Enqueue fences before advancing; EnqueueBatch advances immediately
+// and rides one fence for the whole batch).
+func (q *Queue) enqueueOne(tid int, payload []byte) (tail, vn *vnode) {
 	if len(payload) > q.MaxPayload() {
 		panic(fmt.Sprintf("blobq: payload %d exceeds capacity %d", len(payload), q.MaxPayload()))
 	}
 	h := q.h
-	q.nodes.Enter(tid)
-	defer q.nodes.Exit(tid)
 	pn := q.nodes.Alloc(tid)
 	blob := q.blobs.Alloc(tid)
 	q.per[tid].tagSeq++
 	tag := blobTag(q.epoch, tid, q.per[tid].tagSeq)
 
-	vn := &vnode{payload: append([]byte(nil), payload...), pnode: pn, blob: blob}
+	vn = &vnode{payload: append([]byte(nil), payload...), pnode: pn, blob: blob}
 	h.Store(tid, pn+pnLinked, 0) // before the index, as in UnlinkedQ
 	h.Store(tid, pn+pnBlob, uint64(blob))
 	h.Store(tid, pn+pnTag, tag)
 	h.Store(tid, pn+pnLen, uint64(len(payload)))
 	q.writeBlob(tid, blob, tag, payload) // async flushes, no fence
 	for {
-		tail := q.tail.Load()
+		tail = q.tail.Load()
 		if next := tail.next.Load(); next == nil {
 			idx := tail.index + 1
 			h.Store(tid, pn+pnIndex, idx)
@@ -216,14 +219,42 @@ func (q *Queue) Enqueue(tid int, payload []byte) {
 			if tail.next.CompareAndSwap(nil, vn) {
 				h.Store(tid, pn+pnLinked, 1)
 				h.Flush(tid, pn)
-				h.Fence(tid) // the single fence: node + blob durable
-				q.tail.CompareAndSwap(tail, vn)
-				return
+				return tail, vn
 			}
 		} else {
 			q.tail.CompareAndSwap(tail, next)
 		}
 	}
+}
+
+// Enqueue appends payload (at most MaxPayload bytes). One blocking
+// persist, covering the blob lines and the node line together.
+func (q *Queue) Enqueue(tid int, payload []byte) {
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	tail, vn := q.enqueueOne(tid, payload)
+	q.h.Fence(tid) // the single fence: node + blob durable
+	q.tail.CompareAndSwap(tail, vn)
+}
+
+// EnqueueBatch appends payloads in order with a single blocking
+// persist for the whole batch: each node's blob and line are written
+// and asynchronously flushed as in Enqueue, and one fence at the end
+// makes the entire batch durable. Sound for the same reason as
+// OptUnlinkedQ.EnqueueBatch: a linked-but-not-yet-durable node only
+// ever costs the crash its own unacknowledged enqueue (recovery
+// discards it via the seal check and accepts index gaps).
+func (q *Queue) EnqueueBatch(tid int, payloads [][]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	for _, payload := range payloads {
+		tail, vn := q.enqueueOne(tid, payload)
+		q.tail.CompareAndSwap(tail, vn)
+	}
+	q.h.Fence(tid) // the batch's single blocking persist
 }
 
 // Dequeue removes the oldest payload. One blocking persist; the

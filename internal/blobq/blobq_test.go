@@ -388,3 +388,41 @@ func TestMultiCrashWithBlobReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestEnqueueBatchOneFence verifies the amortized batch-publish path:
+// one blocking persist for the whole batch, payloads intact, FIFO kept,
+// and the batch durable across an immediate crash.
+func TestEnqueueBatchOneFence(t *testing.T) {
+	h := newHeap(pmem.ModeCrash)
+	q := New(h, Config{Threads: 1, MaxPayload: 120})
+	for i := 0; i < 40; i++ { // warm pools past area creation
+		q.Enqueue(0, payloadFor(uint64(i), 64))
+	}
+	const n = 16
+	batch := make([][]byte, n)
+	for i := range batch {
+		batch[i] = payloadFor(uint64(100+i), 100)
+	}
+	before := h.TotalStats()
+	q.EnqueueBatch(0, batch)
+	if d := h.TotalStats().Sub(before); d.Fences != 1 {
+		t.Fatalf("EnqueueBatch of %d issued %d fences, want 1", n, d.Fences)
+	}
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(5)))
+	h.Restart()
+	r := Recover(h, Config{Threads: 1, MaxPayload: 120})
+	for i := 0; i < 40; i++ {
+		if p, ok := r.Dequeue(0); !ok || !bytes.Equal(p, payloadFor(uint64(i), 64)) {
+			t.Fatalf("recovered warmup payload %d mismatch (ok=%v)", i, ok)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if p, ok := r.Dequeue(0); !ok || !bytes.Equal(p, batch[i]) {
+			t.Fatalf("recovered batch payload %d mismatch (ok=%v)", i, ok)
+		}
+	}
+	if _, ok := r.Dequeue(0); ok {
+		t.Fatal("recovered queue has extra elements")
+	}
+}

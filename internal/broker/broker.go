@@ -1,0 +1,240 @@
+// Package broker is a durably linearizable, sharded, multi-topic
+// message broker composed from the paper's second-amendment queues —
+// the use case the paper's introduction motivates (IBM MQ, Oracle
+// Tuxedo MQ, RabbitMQ keep FIFO queues at their core, today structured
+// for block storage; NVRAM queues remove the marshaling and
+// file-system layers), treated as a first-class recoverable system in
+// the spirit of Gray's "Queues Are Databases".
+//
+// A Broker manages N topics, each split into M shards. Every shard is
+// an independent durable queue — an OptUnlinkedQ for fixed 8-byte
+// payloads or a blobq.Queue for variable byte payloads — living in its
+// own root-slot window of one shared pmem.Heap (see pmem.View).
+// Producers route messages to shards round-robin or by key hash, and
+// may amortize durability cost with a batch-publish path that rides
+// one SFENCE per batch. Consumers form groups; each shard is owned by
+// exactly one group member, so per-shard FIFO order is preserved
+// end-to-end.
+//
+// Durability contract: a publish is acknowledged when the call
+// returns; from that point the message survives any crash. A durable
+// catalog (anchored at the broker's root slot 0) records every
+// topic's name, shard count and payload kind, so Recover can
+// re-discover the whole broker from the heap alone and replay the
+// paper's per-queue recovery for every shard. A delivery is durable
+// when Poll returns: the winning dequeue's persist covers it, so a
+// delivered message is never re-delivered after a crash
+// (delivered-or-recovered exactly once for acknowledged publishes).
+package broker
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blobq"
+	"repro/internal/pmem"
+	"repro/internal/queues"
+)
+
+// slotsPerShard is the root-slot window width handed to each shard's
+// queue. Eight covers the highest slot either queue kind uses (blobq
+// uses slots 2,3,6,7; OptUnlinkedQ uses 2,3).
+const slotsPerShard = 8
+
+// slotCatalog anchors the durable topic catalog within the broker's
+// root-slot window.
+const slotCatalog = 0
+
+// TopicConfig describes one topic.
+type TopicConfig struct {
+	// Name identifies the topic; at most 32 bytes, unique per broker.
+	Name string
+	// Shards is the number of independent durable queues the topic is
+	// split over (>= 1). More shards mean more enqueue/dequeue
+	// parallelism at the cost of ordering only per shard.
+	Shards int
+	// MaxPayload selects the shard queue kind: 0 means fixed 8-byte
+	// payloads on OptUnlinkedQ (the cheapest path); > 0 means variable
+	// payloads up to MaxPayload bytes on blobq.Queue.
+	MaxPayload int
+}
+
+// Config parameterizes a Broker.
+type Config struct {
+	// Topics lists the topics to create. Order is preserved in the
+	// durable catalog.
+	Topics []TopicConfig
+	// Threads bounds the thread ids that may call broker operations
+	// (producers, consumers and the recovery thread all share this
+	// space, as with the underlying queues).
+	Threads int
+}
+
+// Broker is a sharded multi-topic durable message broker. Methods
+// taking a tid are safe for concurrent use as long as each tid is
+// driven by at most one goroutine at a time.
+type Broker struct {
+	h       *pmem.Heap
+	threads int
+	topics  []*Topic
+	byName  map[string]*Topic
+}
+
+// shard wraps one durable queue of either payload kind behind a
+// byte-payload interface.
+type shard struct {
+	fixed *queues.OptUnlinkedQ // MaxPayload == 0
+	blob  *blobq.Queue         // MaxPayload > 0
+}
+
+func (s *shard) publish(tid int, p []byte) {
+	if s.fixed != nil {
+		s.fixed.Enqueue(tid, binary.LittleEndian.Uint64(p))
+		return
+	}
+	s.blob.Enqueue(tid, p)
+}
+
+func (s *shard) publishBatch(tid int, ps [][]byte) {
+	if s.fixed != nil {
+		vs := make([]uint64, len(ps))
+		for i, p := range ps {
+			vs[i] = binary.LittleEndian.Uint64(p)
+		}
+		s.fixed.EnqueueBatch(tid, vs)
+		return
+	}
+	s.blob.EnqueueBatch(tid, ps)
+}
+
+func (s *shard) consume(tid int) ([]byte, bool) {
+	if s.fixed != nil {
+		v, ok := s.fixed.Dequeue(tid)
+		if !ok {
+			return nil, false
+		}
+		return U64(v), true
+	}
+	return s.blob.Dequeue(tid)
+}
+
+// U64 encodes v as the 8-byte payload of a fixed topic.
+func U64(v uint64) []byte {
+	p := make([]byte, 8)
+	binary.LittleEndian.PutUint64(p, v)
+	return p
+}
+
+// AsU64 decodes a fixed-topic payload.
+func AsU64(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
+
+func validate(h *pmem.Heap, cfg Config) error {
+	if cfg.Threads <= 0 {
+		return fmt.Errorf("broker: Threads must be positive")
+	}
+	if len(cfg.Topics) == 0 {
+		return fmt.Errorf("broker: at least one topic required")
+	}
+	seen := map[string]bool{}
+	total := 0
+	for _, tc := range cfg.Topics {
+		if tc.Name == "" || len(tc.Name) > catNameBytes {
+			return fmt.Errorf("broker: topic name %q must be 1..%d bytes", tc.Name, catNameBytes)
+		}
+		if seen[tc.Name] {
+			return fmt.Errorf("broker: duplicate topic %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if tc.Shards <= 0 {
+			return fmt.Errorf("broker: topic %q needs at least one shard", tc.Name)
+		}
+		if tc.MaxPayload < 0 {
+			return fmt.Errorf("broker: topic %q has negative MaxPayload", tc.Name)
+		}
+		total += tc.Shards
+	}
+	if need := 1 + total*slotsPerShard; need > h.RootSlots() {
+		return fmt.Errorf("broker: %d total shards need %d root slots, heap window has %d",
+			total, need, h.RootSlots())
+	}
+	return nil
+}
+
+// build constructs the volatile broker skeleton and instantiates each
+// shard's queue via mk, which receives the shard's root-slot view.
+func build(h *pmem.Heap, cfg Config, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
+	b := &Broker{h: h, threads: cfg.Threads, byName: map[string]*Topic{}}
+	next := 1 // slot 0 is the catalog anchor
+	for _, tc := range cfg.Topics {
+		t := &Topic{b: b, cfg: tc, slotBase: next}
+		for s := 0; s < tc.Shards; s++ {
+			view := h.View(next, slotsPerShard)
+			t.shards = append(t.shards, mk(view, tc))
+			next += slotsPerShard
+		}
+		b.topics = append(b.topics, t)
+		b.byName[tc.Name] = t
+	}
+	return b
+}
+
+// New creates a broker on an empty heap window: it instantiates every
+// topic's shards, then writes and persists the durable catalog. The
+// anchor is persisted last, so a crash inside New leaves no broker
+// (Recover reports none) rather than a partial one.
+func New(h *pmem.Heap, cfg Config) (*Broker, error) {
+	if err := validate(h, cfg); err != nil {
+		return nil, err
+	}
+	if h.Load(0, h.RootAddr(slotCatalog)) != 0 {
+		return nil, fmt.Errorf("broker: heap window already hosts a broker (use Recover)")
+	}
+	b := build(h, cfg, func(view *pmem.Heap, tc TopicConfig) *shard {
+		if tc.MaxPayload == 0 {
+			return &shard{fixed: queues.NewOptUnlinkedQ(view, cfg.Threads)}
+		}
+		return &shard{blob: blobq.New(view, blobq.Config{Threads: cfg.Threads, MaxPayload: tc.MaxPayload})}
+	})
+	writeCatalog(h, cfg)
+	return b, nil
+}
+
+// Recover re-discovers a broker after a crash: it reads the durable
+// catalog and replays the paper's per-queue recovery for every shard
+// of every topic. Call from a single thread (tid 0) before resuming
+// traffic.
+//
+// threads must equal the bound the broker was created with (it sizes
+// the per-thread head-index regions recovery scans); pass 0 to adopt
+// the recorded bound. A mismatch is an error, never silent corruption.
+func Recover(h *pmem.Heap, threads int) (*Broker, error) {
+	topics, recorded, err := readCatalog(h)
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 {
+		threads = recorded
+	} else if threads != recorded {
+		return nil, fmt.Errorf("broker: Recover with %d threads, but the broker was created with %d",
+			threads, recorded)
+	}
+	cfg := Config{Topics: topics, Threads: threads}
+	if err := validate(h, cfg); err != nil {
+		return nil, err
+	}
+	return build(h, cfg, func(view *pmem.Heap, tc TopicConfig) *shard {
+		if tc.MaxPayload == 0 {
+			return &shard{fixed: queues.RecoverOptUnlinkedQ(view, threads)}
+		}
+		return &shard{blob: blobq.Recover(view, blobq.Config{Threads: threads, MaxPayload: tc.MaxPayload})}
+	}), nil
+}
+
+// Topic returns the named topic, or nil if the broker has none.
+func (b *Broker) Topic(name string) *Topic { return b.byName[name] }
+
+// Topics lists the broker's topics in catalog order.
+func (b *Broker) Topics() []*Topic { return b.topics }
+
+// Threads reports the configured thread-id bound.
+func (b *Broker) Threads() int { return b.threads }

@@ -1,0 +1,113 @@
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// The durable catalog is what makes the broker recoverable as a
+// whole: one persistent region recording every topic's name, shard
+// count and payload kind, anchored at the broker's root slot 0.
+//
+// Layout (one cache line per row, so each row persists with a single
+// flush and rows never invalidate each other):
+//
+//	line 0: [magic, topicCount, threads, 0...]
+//	line 1+i (topic i): [slotBase, shards, maxPayload, nameLen,
+//	                     name word 0..3]          (name <= 32 bytes)
+//
+// threads is recorded because it sizes each shard's per-thread
+// head-index region: recovery must scan exactly that many lines, so a
+// mismatched thread bound at Recover would silently corrupt the
+// recovered head index (reading garbage, or missing persisted
+// indices) rather than fail.
+//
+// The catalog is written once, before the anchor: topics are static
+// for the life of a broker (dynamic topic creation is a ROADMAP open
+// item). Creation order therefore is: shard queues first, then the
+// catalog body, then — after a fence covering the body — the anchor.
+// A crash at any point inside New either leaves the anchor empty (no
+// broker; nothing was acknowledged) or a fully readable catalog.
+
+const (
+	catMagic     = 0x42726f6b657231 // "Broker1"
+	catNameBytes = 32
+)
+
+func writeCatalog(h *pmem.Heap, cfg Config) {
+	const tid = 0
+	bytes := int64((1 + len(cfg.Topics)) * pmem.CacheLineBytes)
+	reg := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
+	h.InitRange(tid, reg, bytes)
+
+	h.Store(tid, reg, catMagic)
+	h.Store(tid, reg+pmem.WordBytes, uint64(len(cfg.Topics)))
+	h.Store(tid, reg+2*pmem.WordBytes, uint64(cfg.Threads))
+	h.Flush(tid, reg)
+	next := 1
+	for i, tc := range cfg.Topics {
+		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
+		h.Store(tid, row, uint64(next))
+		h.Store(tid, row+8, uint64(tc.Shards))
+		h.Store(tid, row+16, uint64(tc.MaxPayload))
+		h.Store(tid, row+24, uint64(len(tc.Name)))
+		name := make([]byte, catNameBytes)
+		copy(name, tc.Name)
+		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+			var word uint64
+			for b := 0; b < 8; b++ {
+				word |= uint64(name[w*8+b]) << (8 * b)
+			}
+			h.Store(tid, row+pmem.Addr(32+w*8), word)
+		}
+		h.Flush(tid, row)
+		next += tc.Shards * slotsPerShard
+	}
+	h.Fence(tid) // catalog body durable before the anchor names it
+
+	h.Store(tid, h.RootAddr(slotCatalog), uint64(reg))
+	h.Persist(tid, h.RootAddr(slotCatalog))
+}
+
+func readCatalog(h *pmem.Heap) ([]TopicConfig, int, error) {
+	const tid = 0
+	reg := pmem.Addr(h.Load(tid, h.RootAddr(slotCatalog)))
+	if reg == 0 {
+		return nil, 0, fmt.Errorf("broker: no catalog anchored (heap window hosts no broker)")
+	}
+	if m := h.Load(tid, reg); m != catMagic {
+		return nil, 0, fmt.Errorf("broker: catalog magic %#x invalid", m)
+	}
+	n := h.Load(tid, reg+pmem.WordBytes)
+	threads := int(h.Load(tid, reg+2*pmem.WordBytes))
+	topics := make([]TopicConfig, 0, n)
+	next := uint64(1)
+	for i := uint64(0); i < n; i++ {
+		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
+		nameLen := h.Load(tid, row+24)
+		if nameLen == 0 || nameLen > catNameBytes {
+			return nil, 0, fmt.Errorf("broker: catalog row %d has invalid name length %d", i, nameLen)
+		}
+		// The recorded slot base must match the deterministic layout;
+		// a mismatch means the catalog does not describe this heap.
+		if base := h.Load(tid, row); base != next {
+			return nil, 0, fmt.Errorf("broker: catalog row %d records slot base %d, layout expects %d",
+				i, base, next)
+		}
+		name := make([]byte, catNameBytes)
+		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+			word := h.Load(tid, row+pmem.Addr(32+w*8))
+			for b := 0; b < 8; b++ {
+				name[w*8+b] = byte(word >> (8 * b))
+			}
+		}
+		topics = append(topics, TopicConfig{
+			Name:       string(name[:nameLen]),
+			Shards:     int(h.Load(tid, row+8)),
+			MaxPayload: int(h.Load(tid, row+16)),
+		})
+		next += h.Load(tid, row+8) * slotsPerShard
+	}
+	return topics, threads, nil
+}

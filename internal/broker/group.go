@@ -1,0 +1,95 @@
+package broker
+
+import "fmt"
+
+// Message is one delivered payload with its provenance.
+type Message struct {
+	Topic   string
+	Shard   int
+	Payload []byte
+}
+
+// ShardRef names one shard of one topic.
+type ShardRef struct {
+	Topic string
+	Shard int
+}
+
+// Group is a consumer group over a set of topics. Every shard of
+// every subscribed topic is assigned to exactly one member, so the
+// group collectively consumes each message once (at-least-once across
+// crashes: a member that crashed mid-delivery may leave its message
+// to be recovered instead). Shard ownership means per-shard FIFO
+// order is preserved end-to-end.
+type Group struct {
+	consumers []*Consumer
+}
+
+// NewGroup subscribes n consumers to the named topics, assigning
+// shards to members round-robin across the combined shard list.
+func (b *Broker) NewGroup(topicNames []string, n int) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("broker: group needs at least one consumer")
+	}
+	g := &Group{consumers: make([]*Consumer, n)}
+	for i := range g.consumers {
+		g.consumers[i] = &Consumer{}
+	}
+	i := 0
+	for _, name := range topicNames {
+		t := b.Topic(name)
+		if t == nil {
+			return nil, fmt.Errorf("broker: unknown topic %q", name)
+		}
+		for s := 0; s < t.Shards(); s++ {
+			c := g.consumers[i%n]
+			c.refs = append(c.refs, consumerShard{t: t, shard: s})
+			i++
+		}
+	}
+	return g, nil
+}
+
+// Size returns the number of group members.
+func (g *Group) Size() int { return len(g.consumers) }
+
+// Consumer returns group member i.
+func (g *Group) Consumer(i int) *Consumer { return g.consumers[i] }
+
+type consumerShard struct {
+	t     *Topic
+	shard int
+}
+
+// Consumer is one group member. A Consumer must be driven by a single
+// goroutine; tid follows the usual one-goroutine-per-tid rule.
+type Consumer struct {
+	refs []consumerShard
+	next int
+}
+
+// Assigned lists the shards this member owns.
+func (c *Consumer) Assigned() []ShardRef {
+	out := make([]ShardRef, len(c.refs))
+	for i, r := range c.refs {
+		out[i] = ShardRef{Topic: r.t.Name(), Shard: r.shard}
+	}
+	return out
+}
+
+// Poll scans the member's shards round-robin and delivers the first
+// available message. ok is false when every owned shard was observed
+// empty. When Poll returns a message, the delivery is already durable
+// (the dequeue's persist covers it), so the message is never
+// re-delivered after a crash.
+func (c *Consumer) Poll(tid int) (Message, bool) {
+	for i := 0; i < len(c.refs); i++ {
+		r := c.refs[(c.next+i)%len(c.refs)]
+		if p, ok := r.t.shards[r.shard].consume(tid); ok {
+			c.next = (c.next + i + 1) % len(c.refs)
+			return Message{Topic: r.t.Name(), Shard: r.shard, Payload: p}, true
+		}
+	}
+	c.next = 0
+	return Message{}, false
+}

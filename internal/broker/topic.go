@@ -1,0 +1,94 @@
+package broker
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Topic is one named, sharded durable message stream. Publishing is
+// safe from any number of producers (each with its own tid); ordering
+// is FIFO per shard, so two messages routed to the same shard are
+// delivered in publish order.
+type Topic struct {
+	b        *Broker
+	cfg      TopicConfig
+	slotBase int
+	shards   []*shard
+	rr       atomic.Uint64 // round-robin routing cursor
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.cfg.Name }
+
+// Shards returns the topic's shard count.
+func (t *Topic) Shards() int { return len(t.shards) }
+
+// MaxPayload reports the payload capacity in bytes (8 for fixed
+// topics).
+func (t *Topic) MaxPayload() int {
+	if t.cfg.MaxPayload == 0 {
+		return 8
+	}
+	return t.cfg.MaxPayload
+}
+
+func (t *Topic) checkPayload(p []byte) {
+	if t.cfg.MaxPayload == 0 {
+		if len(p) != 8 {
+			panic(fmt.Sprintf("broker: topic %q is fixed-width; payload must be exactly 8 bytes, got %d",
+				t.cfg.Name, len(p)))
+		}
+		return
+	}
+	if len(p) > t.cfg.MaxPayload {
+		panic(fmt.Sprintf("broker: topic %q payload %d exceeds capacity %d",
+			t.cfg.Name, len(p), t.cfg.MaxPayload))
+	}
+}
+
+// Publish routes payload to the next shard round-robin and enqueues
+// it durably. When Publish returns the message is acknowledged: it
+// survives any subsequent crash. One blocking persist per message.
+func (t *Topic) Publish(tid int, payload []byte) {
+	t.checkPayload(payload)
+	s := int(t.rr.Add(1)-1) % len(t.shards)
+	t.shards[s].publish(tid, payload)
+}
+
+// PublishKey routes payload by FNV-1a hash of key, so all messages
+// with equal keys share a shard and are delivered in publish order.
+func (t *Topic) PublishKey(tid int, key, payload []byte) {
+	t.checkPayload(payload)
+	// FNV-1a inlined: hash.Hash would heap-allocate per publish.
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	t.shards[h%uint64(len(t.shards))].publish(tid, payload)
+}
+
+// PublishBatch routes the whole batch to the next shard round-robin
+// and enqueues it with a single blocking persist (see
+// queues.OptUnlinkedQ.EnqueueBatch): the amortized publish path. The
+// batch is acknowledged as a whole when PublishBatch returns; a crash
+// before that acknowledges none of it (messages that happened to
+// become durable are recovered, which is allowed — they were simply
+// never acked). Batch elements stay FIFO relative to each other.
+func (t *Topic) PublishBatch(tid int, payloads [][]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	for _, p := range payloads {
+		t.checkPayload(p)
+	}
+	s := int(t.rr.Add(1)-1) % len(t.shards)
+	t.shards[s].publishBatch(tid, payloads)
+}
+
+// DequeueShard removes the oldest message of one shard. Intended for
+// recovery audits and drain tools; normal consumption goes through
+// consumer groups, which own shards exclusively.
+func (t *Topic) DequeueShard(tid, shard int) ([]byte, bool) {
+	return t.shards[shard].consume(tid)
+}

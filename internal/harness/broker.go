@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/pmem"
+)
+
+// BrokerConfig parameterizes one broker measurement: a multi-topic
+// produce/consume sweep that joins the five Figure-2 panels as the
+// harness's system-level workload. Producers publish round-robin
+// across topics (and, inside each topic, round-robin across shards);
+// consumers form one group covering every topic.
+type BrokerConfig struct {
+	// Topics is the number of topics (>= 1).
+	Topics int
+	// Shards is the shard count per topic (>= 1).
+	Shards int
+	// Producers and Consumers are the worker thread counts.
+	Producers int
+	Consumers int
+	// Batch is the number of messages per publish call: 1 measures the
+	// per-message path (one fence per message), larger values measure
+	// the amortized batch path (one fence per batch).
+	Batch int
+	// Payload is the message size in bytes; 0 selects fixed 8-byte
+	// topics on OptUnlinkedQ, > 0 variable-payload topics on blobq.
+	Payload int
+	// Duration bounds the produce phase. Consumers drain afterwards.
+	Duration  time.Duration
+	HeapBytes int64
+	Latency   pmem.LatencyModel
+}
+
+func (c *BrokerConfig) norm() {
+	if c.Topics <= 0 {
+		c.Topics = 2
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Producers <= 0 {
+		c.Producers = 2
+	}
+	if c.Consumers <= 0 {
+		c.Consumers = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 512 << 20
+	}
+}
+
+// BrokerResult is one broker measurement outcome. Producer and
+// Consumer aggregate the persist statistics of the two thread groups
+// separately, so the batch-publish fence amortization is directly
+// visible as Producer.Fences / Published.
+type BrokerResult struct {
+	Topics, Shards, Producers, Consumers, Batch, Payload int
+
+	Published uint64
+	Delivered uint64
+	Elapsed   time.Duration
+	Producer  pmem.Stats
+	Consumer  pmem.Stats
+}
+
+// Mops returns million completed operations (publishes + deliveries)
+// per second.
+func (r BrokerResult) Mops() float64 {
+	return float64(r.Published+r.Delivered) / r.Elapsed.Seconds() / 1e6
+}
+
+// ProducerFencesPerMsg returns blocking persists per published
+// message — 1 on the per-message path, ~1/Batch on the batch path.
+func (r BrokerResult) ProducerFencesPerMsg() float64 {
+	return float64(r.Producer.Fences) / float64(r.Published)
+}
+
+// ConsumerFencesPerMsg returns blocking persists per delivered
+// message (failing polls fence too, so this can exceed 1 when
+// consumers outpace producers).
+func (r BrokerResult) ConsumerFencesPerMsg() float64 {
+	return float64(r.Consumer.Fences) / float64(r.Delivered)
+}
+
+// RunBroker executes one broker measurement.
+func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
+	cfg.norm()
+	threads := cfg.Producers + cfg.Consumers
+	h := pmem.New(pmem.Config{
+		Bytes:      cfg.HeapBytes,
+		Mode:       pmem.ModePerf,
+		MaxThreads: threads,
+		Latency:    cfg.Latency,
+	})
+	topics := make([]broker.TopicConfig, cfg.Topics)
+	names := make([]string, cfg.Topics)
+	for i := range topics {
+		names[i] = fmt.Sprintf("topic-%d", i)
+		topics[i] = broker.TopicConfig{Name: names[i], Shards: cfg.Shards, MaxPayload: cfg.Payload}
+	}
+	b, err := broker.New(h, broker.Config{Topics: topics, Threads: threads})
+	if err != nil {
+		return BrokerResult{}, err
+	}
+	g, err := b.NewGroup(names, cfg.Consumers)
+	if err != nil {
+		return BrokerResult{}, err
+	}
+	h.ResetStats() // charge setup (catalog, shard creation) to no one
+
+	prev := runtime.GOMAXPROCS(0)
+	if threads > prev {
+		runtime.GOMAXPROCS(threads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	var stop atomic.Bool
+	var published, delivered atomic.Uint64
+	var producersDone sync.WaitGroup
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+
+	payload := func(seq uint64) []byte {
+		if cfg.Payload == 0 {
+			return broker.U64(seq)
+		}
+		p := make([]byte, cfg.Payload)
+		copy(p, broker.U64(seq))
+		return p
+	}
+
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		producersDone.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer producersDone.Done()
+			start.Wait()
+			seq := uint64(tid) << 40
+			batch := make([][]byte, cfg.Batch)
+			for i := uint64(0); !stop.Load(); i++ {
+				t := b.Topic(names[i%uint64(cfg.Topics)])
+				if cfg.Batch == 1 {
+					seq++
+					t.Publish(tid, payload(seq))
+					published.Add(1)
+					continue
+				}
+				for j := range batch {
+					seq++
+					batch[j] = payload(seq)
+				}
+				t.PublishBatch(tid, batch)
+				published.Add(uint64(cfg.Batch))
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { producersDone.Wait(); close(done) }()
+	for c := 0; c < cfg.Consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tid := cfg.Producers + c
+			cons := g.Consumer(c)
+			start.Wait()
+			drained := false
+			for {
+				if _, ok := cons.Poll(tid); ok {
+					delivered.Add(1)
+					drained = false
+					continue
+				}
+				select {
+				case <-done:
+					// Exit only on an empty sweep that began after the
+					// producers were observed finished; the first empty
+					// sweep may predate their last publishes.
+					if drained {
+						return
+					}
+					drained = true
+				default:
+				}
+			}
+		}(c)
+	}
+
+	begin := time.Now()
+	start.Done()
+	timer := time.AfterFunc(cfg.Duration, func() { stop.Store(true) })
+	defer timer.Stop()
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	res := BrokerResult{
+		Topics: cfg.Topics, Shards: cfg.Shards,
+		Producers: cfg.Producers, Consumers: cfg.Consumers,
+		Batch: cfg.Batch, Payload: cfg.Payload,
+		Published: published.Load(), Delivered: delivered.Load(),
+		Elapsed: elapsed,
+	}
+	for tid := 0; tid < cfg.Producers; tid++ {
+		res.Producer.Add(h.StatsOf(tid))
+	}
+	for tid := cfg.Producers; tid < threads; tid++ {
+		res.Consumer.Add(h.StatsOf(tid))
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunBrokerFenceAmortization runs the broker workload briefly at
+// batch 1 and batch 16 and checks the core claims: nothing published
+// is lost, and the batch path issues measurably fewer producer fences
+// per message than the per-message path.
+func TestRunBrokerFenceAmortization(t *testing.T) {
+	run := func(batch int) BrokerResult {
+		r, err := RunBroker(BrokerConfig{
+			Topics: 2, Shards: 4, Producers: 2, Consumers: 2,
+			Batch: batch, Payload: 0,
+			Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Published == 0 {
+			t.Fatal("no messages published")
+		}
+		if r.Delivered != r.Published {
+			t.Fatalf("batch %d: delivered %d != published %d", batch, r.Delivered, r.Published)
+		}
+		return r
+	}
+	perMsg := run(1)
+	batched := run(16)
+	f1, f16 := perMsg.ProducerFencesPerMsg(), batched.ProducerFencesPerMsg()
+	t.Logf("producer fences/msg: batch=1 %.3f, batch=16 %.3f", f1, f16)
+	if f1 < 0.99 {
+		t.Errorf("per-message path should pay ~1 fence/msg, got %.3f", f1)
+	}
+	if f16 > f1/4 {
+		t.Errorf("batch path should amortize fences (got %.3f vs %.3f per-message)", f16, f1)
+	}
+}

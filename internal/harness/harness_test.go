@@ -25,12 +25,26 @@ func quickCfg(w Workload, queue string, threads int) Config {
 	}
 	if w == WorkloadDeqOnly {
 		cfg.InitialSize = 50_000
+		if raceEnabled {
+			cfg.InitialSize = 10_000
+		}
 	}
 	return cfg
 }
 
 func TestRunAllWorkloadsAllQueues(t *testing.T) {
 	for _, in := range AllQueues() {
+		if raceEnabled {
+			// Under the race detector the simulator runs an order of
+			// magnitude slower; exercise the harness plumbing on a
+			// representative subset (the queues themselves get full
+			// race coverage in their own packages).
+			switch in.Name {
+			case "opt-unlinked", "durable-msq", "msq", "onefile":
+			default:
+				continue
+			}
+		}
 		for _, w := range Workloads() {
 			r := Run(quickCfg(w, in.Name, 2))
 			if r.Ops == 0 {

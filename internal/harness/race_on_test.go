@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled trims the all-queues harness matrix when the race
+// detector (which slows the simulator an order of magnitude) is on.
+const raceEnabled = true

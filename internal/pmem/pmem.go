@@ -50,14 +50,16 @@ const (
 )
 
 // NumRootSlots is the number of cache-line-sized persistent root slots
-// available through RootAddr. Recovery procedures locate all durable
-// state starting from these slots.
-const NumRootSlots = 62
+// available through RootAddr on a full heap. Recovery procedures
+// locate all durable state starting from these slots. Multi-structure
+// systems (e.g. internal/broker) carve the slot space into per-shard
+// windows with View.
+const NumRootSlots = 1022
 
 const (
-	magicWord  = 0x447572515632 // "DurQV2"
-	brkAddr    = Addr(8)        // persistent heap break (byte offset)
-	dataStart  = Addr(64 * 64)  // first allocatable byte
+	magicWord  = 0x447572515632  // "DurQV2"
+	brkAddr    = Addr(8)         // persistent heap break (byte offset)
+	dataStart  = Addr(1024 * 64) // first allocatable byte
 	lockShards = 1024
 	lineValid  = uint32(1) // flag bit: line was flushed and invalidated
 )
@@ -124,7 +126,23 @@ type threadCtx struct {
 //
 // All exported methods taking a tid are safe for concurrent use as
 // long as each tid is used by at most one goroutine at a time.
+//
+// A Heap value is a lightweight header over shared simulator state: it
+// pairs the state with a root-slot window [rootBase, rootBase+rootSlots).
+// New returns a header spanning the whole slot space; View derives
+// headers with narrower windows so that several independent durable
+// structures — each written against the package-queues convention of
+// absolute slots 0..k — can coexist on one heap without colliding.
 type Heap struct {
+	*heapState
+	rootBase  int
+	rootSlots int
+}
+
+// heapState is the shared simulator state behind one or more Heap
+// headers. It is never copied after construction (it holds mutexes and
+// atomics); headers share it by pointer.
+type heapState struct {
 	cfg   Config
 	lat   LatencyModel
 	mem   []uint64
@@ -163,13 +181,16 @@ func New(cfg Config) *Heap {
 	cfg.Bytes = (cfg.Bytes + CacheLineBytes - 1) &^ (CacheLineBytes - 1)
 	words := int(cfg.Bytes / WordBytes)
 	h := &Heap{
-		cfg:     cfg,
-		lat:     cfg.Latency,
-		mem:     make([]uint64, words),
-		img:     make([]uint64, words),
-		flags:   make([]atomic.Uint32, words/WordsPerLine),
-		lines:   words / WordsPerLine,
-		threads: make([]threadCtx, cfg.MaxThreads),
+		heapState: &heapState{
+			cfg:     cfg,
+			lat:     cfg.Latency,
+			mem:     make([]uint64, words),
+			img:     make([]uint64, words),
+			flags:   make([]atomic.Uint32, words/WordsPerLine),
+			lines:   words / WordsPerLine,
+			threads: make([]threadCtx, cfg.MaxThreads),
+		},
+		rootSlots: NumRootSlots,
 	}
 	if cfg.Mode == ModeCrash {
 		h.logs = make([]lineLog, h.lines)
@@ -188,14 +209,39 @@ func (h *Heap) Mode() Mode { return h.cfg.Mode }
 // MaxThreads reports the configured thread-id bound.
 func (h *Heap) MaxThreads() int { return h.cfg.MaxThreads }
 
-// RootAddr returns the address of persistent root slot i. Each slot
-// occupies a full private cache line so that flushing one root never
-// invalidates another.
+// RootAddr returns the address of persistent root slot i, resolved
+// within this header's root-slot window. Each slot occupies a full
+// private cache line so that flushing one root never invalidates
+// another.
 func (h *Heap) RootAddr(slot int) Addr {
-	if slot < 0 || slot >= NumRootSlots {
-		panic(fmt.Sprintf("pmem: root slot %d out of range", slot))
+	if slot < 0 || slot >= h.rootSlots {
+		panic(fmt.Sprintf("pmem: root slot %d out of range [0,%d)", slot, h.rootSlots))
 	}
-	return Addr((1 + slot) * CacheLineBytes)
+	return Addr((1 + h.rootBase + slot) * CacheLineBytes)
+}
+
+// RootSlots reports how many root slots this header's window exposes
+// (NumRootSlots for a heap returned by New).
+func (h *Heap) RootSlots() int { return h.rootSlots }
+
+// RootBase reports the absolute slot index this header's window starts
+// at (0 for a heap returned by New). Durable catalogs record it so
+// recovery can re-derive the same window.
+func (h *Heap) RootBase() int { return h.rootBase }
+
+// View returns a heap header sharing all simulated memory and
+// statistics with h but exposing only the root-slot window
+// [baseSlot, baseSlot+slots) of h's own window, re-indexed from zero.
+// A durable structure built against absolute slots 0..slots-1 (the
+// package-queues convention) runs unmodified inside a view, so many
+// such structures can share one heap; recovery re-creates the same
+// views from recorded bases. Views compose: v.View(b, s) narrows v.
+func (h *Heap) View(baseSlot, slots int) *Heap {
+	if baseSlot < 0 || slots <= 0 || baseSlot+slots > h.rootSlots {
+		panic(fmt.Sprintf("pmem: view [%d,%d) outside root-slot window [0,%d)",
+			baseSlot, baseSlot+slots, h.rootSlots))
+	}
+	return &Heap{heapState: h.heapState, rootBase: h.rootBase + baseSlot, rootSlots: slots}
 }
 
 func (h *Heap) lock(line int) *sync.Mutex {

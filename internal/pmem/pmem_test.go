@@ -54,6 +54,49 @@ func TestRootAddrPanicsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestViewRemapsRootSlots(t *testing.T) {
+	h := newPerfHeap(t)
+	v := h.View(8, 4)
+	if got := v.RootSlots(); got != 4 {
+		t.Fatalf("view RootSlots = %d, want 4", got)
+	}
+	if got := v.RootBase(); got != 8 {
+		t.Fatalf("view RootBase = %d, want 8", got)
+	}
+	for i := 0; i < 4; i++ {
+		if v.RootAddr(i) != h.RootAddr(8+i) {
+			t.Fatalf("view slot %d maps to %d, want %d", i, v.RootAddr(i), h.RootAddr(8+i))
+		}
+	}
+	// Views compose and share memory.
+	vv := v.View(1, 2)
+	if vv.RootAddr(0) != h.RootAddr(9) {
+		t.Fatalf("nested view slot 0 maps to %d, want %d", vv.RootAddr(0), h.RootAddr(9))
+	}
+	vv.Store(0, vv.RootAddr(0), 7)
+	if got := h.Load(0, h.RootAddr(9)); got != 7 {
+		t.Fatalf("store through view not visible through parent: got %d", got)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 0}, {8, NumRootSlots}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("View(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			h.View(bad[0], bad[1])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RootAddr(4) on a 4-slot view did not panic")
+			}
+		}()
+		v.RootAddr(4)
+	}()
+}
+
 func TestStoreLoadRoundTrip(t *testing.T) {
 	for _, mode := range []Mode{ModePerf, ModeCrash} {
 		h := New(Config{Bytes: 1 << 20, Mode: mode})

@@ -1,0 +1,65 @@
+package queues
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestOptUnlinkedEnqueueBatchOneFence verifies the amortized publish
+// path: a whole batch rides exactly one blocking persist, while the
+// per-message path pays one fence each.
+func TestOptUnlinkedEnqueueBatchOneFence(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 32 << 20, MaxThreads: 2})
+	q := NewOptUnlinkedQ(h, 1)
+	for i := 0; i < 100; i++ { // warm the pool past area creation
+		q.Enqueue(0, uint64(i))
+	}
+	const n = 64
+	batch := make([]uint64, n)
+	for i := range batch {
+		batch[i] = uint64(1000 + i)
+	}
+	before := h.TotalStats()
+	q.EnqueueBatch(0, batch)
+	d := h.TotalStats().Sub(before)
+	if d.Fences != 1 {
+		t.Fatalf("EnqueueBatch of %d issued %d fences, want 1", n, d.Fences)
+	}
+	if d.Flushes != n {
+		t.Fatalf("EnqueueBatch of %d issued %d flushes, want %d", n, d.Flushes, n)
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := q.Dequeue(0); !ok || v != uint64(i) {
+			t.Fatalf("dequeue %d = %d,%v", i, v, ok)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := q.Dequeue(0); !ok || v != batch[i] {
+			t.Fatalf("batch dequeue %d = %d,%v, want %d", i, v, ok, batch[i])
+		}
+	}
+}
+
+// TestOptUnlinkedEnqueueBatchDurable crashes immediately after an
+// acknowledged batch and checks every batch element survives recovery
+// in order.
+func TestOptUnlinkedEnqueueBatchDurable(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 32 << 20, Mode: pmem.ModeCrash, MaxThreads: 2})
+	q := NewOptUnlinkedQ(h, 1)
+	batch := []uint64{11, 22, 33, 44, 55}
+	q.EnqueueBatch(0, batch)
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(1)))
+	h.Restart()
+	r := RecoverOptUnlinkedQ(h, 1)
+	for i, want := range batch {
+		if v, ok := r.Dequeue(0); !ok || v != want {
+			t.Fatalf("recovered dequeue %d = %d,%v, want %d", i, v, ok, want)
+		}
+	}
+	if _, ok := r.Dequeue(0); ok {
+		t.Fatal("recovered queue has extra elements")
+	}
+}

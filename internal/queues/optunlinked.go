@@ -102,19 +102,21 @@ func (q *OptUnlinkedQ) persistLocalHeadIdx(tid int, idx uint64) {
 	q.h.Fence(tid)
 }
 
-// Enqueue appends v (Figure 4, lines 107-124). One fence, zero
-// post-flush accesses: the tail's index is read from the Volatile
-// object, never from the flushed Persistent line.
-func (q *OptUnlinkedQ) Enqueue(tid int, v uint64) {
+// enqueueOne runs the enqueue protocol of Figure 4 (lines 107-121) up
+// to but not including the blocking fence: allocate, write item and
+// index, link via CAS, set the linked flag and issue the asynchronous
+// flush. It returns the tail observed at link time and the new node so
+// the caller can order its fence and tail advance — Enqueue fences
+// before advancing (lines 121-122), EnqueueBatch advances immediately
+// and rides one fence for the whole batch.
+func (q *OptUnlinkedQ) enqueueOne(tid int, v uint64) (tail, vn *ouNode) {
 	h := q.h
-	q.pool.Enter(tid)
-	defer q.pool.Exit(tid)
 	pn := q.pool.Alloc(tid)
-	vn := &ouNode{item: v, pnode: pn}
+	vn = &ouNode{item: v, pnode: pn}
 	h.Store(tid, pn+ouItem, v)   // line 112
 	h.Store(tid, pn+ouLinked, 0) // line 113
 	for {
-		tail := q.tail.Load()
+		tail = q.tail.Load()
 		if next := tail.next.Load(); next == nil {
 			idx := tail.index + 1                  // volatile read (line 117)
 			h.Store(tid, pn+ouIndex, idx)          // Persistent copy
@@ -122,14 +124,46 @@ func (q *OptUnlinkedQ) Enqueue(tid int, v uint64) {
 			if tail.next.CompareAndSwap(nil, vn) { // line 119
 				h.Store(tid, pn+ouLinked, 1) // line 120
 				h.Flush(tid, pn)             // line 121
-				h.Fence(tid)
-				q.tail.CompareAndSwap(tail, vn) // line 122
-				return
+				return tail, vn
 			}
 		} else {
 			q.tail.CompareAndSwap(tail, next) // line 124
 		}
 	}
+}
+
+// Enqueue appends v (Figure 4, lines 107-124). One fence, zero
+// post-flush accesses: the tail's index is read from the Volatile
+// object, never from the flushed Persistent line.
+func (q *OptUnlinkedQ) Enqueue(tid int, v uint64) {
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	tail, vn := q.enqueueOne(tid, v)
+	q.h.Fence(tid)
+	q.tail.CompareAndSwap(tail, vn) // line 122
+}
+
+// EnqueueBatch appends vs in order, riding a single fence for the
+// whole batch: every node is written, linked and asynchronously
+// flushed exactly as in Enqueue, but the blocking SFENCE is issued
+// once at the end. This amortization is sound because the algorithm
+// already tolerates an enqueuer whose node is linked but not yet
+// durable — any helper may advance the tail past it and append (and
+// fence) later nodes; recovery sorts surviving nodes by index and
+// accepts gaps, dropping exactly the unacknowledged enqueues. The
+// batch is acknowledged as a whole when EnqueueBatch returns: at that
+// point all of its nodes are durable.
+func (q *OptUnlinkedQ) EnqueueBatch(tid int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	for _, v := range vs {
+		tail, vn := q.enqueueOne(tid, v)
+		q.tail.CompareAndSwap(tail, vn)
+	}
+	q.h.Fence(tid) // the batch's single blocking persist
 }
 
 // Dequeue removes the oldest item (Figure 4, lines 90-106). One

@@ -483,7 +483,10 @@ func TestRecoveryWithLargeQueue(t *testing.T) {
 		t.Run(in.Name, func(t *testing.T) {
 			h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 3})
 			q := in.New(h, 2)
-			const n = 10000
+			n := uint64(10000)
+			if raceEnabled {
+				n = 2000
+			}
 			for i := uint64(1); i <= n; i++ {
 				q.Enqueue(0, i)
 			}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package queues
+
+const raceEnabled = false

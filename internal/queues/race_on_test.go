@@ -1,0 +1,8 @@
+//go:build race
+
+package queues
+
+// raceEnabled trims the heaviest randomized tests when the race
+// detector (which slows the simulator an order of magnitude) is on;
+// coverage breadth is kept, only iteration counts shrink.
+const raceEnabled = true

@@ -244,7 +244,11 @@ func TestQuickCrashRecoveryProperty(t *testing.T) {
 				t.Logf("script %d crash %d evict %d: got %v, want %v (or %v)", scriptSeed, crashAt, evictSeed, got, model, alt)
 				return false
 			}
-			if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+			count := 120
+			if raceEnabled {
+				count = 25
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: count}); err != nil {
 				t.Fatal(err)
 			}
 		})
