@@ -1,20 +1,30 @@
 // Command brokerbench sweeps the sharded durable message broker
-// (internal/broker) over shard counts and publish batch sizes and
-// prints throughput plus the per-message persist statistics that
-// justify the design: the batch-publish path rides one SFENCE per
-// batch, so producer fences per message drop toward 1/batch while the
-// per-message path pays the paper's one-fence-per-operation bound.
+// (internal/broker) over shard counts, publish batch sizes and dequeue
+// batch sizes, and prints throughput plus the per-message persist
+// statistics that justify the design: the batch-publish path rides one
+// SFENCE per batch, so producer fences per message drop toward
+// 1/batch, and the batch-dequeue path (PollBatch) mirrors it on the
+// consume side — one fence covers a whole poll batch even when it
+// spans several shards, so consumer fences per message drop toward
+// 1/dbatch. The idle column shows the empty-poll fence elision: a
+// consumer polling only empty shards at an already-persisted head
+// index issues no persists at all (~0 fences per idle poll, where each
+// poll scans every owned shard).
 //
 // Examples:
 //
-//	brokerbench -shards 1,2,4,8 -batch 1,16
+//	brokerbench -shards 1,2,4,8 -batch 1,16 -dbatch 1,8
 //	brokerbench -topics 4 -producers 8 -consumers 4 -payload 64
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
+//	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
+//	brokerbench -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +34,23 @@ import (
 	"repro/internal/pmem"
 )
 
+// row is one sweep cell in the machine-readable outputs (-csv, -json).
+type row struct {
+	Topics            int     `json:"topics"`
+	Shards            int     `json:"shards"`
+	Producers         int     `json:"producers"`
+	Consumers         int     `json:"consumers"`
+	Batch             int     `json:"batch"`
+	DequeueBatch      int     `json:"dbatch"`
+	Payload           int     `json:"payload"`
+	Published         uint64  `json:"published"`
+	Delivered         uint64  `json:"delivered"`
+	Mops              float64 `json:"mops"`
+	ProdFencesPerMsg  float64 `json:"prod_fences_per_msg"`
+	ConsFencesPerMsg  float64 `json:"cons_fences_per_msg"`
+	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
+}
+
 func main() {
 	var (
 		topics    = flag.Int("topics", 2, "number of topics")
@@ -31,14 +58,19 @@ func main() {
 		producers = flag.Int("producers", 4, "producer threads")
 		consumers = flag.Int("consumers", 2, "consumer threads")
 		batchF    = flag.String("batch", "1,16", "comma-separated publish batch sizes to sweep")
+		dbatchF   = flag.String("dbatch", "1,8", "comma-separated dequeue (poll) batch sizes to sweep")
 		payload   = flag.Int("payload", 0, "payload bytes (0 = fixed 8-byte messages)")
 		duration  = flag.Duration("duration", time.Second, "produce phase duration per cell")
 		heapMB    = flag.Int64("heap-mb", 512, "persistent heap size in MiB")
 		fenceNs   = flag.Int64("nvm-fence-ns", 120, "SFENCE latency")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut   = flag.Bool("json", false, "emit JSON (the BENCH_broker.json baseline shape)")
 	)
 	flag.Parse()
 
+	if *csvOut && *jsonOut {
+		fatal(fmt.Errorf("-csv and -json are mutually exclusive"))
+	}
 	shardCounts, err := parseInts(*shardsF)
 	if err != nil {
 		fatal(err)
@@ -47,50 +79,89 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	dbatches, err := parseInts(*dbatchF)
+	if err != nil {
+		fatal(err)
+	}
 	lat := pmem.DefaultLatency()
 	lat.FenceNs = *fenceNs
 
 	if *csvOut {
-		fmt.Println("topics,shards,producers,consumers,batch,payload,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg")
-	} else {
+		fmt.Println("topics,shards,producers,consumers,batch,dbatch,payload,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,idle_fences_per_poll")
+	} else if !*jsonOut {
 		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB duration=%v\n\n",
 			*topics, *producers, *consumers, *payload, *duration)
-		fmt.Printf("%7s %6s %12s %12s %10s %15s %15s\n",
-			"shards", "batch", "published", "delivered", "Mops", "prod-fence/msg", "cons-fence/msg")
+		fmt.Printf("%7s %6s %7s %12s %12s %10s %15s %15s %10s\n",
+			"shards", "batch", "dbatch", "published", "delivered", "Mops",
+			"prod-fence/msg", "cons-fence/msg", "idle-f/poll")
 	}
+	var rows []row
 	for _, shards := range shardCounts {
 		for _, batch := range batches {
-			r, err := harness.RunBroker(harness.BrokerConfig{
-				Topics:    *topics,
-				Shards:    shards,
-				Producers: *producers,
-				Consumers: *consumers,
-				Batch:     batch,
-				Payload:   *payload,
-				Duration:  *duration,
-				HeapBytes: *heapMB << 20,
-				Latency:   lat,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			if *csvOut {
-				fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f\n",
-					r.Topics, r.Shards, r.Producers, r.Consumers, r.Batch, r.Payload,
-					r.Published, r.Delivered, r.Mops(),
-					r.ProducerFencesPerMsg(), r.ConsumerFencesPerMsg())
-			} else {
-				fmt.Printf("%7d %6d %12d %12d %10.3f %15.4f %15.4f\n",
-					r.Shards, r.Batch, r.Published, r.Delivered, r.Mops(),
-					r.ProducerFencesPerMsg(), r.ConsumerFencesPerMsg())
+			for _, dbatch := range dbatches {
+				r, err := harness.RunBroker(harness.BrokerConfig{
+					Topics:       *topics,
+					Shards:       shards,
+					Producers:    *producers,
+					Consumers:    *consumers,
+					Batch:        batch,
+					DequeueBatch: dbatch,
+					Payload:      *payload,
+					Duration:     *duration,
+					HeapBytes:    *heapMB << 20,
+					Latency:      lat,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				c := row{
+					Topics: r.Topics, Shards: r.Shards,
+					Producers: r.Producers, Consumers: r.Consumers,
+					Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
+					Published: r.Published, Delivered: r.Delivered,
+					Mops:              round3(r.Mops()),
+					ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
+					ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
+					IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
+				}
+				rows = append(rows, c)
+				if *csvOut {
+					fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f\n",
+						c.Topics, c.Shards, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
+						c.Published, c.Delivered, c.Mops,
+						c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll)
+				} else if !*jsonOut {
+					fmt.Printf("%7d %6d %7d %12d %12d %10.3f %15.4f %15.4f %10.4f\n",
+						c.Shards, c.Batch, c.DequeueBatch, c.Published, c.Delivered, c.Mops,
+						c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll)
+				}
 			}
 		}
 	}
-	if !*csvOut {
-		fmt.Println("\n(prod-fence/msg: blocking persists per published message — ~1 on the")
-		fmt.Println(" per-message path, ~1/batch on the amortized batch-publish path.)")
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"workload": "brokerbench",
+			"config": map[string]any{
+				"topics": *topics, "producers": *producers, "consumers": *consumers,
+				"payload": *payload, "duration": duration.String(), "nvm_fence_ns": *fenceNs,
+			},
+			"rows": rows,
+		}); err != nil {
+			fatal(err)
+		}
+	} else if !*csvOut {
+		fmt.Println("\n(prod-fence/msg: blocking persists per published message — ~1 per-message,")
+		fmt.Println(" ~1/batch on the batch-publish path. cons-fence/msg mirrors it on the")
+		fmt.Println(" consume side: ~1/dbatch with PollBatch, one fence spanning all shards a")
+		fmt.Println(" poll dequeued from. idle-f/poll: persists per all-empty poll — ~0 with")
+		fmt.Println(" empty-poll fence elision.)")
 	}
 }
+
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
 
 func parseInts(s string) ([]int, error) {
 	var out []int

@@ -8,6 +8,9 @@
 //
 //   - UnlinkedQ, LinkedQ, OptUnlinkedQ, OptLinkedQ and ONLL execute
 //     exactly 1 fence per operation (the Cohen et al. lower bound);
+//   - OptUnlinkedQ additionally elides the persist of repeated failing
+//     dequeues (its column shows 0 fences: the observed head index was
+//     already made durable by the preceding successful dequeue);
 //   - OptUnlinkedQ, OptLinkedQ and ONLL additionally make 0 accesses
 //     to flushed content (the second amendment / Section 2.1 optimum);
 //   - DurableMSQ pays 2 fences per enqueue (3 per dequeue for the

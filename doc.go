@@ -10,11 +10,16 @@
 // flush-invalidates-line behaviour, per-cache-line crash-prefix
 // semantics, and Optane-like latencies. On top of the queues,
 // internal/broker composes a sharded, multi-topic durable message
-// broker — the application the paper's introduction motivates. See
-// DESIGN.md for the full system inventory and layering.
+// broker — the application the paper's introduction motivates. Both
+// directions amortize durability cost below the paper's
+// one-fence-per-operation bound: EnqueueBatch/PublishBatch ride one
+// SFENCE per publish batch, DequeueBatch/PollBatch one SFENCE per poll
+// window (even across shards), and failing dequeues elide
+// already-durable persists entirely. See DESIGN.md for the full system
+// inventory, layering and soundness arguments.
 //
 // The benchmark suite in bench_test.go regenerates every panel of the
 // paper's Figure 2; the cmd/durbench tool runs the full sweeps and
-// cmd/brokerbench sweeps the broker over shard counts and publish
-// batch sizes.
+// cmd/brokerbench sweeps the broker over shard counts and publish and
+// dequeue batch sizes.
 package repro

@@ -9,9 +9,13 @@
 // "jobs" carries variable byte payloads on blobq shards. Producers mix
 // the per-message publish path (one SFENCE per message), the keyed
 // path (per-key FIFO) and the amortized batch path (one SFENCE per
-// batch); a consumer group partitions the shards. A publish is
+// batch); a consumer group partitions the shards, one member draining
+// per-message (Poll) and one in batches (PollBatch, a single SFENCE
+// covering deliveries from several shards). A publish is
 // "acknowledged" once the call returns, at which point durable
-// linearizability guarantees it survives any crash.
+// linearizability guarantees it survives any crash; a delivery (or a
+// whole poll batch) is acknowledged the same way when the poll
+// returns.
 //
 // The broker is crashed at a random moment mid-traffic, re-discovered
 // from its durable catalog alone, recovered shard by shard, and
@@ -36,6 +40,10 @@ const (
 	consumers   = 2
 	perProducer = 4000
 	threads     = producers + consumers
+	// pollBatch is consumer 0's PollBatch window; consumer 1 polls
+	// per-message. A crash may cost each consumer its unacknowledged
+	// in-flight window (1 for Poll, pollBatch for PollBatch).
+	pollBatch = 8
 )
 
 func jobPayload(id uint64) []byte {
@@ -147,17 +155,24 @@ func main() {
 			cons := g.Consumer(c)
 			idle := false
 			for {
-				var msg broker.Message
-				var ok bool
-				if pmem.Protect(func() { msg, ok = cons.Poll(tid) }) {
-					return // crash mid-poll
-				}
-				if ok {
-					id := broker.AsU64(msg.Payload[:8])
-					if delivered[c][id] {
-						redelivered[c]++
+				var msgs []broker.Message
+				if pmem.Protect(func() {
+					if c == 0 { // batched consumer: one SFENCE per poll window
+						msgs = cons.PollBatch(tid, pollBatch)
+					} else if m, ok := cons.Poll(tid); ok {
+						msgs = []broker.Message{m}
 					}
-					delivered[c][id] = true
+				}) {
+					return // crash mid-poll: the whole window is unacknowledged
+				}
+				if len(msgs) > 0 {
+					for _, msg := range msgs {
+						id := broker.AsU64(msg.Payload[:8])
+						if delivered[c][id] {
+							redelivered[c]++
+						}
+						delivered[c][id] = true
+					}
 					idle = false
 					continue
 				}
@@ -233,14 +248,15 @@ func main() {
 	for c := range delivered {
 		totalDelivered += len(delivered[c])
 	}
+	allowance := pollBatch + (consumers - 1) // one in-flight window per consumer
 	fmt.Printf("acknowledged publishes : %d\n", totalAcked)
 	fmt.Printf("delivered before crash : %d\n", totalDelivered)
 	fmt.Printf("recovered backlog      : %d\n", backlog)
-	fmt.Printf("acknowledged-and-lost  : %d (pending consumer dequeues may account for at most 1 each)\n", lost)
+	fmt.Printf("acknowledged-and-lost  : %d (in-flight poll windows may account for at most %d)\n", lost, allowance)
 	fmt.Printf("duplicated messages    : %d\n", dup)
-	if lost > consumers || dup > 0 {
+	if lost > allowance || dup > 0 {
 		fmt.Println("BROKER AUDIT FAILED")
 		return
 	}
-	fmt.Println("audit passed: no acknowledged message lost, none duplicated")
+	fmt.Println("audit passed: no acknowledged message outside the in-flight windows lost, none duplicated")
 }

@@ -24,6 +24,7 @@
 package blobq
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -84,7 +85,16 @@ type vnode struct {
 type perThread struct {
 	nodeToRetire *vnode
 	tagSeq       uint64
-	_            [48]byte
+	// pendingRetire / lastPersisted / pendingIdx / pendingDirty mirror
+	// queues.OptUnlinkedQ: deferred batch-dequeue state (retires held
+	// until the covering fence) and the empty-poll elision cache (skip
+	// the NTStore+Fence when the observed head index is already
+	// durable).
+	pendingRetire []*vnode
+	lastPersisted uint64
+	pendingIdx    uint64
+	pendingDirty  bool
+	_             [7]byte
 }
 
 // blobTag builds a tag that is unique across the heap's lifetime:
@@ -153,12 +163,15 @@ func (q *Queue) writeBlob(tid int, blob pmem.Addr, tag uint64, payload []byte) {
 		base := blob + pmem.Addr(l*pmem.CacheLineBytes)
 		chunk := l * lineData
 		for w := 0; w < lineData/pmem.WordBytes; w++ {
+			idx := chunk + w*8
 			var word uint64
-			for b := 0; b < 8; b++ {
-				idx := chunk + w*8 + b
-				if idx < len(payload) {
-					word |= uint64(payload[idx]) << (8 * b)
-				}
+			switch {
+			case idx+8 <= len(payload):
+				word = binary.LittleEndian.Uint64(payload[idx:])
+			case idx < len(payload):
+				var tail [8]byte
+				copy(tail[:], payload[idx:])
+				word = binary.LittleEndian.Uint64(tail[:])
 			}
 			h.Store(tid, base+pmem.Addr(w*8), word)
 		}
@@ -169,11 +182,19 @@ func (q *Queue) writeBlob(tid int, blob pmem.Addr, tag uint64, payload []byte) {
 
 func readBlob(h *pmem.Heap, blob pmem.Addr, n int) []byte {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
+	// lineData is a multiple of the word size, so stepping a word at a
+	// time never straddles a line boundary.
+	for i := 0; i < n; i += pmem.WordBytes {
 		l := i / lineData
 		off := i % lineData
-		w := h.Load(0, blob+pmem.Addr(l*pmem.CacheLineBytes)+pmem.Addr(off&^7))
-		out[i] = byte(w >> (8 * (off & 7)))
+		w := h.Load(0, blob+pmem.Addr(l*pmem.CacheLineBytes)+pmem.Addr(off))
+		if i+8 <= n {
+			binary.LittleEndian.PutUint64(out[i:], w)
+		} else {
+			var tail [8]byte
+			binary.LittleEndian.PutUint64(tail[:], w)
+			copy(out[i:], tail[:])
+		}
 	}
 	return out
 }
@@ -257,33 +278,135 @@ func (q *Queue) EnqueueBatch(tid int, payloads [][]byte) {
 	q.h.Fence(tid) // the batch's single blocking persist
 }
 
-// Dequeue removes the oldest payload. One blocking persist; the
-// payload is served from the Volatile copy, never from flushed lines.
-func (q *Queue) Dequeue(tid int) ([]byte, bool) {
-	q.nodes.Enter(tid)
-	defer q.nodes.Exit(tid)
+// dequeueOne CASes the head past the oldest node without persisting.
+// On success it returns the node holding the payload and the unlinked
+// previous head (to retire after a covering persist); on an empty
+// observation ok is false and taken is the observed head.
+func (q *Queue) dequeueOne(tid int) (taken, old *vnode, ok bool) {
 	for {
 		head := q.head.Load()
 		next := head.next.Load()
 		if next == nil {
-			q.h.NTStore(tid, q.localBase+pmem.Addr(tid)*pmem.CacheLineBytes, head.index)
-			q.h.Fence(tid)
-			return nil, false
+			return head, nil, false
 		}
 		if q.head.CompareAndSwap(head, next) {
-			p := next.payload
-			q.h.NTStore(tid, q.localBase+pmem.Addr(tid)*pmem.CacheLineBytes, next.index)
-			q.h.Fence(tid)
-			if r := q.per[tid].nodeToRetire; r != nil {
-				q.nodes.Retire(tid, r.pnode)
-				if r.blob != 0 {
-					q.blobs.Retire(tid, r.blob)
-				}
-			}
-			q.per[tid].nodeToRetire = head
-			return p, true
+			return next, head, true
 		}
 	}
+}
+
+// writeLocalHeadIdx issues the asynchronous NTStore of idx into tid's
+// local line; durable only after a Fence by the same thread.
+func (q *Queue) writeLocalHeadIdx(tid int, idx uint64) {
+	q.h.NTStore(tid, q.localBase+pmem.Addr(tid)*pmem.CacheLineBytes, idx)
+}
+
+// persistLocalHeadIdx records idx durably (NTStore + fence) and
+// updates the elision cache.
+func (q *Queue) persistLocalHeadIdx(tid int, idx uint64) {
+	q.writeLocalHeadIdx(tid, idx)
+	q.h.Fence(tid)
+	q.per[tid].lastPersisted = idx
+}
+
+// retireAfterPersist releases the previously deferred node (slot and
+// blob) and defers old. Call only after a fence covering old's
+// dequeue: a slot reused before its dequeue is durable could lose a
+// never-delivered message across a crash.
+func (q *Queue) retireAfterPersist(tid int, old *vnode) {
+	if r := q.per[tid].nodeToRetire; r != nil {
+		q.nodes.Retire(tid, r.pnode)
+		if r.blob != 0 {
+			q.blobs.Retire(tid, r.blob)
+		}
+	}
+	q.per[tid].nodeToRetire = old
+}
+
+// Dequeue removes the oldest payload. One blocking persist; the
+// payload is served from the Volatile copy, never from flushed lines.
+// A failing dequeue whose observed head index this thread already
+// persisted issues no persist at all.
+func (q *Queue) Dequeue(tid int) ([]byte, bool) {
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	taken, old, ok := q.dequeueOne(tid)
+	if !ok {
+		if taken.index > q.per[tid].lastPersisted {
+			q.persistLocalHeadIdx(tid, taken.index)
+		}
+		return nil, false
+	}
+	p := taken.payload
+	q.persistLocalHeadIdx(tid, taken.index)
+	q.retireAfterPersist(tid, old)
+	return p, true
+}
+
+// DequeueBatch removes up to max payloads in FIFO order with a single
+// blocking persist for the whole batch: one NTStore of the final head
+// index plus one fence, sound because the per-thread head index is
+// monotone (recovery takes the maximum, so the last index covers all
+// earlier ones). The batch is acknowledged as a whole on return,
+// exactly dual to EnqueueBatch.
+func (q *Queue) DequeueBatch(tid, max int) [][]byte {
+	ps, dirty := q.DequeueBatchUnfenced(tid, max)
+	if dirty {
+		q.h.Fence(tid) // the batch's single blocking persist
+		q.CompleteBatch(tid)
+	}
+	return ps
+}
+
+// DequeueBatchUnfenced is DequeueBatch with the blocking persist left
+// to the caller (see queues.OptUnlinkedQ.DequeueBatchUnfenced; package
+// broker fences once across many shards). dirty reports an outstanding
+// NTStore: the caller must Fence tid on the same heap and then call
+// CompleteBatch before treating the result as durable.
+func (q *Queue) DequeueBatchUnfenced(tid, max int) (ps [][]byte, dirty bool) {
+	if max <= 0 {
+		return nil, q.per[tid].pendingDirty
+	}
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	t := &q.per[tid]
+	var last *vnode
+	for len(ps) < max {
+		taken, old, ok := q.dequeueOne(tid)
+		if !ok {
+			if last == nil {
+				if taken.index > t.lastPersisted && !(t.pendingDirty && taken.index <= t.pendingIdx) {
+					q.writeLocalHeadIdx(tid, taken.index)
+					t.pendingIdx = taken.index
+					t.pendingDirty = true
+				}
+				return nil, t.pendingDirty
+			}
+			break
+		}
+		ps = append(ps, taken.payload)
+		t.pendingRetire = append(t.pendingRetire, old)
+		last = taken
+	}
+	q.writeLocalHeadIdx(tid, last.index) // one NTStore covers the batch
+	t.pendingIdx = last.index
+	t.pendingDirty = true
+	return ps, true
+}
+
+// CompleteBatch finishes an unfenced batch dequeue after the caller's
+// fence: promotes the pending head index to the elision cache and
+// retires the unlinked nodes (and their blobs) in one sweep.
+func (q *Queue) CompleteBatch(tid int) {
+	t := &q.per[tid]
+	if t.pendingDirty {
+		t.lastPersisted = t.pendingIdx
+		t.pendingDirty = false
+	}
+	for _, old := range t.pendingRetire {
+		q.retireAfterPersist(tid, old)
+	}
+	t.pendingRetire = t.pendingRetire[:0]
 }
 
 // Recover rebuilds the queue after a crash: a node is resurrected
@@ -292,9 +415,12 @@ func (q *Queue) Dequeue(tid int) ([]byte, bool) {
 func Recover(h *pmem.Heap, cfg Config) *Queue {
 	cfg.norm()
 	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
+	perT := make([]perThread, cfg.Threads)
 	var headIdx uint64
 	for t := 0; t < cfg.Threads; t++ {
-		if v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes); v > headIdx {
+		v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes)
+		perT[t].lastPersisted = v // this thread's provably durable index
+		if v > headIdx {
 			headIdx = v
 		}
 	}
@@ -343,7 +469,7 @@ func Recover(h *pmem.Heap, cfg Config) *Queue {
 	sort.Slice(live, func(i, j int) bool { return live[i].idx < live[j].idx })
 	q := &Queue{
 		h: h, cfg: cfg, nodes: nodes, blobs: blobs,
-		localBase: localBase, epoch: epoch, per: make([]perThread, cfg.Threads),
+		localBase: localBase, epoch: epoch, per: perT,
 	}
 	dummyPn := nodes.Alloc(0)
 	h.Store(0, dummyPn+pnLinked, 0)

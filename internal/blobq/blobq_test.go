@@ -194,6 +194,115 @@ func TestOneFenceZeroPostFlush(t *testing.T) {
 	}
 }
 
+// TestDequeueBatchOneFence verifies the amortized consume path on the
+// multi-line payload queue: one blocking persist and one NTStore for a
+// whole dequeue batch, payloads byte-exact and FIFO, empty polls
+// elided entirely once the head index is durable.
+func TestDequeueBatchOneFence(t *testing.T) {
+	h := newHeap(pmem.ModePerf)
+	q := New(h, Config{Threads: 1, MaxPayload: 120})
+	for i := 0; i < 40; i++ { // warm pools past area creation
+		q.Enqueue(0, payloadFor(uint64(i), 64))
+		q.Dequeue(0)
+	}
+	const n = 16
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, payloadFor(uint64(100+i), 100))
+	}
+	before := h.TotalStats()
+	got := q.DequeueBatch(0, n)
+	d := h.TotalStats().Sub(before)
+	if len(got) != n {
+		t.Fatalf("DequeueBatch returned %d payloads, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, payloadFor(uint64(100+i), 100)) {
+			t.Fatalf("payload %d mismatch", i)
+		}
+	}
+	if d.Fences != 1 || d.NTStores != 1 {
+		t.Fatalf("DequeueBatch of %d issued %d fences, %d NTStores; want 1, 1", n, d.Fences, d.NTStores)
+	}
+	if d.PostFlushAccesses != 0 {
+		t.Fatalf("DequeueBatch made %d post-flush accesses, want 0", d.PostFlushAccesses)
+	}
+	before = h.TotalStats()
+	for i := 0; i < 100; i++ {
+		if ps := q.DequeueBatch(0, 8); len(ps) != 0 {
+			t.Fatal("queue should be empty")
+		}
+		if _, ok := q.Dequeue(0); ok {
+			t.Fatal("queue should be empty")
+		}
+	}
+	if d := h.TotalStats().Sub(before); d.Fences != 0 || d.NTStores != 0 {
+		t.Fatalf("elided empty polls issued %d fences, %d NTStores; want 0, 0", d.Fences, d.NTStores)
+	}
+}
+
+// TestDequeueBatchCrash: a crash mid-DequeueBatch may cost at most the
+// unacknowledged window; acknowledged payloads never reappear and
+// whatever recovery resurrects is an intact FIFO suffix.
+func TestDequeueBatchCrash(t *testing.T) {
+	const n, window = 60, 6
+	for seed := int64(1); seed <= 5; seed++ {
+		h := newHeap(pmem.ModeCrash)
+		cfg := Config{Threads: 1}
+		q := New(h, cfg)
+		for i := 1; i <= n; i++ {
+			q.Enqueue(0, encodedPayload(uint64(i)))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		h.ScheduleCrashAtAccess(h.AccessCount() + int64(rng.Intn(600)) + 1)
+		acked := map[uint64]bool{}
+		nAcked := 0
+		for {
+			var ps [][]byte
+			if pmem.Protect(func() { ps = q.DequeueBatch(0, window) }) {
+				break
+			}
+			for _, p := range ps {
+				v, err := decodePayload(p)
+				if err != nil {
+					t.Fatalf("seed %d: delivered payload corrupt: %v", seed, err)
+				}
+				acked[v] = true
+				nAcked++
+			}
+			if len(ps) == 0 {
+				h.CrashNow()
+				break
+			}
+		}
+		h.FinalizeCrash(rand.New(rand.NewSource(seed * 17)))
+		h.Restart()
+		rq := Recover(h, cfg)
+		var recovered []uint64
+		for {
+			p, ok := rq.Dequeue(0)
+			if !ok {
+				break
+			}
+			v, err := decodePayload(p)
+			if err != nil {
+				t.Fatalf("seed %d: recovered payload corrupt: %v", seed, err)
+			}
+			if acked[v] {
+				t.Fatalf("seed %d: acknowledged payload %d recovered again", seed, v)
+			}
+			recovered = append(recovered, v)
+		}
+		for i, v := range recovered {
+			if want := n - len(recovered) + i + 1; v != uint64(want) {
+				t.Fatalf("seed %d: recovered[%d] = %d, want %d (suffix broken)", seed, i, v, want)
+			}
+		}
+		if lost := n - nAcked - len(recovered); lost < 0 || lost > window {
+			t.Fatalf("seed %d: %d payloads lost, allowance %d", seed, lost, window)
+		}
+	}
+}
+
 // TestQuiescentCrashRecovery: payloads survive crashes byte-exact.
 func TestQuiescentCrashRecovery(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {

@@ -118,6 +118,35 @@ func (s *shard) consume(tid int) ([]byte, bool) {
 	return s.blob.Dequeue(tid)
 }
 
+// consumeBatchUnfenced dequeues up to max messages, recording the
+// shard's new head index with one NTStore but leaving the blocking
+// fence (and the node retires) to the caller, so one fence can cover
+// several shards' dequeues in a single poll. dirty reports an
+// outstanding NTStore; the caller must fence the tid and then call
+// completeBatch.
+func (s *shard) consumeBatchUnfenced(tid, max int) ([][]byte, bool) {
+	if s.fixed != nil {
+		vs, dirty := s.fixed.DequeueBatchUnfenced(tid, max)
+		if len(vs) == 0 {
+			return nil, dirty
+		}
+		ps := make([][]byte, len(vs))
+		for i, v := range vs {
+			ps[i] = U64(v)
+		}
+		return ps, dirty
+	}
+	return s.blob.DequeueBatchUnfenced(tid, max)
+}
+
+func (s *shard) completeBatch(tid int) {
+	if s.fixed != nil {
+		s.fixed.CompleteBatch(tid)
+		return
+	}
+	s.blob.CompleteBatch(tid)
+}
+
 // U64 encodes v as the 8-byte payload of a fixed topic.
 func U64(v uint64) []byte {
 	p := make([]byte, 8)

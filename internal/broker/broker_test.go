@@ -99,6 +99,186 @@ func TestPublishConsumeMultiTopic(t *testing.T) {
 	}
 }
 
+// TestPollFairnessAfterIdle pins the round-robin cursor across idle
+// periods: an all-empty scan must leave the cursor where it was, not
+// reset it to shard 0 (which would permanently bias delivery toward
+// low-numbered shards after any idle period).
+func TestPollFairnessAfterIdle(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+	b, err := New(h, Config{Topics: []TopicConfig{{Name: "events", Shards: 3}}, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.NewGroup([]string{"events"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Consumer(0)
+	events := b.Topic("events")
+	events.Publish(0, U64(1)) // round-robin: lands on shard 0
+	if m, ok := c.Poll(0); !ok || AsU64(m.Payload) != 1 {
+		t.Fatalf("poll = %v,%v", m, ok)
+	}
+	// Idle: two all-empty scans. The cursor must stay on shard 1.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Poll(0); ok {
+			t.Fatal("queue should be empty")
+		}
+	}
+	// One message per shard (the topic's rr cursor is at 1).
+	events.Publish(0, U64(2)) // shard 1
+	events.Publish(0, U64(3)) // shard 2
+	events.Publish(0, U64(4)) // shard 0
+	m, ok := c.Poll(0)
+	if !ok || m.Shard != 1 || AsU64(m.Payload) != 2 {
+		t.Fatalf("first post-idle poll = shard %d payload %d, want shard 1 payload 2 (cursor was reset)",
+			m.Shard, AsU64(m.Payload))
+	}
+}
+
+// TestPollBatchSingleFenceAcrossShards pins the tentpole claim: one
+// PollBatch draining several shards issues one NTStore per shard but
+// rides a single blocking persist for the whole poll, and subsequent
+// all-empty polls are persist-free.
+func TestPollBatchSingleFenceAcrossShards(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+	b, err := New(h, Config{Topics: []TopicConfig{{Name: "events", Shards: 4}}, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.NewGroup([]string{"events"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Consumer(0)
+	events := b.Topic("events")
+	const n = 16
+	for i := uint64(0); i < n; i++ {
+		events.Publish(0, U64(i)) // 4 messages per shard round-robin
+	}
+	before := h.TotalStats()
+	ms := c.PollBatch(0, n)
+	d := h.TotalStats().Sub(before)
+	if len(ms) != n {
+		t.Fatalf("PollBatch delivered %d messages, want %d", len(ms), n)
+	}
+	got := map[uint64]bool{}
+	for _, m := range ms {
+		id := AsU64(m.Payload)
+		if got[id] {
+			t.Fatalf("message %d delivered twice", id)
+		}
+		got[id] = true
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d distinct messages, want %d", len(got), n)
+	}
+	if d.Fences != 1 {
+		t.Fatalf("PollBatch across 4 shards issued %d fences, want 1", d.Fences)
+	}
+	if d.NTStores != 4 {
+		t.Fatalf("PollBatch across 4 shards issued %d NTStores, want 4 (one per shard)", d.NTStores)
+	}
+	// Idle polls elide every persist.
+	before = h.TotalStats()
+	for i := 0; i < 100; i++ {
+		if ms := c.PollBatch(0, n); len(ms) != 0 {
+			t.Fatal("queue should be empty")
+		}
+	}
+	if d := h.TotalStats().Sub(before); d.Fences != 0 || d.NTStores != 0 {
+		t.Fatalf("100 idle polls issued %d fences, %d NTStores; want 0, 0", d.Fences, d.NTStores)
+	}
+}
+
+// TestPollBatchNoStarvation: a shard that fills a whole poll batch
+// must not pin the cursor — the next poll starts at the following
+// shard, so a continuously hot shard cannot starve its siblings.
+func TestPollBatchNoStarvation(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+	b, err := New(h, Config{Topics: []TopicConfig{{Name: "events", Shards: 2}}, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.NewGroup([]string{"events"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Consumer(0)
+	events := b.Topic("events")
+	for i := uint64(0); i < 10; i++ {
+		events.Publish(0, U64(i)) // round-robin: evens → shard 0, odds → shard 1
+	}
+	// First poll fills entirely from shard 0.
+	for _, m := range c.PollBatch(0, 5) {
+		if m.Shard != 0 {
+			t.Fatalf("first poll delivered from shard %d, want 0", m.Shard)
+		}
+	}
+	// Keep shard 0 hot (the topic's rr cursor is back at shard 0).
+	for i := uint64(10); i < 20; i++ {
+		events.Publish(0, U64(i))
+	}
+	// The next poll must serve shard 1's backlog, not shard 0 again.
+	ms := c.PollBatch(0, 5)
+	if len(ms) != 5 {
+		t.Fatalf("second poll delivered %d messages, want 5", len(ms))
+	}
+	for i, m := range ms {
+		if m.Shard != 1 {
+			t.Fatalf("second poll message %d came from shard %d: hot shard 0 starved shard 1", i, m.Shard)
+		}
+	}
+}
+
+// TestPollBatchMixedTopics drains a fixed-width and a blob topic
+// through one consumer's PollBatch and audits payload integrity.
+func TestPollBatchMixedTopics(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+	b, err := New(h, Config{Topics: twoTopics(), Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.NewGroup([]string{"events", "jobs"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		b.Topic("events").Publish(0, U64(i))
+		b.Topic("jobs").Publish(0, blobPayload(i))
+	}
+	c := g.Consumer(0)
+	gotEvents, gotJobs := map[uint64]bool{}, map[uint64]bool{}
+	for {
+		ms := c.PollBatch(1, 7)
+		if len(ms) == 0 {
+			break
+		}
+		for _, m := range ms {
+			id := AsU64(m.Payload[:8])
+			switch m.Topic {
+			case "events":
+				if gotEvents[id] {
+					t.Fatalf("event %d delivered twice", id)
+				}
+				gotEvents[id] = true
+			case "jobs":
+				if !bytes.Equal(m.Payload, blobPayload(id)) {
+					t.Fatalf("job %d payload corrupted", id)
+				}
+				if gotJobs[id] {
+					t.Fatalf("job %d delivered twice", id)
+				}
+				gotJobs[id] = true
+			}
+		}
+	}
+	if len(gotEvents) != n || len(gotJobs) != n {
+		t.Fatalf("delivered %d events, %d jobs; want %d each", len(gotEvents), len(gotJobs), n)
+	}
+}
+
 func TestCatalogRecoverRoundTrip(t *testing.T) {
 	h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
 	b, err := New(h, Config{Topics: twoTopics(), Threads: 2})
@@ -188,11 +368,28 @@ func TestBrokerCrashFuzz(t *testing.T) {
 		seeds = seeds[:1]
 	}
 	for _, seed := range seeds {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed) })
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 1) })
 	}
 }
 
-func brokerCrashRound(t *testing.T, seed int64) {
+// TestBrokerCrashFuzzBatched is the same audit with batched consumers
+// (PollBatch): a batch is acknowledged as a whole when PollBatch
+// returns, so a crash mid-poll may redeliver — or, for a window whose
+// NTStore landed without its fence, consume — only messages of the
+// unacknowledged batch window; acknowledged deliveries never reappear
+// and the loss allowance grows from 1 to the poll batch size per
+// consumer.
+func TestBrokerCrashFuzzBatched(t *testing.T) {
+	seeds := []int64{4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 8) })
+	}
+}
+
+func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
 	const (
 		producers   = 3
 		consumers   = 2
@@ -271,17 +468,26 @@ func brokerCrashRound(t *testing.T, seed int64) {
 			cons := g.Consumer(c)
 			idle := false
 			for {
-				var m Message
-				var ok bool
-				if pmem.Protect(func() { m, ok = cons.Poll(tid) }) {
-					return // crash mid-poll
-				}
-				if ok {
-					id := AsU64(m.Payload[:8])
-					if _, dup := delivered[c][id]; dup {
-						redelivered[c]++
+				var ms []Message
+				if pmem.Protect(func() {
+					if dequeueBatch == 1 {
+						if m, ok := cons.Poll(tid); ok {
+							ms = []Message{m}
+						}
+					} else {
+						ms = cons.PollBatch(tid, dequeueBatch)
 					}
-					delivered[c][id] = ShardRef{Topic: m.Topic, Shard: m.Shard}
+				}) {
+					return // crash mid-poll: the whole window is unacknowledged
+				}
+				if len(ms) > 0 {
+					for _, m := range ms {
+						id := AsU64(m.Payload[:8])
+						if _, dup := delivered[c][id]; dup {
+							redelivered[c]++
+						}
+						delivered[c][id] = ShardRef{Topic: m.Topic, Shard: m.Shard}
+					}
 					idle = false
 					continue
 				}
@@ -361,9 +567,12 @@ func brokerCrashRound(t *testing.T, seed int64) {
 	}
 	t.Logf("seed %d: acked %d, delivered %d, recovered backlog %d, in-flight losses %d",
 		seed, totalAcked, len(seen)-recoveredCount, recoveredCount, lost)
-	// Each consumer may have one dequeue whose persist completed just
-	// before the crash cut off the delivery record.
-	if lost > consumers {
-		t.Fatalf("%d acknowledged messages lost (allowance %d)", lost, consumers)
+	// Each consumer may have one unacknowledged poll window whose
+	// persists completed just before the crash cut off the delivery
+	// record: 1 message on the Poll path, up to the poll batch size on
+	// the PollBatch path (the window's final NTStores can land without
+	// the batch's fence).
+	if allowance := consumers * dequeueBatch; lost > allowance {
+		t.Fatalf("%d acknowledged messages lost (allowance %d)", lost, allowance)
 	}
 }

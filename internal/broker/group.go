@@ -90,6 +90,56 @@ func (c *Consumer) Poll(tid int) (Message, bool) {
 			return Message{Topic: r.t.Name(), Shard: r.shard, Payload: p}, true
 		}
 	}
-	c.next = 0
+	// The cursor stays where it was: resetting it on an all-empty scan
+	// would permanently bias delivery toward low-numbered shards after
+	// any idle period.
 	return Message{}, false
+}
+
+// PollBatch drains up to max messages from the member's shards
+// round-robin, riding a single blocking persist across every shard it
+// touched: each shard's batch dequeue issues one NTStore of its new
+// head index, and since a fence is per-thread and covers all of that
+// thread's outstanding NTStores regardless of which shard's local line
+// they target, one SFENCE at the end makes every shard's progress
+// durable together. Consumer fences drop toward 1 per batch; a poll
+// that finds every owned shard empty at an already-persisted head
+// index issues no persist instructions at all, so idle consumers poll
+// for free.
+//
+// The batch is acknowledged as a whole when PollBatch returns: at that
+// point every delivery in it is durable and will never be re-delivered
+// after a crash. A crash mid-poll leaves the whole window
+// unacknowledged — its messages are redelivered (or, for a suffix
+// whose NTStore happened to land without the fence, consumed) on
+// recovery, exactly dual to PublishBatch. An empty result means every
+// owned shard was observed empty.
+func (c *Consumer) PollBatch(tid, max int) []Message {
+	if max <= 0 || len(c.refs) == 0 {
+		return nil
+	}
+	var out []Message
+	var touched []*shard
+	for scanned := 0; scanned < len(c.refs) && len(out) < max; scanned++ {
+		r := c.refs[c.next]
+		s := r.t.shards[r.shard]
+		ps, dirty := s.consumeBatchUnfenced(tid, max-len(out))
+		if dirty {
+			touched = append(touched, s)
+		}
+		for _, p := range ps {
+			out = append(out, Message{Topic: r.t.Name(), Shard: r.shard, Payload: p})
+		}
+		// Advance past the shard even when it filled the batch: the
+		// next poll then starts at the following shard, so one
+		// continuously hot shard cannot starve the others.
+		c.next = (c.next + 1) % len(c.refs)
+	}
+	if len(touched) > 0 {
+		c.refs[0].t.b.h.Fence(tid) // one fence covers every shard's NTStores
+		for _, s := range touched {
+			s.completeBatch(tid)
+		}
+	}
+	return out
 }

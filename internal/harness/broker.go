@@ -28,6 +28,12 @@ type BrokerConfig struct {
 	// per-message path (one fence per message), larger values measure
 	// the amortized batch path (one fence per batch).
 	Batch int
+	// DequeueBatch is the number of messages per consumer poll: 1
+	// measures the per-message Poll path (one fence per delivery, plus
+	// one per empty scan that moved the head), larger values measure
+	// PollBatch (a single fence covering up to DequeueBatch deliveries
+	// across all of the member's shards).
+	DequeueBatch int
 	// Payload is the message size in bytes; 0 selects fixed 8-byte
 	// topics on OptUnlinkedQ, > 0 variable-payload topics on blobq.
 	Payload int
@@ -53,6 +59,9 @@ func (c *BrokerConfig) norm() {
 	if c.Batch <= 0 {
 		c.Batch = 1
 	}
+	if c.DequeueBatch <= 0 {
+		c.DequeueBatch = 1
+	}
 	if c.Duration == 0 {
 		c.Duration = time.Second
 	}
@@ -66,13 +75,20 @@ func (c *BrokerConfig) norm() {
 // separately, so the batch-publish fence amortization is directly
 // visible as Producer.Fences / Published.
 type BrokerResult struct {
-	Topics, Shards, Producers, Consumers, Batch, Payload int
+	Topics, Shards, Producers, Consumers, Batch, DequeueBatch, Payload int
 
 	Published uint64
 	Delivered uint64
 	Elapsed   time.Duration
 	Producer  pmem.Stats
 	Consumer  pmem.Stats
+
+	// IdlePolls/IdlePollFences measure the post-drain idle phase: one
+	// consumer repeatedly polling its (empty) shards. With empty-poll
+	// fence elision the fences stay ~0 after the first poll; without
+	// it every poll would fence once per owned shard.
+	IdlePolls      uint64
+	IdlePollFences uint64
 }
 
 // Mops returns million completed operations (publishes + deliveries)
@@ -83,15 +99,33 @@ func (r BrokerResult) Mops() float64 {
 
 // ProducerFencesPerMsg returns blocking persists per published
 // message — 1 on the per-message path, ~1/Batch on the batch path.
+// 0 when nothing was published.
 func (r BrokerResult) ProducerFencesPerMsg() float64 {
+	if r.Published == 0 {
+		return 0
+	}
 	return float64(r.Producer.Fences) / float64(r.Published)
 }
 
 // ConsumerFencesPerMsg returns blocking persists per delivered
-// message (failing polls fence too, so this can exceed 1 when
-// consumers outpace producers).
+// message — ~1 on the per-message Poll path, dropping toward
+// 1/DequeueBatch on the PollBatch path (empty-poll elision keeps
+// failing polls from inflating it). 0 when nothing was delivered.
 func (r BrokerResult) ConsumerFencesPerMsg() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
 	return float64(r.Consumer.Fences) / float64(r.Delivered)
+}
+
+// IdleFencesPerPoll returns blocking persists per poll of an idle
+// consumer whose shards are all empty — ~0 with empty-poll fence
+// elision.
+func (r BrokerResult) IdleFencesPerPoll() float64 {
+	if r.IdlePolls == 0 {
+		return 0
+	}
+	return float64(r.IdlePollFences) / float64(r.IdlePolls)
 }
 
 // RunBroker executes one broker measurement.
@@ -178,9 +212,18 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			cons := g.Consumer(c)
 			start.Wait()
 			drained := false
+			poll := func() int {
+				if cfg.DequeueBatch == 1 {
+					if _, ok := cons.Poll(tid); ok {
+						return 1
+					}
+					return 0
+				}
+				return len(cons.PollBatch(tid, cfg.DequeueBatch))
+			}
 			for {
-				if _, ok := cons.Poll(tid); ok {
-					delivered.Add(1)
+				if n := poll(); n > 0 {
+					delivered.Add(uint64(n))
 					drained = false
 					continue
 				}
@@ -209,7 +252,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	res := BrokerResult{
 		Topics: cfg.Topics, Shards: cfg.Shards,
 		Producers: cfg.Producers, Consumers: cfg.Consumers,
-		Batch: cfg.Batch, Payload: cfg.Payload,
+		Batch: cfg.Batch, DequeueBatch: cfg.DequeueBatch, Payload: cfg.Payload,
 		Published: published.Load(), Delivered: delivered.Load(),
 		Elapsed: elapsed,
 	}
@@ -219,5 +262,23 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	for tid := cfg.Producers; tid < threads; tid++ {
 		res.Consumer.Add(h.StatsOf(tid))
 	}
+
+	// Idle phase: with all shards drained, measure the persist cost of
+	// polling empty shards (after the consumer stats were snapshotted,
+	// so ConsumerFencesPerMsg is unaffected). Empty-poll fence elision
+	// makes this ~0.
+	const idlePolls = 1000
+	idleTid := cfg.Producers
+	idleCons := g.Consumer(0)
+	before := h.StatsOf(idleTid)
+	for i := 0; i < idlePolls; i++ {
+		if cfg.DequeueBatch == 1 {
+			idleCons.Poll(idleTid)
+		} else {
+			idleCons.PollBatch(idleTid, cfg.DequeueBatch)
+		}
+	}
+	res.IdlePolls = idlePolls
+	res.IdlePollFences = h.StatsOf(idleTid).Fences - before.Fences
 	return res, nil
 }

@@ -10,10 +10,10 @@ import (
 // is lost, and the batch path issues measurably fewer producer fences
 // per message than the per-message path.
 func TestRunBrokerFenceAmortization(t *testing.T) {
-	run := func(batch int) BrokerResult {
+	run := func(batch, dbatch int) BrokerResult {
 		r, err := RunBroker(BrokerConfig{
 			Topics: 2, Shards: 4, Producers: 2, Consumers: 2,
-			Batch: batch, Payload: 0,
+			Batch: batch, DequeueBatch: dbatch, Payload: 0,
 			Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
 		})
 		if err != nil {
@@ -23,12 +23,12 @@ func TestRunBrokerFenceAmortization(t *testing.T) {
 			t.Fatal("no messages published")
 		}
 		if r.Delivered != r.Published {
-			t.Fatalf("batch %d: delivered %d != published %d", batch, r.Delivered, r.Published)
+			t.Fatalf("batch %d/%d: delivered %d != published %d", batch, dbatch, r.Delivered, r.Published)
 		}
 		return r
 	}
-	perMsg := run(1)
-	batched := run(16)
+	perMsg := run(1, 1)
+	batched := run(16, 1)
 	f1, f16 := perMsg.ProducerFencesPerMsg(), batched.ProducerFencesPerMsg()
 	t.Logf("producer fences/msg: batch=1 %.3f, batch=16 %.3f", f1, f16)
 	if f1 < 0.99 {
@@ -36,5 +36,43 @@ func TestRunBrokerFenceAmortization(t *testing.T) {
 	}
 	if f16 > f1/4 {
 		t.Errorf("batch path should amortize fences (got %.3f vs %.3f per-message)", f16, f1)
+	}
+}
+
+// TestRunBrokerConsumerAmortization is the consume-side mirror: with
+// PollBatch the consumer fences per delivered message drop well below
+// the per-message Poll path, and an idle consumer polling only empty
+// shards issues (almost) no blocking persists thanks to the empty-poll
+// fence elision.
+func TestRunBrokerConsumerAmortization(t *testing.T) {
+	run := func(dbatch int) BrokerResult {
+		r, err := RunBroker(BrokerConfig{
+			Topics: 2, Shards: 4, Producers: 2, Consumers: 2,
+			Batch: 4, DequeueBatch: dbatch, Payload: 0,
+			Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Delivered != r.Published {
+			t.Fatalf("dbatch %d: delivered %d != published %d", dbatch, r.Delivered, r.Published)
+		}
+		return r
+	}
+	perMsg := run(1)
+	batched := run(8)
+	c1, c8 := perMsg.ConsumerFencesPerMsg(), batched.ConsumerFencesPerMsg()
+	t.Logf("consumer fences/msg: dbatch=1 %.3f, dbatch=8 %.3f; idle fences/poll: %.4f / %.4f",
+		c1, c8, perMsg.IdleFencesPerPoll(), batched.IdleFencesPerPoll())
+	if c8 > c1/3 {
+		t.Errorf("batched consume should amortize fences (got %.3f vs %.3f per-message)", c8, c1)
+	}
+	// The idle phase polls drained shards 1000 times; elision should
+	// make that essentially free (allow a couple of stray persists for
+	// indices the consumer had not yet re-observed).
+	for _, r := range []BrokerResult{perMsg, batched} {
+		if r.IdleFencesPerPoll() > 0.01 {
+			t.Errorf("dbatch %d: idle polling paid %.4f fences/poll, want ~0", r.DequeueBatch, r.IdleFencesPerPoll())
+		}
 	}
 }

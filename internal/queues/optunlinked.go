@@ -47,7 +47,24 @@ type ouNode struct {
 
 type ouThread struct {
 	nodeToRetire *ouNode
-	_            [56]byte
+	// pendingRetire accumulates the nodes unlinked by an unfenced batch
+	// dequeue; they are handed to the allocator only by CompleteBatch,
+	// after the caller's fence made the covering head index durable (a
+	// slot reused and overwritten before that fence could lose a message
+	// whose dequeue never became durable).
+	pendingRetire []*ouNode
+	// lastPersisted is the head index this thread most recently made
+	// durable (NTStore + completed fence) in its local line. A failing
+	// dequeue that observes the same index again elides its persist:
+	// re-persisting an already-durable value cannot change what recovery
+	// sees, so the empty response stays durably linearized for free.
+	lastPersisted uint64
+	// pendingIdx is the head index NTStored by an unfenced batch dequeue
+	// but not yet covered by a fence; promoted to lastPersisted by
+	// CompleteBatch.
+	pendingIdx   uint64
+	pendingDirty bool
+	_            [15]byte
 }
 
 // Persistent node layout.
@@ -89,9 +106,10 @@ func (q *OptUnlinkedQ) localHeadIdxAddr(tid int) pmem.Addr {
 	return q.localBase + pmem.Addr(tid)*pmem.CacheLineBytes
 }
 
-// persistLocalHeadIdx records idx as tid's persistent head index and
-// fences (the operation's single blocking persist).
-func (q *OptUnlinkedQ) persistLocalHeadIdx(tid int, idx uint64) {
+// writeLocalHeadIdx issues the (asynchronous) write of idx into tid's
+// persistent local line; a subsequent Fence by the same thread makes
+// it durable.
+func (q *OptUnlinkedQ) writeLocalHeadIdx(tid int, idx uint64) {
 	a := q.localHeadIdxAddr(tid)
 	if q.plainStoreLocal {
 		q.h.Store(tid, a, idx) // pays NVM read latency once flushed
@@ -99,7 +117,27 @@ func (q *OptUnlinkedQ) persistLocalHeadIdx(tid int, idx uint64) {
 	} else {
 		q.h.NTStore(tid, a, idx) // movnti: bypasses the cache entirely
 	}
+}
+
+// persistLocalHeadIdx records idx as tid's persistent head index and
+// fences (the operation's single blocking persist).
+func (q *OptUnlinkedQ) persistLocalHeadIdx(tid int, idx uint64) {
+	q.writeLocalHeadIdx(tid, idx)
 	q.h.Fence(tid)
+	q.per[tid].lastPersisted = idx
+}
+
+// persistEmptyObservation durably linearizes a failing dequeue that
+// observed head index idx — unless idx is already durable from this
+// thread's previous persist (or is covered by an outstanding unfenced
+// NTStore), in which case the persist is elided entirely: an idle
+// consumer repeatedly polling an empty queue pays zero blocking
+// persists after the first.
+func (q *OptUnlinkedQ) persistEmptyObservation(tid int, idx uint64) {
+	if idx <= q.per[tid].lastPersisted {
+		return
+	}
+	q.persistLocalHeadIdx(tid, idx)
 }
 
 // enqueueOne runs the enqueue protocol of Figure 4 (lines 107-121) up
@@ -166,28 +204,132 @@ func (q *OptUnlinkedQ) EnqueueBatch(tid int, vs []uint64) {
 	q.h.Fence(tid) // the batch's single blocking persist
 }
 
-// Dequeue removes the oldest item (Figure 4, lines 90-106). One
-// fence, zero post-flush accesses.
-func (q *OptUnlinkedQ) Dequeue(tid int) (uint64, bool) {
-	q.pool.Enter(tid)
-	defer q.pool.Exit(tid)
+// dequeueOne runs the dequeue protocol of Figure 4 (lines 90-99) up to
+// but not including the blocking persist: CAS the head past the oldest
+// node. On success it returns the node holding the dequeued item (now
+// the queue's dummy) and the unlinked previous head, whose retirement
+// the caller must defer until a covering head index is durable. On an
+// empty observation ok is false and taken is the observed head, whose
+// index the caller persists (or elides) to durably linearize the empty
+// response.
+func (q *OptUnlinkedQ) dequeueOne(tid int) (taken, old *ouNode, ok bool) {
 	for {
 		head := q.head.Load()
 		next := head.next.Load()
 		if next == nil {
-			q.persistLocalHeadIdx(tid, head.index) // lines 95-96
-			return 0, false
+			return head, nil, false
 		}
 		if q.head.CompareAndSwap(head, next) {
-			v := next.item
-			q.persistLocalHeadIdx(tid, next.index) // lines 100-101
-			if r := q.per[tid].nodeToRetire; r != nil {
-				q.pool.Retire(tid, r.pnode) // lines 102-104
-			}
-			q.per[tid].nodeToRetire = head // line 105
-			return v, true
+			return next, head, true
 		}
 	}
+}
+
+// retireAfterPersist hands old to the deferred-retirement cell (Figure
+// 4, lines 102-105), releasing the previously deferred node. Call only
+// after a fence covering old's dequeue.
+func (q *OptUnlinkedQ) retireAfterPersist(tid int, old *ouNode) {
+	if r := q.per[tid].nodeToRetire; r != nil {
+		q.pool.Retire(tid, r.pnode)
+	}
+	q.per[tid].nodeToRetire = old
+}
+
+// Dequeue removes the oldest item (Figure 4, lines 90-106). One
+// fence, zero post-flush accesses. A failing dequeue whose observed
+// head index this thread already persisted issues no persist at all.
+func (q *OptUnlinkedQ) Dequeue(tid int) (uint64, bool) {
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	taken, old, ok := q.dequeueOne(tid)
+	if !ok {
+		q.persistEmptyObservation(tid, taken.index) // lines 95-96, elided when redundant
+		return 0, false
+	}
+	v := taken.item
+	q.persistLocalHeadIdx(tid, taken.index) // lines 100-101
+	q.retireAfterPersist(tid, old)          // lines 102-105
+	return v, true
+}
+
+// DequeueBatch removes up to max items in FIFO order, riding a single
+// blocking persist for the whole batch: every dequeue CASes the head
+// exactly as in Dequeue, but only the final head index is written to
+// this thread's local line (one NTStore) and fenced once. The
+// amortization is sound because the per-thread head index is monotone
+// — recovery takes the maximum over all local lines, so persisting the
+// last index covers every earlier one. The batch is acknowledged as a
+// whole when DequeueBatch returns, exactly dual to EnqueueBatch: a
+// crash mid-batch redelivers (or, if the unfenced NTStore happened to
+// land, consumes) only items of the unacknowledged window. An empty
+// result means the queue was observed empty.
+func (q *OptUnlinkedQ) DequeueBatch(tid, max int) []uint64 {
+	vs, dirty := q.DequeueBatchUnfenced(tid, max)
+	if dirty {
+		q.h.Fence(tid) // the batch's single blocking persist
+		q.CompleteBatch(tid)
+	}
+	return vs
+}
+
+// DequeueBatchUnfenced is DequeueBatch with the blocking persist left
+// to the caller, so several queues sharing one heap can ride a single
+// fence (package broker drains many shards per poll this way; a fence
+// is per-thread and covers all of that thread's outstanding NTStores
+// regardless of which line they target). It performs the CASes and the
+// one NTStore of the final head index, but neither fences nor retires.
+// dirty reports whether an NTStore is outstanding; if so the caller
+// must issue a Fence for tid on the same heap and then call
+// CompleteBatch before treating the items (or the empty observation)
+// as durable. No other operation may run on this queue with this tid
+// in between.
+func (q *OptUnlinkedQ) DequeueBatchUnfenced(tid, max int) (vs []uint64, dirty bool) {
+	if max <= 0 {
+		return nil, q.per[tid].pendingDirty
+	}
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	t := &q.per[tid]
+	var last *ouNode
+	for len(vs) < max {
+		taken, old, ok := q.dequeueOne(tid)
+		if !ok {
+			if last == nil {
+				// Pure empty observation: persist the observed index
+				// unless it is already durable or already NTStored.
+				if taken.index > t.lastPersisted && !(t.pendingDirty && taken.index <= t.pendingIdx) {
+					q.writeLocalHeadIdx(tid, taken.index)
+					t.pendingIdx = taken.index
+					t.pendingDirty = true
+				}
+				return nil, t.pendingDirty
+			}
+			break
+		}
+		vs = append(vs, taken.item)
+		t.pendingRetire = append(t.pendingRetire, old)
+		last = taken
+	}
+	q.writeLocalHeadIdx(tid, last.index) // one NTStore covers the batch
+	t.pendingIdx = last.index
+	t.pendingDirty = true
+	return vs, true
+}
+
+// CompleteBatch finishes an unfenced batch dequeue after the caller's
+// fence: it promotes the pending head index to lastPersisted and
+// retires the unlinked nodes in one sweep (keeping the newest in the
+// deferred cell, as in Dequeue).
+func (q *OptUnlinkedQ) CompleteBatch(tid int) {
+	t := &q.per[tid]
+	if t.pendingDirty {
+		t.lastPersisted = t.pendingIdx
+		t.pendingDirty = false
+	}
+	for _, old := range t.pendingRetire {
+		q.retireAfterPersist(tid, old)
+	}
+	t.pendingRetire = t.pendingRetire[:0]
 }
 
 // RecoverOptUnlinkedQ rebuilds the queue after a crash (Section 6.1).
@@ -197,9 +339,15 @@ func (q *OptUnlinkedQ) Dequeue(tid int) (uint64, bool) {
 // order.
 func RecoverOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
 	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
+	perThread := make([]ouThread, threads)
 	var headIdx uint64
 	for t := 0; t < threads; t++ {
-		if v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes); v > headIdx {
+		v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes)
+		// Seed the elision cache with what this thread provably
+		// persisted before the crash; its next failing dequeue at a
+		// higher index will persist again.
+		perThread[t].lastPersisted = v
+		if v > headIdx {
 			headIdx = v
 		}
 	}
@@ -222,7 +370,7 @@ func RecoverOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
 		}
 	}
 
-	q := &OptUnlinkedQ{h: h, pool: pool, localBase: localBase, per: make([]ouThread, threads)}
+	q := &OptUnlinkedQ{h: h, pool: pool, localBase: localBase, per: perThread}
 	dummyPn := pool.Alloc(0)
 	h.Store(0, dummyPn+ouLinked, 0)
 	h.Store(0, dummyPn+ouIndex, headIdx)

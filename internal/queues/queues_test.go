@@ -246,7 +246,11 @@ func opStats(tb testing.TB, in Info) (enq, deq, emptyDeq pmem.Stats) {
 // TestOneFencePerOperation verifies the paper's headline claim for all
 // four novel queues: exactly one blocking persist (SFENCE) per
 // operation — enqueue, successful dequeue and failing dequeue alike —
-// meeting the lower bound of Cohen et al.
+// meeting the lower bound of Cohen et al. OptUnlinkedQ goes below the
+// bound on repeated failing dequeues: its empty-poll fence elision
+// skips the persist when the observed head index is already durable
+// from this thread's previous persist, so the whole empty phase (which
+// follows a successful, persisted dequeue) costs zero fences.
 func TestOneFencePerOperation(t *testing.T) {
 	for _, name := range []string{"unlinked", "unlinked-nodcas", "linked", "opt-unlinked", "opt-linked"} {
 		in, _ := Lookup(name)
@@ -258,8 +262,12 @@ func TestOneFencePerOperation(t *testing.T) {
 			if deq.Fences != 100 {
 				t.Errorf("dequeue fences = %d per 100 ops, want exactly 100", deq.Fences)
 			}
-			if empty.Fences != 100 {
-				t.Errorf("failing dequeue fences = %d per 100 ops, want exactly 100", empty.Fences)
+			wantEmpty := uint64(100)
+			if name == "opt-unlinked" {
+				wantEmpty = 0 // elision: the observed index is already durable
+			}
+			if empty.Fences != wantEmpty {
+				t.Errorf("failing dequeue fences = %d per 100 ops, want exactly %d", empty.Fences, wantEmpty)
 			}
 		})
 	}

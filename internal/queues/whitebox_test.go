@@ -160,8 +160,10 @@ func TestCorrectnessWithFlushRetainsLine(t *testing.T) {
 func TestOptQueueNTStoreAccounting(t *testing.T) {
 	ou, _ := Lookup("opt-unlinked")
 	_, deq, empty := opStats(t, ou)
-	if deq.NTStores != 100 || empty.NTStores != 100 {
-		t.Errorf("opt-unlinked NTStores per 100 deq/empty = %d/%d, want 100/100", deq.NTStores, empty.NTStores)
+	// Failing dequeues issue zero NTStores: the empty-poll elision skips
+	// the local-index write entirely once the index is durable.
+	if deq.NTStores != 100 || empty.NTStores != 0 {
+		t.Errorf("opt-unlinked NTStores per 100 deq/empty = %d/%d, want 100/0", deq.NTStores, empty.NTStores)
 	}
 	ol, _ := Lookup("opt-linked")
 	enq, deq2, _ := opStats(t, ol)
