@@ -1,23 +1,29 @@
 // Command brokerbench sweeps the sharded durable message broker
-// (internal/broker) over shard counts, publish batch sizes and dequeue
-// batch sizes, and prints throughput plus the per-message persist
-// statistics that justify the design: the batch-publish path rides one
-// SFENCE per batch, so producer fences per message drop toward
-// 1/batch, and the batch-dequeue path (PollBatch) mirrors it on the
-// consume side — one fence covers a whole poll batch even when it
-// spans several shards, so consumer fences per message drop toward
-// 1/dbatch. The idle column shows the empty-poll fence elision: a
-// consumer polling only empty shards at an already-persisted head
-// index issues no persists at all (~0 fences per idle poll, where each
-// poll scans every owned shard).
+// (internal/broker) over shard counts, heap-set sizes, publish batch
+// sizes and dequeue batch sizes, and prints throughput plus the
+// per-message persist statistics that justify the design: the
+// batch-publish path rides one SFENCE per batch, so producer fences
+// per message drop toward 1/batch, and the batch-dequeue path
+// (PollBatch) mirrors it on the consume side — one fence per
+// persistence domain covers a whole poll batch even when it spans
+// several shards, so consumer fences per message drop toward 1/dbatch.
+// The idle column shows the empty-poll fence elision: a consumer
+// polling only empty shards at an already-persisted head index issues
+// no persists at all (~0 fences per idle poll, where each poll scans
+// every owned shard). The heap-imbal column shows how evenly shard
+// placement spread persist traffic across the heap set (1.0 =
+// balanced); -affine switches to block placement plus heap-affine
+// consumer groups so each consumer fences a single domain.
 //
 // Examples:
 //
 //	brokerbench -shards 1,2,4,8 -batch 1,16 -dbatch 1,8
+//	brokerbench -heaps 1,2,4              # sweep NVRAM domains
+//	brokerbench -heaps 2 -affine          # heap-affine consumers
 //	brokerbench -topics 4 -producers 8 -consumers 4 -payload 64
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
 //	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
-//	brokerbench -json > BENCH_broker.json # refresh the repo baseline
+//	brokerbench -heaps 1,2 -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 type row struct {
 	Topics            int     `json:"topics"`
 	Shards            int     `json:"shards"`
+	Heaps             int     `json:"heaps"`
 	Producers         int     `json:"producers"`
 	Consumers         int     `json:"consumers"`
 	Batch             int     `json:"batch"`
@@ -49,12 +56,15 @@ type row struct {
 	ProdFencesPerMsg  float64 `json:"prod_fences_per_msg"`
 	ConsFencesPerMsg  float64 `json:"cons_fences_per_msg"`
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
+	HeapImbalance     float64 `json:"heap_imbalance"`
 }
 
 func main() {
 	var (
 		topics    = flag.Int("topics", 2, "number of topics")
 		shardsF   = flag.String("shards", "1,2,4,8", "comma-separated shard counts per topic to sweep")
+		heapsF    = flag.String("heaps", "1", "comma-separated heap-set sizes to sweep (NVRAM domains)")
+		affine    = flag.Bool("affine", false, "heap-affine deployment: block placement + affine consumer groups")
 		producers = flag.Int("producers", 4, "producer threads")
 		consumers = flag.Int("consumers", 2, "consumer threads")
 		batchF    = flag.String("batch", "1,16", "comma-separated publish batch sizes to sweep")
@@ -75,6 +85,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	heapCounts, err := parseInts(*heapsF)
+	if err != nil {
+		fatal(err)
+	}
 	batches, err := parseInts(*batchF)
 	if err != nil {
 		fatal(err)
@@ -87,53 +101,58 @@ func main() {
 	lat.FenceNs = *fenceNs
 
 	if *csvOut {
-		fmt.Println("topics,shards,producers,consumers,batch,dbatch,payload,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,idle_fences_per_poll")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,idle_fences_per_poll,heap_imbalance")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *duration)
-		fmt.Printf("%7s %6s %7s %12s %12s %10s %15s %15s %10s\n",
-			"shards", "batch", "dbatch", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "idle-f/poll")
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *duration)
+		fmt.Printf("%7s %6s %6s %7s %12s %12s %10s %15s %15s %10s %10s\n",
+			"shards", "heaps", "batch", "dbatch", "published", "delivered", "Mops",
+			"prod-fence/msg", "cons-fence/msg", "idle-f/poll", "heap-imbal")
 	}
 	var rows []row
 	for _, shards := range shardCounts {
-		for _, batch := range batches {
-			for _, dbatch := range dbatches {
-				r, err := harness.RunBroker(harness.BrokerConfig{
-					Topics:       *topics,
-					Shards:       shards,
-					Producers:    *producers,
-					Consumers:    *consumers,
-					Batch:        batch,
-					DequeueBatch: dbatch,
-					Payload:      *payload,
-					Duration:     *duration,
-					HeapBytes:    *heapMB << 20,
-					Latency:      lat,
-				})
-				if err != nil {
-					fatal(err)
-				}
-				c := row{
-					Topics: r.Topics, Shards: r.Shards,
-					Producers: r.Producers, Consumers: r.Consumers,
-					Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
-					Published: r.Published, Delivered: r.Delivered,
-					Mops:              round3(r.Mops()),
-					ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
-					ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
-					IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
-				}
-				rows = append(rows, c)
-				if *csvOut {
-					fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f\n",
-						c.Topics, c.Shards, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
-						c.Published, c.Delivered, c.Mops,
-						c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll)
-				} else if !*jsonOut {
-					fmt.Printf("%7d %6d %7d %12d %12d %10.3f %15.4f %15.4f %10.4f\n",
-						c.Shards, c.Batch, c.DequeueBatch, c.Published, c.Delivered, c.Mops,
-						c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll)
+		for _, heaps := range heapCounts {
+			for _, batch := range batches {
+				for _, dbatch := range dbatches {
+					r, err := harness.RunBroker(harness.BrokerConfig{
+						Topics:       *topics,
+						Shards:       shards,
+						Heaps:        heaps,
+						Affine:       *affine,
+						Producers:    *producers,
+						Consumers:    *consumers,
+						Batch:        batch,
+						DequeueBatch: dbatch,
+						Payload:      *payload,
+						Duration:     *duration,
+						HeapBytes:    *heapMB << 20,
+						Latency:      lat,
+					})
+					if err != nil {
+						fatal(err)
+					}
+					c := row{
+						Topics: r.Topics, Shards: r.Shards, Heaps: r.Heaps,
+						Producers: r.Producers, Consumers: r.Consumers,
+						Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
+						Published: r.Published, Delivered: r.Delivered,
+						Mops:              round3(r.Mops()),
+						ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
+						ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
+						IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
+						HeapImbalance:     round3(r.HeapImbalance()),
+					}
+					rows = append(rows, c)
+					if *csvOut {
+						fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.3f\n",
+							c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
+							c.Published, c.Delivered, c.Mops,
+							c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll, c.HeapImbalance)
+					} else if !*jsonOut {
+						fmt.Printf("%7d %6d %6d %7d %12d %12d %10.3f %15.4f %15.4f %10.4f %10.3f\n",
+							c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Published, c.Delivered, c.Mops,
+							c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll, c.HeapImbalance)
+					}
 				}
 			}
 		}
@@ -145,7 +164,8 @@ func main() {
 			"workload": "brokerbench",
 			"config": map[string]any{
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
-				"payload": *payload, "duration": duration.String(), "nvm_fence_ns": *fenceNs,
+				"payload": *payload, "affine": *affine,
+				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
 			"rows": rows,
 		}); err != nil {
@@ -154,9 +174,10 @@ func main() {
 	} else if !*csvOut {
 		fmt.Println("\n(prod-fence/msg: blocking persists per published message — ~1 per-message,")
 		fmt.Println(" ~1/batch on the batch-publish path. cons-fence/msg mirrors it on the")
-		fmt.Println(" consume side: ~1/dbatch with PollBatch, one fence spanning all shards a")
-		fmt.Println(" poll dequeued from. idle-f/poll: persists per all-empty poll — ~0 with")
-		fmt.Println(" empty-poll fence elision.)")
+		fmt.Println(" consume side: ~1/dbatch with PollBatch, one fence per persistence domain")
+		fmt.Println(" a poll dequeued from. idle-f/poll: persists per all-empty poll — ~0 with")
+		fmt.Println(" empty-poll fence elision. heap-imbal: busiest heap's persist traffic over")
+		fmt.Println(" the per-heap mean — 1.0 is perfectly balanced placement.)")
 	}
 }
 

@@ -5,17 +5,26 @@
 // against the recorded operation history (no duplication, no loss of
 // completed enqueues, per-enqueuer FIFO).
 //
-// Example:
+// -smoke is the quick CI mode: few rounds per queue, plus one
+// multi-heap broker iteration — a 2-heap broker crashed via a single
+// member's access stream, recovered from its catalog and stamps, and
+// audited for delivered-or-recovered-exactly-once.
+//
+// Examples:
 //
 //	crashfuzz -queue opt-linked -rounds 200 -threads 4 -recovery-crashes 2
+//	crashfuzz -smoke
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
+	"repro/internal/broker"
 	"repro/internal/harness"
+	"repro/internal/pmem"
 	"repro/internal/verify"
 )
 
@@ -27,8 +36,18 @@ func main() {
 		rounds   = flag.Int("rounds", 50, "crash/recover rounds")
 		seed     = flag.Int64("seed", 1, "fuzz seed")
 		recovery = flag.Int("recovery-crashes", 1, "crashes injected during recovery per round")
+		smoke    = flag.Bool("smoke", false, "quick mode: few rounds per queue plus one multi-heap broker iteration")
 	)
 	flag.Parse()
+	roundsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rounds" {
+			roundsSet = true
+		}
+	})
+	if *smoke && !roundsSet {
+		*rounds = 5
+	}
 
 	var names []string
 	if *queue == "all" {
@@ -67,7 +86,126 @@ func main() {
 				name, *rounds, *threads, *recovery)
 		}
 	}
+	if *smoke {
+		if err := brokerSmoke(*seed); err != nil {
+			fmt.Printf("%-24s FAIL: %v\n", "broker-multiheap", err)
+			failed = true
+		} else {
+			fmt.Printf("%-24s ok (2 heaps, crash on one member, whole-set recovery)\n", "broker-multiheap")
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// brokerSmoke is one multi-heap broker crash/recover/audit iteration:
+// a 2-heap broker takes mixed publishes and deliveries until a crash
+// scheduled on one member's access stream downs the whole set; the
+// broker is recovered from heap 0's catalog plus heap 1's membership
+// stamp and audited — every acknowledged publish is delivered before
+// the crash or recovered after it, exactly once, in per-shard order.
+func brokerSmoke(seed int64) error {
+	const threads = 2
+	rng := rand.New(rand.NewSource(seed))
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	b, err := broker.NewSet(hs, broker.Config{
+		Topics: []broker.TopicConfig{
+			{Name: "events", Shards: 4},
+			{Name: "jobs", Shards: 2, MaxPayload: 48},
+		},
+		Threads: threads,
+	})
+	if err != nil {
+		return err
+	}
+	g, err := b.NewGroup([]string{"events", "jobs"}, 1)
+	if err != nil {
+		return err
+	}
+	payload := func(id uint64) []byte {
+		p := make([]byte, 8+int(id%40))
+		copy(p, broker.U64(id))
+		for i := 8; i < len(p); i++ {
+			p[i] = byte(id) ^ byte(i)
+		}
+		return p
+	}
+	hs.Heap(rng.Intn(2)).ScheduleCrashAtAccess(int64(rng.Intn(30_000)) + 5_000)
+
+	var acked []uint64
+	delivered := map[uint64]bool{}
+	cons := g.Consumer(0)
+	for id := uint64(1); ; id++ {
+		crashed := pmem.Protect(func() {
+			if id%3 == 0 {
+				b.Topic("jobs").Publish(0, payload(id))
+			} else {
+				b.Topic("events").Publish(0, broker.U64(id))
+			}
+		})
+		if crashed {
+			break
+		}
+		acked = append(acked, id)
+		if id%2 == 0 {
+			var got []broker.Message
+			if pmem.Protect(func() { got = cons.PollBatch(1, 4) }) {
+				break
+			}
+			for _, m := range got {
+				mid := broker.AsU64(m.Payload[:8])
+				if delivered[mid] {
+					return fmt.Errorf("message %d delivered twice before the crash", mid)
+				}
+				delivered[mid] = true
+			}
+		}
+	}
+	if !hs.Crashed() {
+		return fmt.Errorf("crash never fired")
+	}
+	hs.FinalizeCrash(rng)
+	hs.Restart()
+
+	r, err := broker.RecoverSet(hs, threads)
+	if err != nil {
+		return err
+	}
+	seen := map[uint64]bool{}
+	for id := range delivered {
+		seen[id] = true
+	}
+	for _, t := range r.Topics() {
+		for s := 0; s < t.Shards(); s++ {
+			last := uint64(0)
+			for {
+				p, ok := t.DequeueShard(0, s)
+				if !ok {
+					break
+				}
+				id := broker.AsU64(p[:8])
+				if seen[id] {
+					return fmt.Errorf("message %d duplicated across crash", id)
+				}
+				seen[id] = true
+				if id <= last {
+					return fmt.Errorf("shard %s/%d out of order: %d after %d", t.Name(), s, id, last)
+				}
+				last = id
+			}
+		}
+	}
+	lost := 0
+	for _, id := range acked {
+		if !seen[id] {
+			lost++
+		}
+	}
+	// The single consumer may lose at most its unacknowledged in-flight
+	// poll window (4 messages).
+	if lost > 4 {
+		return fmt.Errorf("%d acknowledged messages lost (allowance 4)", lost)
+	}
+	return nil
 }

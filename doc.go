@@ -8,18 +8,24 @@
 // The persistence substrate is a simulated NVRAM (internal/pmem) that
 // models CLWB/SFENCE/movnti semantics, Cascade Lake's
 // flush-invalidates-line behaviour, per-cache-line crash-prefix
-// semantics, and Optane-like latencies. On top of the queues,
-// internal/broker composes a sharded, multi-topic durable message
-// broker — the application the paper's introduction motivates. Both
+// semantics, Optane-like latencies, and — via pmem.HeapSet — multiple
+// independent persistence domains (NUMA sockets / DIMM sets) sharing
+// one power supply. On top of the queues, internal/broker composes a
+// sharded, multi-topic durable message broker — the application the
+// paper's introduction motivates — whose shards spread across the
+// heap set under pluggable placement policies, with a heap-aware
+// durable catalog and whole-broker two-phase recovery. Both
 // directions amortize durability cost below the paper's
 // one-fence-per-operation bound: EnqueueBatch/PublishBatch ride one
-// SFENCE per publish batch, DequeueBatch/PollBatch one SFENCE per poll
-// window (even across shards), and failing dequeues elide
-// already-durable persists entirely. See DESIGN.md for the full system
-// inventory, layering and soundness arguments.
+// SFENCE per publish batch, DequeueBatch/PollBatch one SFENCE per
+// persistence domain per poll window (even across shards), and
+// failing dequeues elide already-durable persists entirely. See
+// DESIGN.md for the full system inventory, layering, the multi-heap
+// topology (catalog v2 layout, membership stamps, placement policies,
+// two-phase recovery) and soundness arguments.
 //
 // The benchmark suite in bench_test.go regenerates every panel of the
 // paper's Figure 2; the cmd/durbench tool runs the full sweeps and
-// cmd/brokerbench sweeps the broker over shard counts and publish and
-// dequeue batch sizes.
+// cmd/brokerbench sweeps the broker over shard counts, heap-set
+// sizes, and publish and dequeue batch sizes.
 package repro

@@ -1,26 +1,32 @@
-// Broker: a sharded, multi-topic persistent message broker built on
-// internal/broker — the use case the paper's introduction motivates
-// (IBM MQ, Oracle Tuxedo MQ, RabbitMQ keep FIFO queues at their core,
-// today structured for block storage; NVRAM queues remove the
-// marshaling and file-system layers).
+// Broker: a sharded, multi-topic persistent message broker spanning a
+// set of NVRAM domains, built on internal/broker — the use case the
+// paper's introduction motivates (IBM MQ, Oracle Tuxedo MQ, RabbitMQ
+// keep FIFO queues at their core, today structured for block storage;
+// NVRAM queues remove the marshaling and file-system layers).
 //
-// Two topics, four shards each, live side by side on one persistent
-// heap: "events" carries fixed 8-byte messages on OptUnlinkedQ shards,
-// "jobs" carries variable byte payloads on blobq shards. Producers mix
-// the per-message publish path (one SFENCE per message), the keyed
-// path (per-key FIFO) and the amortized batch path (one SFENCE per
-// batch); a consumer group partitions the shards, one member draining
-// per-message (Poll) and one in batches (PollBatch, a single SFENCE
-// covering deliveries from several shards). A publish is
+// The broker here spans a 2-heap set (two simulated NUMA domains /
+// DIMM sets sharing one power supply). Two topics live side by side:
+// "events" carries fixed 8-byte messages on OptUnlinkedQ shards,
+// "jobs" carries variable byte payloads on blobq shards; block
+// placement lays each topic's shards out in contiguous per-heap runs,
+// and the heap-affine consumer group assigns each member shards from a
+// single domain, so a member's PollBatch rides one SFENCE on one
+// domain per poll window. Producers mix the per-message publish path
+// (one SFENCE per message), the keyed path (per-key FIFO) and the
+// amortized batch path (one SFENCE per batch). A publish is
 // "acknowledged" once the call returns, at which point durable
 // linearizability guarantees it survives any crash; a delivery (or a
 // whole poll batch) is acknowledged the same way when the poll
 // returns.
 //
-// The broker is crashed at a random moment mid-traffic, re-discovered
-// from its durable catalog alone, recovered shard by shard, and
-// audited: every acknowledged message is either already delivered or
-// still in the recovered backlog; nothing is duplicated.
+// Mid-traffic, a monitor pulls the plug: the crash is injected through
+// ONE member heap, and because the set shares a power supply every
+// domain goes down with it. The whole broker is then re-discovered
+// two-phase — the durable catalog on heap 0 names every topic, shard
+// placement and the other member's stamp; per-queue recovery then
+// replays heap by heap — and audited: every acknowledged message is
+// either already delivered or still in the recovered backlog; nothing
+// is duplicated.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 )
 
 const (
+	heaps       = 2
 	producers   = 3
 	consumers   = 2
 	perProducer = 4000
@@ -61,40 +68,55 @@ func main() {
 	if runtime.GOMAXPROCS(0) < threads+1 {
 		runtime.GOMAXPROCS(threads + 1)
 	}
-	h := pmem.New(pmem.Config{
+	hs := pmem.NewSet(heaps, pmem.Config{
 		Bytes:      128 << 20,
 		Mode:       pmem.ModeCrash,
 		MaxThreads: threads,
 	})
-	b, err := broker.New(h, broker.Config{
+	b, err := broker.NewSet(hs, broker.Config{
 		Topics: []broker.TopicConfig{
 			{Name: "events", Shards: 4},
 			{Name: "jobs", Shards: 4, MaxPayload: 64},
 		},
-		Threads: threads,
+		Threads:   threads,
+		Placement: broker.BlockPlacement, // contiguous per-heap shard runs
 	})
 	if err != nil {
 		panic(err)
 	}
-	g, err := b.NewGroup([]string{"events", "jobs"}, consumers)
+	// Heap-affine group: with block placement and consumers == heaps,
+	// each member owns shards on exactly one domain and fences only it.
+	g, err := b.NewGroupAffine([]string{"events", "jobs"}, consumers)
 	if err != nil {
 		panic(err)
 	}
+	fmt.Printf("broker spans %d heaps\n", b.Heaps())
+	for _, t := range b.Topics() {
+		fmt.Printf("  topic %-7s shards on heaps:", t.Name())
+		for s := 0; s < t.Shards(); s++ {
+			fmt.Printf(" %d", t.HeapOf(s))
+		}
+		fmt.Println()
+	}
+	for c := 0; c < consumers; c++ {
+		fmt.Printf("  consumer %d fences domain(s) %v\n", c, g.Consumer(c).Domains())
+	}
 
 	// Crash mid-traffic: once a third of the publishes have been
-	// acknowledged, a monitor pulls the plug on the whole system
-	// (every thread observes the crash at its next memory access).
-	// Main joins the monitor before recovering so a late-scheduled
-	// CrashNow can never land after Restart.
+	// acknowledged, a monitor pulls the plug — injected through heap 1
+	// alone; the shared power supply downs the whole set (every thread
+	// observes the crash at its next access on any member). Main joins
+	// the monitor before recovering so a late-scheduled CrashNow can
+	// never land after Restart.
 	var ackedTotal atomic.Uint64
 	monitorDone := make(chan struct{})
 	go func() {
 		defer close(monitorDone)
 		target := uint64(producers*perProducer) / 3
-		for ackedTotal.Load() < target && !h.Crashed() {
+		for ackedTotal.Load() < target && !hs.Crashed() {
 			time.Sleep(100 * time.Microsecond)
 		}
-		h.CrashNow()
+		hs.Heap(1).CrashNow() // one domain fails; the set follows
 	}()
 
 	acked := make([][]uint64, producers) // per-producer acknowledged publishes
@@ -157,7 +179,7 @@ func main() {
 			for {
 				var msgs []broker.Message
 				if pmem.Protect(func() {
-					if c == 0 { // batched consumer: one SFENCE per poll window
+					if c == 0 { // batched consumer: one SFENCE (one domain) per poll window
 						msgs = cons.PollBatch(tid, pollBatch)
 					} else if m, ok := cons.Poll(tid); ok {
 						msgs = []broker.Message{m}
@@ -188,20 +210,22 @@ func main() {
 		}(c)
 	}
 	wg.Wait()
-	if !h.Crashed() {
-		h.CrashNow()
+	if !hs.Crashed() {
+		hs.CrashNow()
 	}
 	<-monitorDone
-	fmt.Println("-- broker crashed mid-traffic --")
-	h.FinalizeCrash(rand.New(rand.NewSource(42)))
-	h.Restart()
+	fmt.Println("-- heap 1 failed mid-traffic; the whole set lost power --")
+	hs.FinalizeCrash(rand.New(rand.NewSource(42)))
+	hs.Restart()
 
-	// Recover the whole broker from the durable catalog alone.
-	r, err := broker.Recover(h, threads)
+	// Recover the whole broker: phase 1 reads the catalog on heap 0 and
+	// checks heap 1's membership stamp, phase 2 replays per-queue
+	// recovery heap by heap (in parallel).
+	r, err := broker.RecoverSet(hs, threads)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("recovered %d topics from the durable catalog:", len(r.Topics()))
+	fmt.Printf("recovered %d topics across %d heaps from the durable catalog:", len(r.Topics()), r.Heaps())
 	for _, t := range r.Topics() {
 		fmt.Printf(" %s(%d shards)", t.Name(), t.Shards())
 	}

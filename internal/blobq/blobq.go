@@ -248,14 +248,11 @@ func (q *Queue) enqueueOne(tid int, payload []byte) (tail, vn *vnode) {
 	}
 }
 
-// Enqueue appends payload (at most MaxPayload bytes). One blocking
-// persist, covering the blob lines and the node line together.
+// Enqueue appends payload (at most MaxPayload bytes): the one-element
+// batch. One blocking persist, covering the blob lines and the node
+// line together.
 func (q *Queue) Enqueue(tid int, payload []byte) {
-	q.nodes.Enter(tid)
-	defer q.nodes.Exit(tid)
-	tail, vn := q.enqueueOne(tid, payload)
-	q.h.Fence(tid) // the single fence: node + blob durable
-	q.tail.CompareAndSwap(tail, vn)
+	q.EnqueueBatch(tid, [][]byte{payload})
 }
 
 // EnqueueBatch appends payloads in order with a single blocking
@@ -301,14 +298,6 @@ func (q *Queue) writeLocalHeadIdx(tid int, idx uint64) {
 	q.h.NTStore(tid, q.localBase+pmem.Addr(tid)*pmem.CacheLineBytes, idx)
 }
 
-// persistLocalHeadIdx records idx durably (NTStore + fence) and
-// updates the elision cache.
-func (q *Queue) persistLocalHeadIdx(tid int, idx uint64) {
-	q.writeLocalHeadIdx(tid, idx)
-	q.h.Fence(tid)
-	q.per[tid].lastPersisted = idx
-}
-
 // retireAfterPersist releases the previously deferred node (slot and
 // blob) and defers old. Call only after a fence covering old's
 // dequeue: a slot reused before its dequeue is durable could lose a
@@ -323,24 +312,17 @@ func (q *Queue) retireAfterPersist(tid int, old *vnode) {
 	q.per[tid].nodeToRetire = old
 }
 
-// Dequeue removes the oldest payload. One blocking persist; the
-// payload is served from the Volatile copy, never from flushed lines.
-// A failing dequeue whose observed head index this thread already
-// persisted issues no persist at all.
+// Dequeue removes the oldest payload: the one-element batch dequeue,
+// so the fence accounting — one NTStore + one fence on success, full
+// elision on an already-durable empty observation — lives in
+// DequeueBatchUnfenced alone. One blocking persist; the payload is
+// served from the Volatile copy, never from flushed lines.
 func (q *Queue) Dequeue(tid int) ([]byte, bool) {
-	q.nodes.Enter(tid)
-	defer q.nodes.Exit(tid)
-	taken, old, ok := q.dequeueOne(tid)
-	if !ok {
-		if taken.index > q.per[tid].lastPersisted {
-			q.persistLocalHeadIdx(tid, taken.index)
-		}
+	ps := q.DequeueBatch(tid, 1)
+	if len(ps) == 0 {
 		return nil, false
 	}
-	p := taken.payload
-	q.persistLocalHeadIdx(tid, taken.index)
-	q.retireAfterPersist(tid, old)
-	return p, true
+	return ps[0], true
 }
 
 // DequeueBatch removes up to max payloads in FIFO order with a single

@@ -6,30 +6,41 @@
 // file-system layers), treated as a first-class recoverable system in
 // the spirit of Gray's "Queues Are Databases".
 //
-// A Broker manages N topics, each split into M shards. Every shard is
-// an independent durable queue — an OptUnlinkedQ for fixed 8-byte
-// payloads or a blobq.Queue for variable byte payloads — living in its
-// own root-slot window of one shared pmem.Heap (see pmem.View).
-// Producers route messages to shards round-robin or by key hash, and
-// may amortize durability cost with a batch-publish path that rides
-// one SFENCE per batch. Consumers form groups; each shard is owned by
-// exactly one group member, so per-shard FIFO order is preserved
-// end-to-end.
+// A Broker manages N topics, each split into M shards, spread over a
+// pmem.HeapSet — an ordered set of independent NVRAM domains (NUMA
+// sockets / DIMM sets). Every shard is an independent durable queue —
+// an OptUnlinkedQ for fixed 8-byte payloads or a blobq.Queue for
+// variable byte payloads — living in its own root-slot window of one
+// member heap (see pmem.View). Shard placement is pluggable: the
+// default round-robin policy spreads load evenly across domains, the
+// block policy keeps contiguous shard ranges on one domain so that a
+// consumer owning them fences a single domain per poll (heap-affine
+// consumption; pair with NewGroupAffine). Producers route messages to
+// shards round-robin or by key hash, and may amortize durability cost
+// with a batch-publish path that rides one SFENCE per batch. Consumers
+// form groups; each shard is owned by exactly one group member, so
+// per-shard FIFO order is preserved end-to-end.
 //
 // Durability contract: a publish is acknowledged when the call
-// returns; from that point the message survives any crash. A durable
-// catalog (anchored at the broker's root slot 0) records every
-// topic's name, shard count and payload kind, so Recover can
-// re-discover the whole broker from the heap alone and replay the
-// paper's per-queue recovery for every shard. A delivery is durable
-// when Poll returns: the winning dequeue's persist covers it, so a
-// delivered message is never re-delivered after a crash
-// (delivered-or-recovered exactly once for acknowledged publishes).
+// returns; from that point the message survives any crash of any
+// subset of the heap set (the set shares one power supply, so a crash
+// on one domain downs them all). A durable catalog, anchored at heap
+// 0's root slot 0, records every topic's name, shard count, payload
+// kind and every shard's (heapID, baseSlot) placement; every other
+// member heap carries a membership stamp so recovery can tell a
+// mis-assembled set from the real one. Recover is two-phase: read the
+// catalog on heap 0, then replay the paper's per-queue recovery heap
+// by heap (the per-heap phases run in parallel — domains are
+// independent). A delivery is durable when Poll returns: the winning
+// dequeue's persist covers it, so a delivered message is never
+// re-delivered after a crash (delivered-or-recovered exactly once for
+// acknowledged publishes).
 package broker
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/blobq"
 	"repro/internal/pmem"
@@ -41,9 +52,10 @@ import (
 // uses slots 2,3,6,7; OptUnlinkedQ uses 2,3).
 const slotsPerShard = 8
 
-// slotCatalog anchors the durable topic catalog within the broker's
-// root-slot window.
-const slotCatalog = 0
+// slotAnchor is root slot 0 of every member heap: on heap 0 it anchors
+// the durable catalog, on every other member the heap's membership
+// stamp.
+const slotAnchor = 0
 
 // TopicConfig describes one topic.
 type TopicConfig struct {
@@ -59,6 +71,29 @@ type TopicConfig struct {
 	MaxPayload int
 }
 
+// PlacementPolicy chooses the member heap for one shard at broker
+// creation time. topic and shard identify the shard, global is its
+// ordinal in creation order across all topics, shards the topic's
+// shard count and heaps the set size; the returned index must be in
+// [0, heaps). The policy only runs inside New — the catalog records
+// the resulting (heapID, baseSlot) per shard, so recovery never needs
+// the policy and custom policies are free to use any volatile state.
+type PlacementPolicy func(topic, shard, global, shards, heaps int) int
+
+// RoundRobinPlacement (the default) deals shards across the heap set
+// in global creation order, balancing shard count per domain.
+func RoundRobinPlacement(topic, shard, global, shards, heaps int) int {
+	return global % heaps
+}
+
+// BlockPlacement keeps each topic's shards in contiguous runs per
+// heap: shard s of a topic with n shards lands on heap s*heaps/n.
+// Consumers that own contiguous shard ranges (see NewGroupAffine) then
+// touch — and fence — a single persistence domain per poll.
+func BlockPlacement(topic, shard, global, shards, heaps int) int {
+	return shard * heaps / shards
+}
+
 // Config parameterizes a Broker.
 type Config struct {
 	// Topics lists the topics to create. Order is preserved in the
@@ -68,23 +103,30 @@ type Config struct {
 	// (producers, consumers and the recovery thread all share this
 	// space, as with the underlying queues).
 	Threads int
+	// Placement chooses each shard's member heap; nil means
+	// RoundRobinPlacement. Ignored on a 1-heap set (everything lands
+	// on heap 0) and by Recover (the catalog records placements).
+	Placement PlacementPolicy
 }
 
-// Broker is a sharded multi-topic durable message broker. Methods
-// taking a tid are safe for concurrent use as long as each tid is
-// driven by at most one goroutine at a time.
+// Broker is a sharded multi-topic durable message broker over a heap
+// set. Methods taking a tid are safe for concurrent use as long as
+// each tid is driven by at most one goroutine at a time.
 type Broker struct {
-	h       *pmem.Heap
+	hs      *pmem.HeapSet
 	threads int
 	topics  []*Topic
 	byName  map[string]*Topic
 }
 
 // shard wraps one durable queue of either payload kind behind a
-// byte-payload interface.
+// byte-payload interface, together with its placement: heap is the
+// member index (the fence domain), h the shard's root-slot view of it.
 type shard struct {
 	fixed *queues.OptUnlinkedQ // MaxPayload == 0
 	blob  *blobq.Queue         // MaxPayload > 0
+	heap  int
+	h     *pmem.Heap
 }
 
 func (s *shard) publish(tid int, p []byte) {
@@ -120,10 +162,10 @@ func (s *shard) consume(tid int) ([]byte, bool) {
 
 // consumeBatchUnfenced dequeues up to max messages, recording the
 // shard's new head index with one NTStore but leaving the blocking
-// fence (and the node retires) to the caller, so one fence can cover
-// several shards' dequeues in a single poll. dirty reports an
-// outstanding NTStore; the caller must fence the tid and then call
-// completeBatch.
+// fence (and the node retires) to the caller, so one fence per touched
+// *heap* can cover several shards' dequeues in a single poll. dirty
+// reports an outstanding NTStore; the caller must fence the tid on the
+// shard's heap and then call completeBatch.
 func (s *shard) consumeBatchUnfenced(tid, max int) ([][]byte, bool) {
 	if s.fixed != nil {
 		vs, dirty := s.fixed.DequeueBatchUnfenced(tid, max)
@@ -157,7 +199,7 @@ func U64(v uint64) []byte {
 // AsU64 decodes a fixed-topic payload.
 func AsU64(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
 
-func validate(h *pmem.Heap, cfg Config) error {
+func validate(cfg Config) error {
 	if cfg.Threads <= 0 {
 		return fmt.Errorf("broker: Threads must be positive")
 	}
@@ -165,7 +207,6 @@ func validate(h *pmem.Heap, cfg Config) error {
 		return fmt.Errorf("broker: at least one topic required")
 	}
 	seen := map[string]bool{}
-	total := 0
 	for _, tc := range cfg.Topics {
 		if tc.Name == "" || len(tc.Name) > catNameBytes {
 			return fmt.Errorf("broker: topic name %q must be 1..%d bytes", tc.Name, catNameBytes)
@@ -180,78 +221,180 @@ func validate(h *pmem.Heap, cfg Config) error {
 		if tc.MaxPayload < 0 {
 			return fmt.Errorf("broker: topic %q has negative MaxPayload", tc.Name)
 		}
-		total += tc.Shards
-	}
-	if need := 1 + total*slotsPerShard; need > h.RootSlots() {
-		return fmt.Errorf("broker: %d total shards need %d root slots, heap window has %d",
-			total, need, h.RootSlots())
 	}
 	return nil
 }
 
+// checkSet verifies the heap set can host a broker with the given
+// thread bound: every member must admit at least that many thread ids.
+func checkSet(hs *pmem.HeapSet, threads int) error {
+	for i := 0; i < hs.Len(); i++ {
+		if mt := hs.Heap(i).MaxThreads(); mt < threads {
+			return fmt.Errorf("broker: heap %d admits %d threads, broker needs %d", i, mt, threads)
+		}
+	}
+	return nil
+}
+
+// computeLayout runs the placement policy over every shard and assigns
+// each a root-slot window on its heap (slot 0 of every member is
+// reserved for the catalog/stamp anchor). Capacity is per heap: a
+// policy that piles too many shards onto one member is an error.
+func computeLayout(hs *pmem.HeapSet, cfg Config) ([][]shardLoc, error) {
+	policy := cfg.Placement
+	if policy == nil {
+		policy = RoundRobinPlacement
+	}
+	next := make([]int, hs.Len())
+	for i := range next {
+		next[i] = 1 // slot 0 is the anchor
+	}
+	locs := make([][]shardLoc, len(cfg.Topics))
+	global := 0
+	for ti, tc := range cfg.Topics {
+		locs[ti] = make([]shardLoc, tc.Shards)
+		for si := 0; si < tc.Shards; si++ {
+			hi := policy(ti, si, global, tc.Shards, hs.Len())
+			if hi < 0 || hi >= hs.Len() {
+				return nil, fmt.Errorf("broker: placement policy put topic %d shard %d on heap %d of %d",
+					ti, si, hi, hs.Len())
+			}
+			if next[hi]+slotsPerShard > hs.Heap(hi).RootSlots() {
+				return nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
+					hi, tc.Name, si, slotsPerShard, hs.Heap(hi).RootSlots()-next[hi])
+			}
+			locs[ti][si] = shardLoc{heap: hi, base: next[hi]}
+			next[hi] += slotsPerShard
+			global++
+		}
+	}
+	return locs, nil
+}
+
 // build constructs the volatile broker skeleton and instantiates each
-// shard's queue via mk, which receives the shard's root-slot view.
-func build(h *pmem.Heap, cfg Config, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
-	b := &Broker{h: h, threads: cfg.Threads, byName: map[string]*Topic{}}
-	next := 1 // slot 0 is the catalog anchor
-	for _, tc := range cfg.Topics {
-		t := &Topic{b: b, cfg: tc, slotBase: next}
-		for s := 0; s < tc.Shards; s++ {
-			view := h.View(next, slotsPerShard)
-			t.shards = append(t.shards, mk(view, tc))
-			next += slotsPerShard
+// shard's queue via mk, which receives the shard's root-slot view of
+// its member heap. Shards are built heap by heap, the per-heap phases
+// in parallel: member heaps are independent simulators with their own
+// per-thread state, so tid 0 may run on each concurrently. This is the
+// second phase of recovery — and the same fan-out speeds up creation.
+func build(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
+	b := &Broker{hs: hs, threads: cfg.Threads, byName: map[string]*Topic{}}
+	type job struct {
+		t   *Topic
+		si  int
+		loc shardLoc
+	}
+	perHeap := make([][]job, hs.Len())
+	for ti, tc := range cfg.Topics {
+		t := &Topic{b: b, cfg: tc, locs: locs[ti], shards: make([]*shard, tc.Shards)}
+		for si := 0; si < tc.Shards; si++ {
+			loc := locs[ti][si]
+			perHeap[loc.heap] = append(perHeap[loc.heap], job{t: t, si: si, loc: loc})
 		}
 		b.topics = append(b.topics, t)
 		b.byName[tc.Name] = t
 	}
+	var wg sync.WaitGroup
+	for hi, jobs := range perHeap {
+		if len(jobs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(hi int, jobs []job) {
+			defer wg.Done()
+			h := hs.Heap(hi)
+			for _, j := range jobs {
+				view := h.View(j.loc.base, slotsPerShard)
+				s := mk(view, j.t.cfg)
+				s.heap = hi
+				s.h = view
+				j.t.shards[j.si] = s
+			}
+		}(hi, jobs)
+	}
+	wg.Wait()
 	return b
 }
 
-// New creates a broker on an empty heap window: it instantiates every
-// topic's shards, then writes and persists the durable catalog. The
-// anchor is persisted last, so a crash inside New leaves no broker
-// (Recover reports none) rather than a partial one.
+// New creates a broker on a single empty heap (window) — the 1-heap
+// convenience form of NewSet.
 func New(h *pmem.Heap, cfg Config) (*Broker, error) {
-	if err := validate(h, cfg); err != nil {
+	return NewSet(pmem.NewSetOf(h), cfg)
+}
+
+// NewSet creates a broker spanning an empty heap set: it instantiates
+// every topic's shards at the placement the policy chose, stamps every
+// non-anchor member, then writes and persists the durable catalog on
+// heap 0. The anchor is persisted last, so a crash inside NewSet
+// leaves no broker (Recover reports none) rather than a partial one.
+//
+// Every member's anchor slot must be empty: a member carrying a
+// catalog or membership stamp belongs to an existing broker (recover
+// that set instead) or is left over from a creation that crashed
+// before its anchor was written; either way NewSet refuses rather
+// than overwrite durable state it did not allocate.
+func NewSet(hs *pmem.HeapSet, cfg Config) (*Broker, error) {
+	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	if h.Load(0, h.RootAddr(slotCatalog)) != 0 {
-		return nil, fmt.Errorf("broker: heap window already hosts a broker (use Recover)")
+	if err := checkSet(hs, cfg.Threads); err != nil {
+		return nil, err
 	}
-	b := build(h, cfg, func(view *pmem.Heap, tc TopicConfig) *shard {
+	for i := 0; i < hs.Len(); i++ {
+		if err := checkMemberEmpty(hs.Heap(i), i); err != nil {
+			return nil, err
+		}
+	}
+	locs, err := computeLayout(hs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := build(hs, cfg, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
 			return &shard{fixed: queues.NewOptUnlinkedQ(view, cfg.Threads)}
 		}
 		return &shard{blob: blobq.New(view, blobq.Config{Threads: cfg.Threads, MaxPayload: tc.MaxPayload})}
 	})
-	writeCatalog(h, cfg)
+	writeCatalog(hs, cfg, locs)
 	return b, nil
 }
 
-// Recover re-discovers a broker after a crash: it reads the durable
-// catalog and replays the paper's per-queue recovery for every shard
-// of every topic. Call from a single thread (tid 0) before resuming
-// traffic.
+// Recover re-discovers a broker living on a single heap (window) — the
+// 1-heap convenience form of RecoverSet.
+func Recover(h *pmem.Heap, threads int) (*Broker, error) {
+	return RecoverSet(pmem.NewSetOf(h), threads)
+}
+
+// RecoverSet re-discovers a broker after a crash of the whole heap
+// set. Phase one reads the durable catalog on heap 0 and verifies
+// every other member's stamp against it — a set missing a catalogued
+// heap, containing a blank or foreign heap, or assembled in the wrong
+// order is an error, never a silent mis-scan. Phase two replays the
+// paper's per-queue recovery for every shard, heap by heap, the
+// per-heap phases in parallel. Call while no other thread operates.
 //
 // threads must equal the bound the broker was created with (it sizes
 // the per-thread head-index regions recovery scans); pass 0 to adopt
 // the recorded bound. A mismatch is an error, never silent corruption.
-func Recover(h *pmem.Heap, threads int) (*Broker, error) {
-	topics, recorded, err := readCatalog(h)
+func RecoverSet(hs *pmem.HeapSet, threads int) (*Broker, error) {
+	lay, err := readCatalog(hs)
 	if err != nil {
 		return nil, err
 	}
 	if threads == 0 {
-		threads = recorded
-	} else if threads != recorded {
+		threads = lay.threads
+	} else if threads != lay.threads {
 		return nil, fmt.Errorf("broker: Recover with %d threads, but the broker was created with %d",
-			threads, recorded)
+			threads, lay.threads)
 	}
-	cfg := Config{Topics: topics, Threads: threads}
-	if err := validate(h, cfg); err != nil {
+	cfg := Config{Topics: lay.topics, Threads: threads}
+	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	return build(h, cfg, func(view *pmem.Heap, tc TopicConfig) *shard {
+	if err := checkSet(hs, threads); err != nil {
+		return nil, err
+	}
+	return build(hs, cfg, lay.locs, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
 			return &shard{fixed: queues.RecoverOptUnlinkedQ(view, threads)}
 		}
@@ -267,3 +410,9 @@ func (b *Broker) Topics() []*Topic { return b.topics }
 
 // Threads reports the configured thread-id bound.
 func (b *Broker) Threads() int { return b.threads }
+
+// Heaps reports the size of the heap set the broker spans.
+func (b *Broker) Heaps() int { return b.hs.Len() }
+
+// HeapSet returns the heap set the broker spans.
+func (b *Broker) HeapSet() *pmem.HeapSet { return b.hs }

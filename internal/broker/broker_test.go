@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -368,7 +369,7 @@ func TestBrokerCrashFuzz(t *testing.T) {
 		seeds = seeds[:1]
 	}
 	for _, seed := range seeds {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 1) })
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 1, 1) })
 	}
 }
 
@@ -385,19 +386,37 @@ func TestBrokerCrashFuzzBatched(t *testing.T) {
 		seeds = seeds[:1]
 	}
 	for _, seed := range seeds {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 8) })
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 8, 1) })
 	}
 }
 
-func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
+// TestBrokerCrashFuzzMultiHeap runs the same audit on a broker
+// spanning several heaps, with the crash scheduled on the accesses of
+// a single randomly chosen member (the set shares one power supply,
+// so one domain's failure downs them all): every acknowledged publish
+// must be delivered or recovered exactly once across the whole set.
+func TestBrokerCrashFuzzMultiHeap(t *testing.T) {
+	seeds := []int64{7, 8, 9}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("heaps=2/seed=%d", seed), func(t *testing.T) { brokerCrashRound(t, seed, 8, 2) })
+	}
+	if !testing.Short() {
+		t.Run("heaps=3/seed=10", func(t *testing.T) { brokerCrashRound(t, 10, 1, 3) })
+	}
+}
+
+func brokerCrashRound(t *testing.T, seed int64, dequeueBatch, heaps int) {
 	const (
 		producers   = 3
 		consumers   = 2
 		perProducer = 3000
 		threads     = producers + consumers
 	)
-	h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
-	b, err := New(h, Config{Topics: twoTopics(), Threads: threads})
+	hs := pmem.NewSet(heaps, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	b, err := NewSet(hs, Config{Topics: twoTopics(), Threads: threads})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,13 +425,25 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
 		t.Fatal(err)
 	}
 	crashRng := rand.New(rand.NewSource(seed))
-	h.ScheduleCrashAtAccess(int64(crashRng.Intn(1_000_000)) + 100_000)
+	// Arm the crash on one member's access stream; when it fires, the
+	// whole set goes down together. The window is sized to the
+	// workload's actual per-heap access count (~100k/heaps for 9000
+	// messages) so the crash usually lands mid-traffic rather than at
+	// quiescence.
+	hs.Heap(crashRng.Intn(heaps)).ScheduleCrashAtAccess((20_000 + int64(crashRng.Intn(140_000))) / int64(heaps))
 
 	acked := make([][]uint64, producers)
 	delivered := make([]map[uint64]ShardRef, consumers)
 	redelivered := make([]int, consumers) // same id polled twice by one consumer
 	var producersDone sync.WaitGroup
 	var wg sync.WaitGroup
+	// Gate all workers on one signal so consumers race producers from
+	// the first access — without it the crash (which fires within tens
+	// of thousands of accesses) usually lands before the consumer
+	// goroutines are even scheduled and the delivered-side audit is
+	// vacuous.
+	var start sync.WaitGroup
+	start.Add(1)
 
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
@@ -420,12 +451,17 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
 		go func(p int) {
 			defer wg.Done()
 			defer producersDone.Done()
+			start.Wait()
 			rng := rand.New(rand.NewSource(seed*997 + int64(p)))
 			events, jobs := b.Topic("events"), b.Topic("jobs")
 			// Each iteration publishes ids in increasing order before
 			// minting the next, so every shard sees any one producer's
 			// messages with ascending ids — the FIFO the audit checks.
 			for m := uint64(1); m <= perProducer; {
+				// Yield between publishes so consumers interleave even
+				// on a single-P runtime; the crash window is far shorter
+				// than a preemption quantum.
+				runtime.Gosched()
 				id := uint64(p+1)<<32 | m
 				switch rng.Intn(4) {
 				case 0: // fixed-topic publish
@@ -464,10 +500,12 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
 		delivered[c] = map[uint64]ShardRef{}
 		go func(c int) {
 			defer wg.Done()
+			start.Wait()
 			tid := producers + c
 			cons := g.Consumer(c)
 			idle := false
 			for {
+				runtime.Gosched()
 				var ms []Message
 				if pmem.Protect(func() {
 					if dequeueBatch == 1 {
@@ -502,14 +540,15 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
 			}
 		}(c)
 	}
+	start.Done()
 	wg.Wait()
-	if !h.Crashed() {
-		h.CrashNow() // traffic finished first; crash at quiescence
+	if !hs.Crashed() {
+		hs.CrashNow() // traffic finished first; crash at quiescence
 	}
-	h.FinalizeCrash(rand.New(rand.NewSource(seed * 31)))
-	h.Restart()
+	hs.FinalizeCrash(rand.New(rand.NewSource(seed * 31)))
+	hs.Restart()
 
-	r, err := Recover(h, threads)
+	r, err := RecoverSet(hs, threads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -574,5 +613,243 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch int) {
 	// the batch's fence).
 	if allowance := consumers * dequeueBatch; lost > allowance {
 		t.Fatalf("%d acknowledged messages lost (allowance %d)", lost, allowance)
+	}
+}
+
+// TestMultiHeapPlacementSpread pins the two built-in policies: global
+// round-robin deals consecutive shards across the set, block placement
+// keeps each topic's shards in contiguous per-heap runs.
+func TestMultiHeapPlacementSpread(t *testing.T) {
+	mk := func(p PlacementPolicy) *Broker {
+		hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+		b, err := NewSet(hs, Config{Topics: twoTopics(), Threads: 1, Placement: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	rr := mk(nil) // default: round-robin
+	for _, topic := range rr.Topics() {
+		for s := 0; s < topic.Shards(); s++ {
+			if want := s % 2; topic.HeapOf(s) != want {
+				t.Fatalf("round-robin: %s shard %d on heap %d, want %d",
+					topic.Name(), s, topic.HeapOf(s), want)
+			}
+		}
+	}
+	bl := mk(BlockPlacement)
+	for _, topic := range bl.Topics() {
+		for s := 0; s < topic.Shards(); s++ {
+			if want := s * 2 / topic.Shards(); topic.HeapOf(s) != want {
+				t.Fatalf("block: %s shard %d on heap %d, want %d",
+					topic.Name(), s, topic.HeapOf(s), want)
+			}
+		}
+	}
+}
+
+// TestMultiHeapRecoverRoundTrip crashes a 2-heap broker mid-state and
+// recovers it from the catalog plus stamps alone: topics, placements
+// and messages on both domains survive.
+func TestMultiHeapRecoverRoundTrip(t *testing.T) {
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+	b, err := NewSet(hs, Config{Topics: twoTopics(), Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin placement: events shards alternate heaps. Publish one
+	// message per shard on both topics so both domains hold state.
+	for i := uint64(0); i < 8; i++ {
+		b.Topic("events").Publish(0, U64(i))
+		b.Topic("jobs").Publish(0, blobPayload(i))
+	}
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(5)))
+	hs.Restart()
+	r, err := RecoverSet(hs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Heaps() != 2 {
+		t.Fatalf("recovered broker spans %d heaps, want 2", r.Heaps())
+	}
+	for ti, topic := range r.Topics() {
+		for s := 0; s < topic.Shards(); s++ {
+			if got, want := topic.HeapOf(s), b.Topics()[ti].HeapOf(s); got != want {
+				t.Fatalf("recovered %s shard %d on heap %d, want %d", topic.Name(), s, got, want)
+			}
+		}
+	}
+	gotEvents, gotJobs := map[uint64]bool{}, 0
+	for _, topic := range r.Topics() {
+		for s := 0; s < topic.Shards(); s++ {
+			for {
+				p, ok := topic.DequeueShard(0, s)
+				if !ok {
+					break
+				}
+				if topic.Name() == "events" {
+					gotEvents[AsU64(p)] = true
+				} else {
+					id := AsU64(p[:8])
+					if !bytes.Equal(p, blobPayload(id)) {
+						t.Fatalf("job %d corrupted across multi-heap recovery", id)
+					}
+					gotJobs++
+				}
+			}
+		}
+	}
+	if len(gotEvents) != 8 || gotJobs != 8 {
+		t.Fatalf("recovered %d events, %d jobs; want 8 each", len(gotEvents), gotJobs)
+	}
+}
+
+// TestRecoverHeapSetMismatch: recovery on a set that does not match
+// the catalog — missing heaps, a blank heap spliced in, or members in
+// the wrong order — must error, never silently drop or mis-scan
+// shards.
+func TestRecoverHeapSetMismatch(t *testing.T) {
+	cfg := pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4}
+	h0, h1, h2 := pmem.New(cfg), pmem.New(cfg), pmem.New(cfg)
+	hs := pmem.NewSetOf(h0, h1, h2)
+	b, err := NewSet(hs, Config{Topics: twoTopics(), Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Topic("events").Publish(0, U64(1))
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(6)))
+	hs.Restart()
+
+	if _, err := RecoverSet(pmem.NewSetOf(h0), 2); err == nil {
+		t.Fatal("Recover with 1 of 3 catalogued heaps should fail")
+	}
+	if _, err := RecoverSet(pmem.NewSetOf(h0, h1), 2); err == nil {
+		t.Fatal("Recover with 2 of 3 catalogued heaps should fail")
+	}
+	blank := pmem.New(cfg)
+	if _, err := RecoverSet(pmem.NewSetOf(h0, h1, blank), 2); err == nil {
+		t.Fatal("Recover with a blank heap replacing a member should fail")
+	}
+	if _, err := RecoverSet(pmem.NewSetOf(h0, h2, h1), 2); err == nil {
+		t.Fatal("Recover with members out of order should fail")
+	}
+	// A foreign heap carrying another broker's stamp must be rejected.
+	foreign := pmem.NewSet(2, cfg)
+	if _, err := NewSet(foreign, Config{Topics: []TopicConfig{{Name: "x", Shards: 1}}, Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	foreign.CrashNow()
+	foreign.FinalizeCrash(rand.New(rand.NewSource(7)))
+	foreign.Restart()
+	if _, err := RecoverSet(pmem.NewSetOf(h0, h1, foreign.Heap(1)), 2); err == nil {
+		t.Fatal("Recover with another broker's heap spliced in should fail")
+	}
+	// The correct set still recovers, with the message intact.
+	r, err := RecoverSet(pmem.NewSetOf(h0, h1, h2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := r.Topic("events").DequeueShard(0, 0); !ok || AsU64(p) != 1 {
+		t.Fatalf("recovered event = %v,%v", p, ok)
+	}
+}
+
+// TestNewSetRejectsOccupiedMembers: NewSet must refuse any set whose
+// members carry durable broker state — in any position, not just heap
+// 0 — instead of silently overwriting another broker's catalog, stamp
+// or shards.
+func TestNewSetRejectsOccupiedMembers(t *testing.T) {
+	cfg := pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4}
+	topics := []TopicConfig{{Name: "events", Shards: 2}}
+	old := pmem.NewSet(2, cfg)
+	if _, err := NewSet(old, Config{Topics: topics, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	old.CrashNow()
+	old.FinalizeCrash(rand.New(rand.NewSource(8)))
+	old.Restart()
+
+	fresh := func() *pmem.Heap { return pmem.New(cfg) }
+	// A former anchor heap (full catalog) spliced into a non-anchor
+	// position of a new set.
+	if _, err := NewSet(pmem.NewSetOf(fresh(), old.Heap(0)), Config{Topics: topics, Threads: 2}); err == nil {
+		t.Fatal("NewSet over a heap hosting a catalog (non-anchor position) should fail")
+	}
+	// A former member heap (stamp) likewise.
+	if _, err := NewSet(pmem.NewSetOf(fresh(), old.Heap(1)), Config{Topics: topics, Threads: 2}); err == nil {
+		t.Fatal("NewSet over a heap carrying a membership stamp should fail")
+	}
+	// Anchor position still guarded too.
+	if _, err := NewSet(pmem.NewSetOf(old.Heap(0), fresh()), Config{Topics: topics, Threads: 2}); err == nil {
+		t.Fatal("NewSet over an anchor heap hosting a catalog should fail")
+	}
+	// The untouched old set remains recoverable.
+	if _, err := RecoverSet(pmem.NewSetOf(old.Heap(0), old.Heap(1)), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAffineGroupFencesOneDomain: with block placement and an affine
+// group, each member's shards live on one heap, Domains reports it,
+// and a PollBatch draining several shards pays exactly one SFENCE.
+func TestAffineGroupFencesOneDomain(t *testing.T) {
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, MaxThreads: 4})
+	b, err := NewSet(hs, Config{
+		Topics:    []TopicConfig{{Name: "events", Shards: 4}},
+		Threads:   2,
+		Placement: BlockPlacement,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.NewGroupAffine([]string{"events"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Size(); i++ {
+		if d := g.Consumer(i).Domains(); len(d) != 1 || d[0] != i {
+			t.Fatalf("affine consumer %d spans domains %v, want [%d]", i, d, i)
+		}
+	}
+	const n = 16
+	for i := uint64(0); i < n; i++ {
+		b.Topic("events").Publish(0, U64(i)) // 4 per shard round-robin
+	}
+	for i := 0; i < g.Size(); i++ {
+		before := hs.TotalStats()
+		ms := g.Consumer(i).PollBatch(1, n)
+		d := hs.TotalStats().Sub(before)
+		if len(ms) != n/2 {
+			t.Fatalf("consumer %d drained %d messages, want %d", i, len(ms), n/2)
+		}
+		if d.Fences != 1 {
+			t.Fatalf("affine consumer %d paid %d fences for a multi-shard poll, want 1", i, d.Fences)
+		}
+	}
+	// Contrast: a round-robin-assigned group over round-robin placement
+	// owns shards on both domains and pays one fence per domain.
+	hs2 := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, MaxThreads: 4})
+	b2, err := NewSet(hs2, Config{Topics: []TopicConfig{{Name: "events", Shards: 4}}, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b2.NewGroup([]string{"events"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g2.Consumer(0).Domains(); len(d) != 2 {
+		t.Fatalf("spread consumer spans domains %v, want both", d)
+	}
+	for i := uint64(0); i < n; i++ {
+		b2.Topic("events").Publish(0, U64(i))
+	}
+	before := hs2.TotalStats()
+	if ms := g2.Consumer(0).PollBatch(1, n); len(ms) != n {
+		t.Fatalf("spread consumer drained %d messages, want %d", len(ms), n)
+	}
+	if d := hs2.TotalStats().Sub(before); d.Fences != 2 {
+		t.Fatalf("spread consumer paid %d fences, want 2 (one per domain)", d.Fences)
 	}
 }

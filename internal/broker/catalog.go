@@ -2,56 +2,136 @@ package broker
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pmem"
 )
 
 // The durable catalog is what makes the broker recoverable as a
 // whole: one persistent region recording every topic's name, shard
-// count and payload kind, anchored at the broker's root slot 0.
+// count, payload kind and — since the v2 layout — every shard's
+// placement (heapID, baseSlot) across the heap set. The catalog is
+// anchored on heap 0 at the broker's root slot 0; heap 0 is the
+// anchor domain, the one place recovery starts from.
 //
-// Layout (one cache line per row, so each row persists with a single
-// flush and rows never invalidate each other):
+// v2 layout (one cache line per row, so each row persists with a
+// single flush and rows never invalidate each other):
 //
-//	line 0: [magic, topicCount, threads, 0...]
-//	line 1+i (topic i): [slotBase, shards, maxPayload, nameLen,
-//	                     name word 0..3]          (name <= 32 bytes)
+//	line 0 (header):  [magicV2, topicCount, threads, heapCount,
+//	                   setStamp, shardTotal, 0, 0]
+//	line 1+i (topic): [shards, maxPayload, nameLen, placeStart,
+//	                   name word 0..3]            (name <= 32 bytes)
+//	placement lines:  one word per shard in creation order,
+//	                   heapID<<32 | baseSlot, 8 words per line
 //
-// threads is recorded because it sizes each shard's per-thread
-// head-index region: recovery must scan exactly that many lines, so a
-// mismatched thread bound at Recover would silently corrupt the
-// recovered head index (reading garbage, or missing persisted
-// indices) rather than fail.
+// Every member heap other than heap 0 carries a membership stamp line
+// anchored at its own root slot 0:
+//
+//	[stampMagic, setStamp, heapIndex, heapCount]
+//
+// setStamp is minted fresh per broker creation, so Recover on a heap
+// set that is missing a catalogued heap, has a blank or foreign heap
+// spliced in, or presents the heaps in the wrong order fails with an
+// error instead of mis-scanning another broker's (or nobody's) root
+// slots. threads is recorded because it sizes each shard's per-thread
+// head-index region: recovery must scan exactly that many lines.
+//
+// The v1 layout ("Broker1", single-heap) is still read: topic rows
+// were [slotBase, shards, maxPayload, nameLen, name 0..3] with the
+// deterministic sequential placement on one heap. readCatalog accepts
+// it only on a 1-heap set.
 //
 // The catalog is written once, before the anchor: topics are static
 // for the life of a broker (dynamic topic creation is a ROADMAP open
 // item). Creation order therefore is: shard queues first, then the
-// catalog body, then — after a fence covering the body — the anchor.
-// A crash at any point inside New either leaves the anchor empty (no
-// broker; nothing was acknowledged) or a fully readable catalog.
+// membership stamps on heaps 1.., then the catalog body on heap 0,
+// then — after a fence covering the body — the anchor. A crash at any
+// point inside New either leaves the anchor empty (no broker; nothing
+// was acknowledged) or a fully readable catalog.
 
 const (
-	catMagic     = 0x42726f6b657231 // "Broker1"
+	catMagic     = 0x42726f6b657231 // "Broker1": legacy single-heap layout
+	catMagicV2   = 0x42726f6b657232 // "Broker2": heap-set layout
+	stampMagic   = 0x48705374616d70 // "HpStamp"
 	catNameBytes = 32
+
+	// Sanity caps for catalog fields, so a corrupted or truncated
+	// catalog is rejected with an error before its counts are used to
+	// compute out-of-range addresses.
+	maxCatTopics = 1 << 12
+	maxCatShards = 1 << 20
+	maxCatHeaps  = 1 << 10
 )
 
-func writeCatalog(h *pmem.Heap, cfg Config) {
+// setStampSeq mints process-unique membership stamps; uniqueness per
+// broker creation is all that is needed to tell one set's heaps from
+// another's (heaps are in-memory simulations, not shared files).
+var setStampSeq atomic.Uint64
+
+func nextSetStamp() uint64 {
+	return uint64(0x53)<<56 | setStampSeq.Add(1)
+}
+
+// shardLoc places one shard: which member heap it lives on and the
+// base of its slotsPerShard-wide root-slot window there.
+type shardLoc struct {
+	heap, base int
+}
+
+// layoutInfo is everything readCatalog recovers (and writeCatalog
+// records) about a broker's durable shape.
+type layoutInfo struct {
+	topics  []TopicConfig
+	locs    [][]shardLoc // per topic, per shard
+	threads int
+}
+
+func packLoc(l shardLoc) uint64   { return uint64(l.heap)<<32 | uint64(l.base) }
+func unpackLoc(w uint64) shardLoc { return shardLoc{heap: int(w >> 32), base: int(w & 0xffffffff)} }
+
+func writeCatalog(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc) {
 	const tid = 0
-	bytes := int64((1 + len(cfg.Topics)) * pmem.CacheLineBytes)
+	stamp := nextSetStamp()
+
+	// Membership stamps on every non-anchor heap, each persisted on
+	// its own domain (fences are per-heap) before the catalog names it.
+	for i := 1; i < hs.Len(); i++ {
+		h := hs.Heap(i)
+		reg := h.AllocRaw(tid, pmem.CacheLineBytes, pmem.CacheLineBytes)
+		h.InitRange(tid, reg, pmem.CacheLineBytes)
+		h.Store(tid, reg, stampMagic)
+		h.Store(tid, reg+8, stamp)
+		h.Store(tid, reg+16, uint64(i))
+		h.Store(tid, reg+24, uint64(hs.Len()))
+		h.Persist(tid, reg)
+		h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
+		h.Persist(tid, h.RootAddr(slotAnchor))
+	}
+
+	h := hs.Heap(0)
+	shardTotal := 0
+	for _, tl := range locs {
+		shardTotal += len(tl)
+	}
+	placeLines := (shardTotal + pmem.WordsPerLine - 1) / pmem.WordsPerLine
+	bytes := int64(1+len(cfg.Topics)+placeLines) * pmem.CacheLineBytes
 	reg := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
 	h.InitRange(tid, reg, bytes)
 
-	h.Store(tid, reg, catMagic)
-	h.Store(tid, reg+pmem.WordBytes, uint64(len(cfg.Topics)))
-	h.Store(tid, reg+2*pmem.WordBytes, uint64(cfg.Threads))
+	h.Store(tid, reg, catMagicV2)
+	h.Store(tid, reg+8, uint64(len(cfg.Topics)))
+	h.Store(tid, reg+16, uint64(cfg.Threads))
+	h.Store(tid, reg+24, uint64(hs.Len()))
+	h.Store(tid, reg+32, stamp)
+	h.Store(tid, reg+40, uint64(shardTotal))
 	h.Flush(tid, reg)
-	next := 1
+	place := 0
 	for i, tc := range cfg.Topics {
 		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
-		h.Store(tid, row, uint64(next))
-		h.Store(tid, row+8, uint64(tc.Shards))
-		h.Store(tid, row+16, uint64(tc.MaxPayload))
-		h.Store(tid, row+24, uint64(len(tc.Name)))
+		h.Store(tid, row, uint64(tc.Shards))
+		h.Store(tid, row+8, uint64(tc.MaxPayload))
+		h.Store(tid, row+16, uint64(len(tc.Name)))
+		h.Store(tid, row+24, uint64(place))
 		name := make([]byte, catNameBytes)
 		copy(name, tc.Name)
 		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
@@ -62,52 +142,275 @@ func writeCatalog(h *pmem.Heap, cfg Config) {
 			h.Store(tid, row+pmem.Addr(32+w*8), word)
 		}
 		h.Flush(tid, row)
-		next += tc.Shards * slotsPerShard
+		place += tc.Shards
+	}
+	placeBase := reg + pmem.Addr((1+len(cfg.Topics))*pmem.CacheLineBytes)
+	j := 0
+	for _, tl := range locs {
+		for _, loc := range tl {
+			h.Store(tid, placeBase+pmem.Addr(j*pmem.WordBytes), packLoc(loc))
+			j++
+		}
+	}
+	for l := 0; l < placeLines; l++ {
+		h.Flush(tid, placeBase+pmem.Addr(l*pmem.CacheLineBytes))
 	}
 	h.Fence(tid) // catalog body durable before the anchor names it
 
-	h.Store(tid, h.RootAddr(slotCatalog), uint64(reg))
-	h.Persist(tid, h.RootAddr(slotCatalog))
+	h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
+	h.Persist(tid, h.RootAddr(slotAnchor))
 }
 
-func readCatalog(h *pmem.Heap) ([]TopicConfig, int, error) {
-	const tid = 0
-	reg := pmem.Addr(h.Load(tid, h.RootAddr(slotCatalog)))
+// catReader bounds-checks every word it reads against the heap size,
+// so a corrupted count or truncated region yields an error instead of
+// an out-of-range panic deep in the simulator.
+type catReader struct {
+	h   *pmem.Heap
+	err error
+}
+
+func (r *catReader) word(a pmem.Addr) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	// Phrased to survive corrupt addresses near 2^64: a+WordBytes could
+	// wrap to a small value and dodge the check.
+	if bytes := pmem.Addr(r.h.Bytes()); a >= bytes || bytes-a < pmem.WordBytes {
+		r.err = fmt.Errorf("broker: catalog truncated: read at %d beyond heap of %d bytes", a, r.h.Bytes())
+		return 0
+	}
+	return r.h.Load(0, a)
+}
+
+func readName(r *catReader, row pmem.Addr, nameLen uint64) string {
+	name := make([]byte, catNameBytes)
+	for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+		word := r.word(row + pmem.Addr(32+w*8))
+		for b := 0; b < 8; b++ {
+			name[w*8+b] = byte(word >> (8 * b))
+		}
+	}
+	return string(name[:nameLen])
+}
+
+// readCatalog reads the durable catalog from heap 0 of the set,
+// accepting both layouts, and verifies the membership stamp of every
+// non-anchor heap. It returns an error — never panics — when the set
+// does not match the catalog: fewer or more heaps than recorded, a
+// blank heap where a stamped member should be, a stamp from another
+// broker, or heaps presented in the wrong order.
+func readCatalog(hs *pmem.HeapSet) (layoutInfo, error) {
+	h := hs.Heap(0)
+	r := &catReader{h: h}
+	reg := pmem.Addr(r.word(h.RootAddr(slotAnchor)))
+	if r.err != nil {
+		return layoutInfo{}, r.err
+	}
 	if reg == 0 {
-		return nil, 0, fmt.Errorf("broker: no catalog anchored (heap window hosts no broker)")
+		return layoutInfo{}, fmt.Errorf("broker: no catalog anchored (heap 0 hosts no broker)")
 	}
-	if m := h.Load(tid, reg); m != catMagic {
-		return nil, 0, fmt.Errorf("broker: catalog magic %#x invalid", m)
+	magic := r.word(reg)
+	var (
+		lay       layoutInfo
+		heapCount int
+		stamp     uint64
+		err       error
+	)
+	switch magic {
+	case catMagic:
+		heapCount = 1
+		lay, err = readCatalogV1(r, reg)
+	case catMagicV2:
+		lay, heapCount, stamp, err = readCatalogV2(r, reg)
+	default:
+		return layoutInfo{}, fmt.Errorf("broker: catalog magic %#x invalid", magic)
 	}
-	n := h.Load(tid, reg+pmem.WordBytes)
-	threads := int(h.Load(tid, reg+2*pmem.WordBytes))
-	topics := make([]TopicConfig, 0, n)
+	if err != nil {
+		return layoutInfo{}, err
+	}
+	if heapCount != hs.Len() {
+		return layoutInfo{}, fmt.Errorf("broker: catalog records %d heaps, the given set has %d",
+			heapCount, hs.Len())
+	}
+	for i := 1; i < heapCount; i++ {
+		if err := checkStamp(hs.Heap(i), i, heapCount, stamp); err != nil {
+			return layoutInfo{}, err
+		}
+	}
+	// Validate every placement against the actual set: in-range heap,
+	// in-range window, and no two shards sharing slots on one heap.
+	used := make([][]int, hs.Len())
+	for ti, tl := range lay.locs {
+		for si, loc := range tl {
+			if loc.heap < 0 || loc.heap >= hs.Len() {
+				return layoutInfo{}, fmt.Errorf("broker: catalog places topic %d shard %d on heap %d of %d",
+					ti, si, loc.heap, hs.Len())
+			}
+			if loc.base < 1 || loc.base+slotsPerShard > hs.Heap(loc.heap).RootSlots() {
+				return layoutInfo{}, fmt.Errorf("broker: catalog places topic %d shard %d at slots [%d,%d) outside heap %d's window [1,%d)",
+					ti, si, loc.base, loc.base+slotsPerShard, loc.heap, hs.Heap(loc.heap).RootSlots())
+			}
+			for _, b := range used[loc.heap] {
+				if loc.base < b+slotsPerShard && b < loc.base+slotsPerShard {
+					return layoutInfo{}, fmt.Errorf("broker: catalog shard windows overlap on heap %d (bases %d and %d)",
+						loc.heap, b, loc.base)
+				}
+			}
+			used[loc.heap] = append(used[loc.heap], loc.base)
+		}
+	}
+	return lay, nil
+}
+
+func readCatalogV1(r *catReader, reg pmem.Addr) (layoutInfo, error) {
+	n := r.word(reg + pmem.WordBytes)
+	threads := r.word(reg + 2*pmem.WordBytes)
+	if n == 0 || n > maxCatTopics {
+		return layoutInfo{}, fmt.Errorf("broker: v1 catalog topic count %d invalid", n)
+	}
+	lay := layoutInfo{threads: int(threads)}
 	next := uint64(1)
 	for i := uint64(0); i < n; i++ {
 		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
-		nameLen := h.Load(tid, row+24)
-		if nameLen == 0 || nameLen > catNameBytes {
-			return nil, 0, fmt.Errorf("broker: catalog row %d has invalid name length %d", i, nameLen)
+		nameLen := r.word(row + 24)
+		if r.err != nil {
+			return layoutInfo{}, r.err
 		}
-		// The recorded slot base must match the deterministic layout;
-		// a mismatch means the catalog does not describe this heap.
-		if base := h.Load(tid, row); base != next {
-			return nil, 0, fmt.Errorf("broker: catalog row %d records slot base %d, layout expects %d",
+		if nameLen == 0 || nameLen > catNameBytes {
+			return layoutInfo{}, fmt.Errorf("broker: catalog row %d has invalid name length %d", i, nameLen)
+		}
+		// The recorded slot base must match the deterministic v1
+		// layout; a mismatch means the catalog does not describe this
+		// heap.
+		if base := r.word(row); base != next {
+			return layoutInfo{}, fmt.Errorf("broker: catalog row %d records slot base %d, layout expects %d",
 				i, base, next)
 		}
-		name := make([]byte, catNameBytes)
-		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
-			word := h.Load(tid, row+pmem.Addr(32+w*8))
-			for b := 0; b < 8; b++ {
-				name[w*8+b] = byte(word >> (8 * b))
-			}
+		shards := r.word(row + 8)
+		if shards == 0 || shards > maxCatShards {
+			return layoutInfo{}, fmt.Errorf("broker: catalog row %d has invalid shard count %d", i, shards)
 		}
-		topics = append(topics, TopicConfig{
-			Name:       string(name[:nameLen]),
-			Shards:     int(h.Load(tid, row+8)),
-			MaxPayload: int(h.Load(tid, row+16)),
+		locs := make([]shardLoc, shards)
+		for s := range locs {
+			locs[s] = shardLoc{heap: 0, base: int(next) + s*slotsPerShard}
+		}
+		lay.topics = append(lay.topics, TopicConfig{
+			Name:       readName(r, row, nameLen),
+			Shards:     int(shards),
+			MaxPayload: int(r.word(row + 16)),
 		})
-		next += h.Load(tid, row+8) * slotsPerShard
+		lay.locs = append(lay.locs, locs)
+		next += shards * slotsPerShard
 	}
-	return topics, threads, nil
+	return lay, r.err
+}
+
+func readCatalogV2(r *catReader, reg pmem.Addr) (layoutInfo, int, uint64, error) {
+	n := r.word(reg + 8)
+	threads := r.word(reg + 16)
+	heapCount := r.word(reg + 24)
+	stamp := r.word(reg + 32)
+	shardTotal := r.word(reg + 40)
+	if r.err != nil {
+		return layoutInfo{}, 0, 0, r.err
+	}
+	if n == 0 || n > maxCatTopics {
+		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog topic count %d invalid", n)
+	}
+	if heapCount == 0 || heapCount > maxCatHeaps {
+		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog heap count %d invalid", heapCount)
+	}
+	if shardTotal == 0 || shardTotal > maxCatShards {
+		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog shard total %d invalid", shardTotal)
+	}
+	lay := layoutInfo{threads: int(threads)}
+	placeBase := reg + pmem.Addr((1+n)*pmem.CacheLineBytes)
+	place := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
+		shards := r.word(row)
+		maxPayload := r.word(row + 8)
+		nameLen := r.word(row + 16)
+		placeStart := r.word(row + 24)
+		if r.err != nil {
+			return layoutInfo{}, 0, 0, r.err
+		}
+		if nameLen == 0 || nameLen > catNameBytes {
+			return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog row %d has invalid name length %d", i, nameLen)
+		}
+		if shards == 0 || placeStart != place || placeStart+shards > shardTotal {
+			return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog row %d has inconsistent placement (%d shards at %d of %d)",
+				i, shards, placeStart, shardTotal)
+		}
+		locs := make([]shardLoc, shards)
+		for s := range locs {
+			locs[s] = unpackLoc(r.word(placeBase + pmem.Addr((placeStart+uint64(s))*pmem.WordBytes)))
+		}
+		lay.topics = append(lay.topics, TopicConfig{
+			Name:       readName(r, row, nameLen),
+			Shards:     int(shards),
+			MaxPayload: int(maxPayload),
+		})
+		lay.locs = append(lay.locs, locs)
+		place += shards
+	}
+	if place != shardTotal {
+		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog shard total %d does not match topic rows (%d)",
+			shardTotal, place)
+	}
+	return lay, int(heapCount), stamp, r.err
+}
+
+// checkMemberEmpty rejects a heap whose anchor slot already names a
+// durable region: creating a broker over it would destroy another
+// broker's catalog, stamp or shard state. The error says what was
+// found so an operator can tell a live set (recover it) from debris of
+// a creation that crashed pre-anchor (clear the slot explicitly).
+func checkMemberEmpty(h *pmem.Heap, i int) error {
+	r := &catReader{h: h}
+	reg := pmem.Addr(r.word(h.RootAddr(slotAnchor)))
+	if r.err != nil || reg == 0 {
+		return nil // nothing anchored (a dangling address is treated as debris below)
+	}
+	switch r.word(reg) {
+	case catMagic, catMagicV2:
+		return fmt.Errorf("broker: heap %d of the set already hosts a broker catalog (use Recover)", i)
+	case stampMagic:
+		return fmt.Errorf("broker: heap %d of the set carries a membership stamp (member of another broker, or leftover from an interrupted creation)", i)
+	default:
+		return fmt.Errorf("broker: heap %d of the set has a nonzero anchor slot (hosts unknown durable state)", i)
+	}
+}
+
+// checkStamp verifies heap i's membership stamp against the catalog's
+// expectation: present, from the same broker creation, and in the
+// right position of the set.
+func checkStamp(h *pmem.Heap, i, heapCount int, stamp uint64) error {
+	r := &catReader{h: h}
+	reg := pmem.Addr(r.word(h.RootAddr(slotAnchor)))
+	if r.err != nil {
+		return r.err
+	}
+	if reg == 0 {
+		return fmt.Errorf("broker: heap %d of the set carries no membership stamp (missing or blank heap)", i)
+	}
+	magic := r.word(reg)
+	gotStamp := r.word(reg + 8)
+	gotIdx := r.word(reg + 16)
+	gotCount := r.word(reg + 24)
+	if r.err != nil {
+		return r.err
+	}
+	if magic != stampMagic {
+		return fmt.Errorf("broker: heap %d stamp magic %#x invalid", i, magic)
+	}
+	if gotStamp != stamp {
+		return fmt.Errorf("broker: heap %d carries stamp %#x, catalog expects %#x (heap from another broker?)",
+			i, gotStamp, stamp)
+	}
+	if gotIdx != uint64(i) || gotCount != uint64(heapCount) {
+		return fmt.Errorf("broker: heap %d stamped as member %d of %d (set order mismatch)",
+			i, gotIdx, gotCount)
+	}
+	return nil
 }

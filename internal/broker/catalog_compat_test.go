@@ -1,0 +1,212 @@
+package broker
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/blobq"
+	"repro/internal/pmem"
+	"repro/internal/queues"
+)
+
+// writeCatalogV1 replays the legacy single-heap catalog writer
+// verbatim (the "Broker1" layout documented in catalog.go): one header
+// line, then one row per topic [slotBase, shards, maxPayload, nameLen,
+// name 0..3]. Brokers written by pre-heap-set builds carry exactly
+// this; the tests below pin that readCatalog still accepts it.
+func writeCatalogV1(h *pmem.Heap, cfg Config) {
+	const tid = 0
+	bytes := int64((1 + len(cfg.Topics)) * pmem.CacheLineBytes)
+	reg := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
+	h.InitRange(tid, reg, bytes)
+
+	h.Store(tid, reg, catMagic)
+	h.Store(tid, reg+pmem.WordBytes, uint64(len(cfg.Topics)))
+	h.Store(tid, reg+2*pmem.WordBytes, uint64(cfg.Threads))
+	h.Flush(tid, reg)
+	next := 1
+	for i, tc := range cfg.Topics {
+		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
+		h.Store(tid, row, uint64(next))
+		h.Store(tid, row+8, uint64(tc.Shards))
+		h.Store(tid, row+16, uint64(tc.MaxPayload))
+		h.Store(tid, row+24, uint64(len(tc.Name)))
+		name := make([]byte, catNameBytes)
+		copy(name, tc.Name)
+		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+			var word uint64
+			for b := 0; b < 8; b++ {
+				word |= uint64(name[w*8+b]) << (8 * b)
+			}
+			h.Store(tid, row+pmem.Addr(32+w*8), word)
+		}
+		h.Flush(tid, row)
+		next += tc.Shards * slotsPerShard
+	}
+	h.Fence(tid)
+
+	h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
+	h.Persist(tid, h.RootAddr(slotAnchor))
+}
+
+// newWithV1Catalog builds a broker exactly as a pre-heap-set binary
+// did: shard queues at the deterministic sequential layout on one
+// heap, then the v1 catalog.
+func newWithV1Catalog(t *testing.T, h *pmem.Heap, cfg Config) *Broker {
+	t.Helper()
+	hs := pmem.NewSetOf(h)
+	locs, err := computeLayout(hs, cfg) // round-robin on 1 heap = v1 layout
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := build(hs, cfg, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+		if tc.MaxPayload == 0 {
+			return &shard{fixed: queues.NewOptUnlinkedQ(view, cfg.Threads)}
+		}
+		return &shard{blob: blobq.New(view, blobq.Config{Threads: cfg.Threads, MaxPayload: tc.MaxPayload})}
+	})
+	writeCatalogV1(h, cfg)
+	return b
+}
+
+// TestCatalogV1Recover: a broker persisted with the legacy single-heap
+// catalog must still recover on a 1-heap set, payloads intact — and
+// must be rejected on a multi-heap set rather than guessed at.
+func TestCatalogV1Recover(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+	b := newWithV1Catalog(t, h, Config{Topics: twoTopics(), Threads: 2})
+	b.Topic("events").Publish(0, U64(41))
+	b.Topic("jobs").Publish(0, blobPayload(9))
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(11)))
+	h.Restart()
+
+	other := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+	if _, err := RecoverSet(pmem.NewSetOf(h, other), 2); err == nil {
+		t.Fatal("v1 catalog on a 2-heap set should be rejected")
+	}
+
+	r, err := Recover(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tc := range twoTopics() {
+		got := r.Topics()[i]
+		if got.Name() != tc.Name || got.Shards() != tc.Shards || got.HeapOf(0) != 0 {
+			t.Fatalf("recovered topic %d = %s/%d on heap %d, want %s/%d on heap 0",
+				i, got.Name(), got.Shards(), got.HeapOf(0), tc.Name, tc.Shards)
+		}
+	}
+	if p, ok := r.Topic("events").DequeueShard(0, 0); !ok || AsU64(p) != 41 {
+		t.Fatalf("recovered v1 event = %v,%v", p, ok)
+	}
+	found := false
+	for s := 0; s < r.Topic("jobs").Shards(); s++ {
+		if p, ok := r.Topic("jobs").DequeueShard(0, s); ok {
+			if AsU64(p[:8]) != 9 {
+				t.Fatal("recovered v1 job corrupted")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("v1 job lost across recovery")
+	}
+}
+
+// TestCatalogCorruptionErrors: a corrupted or truncated catalog must
+// surface as an error from Recover, never a panic deep in the
+// simulator.
+func TestCatalogCorruptionErrors(t *testing.T) {
+	newCrashed := func(t *testing.T) *pmem.Heap {
+		h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+		b, err := New(h, Config{Topics: twoTopics(), Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Topic("events").Publish(0, U64(1))
+		h.CrashNow()
+		h.FinalizeCrash(rand.New(rand.NewSource(3)))
+		h.Restart()
+		return h
+	}
+	expectErr := func(t *testing.T, h *pmem.Heap, what string) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: Recover panicked: %v", what, r)
+			}
+		}()
+		if _, err := Recover(h, 2); err == nil {
+			t.Fatalf("%s: Recover succeeded on a corrupted catalog", what)
+		}
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		h := newCrashed(t)
+		reg := pmem.Addr(h.Load(0, h.RootAddr(slotAnchor)))
+		h.Store(0, reg, 0xdead)
+		expectErr(t, h, "bad magic")
+	})
+	t.Run("absurd topic count", func(t *testing.T) {
+		h := newCrashed(t)
+		reg := pmem.Addr(h.Load(0, h.RootAddr(slotAnchor)))
+		h.Store(0, reg+8, 1<<40)
+		expectErr(t, h, "absurd topic count")
+	})
+	t.Run("absurd shard total", func(t *testing.T) {
+		h := newCrashed(t)
+		reg := pmem.Addr(h.Load(0, h.RootAddr(slotAnchor)))
+		h.Store(0, reg+40, 1<<40)
+		expectErr(t, h, "absurd shard total")
+	})
+	t.Run("name length out of range", func(t *testing.T) {
+		h := newCrashed(t)
+		reg := pmem.Addr(h.Load(0, h.RootAddr(slotAnchor)))
+		h.Store(0, reg+pmem.CacheLineBytes+16, catNameBytes+1)
+		expectErr(t, h, "name length")
+	})
+	t.Run("placement out of range", func(t *testing.T) {
+		h := newCrashed(t)
+		reg := pmem.Addr(h.Load(0, h.RootAddr(slotAnchor)))
+		// First placement word: point the shard at heap 7 of a 1-heap set.
+		place := reg + pmem.Addr((1+len(twoTopics()))*pmem.CacheLineBytes)
+		h.Store(0, place, packLoc(shardLoc{heap: 7, base: 1}))
+		expectErr(t, h, "placement heap")
+	})
+	t.Run("overlapping placements", func(t *testing.T) {
+		h := newCrashed(t)
+		reg := pmem.Addr(h.Load(0, h.RootAddr(slotAnchor)))
+		place := reg + pmem.Addr((1+len(twoTopics()))*pmem.CacheLineBytes)
+		// Make shard 1 alias shard 0's window.
+		h.Store(0, place+8, h.Load(0, place))
+		expectErr(t, h, "overlap")
+	})
+	t.Run("anchor near uint64 wraparound", func(t *testing.T) {
+		// A corrupt anchor in [2^64-8, 2^64) must hit the truncation
+		// error, not wrap past the bounds check into an index panic.
+		h := newCrashed(t)
+		h.Store(0, h.RootAddr(slotAnchor), ^uint64(0)-3)
+		expectErr(t, h, "wraparound anchor")
+	})
+	t.Run("short catalog near heap end", func(t *testing.T) {
+		h := newCrashed(t)
+		// Re-anchor the catalog to the last line of the heap: the header
+		// reads but every row is out of bounds; the reader must return a
+		// truncation error instead of indexing past the arena.
+		tail := pmem.Addr(h.Bytes()) - pmem.CacheLineBytes
+		h.Store(0, tail, catMagicV2)
+		h.Store(0, tail+8, 2)  // topicCount
+		h.Store(0, tail+16, 2) // threads
+		h.Store(0, tail+24, 1) // heapCount
+		h.Store(0, tail+32, 1) // stamp
+		h.Store(0, tail+40, 8) // shardTotal
+		h.Store(0, h.RootAddr(slotAnchor), uint64(tail))
+		expectErr(t, h, "short catalog")
+		_, err := readCatalog(pmem.NewSetOf(h))
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("want truncation error, got %v", err)
+		}
+	})
+}

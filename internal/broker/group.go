@@ -1,6 +1,9 @@
 package broker
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Message is one delivered payload with its provenance.
 type Message struct {
@@ -25,9 +28,21 @@ type Group struct {
 	consumers []*Consumer
 }
 
-// NewGroup subscribes n consumers to the named topics, assigning
-// shards to members round-robin across the combined shard list.
-func (b *Broker) NewGroup(topicNames []string, n int) (*Group, error) {
+func (b *Broker) collectRefs(topicNames []string) ([]consumerShard, error) {
+	var refs []consumerShard
+	for _, name := range topicNames {
+		t := b.Topic(name)
+		if t == nil {
+			return nil, fmt.Errorf("broker: unknown topic %q", name)
+		}
+		for s := 0; s < t.Shards(); s++ {
+			refs = append(refs, consumerShard{t: t, shard: s})
+		}
+	}
+	return refs, nil
+}
+
+func newGroup(refs []consumerShard, n int, deal func(g *Group, refs []consumerShard)) (*Group, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("broker: group needs at least one consumer")
 	}
@@ -35,19 +50,46 @@ func (b *Broker) NewGroup(topicNames []string, n int) (*Group, error) {
 	for i := range g.consumers {
 		g.consumers[i] = &Consumer{}
 	}
-	i := 0
-	for _, name := range topicNames {
-		t := b.Topic(name)
-		if t == nil {
-			return nil, fmt.Errorf("broker: unknown topic %q", name)
-		}
-		for s := 0; s < t.Shards(); s++ {
-			c := g.consumers[i%n]
-			c.refs = append(c.refs, consumerShard{t: t, shard: s})
-			i++
-		}
-	}
+	deal(g, refs)
 	return g, nil
+}
+
+// NewGroup subscribes n consumers to the named topics, assigning
+// shards to members round-robin across the combined shard list.
+func (b *Broker) NewGroup(topicNames []string, n int) (*Group, error) {
+	refs, err := b.collectRefs(topicNames)
+	if err != nil {
+		return nil, err
+	}
+	return newGroup(refs, n, func(g *Group, refs []consumerShard) {
+		for i, r := range refs {
+			c := g.consumers[i%n]
+			c.refs = append(c.refs, r)
+		}
+	})
+}
+
+// NewGroupAffine subscribes n consumers to the named topics with
+// heap-affine assignment: the combined shard list is ordered by member
+// heap and dealt out in contiguous chunks, so each consumer's shards
+// concentrate on as few persistence domains as possible. A PollBatch
+// fences once per domain it dequeued from — with block placement
+// (BlockPlacement) and consumers >= heaps, each member's fences stay
+// on a single domain.
+func (b *Broker) NewGroupAffine(topicNames []string, n int) (*Group, error) {
+	refs, err := b.collectRefs(topicNames)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(refs, func(i, j int) bool {
+		return refs[i].t.locs[refs[i].shard].heap < refs[j].t.locs[refs[j].shard].heap
+	})
+	return newGroup(refs, n, func(g *Group, refs []consumerShard) {
+		for i := range g.consumers {
+			lo, hi := i*len(refs)/n, (i+1)*len(refs)/n
+			g.consumers[i].refs = append(g.consumers[i].refs, refs[lo:hi]...)
+		}
+	})
 }
 
 // Size returns the number of group members.
@@ -77,6 +119,27 @@ func (c *Consumer) Assigned() []ShardRef {
 	return out
 }
 
+// Domains lists the distinct member heaps this member's shards live
+// on — the number of SFENCEs a full PollBatch sweep pays at most.
+func (c *Consumer) Domains() []int {
+	var out []int
+	for _, r := range c.refs {
+		h := r.t.locs[r.shard].heap
+		seen := false
+		for _, d := range out {
+			if d == h {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, h)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Poll scans the member's shards round-robin and delivers the first
 // available message. ok is false when every owned shard was observed
 // empty. When Poll returns a message, the delivery is already durable
@@ -97,15 +160,17 @@ func (c *Consumer) Poll(tid int) (Message, bool) {
 }
 
 // PollBatch drains up to max messages from the member's shards
-// round-robin, riding a single blocking persist across every shard it
-// touched: each shard's batch dequeue issues one NTStore of its new
-// head index, and since a fence is per-thread and covers all of that
-// thread's outstanding NTStores regardless of which shard's local line
-// they target, one SFENCE at the end makes every shard's progress
-// durable together. Consumer fences drop toward 1 per batch; a poll
-// that finds every owned shard empty at an already-persisted head
-// index issues no persist instructions at all, so idle consumers poll
-// for free.
+// round-robin, riding a single blocking persist per persistence
+// domain it dequeued from: each shard's batch dequeue issues one
+// NTStore of its new head index, and since a fence is per-thread
+// *per-heap* and covers all of that thread's outstanding NTStores on
+// that heap regardless of which shard's local line they target, one
+// SFENCE per touched heap at the end makes every shard's progress
+// durable together. With all of a member's shards on one domain (see
+// NewGroupAffine and BlockPlacement) that is a single fence per poll;
+// a poll that finds every owned shard empty at an already-persisted
+// head index issues no persist instructions at all, so idle consumers
+// poll for free.
 //
 // The batch is acknowledged as a whole when PollBatch returns: at that
 // point every delivery in it is durable and will never be re-delivered
@@ -136,7 +201,22 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 		c.next = (c.next + 1) % len(c.refs)
 	}
 	if len(touched) > 0 {
-		c.refs[0].t.b.h.Fence(tid) // one fence covers every shard's NTStores
+		// One fence per distinct domain covers every touched shard's
+		// NTStores there.
+		var fenced []int
+		for _, s := range touched {
+			done := false
+			for _, hi := range fenced {
+				if hi == s.heap {
+					done = true
+					break
+				}
+			}
+			if !done {
+				s.h.Fence(tid)
+				fenced = append(fenced, s.heap)
+			}
+		}
 		for _, s := range touched {
 			s.completeBatch(tid)
 		}

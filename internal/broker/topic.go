@@ -8,13 +8,15 @@ import (
 // Topic is one named, sharded durable message stream. Publishing is
 // safe from any number of producers (each with its own tid); ordering
 // is FIFO per shard, so two messages routed to the same shard are
-// delivered in publish order.
+// delivered in publish order. A topic's shards may be spread over
+// several member heaps of the broker's set (see PlacementPolicy);
+// HeapOf reports each shard's domain.
 type Topic struct {
-	b        *Broker
-	cfg      TopicConfig
-	slotBase int
-	shards   []*shard
-	rr       atomic.Uint64 // round-robin routing cursor
+	b      *Broker
+	cfg    TopicConfig
+	locs   []shardLoc
+	shards []*shard
+	rr     atomic.Uint64 // round-robin routing cursor
 }
 
 // Name returns the topic name.
@@ -22,6 +24,10 @@ func (t *Topic) Name() string { return t.cfg.Name }
 
 // Shards returns the topic's shard count.
 func (t *Topic) Shards() int { return len(t.shards) }
+
+// HeapOf reports the member heap (persistence domain) shard s lives
+// on.
+func (t *Topic) HeapOf(s int) int { return t.locs[s].heap }
 
 // MaxPayload reports the payload capacity in bytes (8 for fixed
 // topics).
@@ -48,7 +54,8 @@ func (t *Topic) checkPayload(p []byte) {
 
 // Publish routes payload to the next shard round-robin and enqueues
 // it durably. When Publish returns the message is acknowledged: it
-// survives any subsequent crash. One blocking persist per message.
+// survives any subsequent crash. One blocking persist per message, on
+// the shard's own heap.
 func (t *Topic) Publish(tid int, payload []byte) {
 	t.checkPayload(payload)
 	s := int(t.rr.Add(1)-1) % len(t.shards)

@@ -21,6 +21,15 @@ type BrokerConfig struct {
 	Topics int
 	// Shards is the shard count per topic (>= 1).
 	Shards int
+	// Heaps is the number of member heaps the broker spans (>= 1, each
+	// of HeapBytes). Shards spread across the set per the placement
+	// policy; per-heap persist statistics land in PerHeap.
+	Heaps int
+	// Affine selects heap-affine deployment: block shard placement
+	// plus heap-affine consumer assignment, so each consumer's fences
+	// stay on one domain. Default is round-robin placement and
+	// round-robin shard assignment.
+	Affine bool
 	// Producers and Consumers are the worker thread counts.
 	Producers int
 	Consumers int
@@ -50,6 +59,9 @@ func (c *BrokerConfig) norm() {
 	if c.Shards <= 0 {
 		c.Shards = 4
 	}
+	if c.Heaps <= 0 {
+		c.Heaps = 1
+	}
 	if c.Producers <= 0 {
 		c.Producers = 2
 	}
@@ -72,16 +84,23 @@ func (c *BrokerConfig) norm() {
 
 // BrokerResult is one broker measurement outcome. Producer and
 // Consumer aggregate the persist statistics of the two thread groups
-// separately, so the batch-publish fence amortization is directly
-// visible as Producer.Fences / Published.
+// separately (summed across member heaps), so the batch-publish fence
+// amortization is directly visible as Producer.Fences / Published;
+// PerHeap splits all traffic by persistence domain instead, exposing
+// placement imbalance.
 type BrokerResult struct {
-	Topics, Shards, Producers, Consumers, Batch, DequeueBatch, Payload int
+	Topics, Shards, Heaps, Producers, Consumers, Batch, DequeueBatch, Payload int
+	Affine                                                                    bool
 
 	Published uint64
 	Delivered uint64
 	Elapsed   time.Duration
 	Producer  pmem.Stats
 	Consumer  pmem.Stats
+
+	// PerHeap is each member heap's total event counters for the
+	// measured phase (all threads).
+	PerHeap []pmem.Stats
 
 	// IdlePolls/IdlePollFences measure the post-drain idle phase: one
 	// consumer repeatedly polling its (empty) shards. With empty-poll
@@ -128,11 +147,33 @@ func (r BrokerResult) IdleFencesPerPoll() float64 {
 	return float64(r.IdlePollFences) / float64(r.IdlePolls)
 }
 
+// HeapImbalance reports how unevenly persist traffic spread across the
+// member heaps: the busiest heap's persist-instruction count (fences +
+// NTStores) over the per-heap mean. 1.0 is perfectly balanced; H means
+// one domain carried everything. 1.0 by definition on a 1-heap set.
+func (r BrokerResult) HeapImbalance() float64 {
+	if len(r.PerHeap) <= 1 {
+		return 1
+	}
+	var sum, max float64
+	for _, s := range r.PerHeap {
+		v := float64(s.Fences + s.NTStores)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(r.PerHeap)))
+}
+
 // RunBroker executes one broker measurement.
 func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	cfg.norm()
 	threads := cfg.Producers + cfg.Consumers
-	h := pmem.New(pmem.Config{
+	hs := pmem.NewSet(cfg.Heaps, pmem.Config{
 		Bytes:      cfg.HeapBytes,
 		Mode:       pmem.ModePerf,
 		MaxThreads: threads,
@@ -144,15 +185,23 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		names[i] = fmt.Sprintf("topic-%d", i)
 		topics[i] = broker.TopicConfig{Name: names[i], Shards: cfg.Shards, MaxPayload: cfg.Payload}
 	}
-	b, err := broker.New(h, broker.Config{Topics: topics, Threads: threads})
+	bcfg := broker.Config{Topics: topics, Threads: threads}
+	if cfg.Affine {
+		bcfg.Placement = broker.BlockPlacement
+	}
+	b, err := broker.NewSet(hs, bcfg)
 	if err != nil {
 		return BrokerResult{}, err
 	}
-	g, err := b.NewGroup(names, cfg.Consumers)
+	newGroup := b.NewGroup
+	if cfg.Affine {
+		newGroup = b.NewGroupAffine
+	}
+	g, err := newGroup(names, cfg.Consumers)
 	if err != nil {
 		return BrokerResult{}, err
 	}
-	h.ResetStats() // charge setup (catalog, shard creation) to no one
+	hs.ResetStats() // charge setup (catalog, shard creation) to no one
 
 	prev := runtime.GOMAXPROCS(0)
 	if threads > prev {
@@ -250,17 +299,21 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	elapsed := time.Since(begin)
 
 	res := BrokerResult{
-		Topics: cfg.Topics, Shards: cfg.Shards,
+		Topics: cfg.Topics, Shards: cfg.Shards, Heaps: cfg.Heaps, Affine: cfg.Affine,
 		Producers: cfg.Producers, Consumers: cfg.Consumers,
 		Batch: cfg.Batch, DequeueBatch: cfg.DequeueBatch, Payload: cfg.Payload,
 		Published: published.Load(), Delivered: delivered.Load(),
 		Elapsed: elapsed,
 	}
 	for tid := 0; tid < cfg.Producers; tid++ {
-		res.Producer.Add(h.StatsOf(tid))
+		res.Producer.Add(hs.StatsOf(tid))
 	}
 	for tid := cfg.Producers; tid < threads; tid++ {
-		res.Consumer.Add(h.StatsOf(tid))
+		res.Consumer.Add(hs.StatsOf(tid))
+	}
+	res.PerHeap = make([]pmem.Stats, cfg.Heaps)
+	for i := 0; i < cfg.Heaps; i++ {
+		res.PerHeap[i] = hs.Heap(i).TotalStats()
 	}
 
 	// Idle phase: with all shards drained, measure the persist cost of
@@ -270,7 +323,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	const idlePolls = 1000
 	idleTid := cfg.Producers
 	idleCons := g.Consumer(0)
-	before := h.StatsOf(idleTid)
+	before := hs.StatsOf(idleTid)
 	for i := 0; i < idlePolls; i++ {
 		if cfg.DequeueBatch == 1 {
 			idleCons.Poll(idleTid)
@@ -279,6 +332,6 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		}
 	}
 	res.IdlePolls = idlePolls
-	res.IdlePollFences = h.StatsOf(idleTid).Fences - before.Fences
+	res.IdlePollFences = hs.StatsOf(idleTid).Fences - before.Fences
 	return res, nil
 }

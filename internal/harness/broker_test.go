@@ -76,3 +76,40 @@ func TestRunBrokerConsumerAmortization(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBrokerMultiHeap runs the workload over a 2-heap set, both
+// spread (round-robin placement) and affine (block placement +
+// heap-affine groups): nothing is lost, per-heap stats cover both
+// domains, and round-robin keeps persist traffic roughly balanced.
+func TestRunBrokerMultiHeap(t *testing.T) {
+	for _, affine := range []bool{false, true} {
+		r, err := RunBroker(BrokerConfig{
+			Topics: 2, Shards: 4, Heaps: 2, Affine: affine,
+			Producers: 2, Consumers: 2,
+			Batch: 4, DequeueBatch: 8, Payload: 0,
+			Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Delivered != r.Published || r.Published == 0 {
+			t.Fatalf("affine=%v: delivered %d / published %d", affine, r.Delivered, r.Published)
+		}
+		if len(r.PerHeap) != 2 {
+			t.Fatalf("affine=%v: PerHeap has %d entries, want 2", affine, len(r.PerHeap))
+		}
+		for i, s := range r.PerHeap {
+			if s.Fences == 0 {
+				t.Errorf("affine=%v: heap %d recorded no fences — shards not spread across the set", affine, i)
+			}
+		}
+		// Both layouts put equal shard counts on each domain here, so
+		// persist traffic should stay near-balanced; allow generous
+		// slack for scheduling skew.
+		if imb := r.HeapImbalance(); imb > 1.5 {
+			t.Errorf("affine=%v: heap imbalance %.3f, want <= 1.5", affine, imb)
+		}
+		t.Logf("affine=%v: published %d, imbalance %.3f, cons fences/msg %.4f",
+			affine, r.Published, r.HeapImbalance(), r.ConsumerFencesPerMsg())
+	}
+}

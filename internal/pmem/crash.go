@@ -39,12 +39,23 @@ func (h *Heap) ScheduleCrashAtAccess(n int64) {
 
 // CrashNow marks the system as crashed: every subsequent simulated
 // access by any thread panics with the crash signal (catch it with
-// Protect). Only meaningful in ModeCrash.
+// Protect). If the heap belongs to a HeapSet, the crash propagates to
+// every member — the set shares one power supply. Only meaningful in
+// ModeCrash.
 func (h *Heap) CrashNow() {
 	if h.cfg.Mode != ModeCrash {
 		panic("pmem: CrashNow requires ModeCrash")
 	}
+	h.triggerCrash()
+}
+
+// triggerCrash marks this heap and every sibling in its crash group as
+// crashed. Idempotent; safe from multiple threads.
+func (h *heapState) triggerCrash() {
 	h.crashed.Store(true)
+	for _, s := range h.crashGroup {
+		s.crashed.Store(true)
+	}
 }
 
 // Crashed reports whether a crash has been triggered and not yet
@@ -56,7 +67,7 @@ func (h *Heap) crashCheck() {
 		panic(crashSignal{})
 	}
 	if at := h.crashAt.Load(); at > 0 && h.accessNo.Add(1) >= at {
-		h.crashed.Store(true)
+		h.triggerCrash()
 		panic(crashSignal{})
 	}
 }
@@ -99,8 +110,9 @@ func (h *Heap) AccessCount() int64 { return h.accessNo.Load() }
 // Restart models rebooting after a crash (or simply reopening the
 // persistent heap): the working view is reloaded from the NVRAM
 // image, all volatile simulator state (cache flags, pending flushes,
-// the crash flag) is discarded, and new threads may run. Statistics
-// are preserved across restarts.
+// the crash flag, and the root-slot windows claimed by View) is
+// discarded, and new threads may run. Statistics are preserved across
+// restarts.
 func (h *Heap) Restart() {
 	copy(h.mem, h.img)
 	for i := range h.flags {
@@ -116,6 +128,9 @@ func (h *Heap) Restart() {
 			h.logs[line].persisted = 0
 		}
 	}
+	h.viewMu.Lock()
+	h.views = nil
+	h.viewMu.Unlock()
 	h.crashed.Store(false)
 	h.accessNo.Store(0)
 	h.crashAt.Store(0)

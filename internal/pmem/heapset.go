@@ -1,0 +1,142 @@
+package pmem
+
+import "math/rand"
+
+// HeapSet is an ordered set of independent heaps standing in for
+// distinct NVRAM persistence domains — NUMA sockets or DIMM sets. Each
+// member heap keeps its own root-slot space, statistics, journal and
+// latency model (heaps may be constructed with different Configs, so a
+// set can model asymmetric-NUMA topologies where one domain is slower
+// than another), and its own crash schedule: ScheduleCrashAtAccess on
+// one member arms a crash that fires on that heap's activity.
+//
+// The set shares one power supply: when any member crashes — via a
+// scheduled access, CrashNow on the member, or CrashNow on the set —
+// every member is marked crashed, so each thread observes the failure
+// at its next simulated access on whichever heap it touches. This is
+// the whole-system crash model multi-heap structures (internal/broker)
+// recover from: FinalizeCrash and Restart apply per-line prefix
+// semantics to every member.
+//
+// Fences remain per-thread *per-heap*: an SFENCE on one heap says
+// nothing about NTStores or flushes outstanding on another. Structures
+// spanning a set must fence every domain they wrote (see
+// broker.Consumer.PollBatch), which is exactly why shard-placement
+// affinity matters for fence cost.
+type HeapSet struct {
+	heaps []*Heap
+}
+
+// NewSetOf assembles a set from existing heaps, which must be distinct
+// (two headers over the same simulator state would crash twice and
+// alias root slots). Call before concurrent activity begins: it links
+// the members' crash propagation. The same heaps may be re-wrapped
+// later (e.g. by a recovery procedure) while the system is quiescent.
+func NewSetOf(heaps ...*Heap) *HeapSet {
+	if len(heaps) == 0 {
+		panic("pmem: NewSetOf requires at least one heap")
+	}
+	group := make([]*heapState, len(heaps))
+	for i, h := range heaps {
+		for j := 0; j < i; j++ {
+			if heaps[j].heapState == h.heapState {
+				panic("pmem: duplicate heap in set")
+			}
+		}
+		group[i] = h.heapState
+	}
+	for _, h := range heaps {
+		h.crashGroup = group
+	}
+	return &HeapSet{heaps: append([]*Heap(nil), heaps...)}
+}
+
+// NewSet creates n fresh heaps with the same configuration and
+// assembles them into a set. For asymmetric topologies build the heaps
+// individually and use NewSetOf.
+func NewSet(n int, cfg Config) *HeapSet {
+	heaps := make([]*Heap, n)
+	for i := range heaps {
+		heaps[i] = New(cfg)
+	}
+	return NewSetOf(heaps...)
+}
+
+// Len reports the number of member heaps.
+func (s *HeapSet) Len() int { return len(s.heaps) }
+
+// Heap returns member i.
+func (s *HeapSet) Heap(i int) *Heap { return s.heaps[i] }
+
+// Heaps returns the members in order (a copy).
+func (s *HeapSet) Heaps() []*Heap { return append([]*Heap(nil), s.heaps...) }
+
+// Crashed reports whether any member has crashed (propagation marks
+// all members, so after any crash this is true for the whole set).
+func (s *HeapSet) Crashed() bool {
+	for _, h := range s.heaps {
+		if h.Crashed() {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashNow pulls the plug on the whole set: every member is marked
+// crashed and every subsequent simulated access on any member panics
+// with the crash signal (catch it with Protect). ModeCrash only.
+func (s *HeapSet) CrashNow() {
+	for _, h := range s.heaps {
+		if !h.Crashed() {
+			h.CrashNow()
+		}
+	}
+}
+
+// FinalizeCrash materializes every member's NVRAM image at the crash
+// point (see Heap.FinalizeCrash). Members that had not observed the
+// crash yet are crashed first — the power loss hits all domains
+// together. Must be called after all worker goroutines have stopped.
+func (s *HeapSet) FinalizeCrash(rng *rand.Rand) {
+	for _, h := range s.heaps {
+		if !h.Crashed() {
+			h.CrashNow()
+		}
+		h.FinalizeCrash(rng)
+	}
+}
+
+// Restart reboots every member: working views are reloaded from the
+// NVRAM images and all volatile simulator state is discarded.
+func (s *HeapSet) Restart() {
+	for _, h := range s.heaps {
+		h.Restart()
+	}
+}
+
+// TotalStats sums the event counters of all threads across all member
+// heaps. Exact while the set is quiescent.
+func (s *HeapSet) TotalStats() Stats {
+	var t Stats
+	for _, h := range s.heaps {
+		t.Add(h.TotalStats())
+	}
+	return t
+}
+
+// StatsOf sums tid's counters across all member heaps (a thread that
+// operates on several domains accumulates events on each).
+func (s *HeapSet) StatsOf(tid int) Stats {
+	var t Stats
+	for _, h := range s.heaps {
+		t.Add(h.StatsOf(tid))
+	}
+	return t
+}
+
+// ResetStats zeroes every member's per-thread counters.
+func (s *HeapSet) ResetStats() {
+	for _, h := range s.heaps {
+		h.ResetStats()
+	}
+}

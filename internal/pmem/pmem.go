@@ -160,9 +160,30 @@ type heapState struct {
 	accessNo atomic.Int64
 	crashAt  atomic.Int64 // 0 = no scheduled crash
 
+	// crashGroup lists the sibling states of a HeapSet this heap
+	// belongs to (nil for a lone heap). A crash on any member marks
+	// every member crashed — the set shares one power supply. Set by
+	// NewSetOf before concurrent activity begins.
+	crashGroup []*heapState
+
+	// viewMu guards views, the windows claimed by View. Each claim
+	// records its parent window so that sibling views of the same
+	// parent are rejected when they overlap (narrowing an existing
+	// view remains legal).
+	viewMu sync.Mutex
+	views  []viewClaim
+
 	// postFlushHook, when set, observes every access to a flushed
 	// line (see SetPostFlushHook).
 	postFlushHook func(tid int, a Addr)
+}
+
+// viewClaim records one window handed out by View, in absolute slot
+// coordinates, together with the extent of the parent window it was
+// derived from.
+type viewClaim struct {
+	parentBase, parentEnd int
+	base, end             int
 }
 
 // New creates a heap. It panics on invalid configuration; a simulated
@@ -236,11 +257,37 @@ func (h *Heap) RootBase() int { return h.rootBase }
 // package-queues convention) runs unmodified inside a view, so many
 // such structures can share one heap; recovery re-creates the same
 // views from recorded bases. Views compose: v.View(b, s) narrows v.
+//
+// View rejects bad windows with a panic: out-of-range windows, and
+// windows that overlap a view previously derived from the same parent
+// window — a silently aliased base would let one durable structure
+// scribble over another's root slots. (Narrowing an existing view is
+// always legal: the child is checked only against its own siblings.)
+// Restart clears the claims, so recovery re-derives the same windows
+// after a crash without conflict.
 func (h *Heap) View(baseSlot, slots int) *Heap {
 	if baseSlot < 0 || slots <= 0 || baseSlot+slots > h.rootSlots {
 		panic(fmt.Sprintf("pmem: view [%d,%d) outside root-slot window [0,%d)",
 			baseSlot, baseSlot+slots, h.rootSlots))
 	}
+	claim := viewClaim{
+		parentBase: h.rootBase,
+		parentEnd:  h.rootBase + h.rootSlots,
+		base:       h.rootBase + baseSlot,
+		end:        h.rootBase + baseSlot + slots,
+	}
+	h.viewMu.Lock()
+	for _, c := range h.views {
+		if c.parentBase == claim.parentBase && c.parentEnd == claim.parentEnd &&
+			claim.base < c.end && c.base < claim.end {
+			h.viewMu.Unlock()
+			panic(fmt.Sprintf(
+				"pmem: view [%d,%d) overlaps existing view [%d,%d) of the same window — root slots would alias another structure",
+				claim.base, claim.end, c.base, c.end))
+		}
+	}
+	h.views = append(h.views, claim)
+	h.viewMu.Unlock()
 	return &Heap{heapState: h.heapState, rootBase: h.rootBase + baseSlot, rootSlots: slots}
 }
 

@@ -97,6 +97,40 @@ func TestViewRemapsRootSlots(t *testing.T) {
 	}()
 }
 
+// TestViewRejectsOverlap is the aliasing regression test: a view whose
+// window overlaps one previously derived from the same parent must be
+// rejected — a bad base would silently alias another structure's root
+// slots. Disjoint siblings, nested narrowing, and re-derivation after
+// Restart all remain legal.
+func TestViewRejectsOverlap(t *testing.T) {
+	h := New(Config{Bytes: 1 << 20, Mode: ModeCrash, MaxThreads: 2})
+	h.View(0, 8)
+	h.View(8, 8) // disjoint sibling: fine
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("exact duplicate", func() { h.View(0, 8) })
+	mustPanic("partial overlap", func() { h.View(4, 8) })
+	mustPanic("containing window", func() { h.View(0, 16) })
+	// Narrowing an existing view is not a sibling conflict.
+	v := h.View(16, 8)
+	v.View(0, 4)
+	v.View(4, 4)
+	mustPanic("overlap within the nested window", func() { v.View(2, 4) })
+	// After a restart, recovery re-derives the same windows.
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(zeroSource{}))
+	h.Restart()
+	h.View(0, 8)
+	h.View(8, 8)
+}
+
 func TestStoreLoadRoundTrip(t *testing.T) {
 	for _, mode := range []Mode{ModePerf, ModeCrash} {
 		h := New(Config{Bytes: 1 << 20, Mode: mode})

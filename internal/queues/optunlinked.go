@@ -119,34 +119,13 @@ func (q *OptUnlinkedQ) writeLocalHeadIdx(tid int, idx uint64) {
 	}
 }
 
-// persistLocalHeadIdx records idx as tid's persistent head index and
-// fences (the operation's single blocking persist).
-func (q *OptUnlinkedQ) persistLocalHeadIdx(tid int, idx uint64) {
-	q.writeLocalHeadIdx(tid, idx)
-	q.h.Fence(tid)
-	q.per[tid].lastPersisted = idx
-}
-
-// persistEmptyObservation durably linearizes a failing dequeue that
-// observed head index idx — unless idx is already durable from this
-// thread's previous persist (or is covered by an outstanding unfenced
-// NTStore), in which case the persist is elided entirely: an idle
-// consumer repeatedly polling an empty queue pays zero blocking
-// persists after the first.
-func (q *OptUnlinkedQ) persistEmptyObservation(tid int, idx uint64) {
-	if idx <= q.per[tid].lastPersisted {
-		return
-	}
-	q.persistLocalHeadIdx(tid, idx)
-}
-
 // enqueueOne runs the enqueue protocol of Figure 4 (lines 107-121) up
 // to but not including the blocking fence: allocate, write item and
 // index, link via CAS, set the linked flag and issue the asynchronous
 // flush. It returns the tail observed at link time and the new node so
-// the caller can order its fence and tail advance — Enqueue fences
-// before advancing (lines 121-122), EnqueueBatch advances immediately
-// and rides one fence for the whole batch.
+// the caller can order its fence and tail advance; EnqueueBatch (which
+// Enqueue wraps) advances immediately and rides one fence for the
+// whole batch.
 func (q *OptUnlinkedQ) enqueueOne(tid int, v uint64) (tail, vn *ouNode) {
 	h := q.h
 	pn := q.pool.Alloc(tid)
@@ -170,15 +149,11 @@ func (q *OptUnlinkedQ) enqueueOne(tid int, v uint64) (tail, vn *ouNode) {
 	}
 }
 
-// Enqueue appends v (Figure 4, lines 107-124). One fence, zero
-// post-flush accesses: the tail's index is read from the Volatile
-// object, never from the flushed Persistent line.
+// Enqueue appends v (Figure 4, lines 107-124): the one-element batch.
+// One fence, zero post-flush accesses: the tail's index is read from
+// the Volatile object, never from the flushed Persistent line.
 func (q *OptUnlinkedQ) Enqueue(tid int, v uint64) {
-	q.pool.Enter(tid)
-	defer q.pool.Exit(tid)
-	tail, vn := q.enqueueOne(tid, v)
-	q.h.Fence(tid)
-	q.tail.CompareAndSwap(tail, vn) // line 122
+	q.EnqueueBatch(tid, []uint64{v})
 }
 
 // EnqueueBatch appends vs in order, riding a single fence for the
@@ -235,21 +210,17 @@ func (q *OptUnlinkedQ) retireAfterPersist(tid int, old *ouNode) {
 	q.per[tid].nodeToRetire = old
 }
 
-// Dequeue removes the oldest item (Figure 4, lines 90-106). One
-// fence, zero post-flush accesses. A failing dequeue whose observed
-// head index this thread already persisted issues no persist at all.
+// Dequeue removes the oldest item (Figure 4, lines 90-106): the
+// one-element batch dequeue, so the fence accounting — one NTStore +
+// one fence on success, full elision on an already-durable empty
+// observation — lives in DequeueBatchUnfenced alone. One fence, zero
+// post-flush accesses.
 func (q *OptUnlinkedQ) Dequeue(tid int) (uint64, bool) {
-	q.pool.Enter(tid)
-	defer q.pool.Exit(tid)
-	taken, old, ok := q.dequeueOne(tid)
-	if !ok {
-		q.persistEmptyObservation(tid, taken.index) // lines 95-96, elided when redundant
+	vs := q.DequeueBatch(tid, 1)
+	if len(vs) == 0 {
 		return 0, false
 	}
-	v := taken.item
-	q.persistLocalHeadIdx(tid, taken.index) // lines 100-101
-	q.retireAfterPersist(tid, old)          // lines 102-105
-	return v, true
+	return vs[0], true
 }
 
 // DequeueBatch removes up to max items in FIFO order, riding a single
