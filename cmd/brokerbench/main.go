@@ -20,10 +20,12 @@
 //	brokerbench -shards 1,2,4,8 -batch 1,16 -dbatch 1,8
 //	brokerbench -heaps 1,2,4              # sweep NVRAM domains
 //	brokerbench -heaps 2 -affine          # heap-affine consumers
+//	brokerbench -ack 0,1                  # acked/leased delivery vs at-least-once
+//	brokerbench -ack 1 -kills 1 -consumers 3  # consumer crash + lease takeover
 //	brokerbench -topics 4 -producers 8 -consumers 4 -payload 64
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
 //	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
-//	brokerbench -heaps 1,2 -json > BENCH_broker.json # refresh the repo baseline
+//	brokerbench -shards 4 -heaps 1,2 -ack 0,1 -duration 300ms -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
@@ -50,11 +52,15 @@ type row struct {
 	Batch             int     `json:"batch"`
 	DequeueBatch      int     `json:"dbatch"`
 	Payload           int     `json:"payload"`
+	Ack               int     `json:"ack"`
+	Kills             int     `json:"kills"`
 	Published         uint64  `json:"published"`
 	Delivered         uint64  `json:"delivered"`
 	Mops              float64 `json:"mops"`
 	ProdFencesPerMsg  float64 `json:"prod_fences_per_msg"`
 	ConsFencesPerMsg  float64 `json:"cons_fences_per_msg"`
+	AckFencesPerMsg   float64 `json:"ack_fences_per_msg"`
+	RedeliveryRate    float64 `json:"redelivery_rate"`
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
 	HeapImbalance     float64 `json:"heap_imbalance"`
 }
@@ -69,6 +75,8 @@ func main() {
 		consumers = flag.Int("consumers", 2, "consumer threads")
 		batchF    = flag.String("batch", "1,16", "comma-separated publish batch sizes to sweep")
 		dbatchF   = flag.String("dbatch", "1,8", "comma-separated dequeue (poll) batch sizes to sweep")
+		ackF      = flag.String("ack", "0", "comma-separated ack modes to sweep (0 = at-least-once, 1 = acked/leased delivery)")
+		kills     = flag.Int("kills", 0, "consumers killed mid-run in ack cells (redeliveries via lease takeover)")
 		payload   = flag.Int("payload", 0, "payload bytes (0 = fixed 8-byte messages)")
 		duration  = flag.Duration("duration", time.Second, "produce phase duration per cell")
 		heapMB    = flag.Int64("heap-mb", 512, "persistent heap size in MiB")
@@ -97,61 +105,81 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ackModes, err := parseInts(*ackF)
+	if err != nil {
+		fatal(err)
+	}
 	lat := pmem.DefaultLatency()
 	lat.FenceNs = *fenceNs
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,idle_fences_per_poll,heap_imbalance")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,idle_fences_per_poll,heap_imbalance")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *duration)
-		fmt.Printf("%7s %6s %6s %7s %12s %12s %10s %15s %15s %10s %10s\n",
-			"shards", "heaps", "batch", "dbatch", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "idle-f/poll", "heap-imbal")
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %10s %10s\n",
+			"shards", "heaps", "batch", "dbatch", "ack", "published", "delivered", "Mops",
+			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "idle-f/poll", "heap-imbal")
 	}
 	var rows []row
 	for _, shards := range shardCounts {
 		for _, heaps := range heapCounts {
 			for _, batch := range batches {
 				for _, dbatch := range dbatches {
-					r, err := harness.RunBroker(harness.BrokerConfig{
-						Topics:       *topics,
-						Shards:       shards,
-						Heaps:        heaps,
-						Affine:       *affine,
-						Producers:    *producers,
-						Consumers:    *consumers,
-						Batch:        batch,
-						DequeueBatch: dbatch,
-						Payload:      *payload,
-						Duration:     *duration,
-						HeapBytes:    *heapMB << 20,
-						Latency:      lat,
-					})
-					if err != nil {
-						fatal(err)
-					}
-					c := row{
-						Topics: r.Topics, Shards: r.Shards, Heaps: r.Heaps,
-						Producers: r.Producers, Consumers: r.Consumers,
-						Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
-						Published: r.Published, Delivered: r.Delivered,
-						Mops:              round3(r.Mops()),
-						ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
-						ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
-						IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
-						HeapImbalance:     round3(r.HeapImbalance()),
-					}
-					rows = append(rows, c)
-					if *csvOut {
-						fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.3f\n",
-							c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
-							c.Published, c.Delivered, c.Mops,
-							c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll, c.HeapImbalance)
-					} else if !*jsonOut {
-						fmt.Printf("%7d %6d %6d %7d %12d %12d %10.3f %15.4f %15.4f %10.4f %10.3f\n",
-							c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Published, c.Delivered, c.Mops,
-							c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.IdleFencesPerPoll, c.HeapImbalance)
+					for _, ack := range ackModes {
+						cellKills := 0
+						if ack != 0 {
+							cellKills = *kills
+						}
+						r, err := harness.RunBroker(harness.BrokerConfig{
+							Topics:       *topics,
+							Shards:       shards,
+							Heaps:        heaps,
+							Affine:       *affine,
+							Producers:    *producers,
+							Consumers:    *consumers,
+							Batch:        batch,
+							DequeueBatch: dbatch,
+							Payload:      *payload,
+							Ack:          ack != 0,
+							Kills:        cellKills,
+							Duration:     *duration,
+							HeapBytes:    *heapMB << 20,
+							Latency:      lat,
+						})
+						if err != nil {
+							fatal(err)
+						}
+						c := row{
+							Topics: r.Topics, Shards: r.Shards, Heaps: r.Heaps,
+							Producers: r.Producers, Consumers: r.Consumers,
+							Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
+							Kills:     r.Kills,
+							Published: r.Published, Delivered: r.Delivered,
+							Mops:              round3(r.Mops()),
+							ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
+							ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
+							AckFencesPerMsg:   round4(r.AckFencesPerMsg()),
+							RedeliveryRate:    round4(r.RedeliveryRate()),
+							IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
+							HeapImbalance:     round3(r.HeapImbalance()),
+						}
+						if r.Ack {
+							c.Ack = 1
+						}
+						rows = append(rows, c)
+						if *csvOut {
+							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f\n",
+								c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
+								c.Ack, c.Kills, c.Published, c.Delivered, c.Mops,
+								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
+								c.IdleFencesPerPoll, c.HeapImbalance)
+						} else if !*jsonOut {
+							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %10.4f %10.3f\n",
+								c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack, c.Published, c.Delivered, c.Mops,
+								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
+								c.IdleFencesPerPoll, c.HeapImbalance)
+						}
 					}
 				}
 			}
@@ -164,7 +192,7 @@ func main() {
 			"workload": "brokerbench",
 			"config": map[string]any{
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
-				"payload": *payload, "affine": *affine,
+				"payload": *payload, "affine": *affine, "kills": *kills,
 				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
 			"rows": rows,
@@ -175,9 +203,13 @@ func main() {
 		fmt.Println("\n(prod-fence/msg: blocking persists per published message — ~1 per-message,")
 		fmt.Println(" ~1/batch on the batch-publish path. cons-fence/msg mirrors it on the")
 		fmt.Println(" consume side: ~1/dbatch with PollBatch, one fence per persistence domain")
-		fmt.Println(" a poll dequeued from. idle-f/poll: persists per all-empty poll — ~0 with")
-		fmt.Println(" empty-poll fence elision. heap-imbal: busiest heap's persist traffic over")
-		fmt.Println(" the per-heap mean — 1.0 is perfectly balanced placement.)")
+		fmt.Println(" a poll dequeued from; in ack cells it is the lease record's fence.")
+		fmt.Println(" ack-fence/msg: persists spent in Consumer.Ack per delivered message —")
+		fmt.Println(" ~1/dbatch when each poll window is acked as a whole. redeliv: fraction")
+		fmt.Println(" of deliveries that were redeliveries after -kills lease takeovers.")
+		fmt.Println(" idle-f/poll: persists per all-empty poll — ~0 with empty-poll fence")
+		fmt.Println(" elision. heap-imbal: busiest heap's persist traffic over the per-heap")
+		fmt.Println(" mean — 1.0 is perfectly balanced placement.)")
 	}
 }
 

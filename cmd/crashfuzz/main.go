@@ -5,10 +5,13 @@
 // against the recorded operation history (no duplication, no loss of
 // completed enqueues, per-enqueuer FIFO).
 //
-// -smoke is the quick CI mode: few rounds per queue, plus one
-// multi-heap broker iteration — a 2-heap broker crashed via a single
-// member's access stream, recovered from its catalog and stamps, and
-// audited for delivered-or-recovered-exactly-once.
+// -smoke is the quick CI mode: few rounds per queue, plus two broker
+// iterations — a 2-heap broker crashed via a single member's access
+// stream, recovered from its catalog and stamps, and audited for
+// delivered-or-recovered-exactly-once; and an acked broker whose
+// consumer is killed mid-batch (lease takeover redelivers the unacked
+// suffix) before a full-system crash, audited for exactly-once
+// processing.
 //
 // Examples:
 //
@@ -92,6 +95,12 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("%-24s ok (2 heaps, crash on one member, whole-set recovery)\n", "broker-multiheap")
+		}
+		if err := brokerAckSmoke(*seed); err != nil {
+			fmt.Printf("%-24s FAIL: %v\n", "broker-consumer-crash", err)
+			failed = true
+		} else {
+			fmt.Printf("%-24s ok (consumer kill + lease takeover + system crash, exactly-once)\n", "broker-consumer-crash")
 		}
 	}
 	if failed {
@@ -206,6 +215,156 @@ func brokerSmoke(seed int64) error {
 	// poll window (4 messages).
 	if lost > 4 {
 		return fmt.Errorf("%d acknowledged messages lost (allowance 4)", lost)
+	}
+	return nil
+}
+
+// brokerAckSmoke is one exactly-once iteration on an acked broker: a
+// producer and two acked consumers interleave; consumer 1 "crashes"
+// mid-batch (delivered, never acknowledged), its lease expires and
+// consumer 0 adopts its shards, redelivering the unacked suffix; a
+// full-system crash scheduled on a random access then downs the heap,
+// the broker is recovered and a fresh group drains the backlog. The
+// audit demands that no message is ever acknowledged twice and that
+// every acknowledged publish is processed exactly once (up to the
+// poll-window observer gap of an Ack cut off between its fence and
+// the record).
+func brokerAckSmoke(seed int64) error {
+	const (
+		threads = 3 // tid 0: producer + recovery drain; 1, 2: consumers
+		window  = 4
+	)
+	rng := rand.New(rand.NewSource(seed + 1))
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	b, err := broker.New(h, broker.Config{
+		Topics: []broker.TopicConfig{
+			{Name: "events", Shards: 4, Acked: true},
+			{Name: "jobs", Shards: 2, MaxPayload: 48, Acked: true},
+		},
+		Threads:   threads,
+		AckGroups: 1,
+	})
+	if err != nil {
+		return err
+	}
+	var clock uint64
+	g, err := b.NewGroupAcked([]string{"events", "jobs"}, 2, broker.LeaseConfig{
+		TTL: 10, Now: func() uint64 { return clock },
+	})
+	if err != nil {
+		return err
+	}
+	payload := func(id uint64) []byte {
+		p := make([]byte, 8+int(id%40))
+		copy(p, broker.U64(id))
+		for i := 8; i < len(p); i++ {
+			p[i] = byte(id) ^ byte(i)
+		}
+		return p
+	}
+	h.ScheduleCrashAtAccess(int64(rng.Intn(40_000)) + 10_000)
+
+	var acked []uint64
+	processed := map[uint64]string{}
+	killed := false
+	victimWindow := 0
+	record := func(ms []broker.Message, who string) error {
+		for _, m := range ms {
+			id := broker.AsU64(m.Payload[:8])
+			if prev, dup := processed[id]; dup {
+				return fmt.Errorf("message %d acknowledged twice (%s, then %s)", id, prev, who)
+			}
+			processed[id] = who
+		}
+		return nil
+	}
+	for id := uint64(1); ; id++ {
+		if pmem.Protect(func() {
+			if id%3 == 0 {
+				b.Topic("jobs").Publish(0, payload(id))
+			} else {
+				b.Topic("events").Publish(0, broker.U64(id))
+			}
+		}) {
+			break
+		}
+		acked = append(acked, id)
+		clock++
+		// Consumer 0: poll + ack, the healthy member.
+		if id%2 == 0 {
+			var ms []broker.Message
+			if pmem.Protect(func() { ms = g.Consumer(0).PollBatch(1, window) }) {
+				break
+			}
+			if len(ms) > 0 {
+				if pmem.Protect(func() { g.Consumer(0).Ack(1) }) {
+					break // ack may or may not be durable: observer gap
+				}
+				if err := record(ms, "consumer 0"); err != nil {
+					return err
+				}
+			}
+		}
+		// Consumer 1: delivers one window, never acks, then "crashes";
+		// its lease expires and consumer 0 adopts the shards.
+		if !killed && id == 40 {
+			var ms []broker.Message
+			if pmem.Protect(func() { ms = g.Consumer(1).PollBatch(2, window) }) {
+				break
+			}
+			victimWindow = len(ms)
+			killed = true
+			clock += 100 // the victim goes silent; its lease expires
+			var moved int
+			var aerr error
+			if pmem.Protect(func() { moved, aerr = g.Adopt(2, 1, 0) }) {
+				break
+			}
+			if aerr != nil {
+				return fmt.Errorf("takeover failed: %v", aerr)
+			}
+			if moved < victimWindow {
+				return fmt.Errorf("takeover moved %d redeliveries, want at least the victim's window %d", moved, victimWindow)
+			}
+		}
+	}
+	if !h.Crashed() {
+		h.CrashNow()
+	}
+	h.FinalizeCrash(rng)
+	h.Restart()
+
+	r, err := broker.Recover(h, threads)
+	if err != nil {
+		return err
+	}
+	var clock2 uint64
+	g2, err := r.NewGroupAcked([]string{"events", "jobs"}, 1, broker.LeaseConfig{
+		TTL: 10, Now: func() uint64 { return clock2 },
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		ms := g2.Consumer(0).PollBatch(0, 8)
+		if len(ms) == 0 {
+			break
+		}
+		g2.Consumer(0).Ack(0)
+		if err := record(ms, "post-crash drain"); err != nil {
+			return err
+		}
+	}
+	lost := 0
+	for _, id := range acked {
+		if _, ok := processed[id]; !ok {
+			lost++
+		}
+	}
+	// Only an Ack whose fence landed right before the crash cut off the
+	// record may go unobserved: at most one window per consumer.
+	if lost > 2*window {
+		return fmt.Errorf("%d acknowledged publishes never processed (allowance %d)", lost, 2*window)
 	}
 	return nil
 }

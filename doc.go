@@ -19,13 +19,21 @@
 // one-fence-per-operation bound: EnqueueBatch/PublishBatch ride one
 // SFENCE per publish batch, DequeueBatch/PollBatch one SFENCE per
 // persistence domain per poll window (even across shards), and
-// failing dequeues elide already-durable persists entirely. See
-// DESIGN.md for the full system inventory, layering, the multi-heap
-// topology (catalog v2 layout, membership stamps, placement policies,
-// two-phase recovery) and soundness arguments.
+// failing dequeues elide already-durable persists entirely. Acked
+// topics go further, making delivery state itself durable: queues
+// gain an ack mode (leased dequeues with zero persist instructions;
+// one NTStore + one fence acknowledges a whole batch; recovery
+// max-merges per-thread acked indices and redelivers everything
+// beyond them), and the broker layers per-group durable lease records
+// and lease takeover on top for exactly-once processing across both
+// consumer and whole-broker crashes. See DESIGN.md for the full
+// system inventory, layering, the multi-heap topology (catalog
+// layouts, membership stamps, placement policies, two-phase recovery),
+// the lease/ack protocol and soundness arguments.
 //
 // The benchmark suite in bench_test.go regenerates every panel of the
 // paper's Figure 2; the cmd/durbench tool runs the full sweeps and
 // cmd/brokerbench sweeps the broker over shard counts, heap-set
-// sizes, and publish and dequeue batch sizes.
+// sizes, publish and dequeue batch sizes, and acked delivery (with
+// optional consumer kills exercising lease takeover).
 package repro

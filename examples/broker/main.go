@@ -1,32 +1,35 @@
-// Broker: a sharded, multi-topic persistent message broker spanning a
-// set of NVRAM domains, built on internal/broker — the use case the
-// paper's introduction motivates (IBM MQ, Oracle Tuxedo MQ, RabbitMQ
-// keep FIFO queues at their core, today structured for block storage;
-// NVRAM queues remove the marshaling and file-system layers).
+// Broker: a sharded, multi-topic persistent message broker with
+// durable acknowledgments and redelivery leases, built on
+// internal/broker — delivery state treated as transactional state in
+// the spirit of Gray's "Queues Are Databases".
 //
-// The broker here spans a 2-heap set (two simulated NUMA domains /
-// DIMM sets sharing one power supply). Two topics live side by side:
-// "events" carries fixed 8-byte messages on OptUnlinkedQ shards,
-// "jobs" carries variable byte payloads on blobq shards; block
-// placement lays each topic's shards out in contiguous per-heap runs,
-// and the heap-affine consumer group assigns each member shards from a
-// single domain, so a member's PollBatch rides one SFENCE on one
-// domain per poll window. Producers mix the per-message publish path
-// (one SFENCE per message), the keyed path (per-key FIFO) and the
-// amortized batch path (one SFENCE per batch). A publish is
-// "acknowledged" once the call returns, at which point durable
-// linearizability guarantees it survives any crash; a delivery (or a
-// whole poll batch) is acknowledged the same way when the poll
-// returns.
+// Two acked topics live side by side on a 2-heap set: "events"
+// carries fixed 8-byte messages on ack-mode OptUnlinkedQ shards,
+// "jobs" variable byte payloads on ack-mode blobq shards. Consumers
+// form an acked group: a PollBatch writes a durable lease record
+// (owner, unacked range, deadline) and fences it BEFORE returning
+// messages — the shard dequeues themselves persist nothing — and a
+// message is consumed only when Consumer.Ack covers it (one fence per
+// ack batch, riding the same per-thread fence amortization as batch
+// publish). Everything delivered but not acked is redeliverable.
 //
-// Mid-traffic, a monitor pulls the plug: the crash is injected through
-// ONE member heap, and because the set shares a power supply every
-// domain goes down with it. The whole broker is then re-discovered
-// two-phase — the durable catalog on heap 0 names every topic, shard
-// placement and the other member's stamp; per-queue recovery then
-// replays heap by heap — and audited: every acknowledged message is
-// either already delivered or still in the recovered backlog; nothing
-// is duplicated.
+// Mid-run, two failures hit in sequence:
+//
+//  1. Consumer 1 crashes mid-batch — messages delivered, never
+//     acknowledged. Its lease expires and consumer 0 adopts its
+//     shards (Group.Adopt), redelivering exactly the unacked suffix.
+//  2. The power fails: a crash injected through one member heap downs
+//     the whole set. Recovery rebuilds the broker from the catalog
+//     (v3: topics, placements, lease regions), a fresh group binds
+//     the lease region — surfacing the stale lease records of the
+//     previous incarnation — and drains the backlog.
+//
+// The audit then demands exactly-once processing: every acknowledged
+// publish is processed exactly once — acknowledged messages are never
+// redelivered (not by takeover, not by recovery), unacknowledged ones
+// always are. The only slack is the observer gap: an Ack whose fence
+// completed right before the crash, cut off between the fence and the
+// audit's own record.
 package main
 
 import (
@@ -47,10 +50,8 @@ const (
 	consumers   = 2
 	perProducer = 4000
 	threads     = producers + consumers
-	// pollBatch is consumer 0's PollBatch window; consumer 1 polls
-	// per-message. A crash may cost each consumer its unacknowledged
-	// in-flight window (1 for Poll, pollBatch for PollBatch).
-	pollBatch = 8
+	pollBatch   = 8
+	leaseTTL    = 50
 )
 
 func jobPayload(id uint64) []byte {
@@ -63,10 +64,8 @@ func jobPayload(id uint64) []byte {
 }
 
 func main() {
-	// Producers, consumers and the crash monitor must interleave for
-	// the mid-traffic crash to be meaningful on small machines.
-	if runtime.GOMAXPROCS(0) < threads+1 {
-		runtime.GOMAXPROCS(threads + 1)
+	if runtime.GOMAXPROCS(0) < threads+2 {
+		runtime.GOMAXPROCS(threads + 2)
 	}
 	hs := pmem.NewSet(heaps, pmem.Config{
 		Bytes:      128 << 20,
@@ -75,55 +74,60 @@ func main() {
 	})
 	b, err := broker.NewSet(hs, broker.Config{
 		Topics: []broker.TopicConfig{
-			{Name: "events", Shards: 4},
-			{Name: "jobs", Shards: 4, MaxPayload: 64},
+			{Name: "events", Shards: 4, Acked: true},
+			{Name: "jobs", Shards: 4, MaxPayload: 64, Acked: true},
 		},
 		Threads:   threads,
-		Placement: broker.BlockPlacement, // contiguous per-heap shard runs
+		AckGroups: 1, // one durable lease region, recorded in the catalog
 	})
 	if err != nil {
 		panic(err)
 	}
-	// Heap-affine group: with block placement and consumers == heaps,
-	// each member owns shards on exactly one domain and fences only it.
-	g, err := b.NewGroupAffine([]string{"events", "jobs"}, consumers)
+	var clock atomic.Uint64 // logical lease clock, advanced by the killer
+	g, err := b.NewGroupAcked([]string{"events", "jobs"}, consumers, broker.LeaseConfig{
+		TTL: leaseTTL, Now: clock.Load,
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("broker spans %d heaps\n", b.Heaps())
-	for _, t := range b.Topics() {
-		fmt.Printf("  topic %-7s shards on heaps:", t.Name())
-		for s := 0; s < t.Shards(); s++ {
-			fmt.Printf(" %d", t.HeapOf(s))
-		}
-		fmt.Println()
-	}
+	fmt.Printf("broker spans %d heaps, %d shards, %d lease region(s)\n", b.Heaps(), b.ShardTotal(), b.AckGroups())
 	for c := 0; c < consumers; c++ {
-		fmt.Printf("  consumer %d fences domain(s) %v\n", c, g.Consumer(c).Domains())
+		fmt.Printf("  consumer %d owns %d shards\n", c, len(g.Consumer(c).Assigned()))
 	}
 
-	// Crash mid-traffic: once a third of the publishes have been
-	// acknowledged, a monitor pulls the plug — injected through heap 1
-	// alone; the shared power supply downs the whole set (every thread
-	// observes the crash at its next access on any member). Main joins
-	// the monitor before recovering so a late-scheduled CrashNow can
-	// never land after Restart.
+	acked := make([][]uint64, producers) // acknowledged publishes per producer
+	processed := make([]map[uint64]bool, consumers)
 	var ackedTotal atomic.Uint64
+	var killFlag [consumers]atomic.Bool
+	consumerDone := make([]chan struct{}, consumers)
+	var producersDone sync.WaitGroup
+	var wg sync.WaitGroup
+
+	// Failure 1: once a sixth of the publishes are acknowledged, kill
+	// consumer 1 mid-batch, wait out its lease, adopt into consumer 0.
+	// Failure 2: at a third, pull the plug through heap 1 alone — the
+	// shared power supply downs the whole set.
 	monitorDone := make(chan struct{})
 	go func() {
 		defer close(monitorDone)
-		target := uint64(producers*perProducer) / 3
-		for ackedTotal.Load() < target && !hs.Crashed() {
-			time.Sleep(100 * time.Microsecond)
+		target := uint64(producers * perProducer)
+		for ackedTotal.Load() < target/6 && !hs.Crashed() {
+			time.Sleep(50 * time.Microsecond)
+		}
+		killFlag[1].Store(true)
+		<-consumerDone[1]
+		clock.Add(10 * leaseTTL) // the victim goes silent; its lease expires
+		var moved int
+		var aerr error
+		if !pmem.Protect(func() { moved, aerr = g.Adopt(producers+1, 1, 0) }) && aerr == nil {
+			fmt.Printf("-- consumer 1 crashed mid-batch; consumer 0 adopted its shards, %d redeliveries --\n", moved)
+		}
+		for ackedTotal.Load() < target/3 && !hs.Crashed() {
+			time.Sleep(50 * time.Microsecond)
 		}
 		hs.Heap(1).CrashNow() // one domain fails; the set follows
 	}()
 
-	acked := make([][]uint64, producers) // per-producer acknowledged publishes
-	delivered := make([]map[uint64]bool, consumers)
-	redelivered := make([]int, consumers) // same message polled twice by one consumer
-	var producersDone sync.WaitGroup
-	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
 		producersDone.Add(1)
@@ -137,13 +141,6 @@ func main() {
 				switch rng.Intn(3) {
 				case 0: // one event, one fence
 					if pmem.Protect(func() { events.Publish(p, broker.U64(id)) }) {
-						return // crash: this publish was never acknowledged
-					}
-					acked[p] = append(acked[p], id)
-					ackedTotal.Add(1)
-					m++
-				case 1: // keyed job: all messages of a key share a shard
-					if pmem.Protect(func() { jobs.PublishKey(p, broker.U64(id%3), jobPayload(id)) }) {
 						return
 					}
 					acked[p] = append(acked[p], id)
@@ -170,33 +167,36 @@ func main() {
 	go func() { producersDone.Wait(); close(done) }()
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
-		delivered[c] = map[uint64]bool{}
+		processed[c] = map[uint64]bool{}
+		consumerDone[c] = make(chan struct{})
 		go func(c int) {
 			defer wg.Done()
+			defer close(consumerDone[c])
 			tid := producers + c
 			cons := g.Consumer(c)
 			idle := false
 			for {
 				var msgs []broker.Message
-				if pmem.Protect(func() {
-					if c == 0 { // batched consumer: one SFENCE (one domain) per poll window
-						msgs = cons.PollBatch(tid, pollBatch)
-					} else if m, ok := cons.Poll(tid); ok {
-						msgs = []broker.Message{m}
-					}
-				}) {
-					return // crash mid-poll: the whole window is unacknowledged
+				if pmem.Protect(func() { msgs = cons.PollBatch(tid, pollBatch) }) {
+					return // power failure mid-poll: window unacknowledged
 				}
 				if len(msgs) > 0 {
-					for _, msg := range msgs {
-						id := broker.AsU64(msg.Payload[:8])
-						if delivered[c][id] {
-							redelivered[c]++
-						}
-						delivered[c][id] = true
-					}
 					idle = false
+					// "Crash" between delivery and acknowledgment: the
+					// window must be redelivered via lease takeover.
+					if killFlag[c].Load() {
+						return
+					}
+					if pmem.Protect(func() { cons.Ack(tid) }) {
+						return // crash mid-ack: the observer gap
+					}
+					for _, m := range msgs { // processed = delivered AND acked
+						processed[c][broker.AsU64(m.Payload[:8])] = true
+					}
 					continue
+				}
+				if killFlag[c].Load() {
+					return
 				}
 				select {
 				case <-done:
@@ -218,49 +218,62 @@ func main() {
 	hs.FinalizeCrash(rand.New(rand.NewSource(42)))
 	hs.Restart()
 
-	// Recover the whole broker: phase 1 reads the catalog on heap 0 and
-	// checks heap 1's membership stamp, phase 2 replays per-queue
-	// recovery heap by heap (in parallel).
+	// Recover the whole broker from the durable catalog, then bind a
+	// fresh acked group to the same lease region: the previous
+	// incarnation's in-flight windows surface as recovered leases.
 	r, err := broker.RecoverSet(hs, threads)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("recovered %d topics across %d heaps from the durable catalog:", len(r.Topics()), r.Heaps())
-	for _, t := range r.Topics() {
-		fmt.Printf(" %s(%d shards)", t.Name(), t.Shards())
+	var clock2 atomic.Uint64
+	g2, err := r.NewGroupAcked([]string{"events", "jobs"}, 1, broker.LeaseConfig{
+		TTL: leaseTTL, Now: clock2.Load,
+	})
+	if err != nil {
+		panic(err)
 	}
-	fmt.Println()
+	fmt.Printf("recovered %d topics across %d heaps; %d stale lease record(s) from the crash:\n",
+		len(r.Topics()), r.Heaps(), len(g2.RecoveredLeases()))
+	for i, rl := range g2.RecoveredLeases() {
+		if i == 3 {
+			fmt.Printf("  ...\n")
+			break
+		}
+		fmt.Printf("  %s/%d: owner %d held [%d,%d], deadline %d\n",
+			rl.Shard.Topic, rl.Shard.Shard, rl.Lease.Owner, rl.Lease.Lo, rl.Lease.Hi, rl.Lease.Deadline)
+	}
 
-	// Audit: acked ⊆ delivered ∪ recovered-backlog, no duplicates.
-	seen := map[uint64]bool{}
+	// Drain and process the backlog: everything unacknowledged at the
+	// crash — in flight or never delivered — exactly once.
 	dup := 0
-	for c := range delivered {
-		dup += redelivered[c]
-		for id := range delivered[c] {
+	seen := map[uint64]bool{}
+	for c := range processed {
+		for id := range processed[c] {
 			if seen[id] {
-				dup++ // delivered to more than one consumer
+				dup++
 			}
 			seen[id] = true
 		}
 	}
-	backlog := 0
-	for _, t := range r.Topics() {
-		for s := 0; s < t.Shards(); s++ {
-			for {
-				p, ok := t.DequeueShard(0, s)
-				if !ok {
-					break
-				}
-				id := broker.AsU64(p[:8])
-				if seen[id] {
-					dup++
-				}
-				seen[id] = true
-				backlog++
+	preCrash := len(seen)
+	drained := 0
+	c2 := g2.Consumer(0)
+	for {
+		msgs := c2.PollBatch(0, 16)
+		if len(msgs) == 0 {
+			break
+		}
+		c2.Ack(0)
+		for _, m := range msgs {
+			id := broker.AsU64(m.Payload[:8])
+			if seen[id] {
+				dup++ // an acked message was redelivered: forbidden
 			}
+			seen[id] = true
+			drained++
 		}
 	}
-	lost, totalAcked, totalDelivered := 0, 0, 0
+	lost, totalAcked := 0, 0
 	for p := range acked {
 		totalAcked += len(acked[p])
 		for _, id := range acked[p] {
@@ -269,18 +282,15 @@ func main() {
 			}
 		}
 	}
-	for c := range delivered {
-		totalDelivered += len(delivered[c])
-	}
-	allowance := pollBatch + (consumers - 1) // one in-flight window per consumer
-	fmt.Printf("acknowledged publishes : %d\n", totalAcked)
-	fmt.Printf("delivered before crash : %d\n", totalDelivered)
-	fmt.Printf("recovered backlog      : %d\n", backlog)
-	fmt.Printf("acknowledged-and-lost  : %d (in-flight poll windows may account for at most %d)\n", lost, allowance)
-	fmt.Printf("duplicated messages    : %d\n", dup)
-	if lost > allowance || dup > 0 {
-		fmt.Println("BROKER AUDIT FAILED")
+	allowance := consumers * pollBatch // acks cut off between fence and record
+	fmt.Printf("acknowledged publishes    : %d\n", totalAcked)
+	fmt.Printf("processed before the crash: %d\n", preCrash)
+	fmt.Printf("processed from the backlog: %d\n", drained)
+	fmt.Printf("processed twice           : %d\n", dup)
+	fmt.Printf("observer gap              : %d (acks durable but unrecorded; at most %d)\n", lost, allowance)
+	if dup > 0 || lost > allowance {
+		fmt.Println("EXACTLY-ONCE AUDIT FAILED")
 		return
 	}
-	fmt.Println("audit passed: no acknowledged message outside the in-flight windows lost, none duplicated")
+	fmt.Println("audit passed: every acknowledged publish processed exactly once")
 }

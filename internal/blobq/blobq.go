@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/pmem"
@@ -52,6 +53,7 @@ const (
 const (
 	slotPool     = 2
 	slotLocal    = 3
+	slotAck      = 4
 	slotBlobPool = 6
 	slotEpoch    = 7
 )
@@ -63,6 +65,12 @@ type Config struct {
 	// MaxPayload is the largest payload in bytes (rounded up to whole
 	// blob lines). Default 240.
 	MaxPayload int
+	// Acked selects acknowledgment mode: dequeues become leases
+	// (DequeueLeased, zero persist instructions), payloads stay durable
+	// until AckTo covers them, and recovery redelivers everything
+	// beyond the maximum per-thread acked index instead of everything
+	// beyond the dequeued frontier. Mirrors queues.NewOptUnlinkedQAcked.
+	Acked bool
 }
 
 func (c *Config) norm() {
@@ -82,6 +90,10 @@ type vnode struct {
 	blob    pmem.Addr
 }
 
+// perThread keeps one thread's hot dequeue/ack state; uint64s precede
+// the bools and the tail padding rounds the struct to two full cache
+// lines, so adjacent per-thread entries never share a line (false
+// sharing would skew the persist-cost measurements).
 type perThread struct {
 	nodeToRetire *vnode
 	tagSeq       uint64
@@ -93,8 +105,13 @@ type perThread struct {
 	pendingRetire []*vnode
 	lastPersisted uint64
 	pendingIdx    uint64
-	pendingDirty  bool
-	_             [7]byte
+	// pendingAckIdx/pendingAckDirty mirror queues.OptUnlinkedQ's ack
+	// mode: the acked index NTStored by AckToUnfenced but not yet
+	// covered by a fence, promoted by CompleteAck.
+	pendingAckIdx   uint64
+	pendingDirty    bool
+	pendingAckDirty bool
+	_               [62]byte
 }
 
 // blobTag builds a tag that is unique across the heap's lifetime:
@@ -116,6 +133,14 @@ type Queue struct {
 	localBase pmem.Addr
 	epoch     uint64 // persistent boot incarnation, salts blob tags
 	per       []perThread
+
+	// Ack mode (Config.Acked); see queues.OptUnlinkedQ for the full
+	// design discussion — the state here is the exact byte-payload
+	// mirror of it.
+	ackBase    pmem.Addr
+	ackMu      sync.Mutex
+	inflight   []*vnode
+	ackDurable uint64
 }
 
 // New creates an empty payload queue.
@@ -142,6 +167,12 @@ func New(h *pmem.Heap, cfg Config) *Queue {
 	q.epoch = 1
 	h.Store(0, h.RootAddr(slotEpoch), q.epoch)
 	h.Persist(0, h.RootAddr(slotEpoch))
+	if cfg.Acked {
+		q.ackBase = h.AllocRaw(0, size, pmem.CacheLineBytes)
+		h.InitRange(0, q.ackBase, size)
+		h.Store(0, h.RootAddr(slotAck), uint64(q.ackBase))
+		h.Persist(0, h.RootAddr(slotAck))
+	}
 
 	pn := q.nodes.Alloc(0)
 	dummy := &vnode{pnode: pn}
@@ -312,6 +343,128 @@ func (q *Queue) retireAfterPersist(tid int, old *vnode) {
 	q.per[tid].nodeToRetire = old
 }
 
+// Acked reports whether the queue is in acknowledgment mode.
+func (q *Queue) Acked() bool { return q.cfg.Acked }
+
+// DequeueLeased removes up to max payloads without issuing a single
+// persist instruction: the dequeued nodes and their blobs stay durable
+// and are redelivered by recovery until an acknowledgment covers them.
+// idxs are the payloads' queue indices; pass the last one to AckTo
+// once the payloads are processed. Ack mode only.
+func (q *Queue) DequeueLeased(tid, max int) (ps [][]byte, idxs []uint64) {
+	if !q.cfg.Acked {
+		panic("blobq: DequeueLeased on a queue without ack mode")
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	var takens []*vnode
+	for len(ps) < max {
+		taken, _, ok := q.dequeueOne(tid)
+		if !ok {
+			break
+		}
+		ps = append(ps, taken.payload)
+		idxs = append(idxs, taken.index)
+		takens = append(takens, taken)
+	}
+	if len(takens) > 0 {
+		q.ackMu.Lock()
+		q.inflight = append(q.inflight, takens...)
+		q.ackMu.Unlock()
+	}
+	return ps, idxs
+}
+
+// AckToUnfenced acknowledges every dequeued payload with index <= idx
+// with one NTStore of idx into tid's ack line; redundant acks cost
+// nothing. dirty reports whether a covering Fence plus CompleteAck is
+// still owed. See queues.OptUnlinkedQ.AckToUnfenced.
+func (q *Queue) AckToUnfenced(tid int, idx uint64) (dirty bool) {
+	if !q.cfg.Acked {
+		panic("blobq: AckToUnfenced on a queue without ack mode")
+	}
+	t := &q.per[tid]
+	q.ackMu.Lock()
+	redundant := idx <= q.ackDurable
+	q.ackMu.Unlock()
+	if redundant {
+		return t.pendingAckDirty
+	}
+	// Keep the ack line monotone within an unfenced window too: a lower
+	// ack must not overwrite a higher NTStored index (see
+	// queues.OptUnlinkedQ.AckToUnfenced).
+	if t.pendingAckDirty && idx <= t.pendingAckIdx {
+		return true
+	}
+	q.h.NTStore(tid, q.ackBase+pmem.Addr(tid)*pmem.CacheLineBytes, idx)
+	t.pendingAckIdx = idx
+	t.pendingAckDirty = true
+	return true
+}
+
+// CompleteAck finishes an unfenced acknowledgment after the caller's
+// fence: promotes the acked frontier and retires the covered in-flight
+// nodes and blobs (their slots may only be reused once the covering
+// ack index is durable, so recovery can filter stale contents).
+func (q *Queue) CompleteAck(tid int) {
+	t := &q.per[tid]
+	if !t.pendingAckDirty {
+		return
+	}
+	t.pendingAckDirty = false
+	q.ackMu.Lock()
+	if t.pendingAckIdx > q.ackDurable {
+		q.ackDurable = t.pendingAckIdx
+	}
+	live := q.inflight[:0]
+	for _, n := range q.inflight {
+		if n.index <= q.ackDurable {
+			q.nodes.Retire(tid, n.pnode)
+			if n.blob != 0 {
+				q.blobs.Retire(tid, n.blob)
+			}
+		} else {
+			live = append(live, n)
+		}
+	}
+	q.inflight = live
+	q.ackMu.Unlock()
+}
+
+// AckTo is the fenced form of AckToUnfenced: one NTStore plus one
+// blocking persist acknowledges the whole batch up to idx.
+func (q *Queue) AckTo(tid int, idx uint64) {
+	if q.AckToUnfenced(tid, idx) {
+		q.h.Fence(tid)
+	}
+	q.CompleteAck(tid)
+}
+
+// AckedTo reports the durably acknowledged index frontier.
+func (q *Queue) AckedTo() uint64 {
+	q.ackMu.Lock()
+	defer q.ackMu.Unlock()
+	return q.ackDurable
+}
+
+// Unacked snapshots the dequeued-but-unacknowledged payloads in index
+// order — the redelivery set a lease takeover hands to a new consumer.
+// Call only while no dequeue or ack runs on this queue.
+func (q *Queue) Unacked() (ps [][]byte, idxs []uint64) {
+	q.ackMu.Lock()
+	defer q.ackMu.Unlock()
+	ns := append([]*vnode(nil), q.inflight...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i].index < ns[j].index })
+	for _, n := range ns {
+		ps = append(ps, n.payload)
+		idxs = append(idxs, n.index)
+	}
+	return ps, idxs
+}
+
 // Dequeue removes the oldest payload: the one-element batch dequeue,
 // so the fence accounting — one NTStore + one fence on success, full
 // elision on an already-durable empty observation — lives in
@@ -332,6 +485,15 @@ func (q *Queue) Dequeue(tid int) ([]byte, bool) {
 // earlier ones). The batch is acknowledged as a whole on return,
 // exactly dual to EnqueueBatch.
 func (q *Queue) DequeueBatch(tid, max int) [][]byte {
+	if q.cfg.Acked {
+		// Lease + immediate acknowledgment, riding the ack's single
+		// fence (see queues.OptUnlinkedQ.DequeueBatch in ack mode).
+		ps, idxs := q.DequeueLeased(tid, max)
+		if len(ps) > 0 {
+			q.AckTo(tid, idxs[len(idxs)-1])
+		}
+		return ps
+	}
 	ps, dirty := q.DequeueBatchUnfenced(tid, max)
 	if dirty {
 		q.h.Fence(tid) // the batch's single blocking persist
@@ -346,6 +508,9 @@ func (q *Queue) DequeueBatch(tid, max int) [][]byte {
 // NTStore: the caller must Fence tid on the same heap and then call
 // CompleteBatch before treating the result as durable.
 func (q *Queue) DequeueBatchUnfenced(tid, max int) (ps [][]byte, dirty bool) {
+	if q.cfg.Acked {
+		panic("blobq: DequeueBatchUnfenced on an acked queue (use DequeueLeased/AckTo)")
+	}
 	if max <= 0 {
 		return nil, q.per[tid].pendingDirty
 	}
@@ -392,18 +557,36 @@ func (q *Queue) CompleteBatch(tid int) {
 }
 
 // Recover rebuilds the queue after a crash: a node is resurrected
-// only if it is linked, beyond the recovered head index, and its blob
-// is fully sealed with the node's tag.
+// only if it is linked, beyond the recovered consumption frontier, and
+// its blob is fully sealed with the node's tag. The frontier is the
+// maximum per-thread head index — or, in ack mode, the maximum
+// per-thread *acked* index, so leased-but-unacknowledged payloads are
+// redelivered and acknowledged ones never reappear. cfg.Acked must
+// match the mode the queue was created with; a mismatch is refused
+// rather than silently mis-scanned.
 func Recover(h *pmem.Heap, cfg Config) *Queue {
 	cfg.norm()
+	ackBase := pmem.Addr(h.Load(0, h.RootAddr(slotAck)))
+	if cfg.Acked != (ackBase != 0) {
+		panic(fmt.Sprintf("blobq: Recover with Acked=%v, but the heap holds an Acked=%v queue",
+			cfg.Acked, ackBase != 0))
+	}
 	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
 	perT := make([]perThread, cfg.Threads)
 	var headIdx uint64
-	for t := 0; t < cfg.Threads; t++ {
-		v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes)
-		perT[t].lastPersisted = v // this thread's provably durable index
-		if v > headIdx {
-			headIdx = v
+	if cfg.Acked {
+		for t := 0; t < cfg.Threads; t++ {
+			if v := h.Load(0, ackBase+pmem.Addr(t)*pmem.CacheLineBytes); v > headIdx {
+				headIdx = v
+			}
+		}
+	} else {
+		for t := 0; t < cfg.Threads; t++ {
+			v := h.Load(0, localBase+pmem.Addr(t)*pmem.CacheLineBytes)
+			perT[t].lastPersisted = v // this thread's provably durable index
+			if v > headIdx {
+				headIdx = v
+			}
 		}
 	}
 	blobCfg := ssmem.Config{
@@ -452,6 +635,10 @@ func Recover(h *pmem.Heap, cfg Config) *Queue {
 	q := &Queue{
 		h: h, cfg: cfg, nodes: nodes, blobs: blobs,
 		localBase: localBase, epoch: epoch, per: perT,
+		ackBase: ackBase,
+	}
+	if cfg.Acked {
+		q.ackDurable = headIdx
 	}
 	dummyPn := nodes.Alloc(0)
 	h.Store(0, dummyPn+pnLinked, 0)

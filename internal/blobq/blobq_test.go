@@ -535,3 +535,84 @@ func TestEnqueueBatchOneFence(t *testing.T) {
 		t.Fatal("recovered queue has extra elements")
 	}
 }
+
+// TestAckedLeaseRedelivery pins the ack-mode contract for byte
+// payloads: leased-but-unacknowledged payloads are redelivered by
+// recovery byte-for-byte exactly once, acknowledged ones never
+// reappear.
+func TestAckedLeaseRedelivery(t *testing.T) {
+	h := newHeap(pmem.ModeCrash)
+	cfg := Config{Threads: 2, MaxPayload: 120, Acked: true}
+	q := New(h, cfg)
+	for i := uint64(1); i <= 20; i++ {
+		q.Enqueue(0, payloadFor(i, 9+int(i%100)))
+	}
+	ps, idxs := q.DequeueLeased(1, 10)
+	if len(ps) != 10 {
+		t.Fatalf("leased %d payloads, want 10", len(ps))
+	}
+	q.AckTo(1, idxs[5])
+	if got := q.AckedTo(); got != 6 {
+		t.Fatalf("AckedTo = %d, want 6", got)
+	}
+
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(21)))
+	h.Restart()
+	if !func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		Recover(h, Config{Threads: 2, MaxPayload: 120})
+		return
+	}() {
+		t.Fatal("Recover with Acked=false on an acked queue did not panic")
+	}
+	rq := Recover(h, cfg)
+
+	// Payloads 7..20 come back in order and intact; 1..6 are gone.
+	for want := uint64(7); want <= 20; want++ {
+		p, ok := rq.Dequeue(0)
+		if !ok || !bytes.Equal(p, payloadFor(want, 9+int(want%100))) {
+			t.Fatalf("recovered payload %d missing or corrupted (ok=%v)", want, ok)
+		}
+	}
+	if _, ok := rq.Dequeue(0); ok {
+		t.Fatal("recovered queue should be empty")
+	}
+}
+
+// TestAckedFenceAccounting: leased dequeues are persist-free, an ack
+// batch costs one NTStore plus one fence, redundant acks nothing.
+func TestAckedFenceAccounting(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+	q := New(h, Config{Threads: 1, MaxPayload: 64, Acked: true})
+	for i := 0; i < 300; i++ { // warm both pools past area creation
+		q.Enqueue(0, payloadFor(uint64(i), 40))
+		q.Dequeue(0)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, payloadFor(uint64(1000+i), 40))
+	}
+	before := h.TotalStats()
+	ps, idxs := q.DequeueLeased(0, n)
+	d := h.TotalStats().Sub(before)
+	if len(ps) != n {
+		t.Fatalf("leased %d payloads, want %d", len(ps), n)
+	}
+	if d.Fences != 0 || d.NTStores != 0 || d.Flushes != 0 {
+		t.Fatalf("leased dequeue issued fences=%d ntstores=%d flushes=%d, want 0/0/0",
+			d.Fences, d.NTStores, d.Flushes)
+	}
+	before = h.TotalStats()
+	q.AckTo(0, idxs[n-1])
+	d = h.TotalStats().Sub(before)
+	if d.Fences != 1 || d.NTStores != 1 {
+		t.Fatalf("ack batch issued fences=%d ntstores=%d, want 1/1", d.Fences, d.NTStores)
+	}
+	before = h.TotalStats()
+	q.AckTo(0, idxs[n-1])
+	d = h.TotalStats().Sub(before)
+	if d.Fences != 0 || d.NTStores != 0 {
+		t.Fatalf("redundant ack issued fences=%d ntstores=%d, want 0/0", d.Fences, d.NTStores)
+	}
+}

@@ -49,7 +49,8 @@ import (
 
 // slotsPerShard is the root-slot window width handed to each shard's
 // queue. Eight covers the highest slot either queue kind uses (blobq
-// uses slots 2,3,6,7; OptUnlinkedQ uses 2,3).
+// uses slots 2,3,6,7 plus 4 in ack mode; OptUnlinkedQ uses 2,3 plus 4
+// in ack mode).
 const slotsPerShard = 8
 
 // slotAnchor is root slot 0 of every member heap: on heap 0 it anchors
@@ -69,6 +70,15 @@ type TopicConfig struct {
 	// payloads on OptUnlinkedQ (the cheapest path); > 0 means variable
 	// payloads up to MaxPayload bytes on blobq.Queue.
 	MaxPayload int
+	// Acked makes the topic's shards ack-mode queues: delivery is a
+	// durable lease (written before PollBatch returns) and a message is
+	// consumed only when a Consumer.Ack covers it, so unacknowledged
+	// messages are redelivered across both consumer crashes (lease
+	// takeover, see Group.Adopt) and whole-broker crashes (recovery
+	// resurrects everything beyond the acked frontier). Acked topics
+	// are consumed through groups created with NewGroupAcked; plain
+	// groups still work but acknowledge every delivery immediately.
+	Acked bool
 }
 
 // PlacementPolicy chooses the member heap for one shard at broker
@@ -107,6 +117,12 @@ type Config struct {
 	// RoundRobinPlacement. Ignored on a 1-heap set (everything lands
 	// on heap 0) and by Recover (the catalog records placements).
 	Placement PlacementPolicy
+	// AckGroups pre-allocates that many durable lease regions — one per
+	// consumer group that will use acknowledgments (NewGroupAcked).
+	// Regions are placed round-robin across the heap set and recorded
+	// in the catalog (v3), so recovery re-binds them; the catalog is
+	// write-once, hence the pre-allocation.
+	AckGroups int
 }
 
 // Broker is a sharded multi-topic durable message broker over a heap
@@ -117,6 +133,14 @@ type Broker struct {
 	threads int
 	topics  []*Topic
 	byName  map[string]*Topic
+
+	// Lease regions pre-allocated for acked consumer groups
+	// (Config.AckGroups); regionMu guards the bound flags, which mark
+	// regions claimed by a live NewGroupAcked.
+	shardTotal int
+	regions    []leaseRegion
+	regionMu   sync.Mutex
+	bound      []bool
 }
 
 // shard wraps one durable queue of either payload kind behind a
@@ -127,6 +151,7 @@ type shard struct {
 	blob  *blobq.Queue         // MaxPayload > 0
 	heap  int
 	h     *pmem.Heap
+	acked bool
 }
 
 func (s *shard) publish(tid int, p []byte) {
@@ -165,8 +190,29 @@ func (s *shard) consume(tid int) ([]byte, bool) {
 // fence (and the node retires) to the caller, so one fence per touched
 // *heap* can cover several shards' dequeues in a single poll. dirty
 // reports an outstanding NTStore; the caller must fence the tid on the
-// shard's heap and then call completeBatch.
+// shard's heap and then call completeBatch. On an acked shard the
+// batch is instead leased and acknowledged immediately (self-fenced,
+// one fence per shard): amortized acked consumption goes through
+// leased groups, not this path.
 func (s *shard) consumeBatchUnfenced(tid, max int) ([][]byte, bool) {
+	if s.acked {
+		if s.fixed != nil {
+			vs := s.fixed.DequeueBatch(tid, max)
+			if len(vs) == 0 {
+				return nil, false
+			}
+			ps := make([][]byte, len(vs))
+			for i, v := range vs {
+				ps[i] = U64(v)
+			}
+			return ps, false
+		}
+		ps := s.blob.DequeueBatch(tid, max)
+		if len(ps) == 0 {
+			return nil, false
+		}
+		return ps, false
+	}
 	if s.fixed != nil {
 		vs, dirty := s.fixed.DequeueBatchUnfenced(tid, max)
 		if len(vs) == 0 {
@@ -187,6 +233,60 @@ func (s *shard) completeBatch(tid int) {
 		return
 	}
 	s.blob.CompleteBatch(tid)
+}
+
+// consumeLeased dequeues up to max messages from an acked shard
+// without any persist instruction: the caller makes the delivery
+// durable by fencing its lease record before exposing the messages,
+// and the messages stay recoverable until ackTo covers them. idxs are
+// the shard-queue indices (contiguous under shard ownership).
+func (s *shard) consumeLeased(tid, max int) (ps [][]byte, idxs []uint64) {
+	if s.fixed != nil {
+		vs, idxs := s.fixed.DequeueLeased(tid, max)
+		if len(vs) == 0 {
+			return nil, nil
+		}
+		ps := make([][]byte, len(vs))
+		for i, v := range vs {
+			ps[i] = U64(v)
+		}
+		return ps, idxs
+	}
+	return s.blob.DequeueLeased(tid, max)
+}
+
+func (s *shard) ackToUnfenced(tid int, idx uint64) bool {
+	if s.fixed != nil {
+		return s.fixed.AckToUnfenced(tid, idx)
+	}
+	return s.blob.AckToUnfenced(tid, idx)
+}
+
+func (s *shard) completeAck(tid int) {
+	if s.fixed != nil {
+		s.fixed.CompleteAck(tid)
+		return
+	}
+	s.blob.CompleteAck(tid)
+}
+
+func (s *shard) ackedTo() uint64 {
+	if s.fixed != nil {
+		return s.fixed.AckedTo()
+	}
+	return s.blob.AckedTo()
+}
+
+func (s *shard) unacked() (ps [][]byte, idxs []uint64) {
+	if s.fixed != nil {
+		vs, idxs := s.fixed.Unacked()
+		ps := make([][]byte, len(vs))
+		for i, v := range vs {
+			ps[i] = U64(v)
+		}
+		return ps, idxs
+	}
+	return s.blob.Unacked()
 }
 
 // U64 encodes v as the 8-byte payload of a fixed topic.
@@ -222,6 +322,9 @@ func validate(cfg Config) error {
 			return fmt.Errorf("broker: topic %q has negative MaxPayload", tc.Name)
 		}
 	}
+	if cfg.AckGroups < 0 || cfg.AckGroups > maxCatAckGroups {
+		return fmt.Errorf("broker: AckGroups %d out of range [0,%d]", cfg.AckGroups, maxCatAckGroups)
+	}
 	return nil
 }
 
@@ -238,9 +341,11 @@ func checkSet(hs *pmem.HeapSet, threads int) error {
 
 // computeLayout runs the placement policy over every shard and assigns
 // each a root-slot window on its heap (slot 0 of every member is
-// reserved for the catalog/stamp anchor). Capacity is per heap: a
-// policy that piles too many shards onto one member is an error.
-func computeLayout(hs *pmem.HeapSet, cfg Config) ([][]shardLoc, error) {
+// reserved for the catalog/stamp anchor); lease regions
+// (Config.AckGroups) then take one anchor slot each, dealt round-robin
+// across the set. Capacity is per heap: a policy that piles too many
+// shards onto one member is an error.
+func computeLayout(hs *pmem.HeapSet, cfg Config) (locs [][]shardLoc, leaseLocs []shardLoc, err error) {
 	policy := cfg.Placement
 	if policy == nil {
 		policy = RoundRobinPlacement
@@ -249,18 +354,18 @@ func computeLayout(hs *pmem.HeapSet, cfg Config) ([][]shardLoc, error) {
 	for i := range next {
 		next[i] = 1 // slot 0 is the anchor
 	}
-	locs := make([][]shardLoc, len(cfg.Topics))
+	locs = make([][]shardLoc, len(cfg.Topics))
 	global := 0
 	for ti, tc := range cfg.Topics {
 		locs[ti] = make([]shardLoc, tc.Shards)
 		for si := 0; si < tc.Shards; si++ {
 			hi := policy(ti, si, global, tc.Shards, hs.Len())
 			if hi < 0 || hi >= hs.Len() {
-				return nil, fmt.Errorf("broker: placement policy put topic %d shard %d on heap %d of %d",
+				return nil, nil, fmt.Errorf("broker: placement policy put topic %d shard %d on heap %d of %d",
 					ti, si, hi, hs.Len())
 			}
 			if next[hi]+slotsPerShard > hs.Heap(hi).RootSlots() {
-				return nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
+				return nil, nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
 					hi, tc.Name, si, slotsPerShard, hs.Heap(hi).RootSlots()-next[hi])
 			}
 			locs[ti][si] = shardLoc{heap: hi, base: next[hi]}
@@ -268,7 +373,15 @@ func computeLayout(hs *pmem.HeapSet, cfg Config) ([][]shardLoc, error) {
 			global++
 		}
 	}
-	return locs, nil
+	for g := 0; g < cfg.AckGroups; g++ {
+		hi := g % hs.Len()
+		if next[hi]+1 > hs.Heap(hi).RootSlots() {
+			return nil, nil, fmt.Errorf("broker: heap %d out of root slots (lease region %d)", hi, g)
+		}
+		leaseLocs = append(leaseLocs, shardLoc{heap: hi, base: next[hi]})
+		next[hi]++
+	}
+	return locs, leaseLocs, nil
 }
 
 // build constructs the volatile broker skeleton and instantiates each
@@ -286,13 +399,14 @@ func build(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, mk func(view *pmem.H
 	}
 	perHeap := make([][]job, hs.Len())
 	for ti, tc := range cfg.Topics {
-		t := &Topic{b: b, cfg: tc, locs: locs[ti], shards: make([]*shard, tc.Shards)}
+		t := &Topic{b: b, cfg: tc, base: b.shardTotal, locs: locs[ti], shards: make([]*shard, tc.Shards)}
 		for si := 0; si < tc.Shards; si++ {
 			loc := locs[ti][si]
 			perHeap[loc.heap] = append(perHeap[loc.heap], job{t: t, si: si, loc: loc})
 		}
 		b.topics = append(b.topics, t)
 		b.byName[tc.Name] = t
+		b.shardTotal += tc.Shards
 	}
 	var wg sync.WaitGroup
 	for hi, jobs := range perHeap {
@@ -308,6 +422,7 @@ func build(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, mk func(view *pmem.H
 				s := mk(view, j.t.cfg)
 				s.heap = hi
 				s.h = view
+				s.acked = j.t.cfg.Acked
 				j.t.shards[j.si] = s
 			}
 		}(hi, jobs)
@@ -345,17 +460,27 @@ func NewSet(hs *pmem.HeapSet, cfg Config) (*Broker, error) {
 			return nil, err
 		}
 	}
-	locs, err := computeLayout(hs, cfg)
+	locs, leaseLocs, err := computeLayout(hs, cfg)
 	if err != nil {
 		return nil, err
 	}
 	b := build(hs, cfg, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
+			if tc.Acked {
+				return &shard{fixed: queues.NewOptUnlinkedQAcked(view, cfg.Threads)}
+			}
 			return &shard{fixed: queues.NewOptUnlinkedQ(view, cfg.Threads)}
 		}
-		return &shard{blob: blobq.New(view, blobq.Config{Threads: cfg.Threads, MaxPayload: tc.MaxPayload})}
+		return &shard{blob: blobq.New(view, blobq.Config{
+			Threads: cfg.Threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked,
+		})}
 	})
-	writeCatalog(hs, cfg, locs)
+	for g, loc := range leaseLocs {
+		b.regions = append(b.regions,
+			initLeaseRegion(hs.Heap(loc.heap), loc.heap, loc.base, g, b.shardTotal))
+	}
+	b.bound = make([]bool, len(b.regions))
+	writeCatalog(hs, cfg, locs, leaseLocs)
 	return b, nil
 }
 
@@ -387,19 +512,33 @@ func RecoverSet(hs *pmem.HeapSet, threads int) (*Broker, error) {
 		return nil, fmt.Errorf("broker: Recover with %d threads, but the broker was created with %d",
 			threads, lay.threads)
 	}
-	cfg := Config{Topics: lay.topics, Threads: threads}
+	cfg := Config{Topics: lay.topics, Threads: threads, AckGroups: len(lay.leaseLocs)}
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
 	if err := checkSet(hs, threads); err != nil {
 		return nil, err
 	}
-	return build(hs, cfg, lay.locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+	b := build(hs, cfg, lay.locs, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
+			if tc.Acked {
+				return &shard{fixed: queues.RecoverOptUnlinkedQAcked(view, threads)}
+			}
 			return &shard{fixed: queues.RecoverOptUnlinkedQ(view, threads)}
 		}
-		return &shard{blob: blobq.Recover(view, blobq.Config{Threads: threads, MaxPayload: tc.MaxPayload})}
-	}), nil
+		return &shard{blob: blobq.Recover(view, blobq.Config{
+			Threads: threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked,
+		})}
+	})
+	for g, loc := range lay.leaseLocs {
+		lr, err := readLeaseRegion(hs.Heap(loc.heap), loc.heap, loc.base, g, b.shardTotal)
+		if err != nil {
+			return nil, err
+		}
+		b.regions = append(b.regions, lr)
+	}
+	b.bound = make([]bool, len(b.regions))
+	return b, nil
 }
 
 // Topic returns the named topic, or nil if the broker has none.
@@ -413,6 +552,14 @@ func (b *Broker) Threads() int { return b.threads }
 
 // Heaps reports the size of the heap set the broker spans.
 func (b *Broker) Heaps() int { return b.hs.Len() }
+
+// AckGroups reports the number of pre-allocated consumer-group lease
+// regions (each usable by one NewGroupAcked at a time).
+func (b *Broker) AckGroups() int { return len(b.regions) }
+
+// ShardTotal reports the number of shards across all topics; global
+// shard ordinals (catalog creation order) index the lease regions.
+func (b *Broker) ShardTotal() int { return b.shardTotal }
 
 // HeapSet returns the heap set the broker spans.
 func (b *Broker) HeapSet() *pmem.HeapSet { return b.hs }

@@ -14,15 +14,28 @@ import (
 // anchored on heap 0 at the broker's root slot 0; heap 0 is the
 // anchor domain, the one place recovery starts from.
 //
-// v2 layout (one cache line per row, so each row persists with a
+// v3 layout (one cache line per row, so each row persists with a
 // single flush and rows never invalidate each other):
 //
-//	line 0 (header):  [magicV2, topicCount, threads, heapCount,
-//	                   setStamp, shardTotal, 0, 0]
-//	line 1+i (topic): [shards, maxPayload, nameLen, placeStart,
-//	                   name word 0..3]            (name <= 32 bytes)
+//	line 0 (header):  [magicV3, topicCount, threads, heapCount,
+//	                   setStamp, shardTotal, ackGroups, 0]
+//	line 1+i (topic): [shards, maxPayload | ackedBit, nameLen,
+//	                   placeStart, name word 0..3]  (name <= 32 bytes)
 //	placement lines:  one word per shard in creation order,
-//	                   heapID<<32 | baseSlot, 8 words per line
+//	                   heapID<<32 | baseSlot, 8 words per line —
+//	                   followed by one word per ack-group lease
+//	                   region, heapID<<32 | anchorSlot
+//
+// ackedBit (bit 62 of the maxPayload word) marks a topic whose shards
+// are ack-mode queues: consumption is leased and recovery redelivers
+// everything beyond the acknowledged frontier (see lease.go). The
+// ackGroups count and lease placements let recovery re-discover every
+// pre-allocated consumer-group lease region — a v3 catalog whose
+// lease region is missing or foreign errors instead of mis-scanning.
+//
+// The v2 layout ("Broker2") differs only in lacking the ackGroups
+// word, the acked bit and the lease placements; readCatalog still
+// accepts it (lease-free brokers recover as before).
 //
 // Every member heap other than heap 0 carries a membership stamp line
 // anchored at its own root slot 0:
@@ -51,9 +64,14 @@ import (
 
 const (
 	catMagic     = 0x42726f6b657231 // "Broker1": legacy single-heap layout
-	catMagicV2   = 0x42726f6b657232 // "Broker2": heap-set layout
+	catMagicV2   = 0x42726f6b657232 // "Broker2": legacy heap-set layout
+	catMagicV3   = 0x42726f6b657233 // "Broker3": heap-set layout with acks + lease regions
 	stampMagic   = 0x48705374616d70 // "HpStamp"
 	catNameBytes = 32
+
+	// catAckedBit marks an acked topic in the maxPayload word of a v3
+	// topic row (payload capacities are far below 2^62).
+	catAckedBit = uint64(1) << 62
 
 	// Sanity caps for catalog fields, so a corrupted or truncated
 	// catalog is rejected with an error before its counts are used to
@@ -81,15 +99,16 @@ type shardLoc struct {
 // layoutInfo is everything readCatalog recovers (and writeCatalog
 // records) about a broker's durable shape.
 type layoutInfo struct {
-	topics  []TopicConfig
-	locs    [][]shardLoc // per topic, per shard
-	threads int
+	topics    []TopicConfig
+	locs      [][]shardLoc // per topic, per shard
+	leaseLocs []shardLoc   // per ack group: (heap, anchor slot) of its lease region
+	threads   int
 }
 
 func packLoc(l shardLoc) uint64   { return uint64(l.heap)<<32 | uint64(l.base) }
 func unpackLoc(w uint64) shardLoc { return shardLoc{heap: int(w >> 32), base: int(w & 0xffffffff)} }
 
-func writeCatalog(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc) {
+func writeCatalog(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, leaseLocs []shardLoc) {
 	const tid = 0
 	stamp := nextSetStamp()
 
@@ -113,23 +132,29 @@ func writeCatalog(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc) {
 	for _, tl := range locs {
 		shardTotal += len(tl)
 	}
-	placeLines := (shardTotal + pmem.WordsPerLine - 1) / pmem.WordsPerLine
+	placeWords := shardTotal + len(leaseLocs)
+	placeLines := (placeWords + pmem.WordsPerLine - 1) / pmem.WordsPerLine
 	bytes := int64(1+len(cfg.Topics)+placeLines) * pmem.CacheLineBytes
 	reg := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
 	h.InitRange(tid, reg, bytes)
 
-	h.Store(tid, reg, catMagicV2)
+	h.Store(tid, reg, catMagicV3)
 	h.Store(tid, reg+8, uint64(len(cfg.Topics)))
 	h.Store(tid, reg+16, uint64(cfg.Threads))
 	h.Store(tid, reg+24, uint64(hs.Len()))
 	h.Store(tid, reg+32, stamp)
 	h.Store(tid, reg+40, uint64(shardTotal))
+	h.Store(tid, reg+48, uint64(len(leaseLocs)))
 	h.Flush(tid, reg)
 	place := 0
 	for i, tc := range cfg.Topics {
 		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
+		payloadWord := uint64(tc.MaxPayload)
+		if tc.Acked {
+			payloadWord |= catAckedBit
+		}
 		h.Store(tid, row, uint64(tc.Shards))
-		h.Store(tid, row+8, uint64(tc.MaxPayload))
+		h.Store(tid, row+8, payloadWord)
 		h.Store(tid, row+16, uint64(len(tc.Name)))
 		h.Store(tid, row+24, uint64(place))
 		name := make([]byte, catNameBytes)
@@ -151,6 +176,10 @@ func writeCatalog(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc) {
 			h.Store(tid, placeBase+pmem.Addr(j*pmem.WordBytes), packLoc(loc))
 			j++
 		}
+	}
+	for _, loc := range leaseLocs {
+		h.Store(tid, placeBase+pmem.Addr(j*pmem.WordBytes), packLoc(loc))
+		j++
 	}
 	for l := 0; l < placeLines; l++ {
 		h.Flush(tid, placeBase+pmem.Addr(l*pmem.CacheLineBytes))
@@ -222,6 +251,8 @@ func readCatalog(hs *pmem.HeapSet) (layoutInfo, error) {
 		lay, err = readCatalogV1(r, reg)
 	case catMagicV2:
 		lay, heapCount, stamp, err = readCatalogV2(r, reg)
+	case catMagicV3:
+		lay, heapCount, stamp, err = readCatalogV3(r, reg)
 	default:
 		return layoutInfo{}, fmt.Errorf("broker: catalog magic %#x invalid", magic)
 	}
@@ -238,25 +269,37 @@ func readCatalog(hs *pmem.HeapSet) (layoutInfo, error) {
 		}
 	}
 	// Validate every placement against the actual set: in-range heap,
-	// in-range window, and no two shards sharing slots on one heap.
-	used := make([][]int, hs.Len())
+	// in-range window, and no two windows — shard or lease region —
+	// sharing slots on one heap.
+	type window struct{ base, width int }
+	used := make([][]window, hs.Len())
+	claim := func(what string, loc shardLoc, width int) error {
+		if loc.heap < 0 || loc.heap >= hs.Len() {
+			return fmt.Errorf("broker: catalog places %s on heap %d of %d", what, loc.heap, hs.Len())
+		}
+		if loc.base < 1 || loc.base+width > hs.Heap(loc.heap).RootSlots() {
+			return fmt.Errorf("broker: catalog places %s at slots [%d,%d) outside heap %d's window [1,%d)",
+				what, loc.base, loc.base+width, loc.heap, hs.Heap(loc.heap).RootSlots())
+		}
+		for _, w := range used[loc.heap] {
+			if loc.base < w.base+w.width && w.base < loc.base+width {
+				return fmt.Errorf("broker: catalog windows overlap on heap %d (bases %d and %d)",
+					loc.heap, w.base, loc.base)
+			}
+		}
+		used[loc.heap] = append(used[loc.heap], window{loc.base, width})
+		return nil
+	}
 	for ti, tl := range lay.locs {
 		for si, loc := range tl {
-			if loc.heap < 0 || loc.heap >= hs.Len() {
-				return layoutInfo{}, fmt.Errorf("broker: catalog places topic %d shard %d on heap %d of %d",
-					ti, si, loc.heap, hs.Len())
+			if err := claim(fmt.Sprintf("topic %d shard %d", ti, si), loc, slotsPerShard); err != nil {
+				return layoutInfo{}, err
 			}
-			if loc.base < 1 || loc.base+slotsPerShard > hs.Heap(loc.heap).RootSlots() {
-				return layoutInfo{}, fmt.Errorf("broker: catalog places topic %d shard %d at slots [%d,%d) outside heap %d's window [1,%d)",
-					ti, si, loc.base, loc.base+slotsPerShard, loc.heap, hs.Heap(loc.heap).RootSlots())
-			}
-			for _, b := range used[loc.heap] {
-				if loc.base < b+slotsPerShard && b < loc.base+slotsPerShard {
-					return layoutInfo{}, fmt.Errorf("broker: catalog shard windows overlap on heap %d (bases %d and %d)",
-						loc.heap, b, loc.base)
-				}
-			}
-			used[loc.heap] = append(used[loc.heap], loc.base)
+		}
+	}
+	for g, loc := range lay.leaseLocs {
+		if err := claim(fmt.Sprintf("lease region %d", g), loc, 1); err != nil {
+			return layoutInfo{}, err
 		}
 	}
 	return lay, nil
@@ -306,11 +349,26 @@ func readCatalogV1(r *catReader, reg pmem.Addr) (layoutInfo, error) {
 }
 
 func readCatalogV2(r *catReader, reg pmem.Addr) (layoutInfo, int, uint64, error) {
+	return readCatalogV2V3(r, reg, false)
+}
+
+func readCatalogV3(r *catReader, reg pmem.Addr) (layoutInfo, int, uint64, error) {
+	return readCatalogV2V3(r, reg, true)
+}
+
+// readCatalogV2V3 reads the heap-set layouts; v3 adds the ackGroups
+// header word, the acked bit in each topic row's payload word, and the
+// lease-region placement words after the shard placements.
+func readCatalogV2V3(r *catReader, reg pmem.Addr, v3 bool) (layoutInfo, int, uint64, error) {
 	n := r.word(reg + 8)
 	threads := r.word(reg + 16)
 	heapCount := r.word(reg + 24)
 	stamp := r.word(reg + 32)
 	shardTotal := r.word(reg + 40)
+	ackGroups := uint64(0)
+	if v3 {
+		ackGroups = r.word(reg + 48)
+	}
 	if r.err != nil {
 		return layoutInfo{}, 0, 0, r.err
 	}
@@ -323,13 +381,16 @@ func readCatalogV2(r *catReader, reg pmem.Addr) (layoutInfo, int, uint64, error)
 	if shardTotal == 0 || shardTotal > maxCatShards {
 		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog shard total %d invalid", shardTotal)
 	}
+	if ackGroups > maxCatAckGroups {
+		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog ack-group count %d invalid", ackGroups)
+	}
 	lay := layoutInfo{threads: int(threads)}
 	placeBase := reg + pmem.Addr((1+n)*pmem.CacheLineBytes)
 	place := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
 		shards := r.word(row)
-		maxPayload := r.word(row + 8)
+		payloadWord := r.word(row + 8)
 		nameLen := r.word(row + 16)
 		placeStart := r.word(row + 24)
 		if r.err != nil {
@@ -346,17 +407,26 @@ func readCatalogV2(r *catReader, reg pmem.Addr) (layoutInfo, int, uint64, error)
 		for s := range locs {
 			locs[s] = unpackLoc(r.word(placeBase + pmem.Addr((placeStart+uint64(s))*pmem.WordBytes)))
 		}
-		lay.topics = append(lay.topics, TopicConfig{
+		tc := TopicConfig{
 			Name:       readName(r, row, nameLen),
 			Shards:     int(shards),
-			MaxPayload: int(maxPayload),
-		})
+			MaxPayload: int(payloadWord),
+		}
+		if v3 {
+			tc.Acked = payloadWord&catAckedBit != 0
+			tc.MaxPayload = int(payloadWord &^ catAckedBit)
+		}
+		lay.topics = append(lay.topics, tc)
 		lay.locs = append(lay.locs, locs)
 		place += shards
 	}
 	if place != shardTotal {
 		return layoutInfo{}, 0, 0, fmt.Errorf("broker: catalog shard total %d does not match topic rows (%d)",
 			shardTotal, place)
+	}
+	for g := uint64(0); g < ackGroups; g++ {
+		lay.leaseLocs = append(lay.leaseLocs,
+			unpackLoc(r.word(placeBase+pmem.Addr((shardTotal+g)*pmem.WordBytes))))
 	}
 	return lay, int(heapCount), stamp, r.err
 }

@@ -56,7 +56,7 @@ func writeCatalogV1(h *pmem.Heap, cfg Config) {
 func newWithV1Catalog(t *testing.T, h *pmem.Heap, cfg Config) *Broker {
 	t.Helper()
 	hs := pmem.NewSetOf(h)
-	locs, err := computeLayout(hs, cfg) // round-robin on 1 heap = v1 layout
+	locs, _, err := computeLayout(hs, cfg) // round-robin on 1 heap = v1 layout
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +68,137 @@ func newWithV1Catalog(t *testing.T, h *pmem.Heap, cfg Config) *Broker {
 	})
 	writeCatalogV1(h, cfg)
 	return b
+}
+
+// writeCatalogV2 replays the pre-ack heap-set catalog writer verbatim
+// (the "Broker2" layout documented in catalog.go): a v2 header without
+// the ackGroups word, topic rows without the acked bit, shard
+// placement words only. Brokers written by pre-lease builds carry
+// exactly this.
+func writeCatalogV2(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc) {
+	const tid = 0
+	stamp := nextSetStamp()
+	for i := 1; i < hs.Len(); i++ {
+		h := hs.Heap(i)
+		reg := h.AllocRaw(tid, pmem.CacheLineBytes, pmem.CacheLineBytes)
+		h.InitRange(tid, reg, pmem.CacheLineBytes)
+		h.Store(tid, reg, stampMagic)
+		h.Store(tid, reg+8, stamp)
+		h.Store(tid, reg+16, uint64(i))
+		h.Store(tid, reg+24, uint64(hs.Len()))
+		h.Persist(tid, reg)
+		h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
+		h.Persist(tid, h.RootAddr(slotAnchor))
+	}
+	h := hs.Heap(0)
+	shardTotal := 0
+	for _, tl := range locs {
+		shardTotal += len(tl)
+	}
+	placeLines := (shardTotal + pmem.WordsPerLine - 1) / pmem.WordsPerLine
+	bytes := int64(1+len(cfg.Topics)+placeLines) * pmem.CacheLineBytes
+	reg := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
+	h.InitRange(tid, reg, bytes)
+	h.Store(tid, reg, catMagicV2)
+	h.Store(tid, reg+8, uint64(len(cfg.Topics)))
+	h.Store(tid, reg+16, uint64(cfg.Threads))
+	h.Store(tid, reg+24, uint64(hs.Len()))
+	h.Store(tid, reg+32, stamp)
+	h.Store(tid, reg+40, uint64(shardTotal))
+	h.Flush(tid, reg)
+	place := 0
+	for i, tc := range cfg.Topics {
+		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
+		h.Store(tid, row, uint64(tc.Shards))
+		h.Store(tid, row+8, uint64(tc.MaxPayload))
+		h.Store(tid, row+16, uint64(len(tc.Name)))
+		h.Store(tid, row+24, uint64(place))
+		name := make([]byte, catNameBytes)
+		copy(name, tc.Name)
+		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+			var word uint64
+			for b := 0; b < 8; b++ {
+				word |= uint64(name[w*8+b]) << (8 * b)
+			}
+			h.Store(tid, row+pmem.Addr(32+w*8), word)
+		}
+		h.Flush(tid, row)
+		place += tc.Shards
+	}
+	placeBase := reg + pmem.Addr((1+len(cfg.Topics))*pmem.CacheLineBytes)
+	j := 0
+	for _, tl := range locs {
+		for _, loc := range tl {
+			h.Store(tid, placeBase+pmem.Addr(j*pmem.WordBytes), packLoc(loc))
+			j++
+		}
+	}
+	for l := 0; l < placeLines; l++ {
+		h.Flush(tid, placeBase+pmem.Addr(l*pmem.CacheLineBytes))
+	}
+	h.Fence(tid)
+	h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
+	h.Persist(tid, h.RootAddr(slotAnchor))
+}
+
+// TestCatalogV2Recover: a broker persisted with the legacy (pre-ack)
+// heap-set catalog must still recover on a matching set — lease-free:
+// no topic acked, no lease regions — with payloads intact on every
+// member heap.
+func TestCatalogV2Recover(t *testing.T) {
+	cfg := pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4}
+	hs := pmem.NewSet(2, cfg)
+	bcfg := Config{Topics: twoTopics(), Threads: 2}
+	locs, leaseLocs, err := computeLayout(hs, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaseLocs) != 0 {
+		t.Fatalf("lease-free layout allocated %d lease regions", len(leaseLocs))
+	}
+	b := build(hs, bcfg, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+		if tc.MaxPayload == 0 {
+			return &shard{fixed: queues.NewOptUnlinkedQ(view, bcfg.Threads)}
+		}
+		return &shard{blob: blobq.New(view, blobq.Config{Threads: bcfg.Threads, MaxPayload: tc.MaxPayload})}
+	})
+	writeCatalogV2(hs, bcfg, locs)
+	b.Topic("events").Publish(0, U64(77))
+	b.Topic("jobs").Publish(0, blobPayload(8))
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(12)))
+	hs.Restart()
+
+	r, err := RecoverSet(hs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AckGroups() != 0 {
+		t.Fatalf("v2 recovery produced %d lease regions, want 0", r.AckGroups())
+	}
+	for _, topic := range r.Topics() {
+		if topic.Acked() {
+			t.Fatalf("v2 recovery marked topic %q acked", topic.Name())
+		}
+	}
+	if _, err := r.NewGroupAcked([]string{"events"}, 1, LeaseConfig{}); err == nil {
+		t.Fatal("NewGroupAcked on a v2 (lease-free) broker should fail")
+	}
+	if p, ok := r.Topic("events").DequeueShard(0, 0); !ok || AsU64(p) != 77 {
+		t.Fatalf("recovered v2 event = %v,%v", p, ok)
+	}
+	found := false
+	for s := 0; s < r.Topic("jobs").Shards(); s++ {
+		if p, ok := r.Topic("jobs").DequeueShard(0, s); ok {
+			if AsU64(p[:8]) != 8 {
+				t.Fatal("recovered v2 job corrupted")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("v2 job lost across recovery")
+	}
 }
 
 // TestCatalogV1Recover: a broker persisted with the legacy single-heap

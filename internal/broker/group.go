@@ -3,6 +3,8 @@ package broker
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Message is one delivered payload with its provenance.
@@ -20,35 +22,75 @@ type ShardRef struct {
 
 // Group is a consumer group over a set of topics. Every shard of
 // every subscribed topic is assigned to exactly one member, so the
-// group collectively consumes each message once (at-least-once across
-// crashes: a member that crashed mid-delivery may leave its message
-// to be recovered instead). Shard ownership means per-shard FIFO
-// order is preserved end-to-end.
+// group collectively consumes each message once. Shard ownership means
+// per-shard FIFO order is preserved end-to-end.
+//
+// Plain groups (NewGroup, NewGroupAffine) are at-least-once across
+// crashes: a delivery is durable when the poll returns, and a member
+// that crashed mid-poll leaves its window to be recovered. Acked
+// groups (NewGroupAcked) separate delivery from processing: a poll
+// writes a durable lease record before returning messages and the
+// messages are consumed only when Consumer.Ack covers them, giving
+// exactly-once *processing* across consumer crashes (lease takeover
+// redelivers the unacked suffix, see Adopt) and broker crashes
+// (recovery redelivers everything beyond the acked frontier).
 type Group struct {
 	consumers []*Consumer
+	b         *Broker
+
+	// Acked-group state (zero for plain groups).
+	leased    bool
+	region    leaseRegion
+	ttl       uint64
+	now       func() uint64
+	cache     []leaseCache // one per global shard ordinal, owner-accessed
+	recovered []RecoveredLease
+	mu        sync.Mutex // serializes Adopt against other Adopts
 }
 
-func (b *Broker) collectRefs(topicNames []string) ([]consumerShard, error) {
-	var refs []consumerShard
+// leaseCache mirrors one durable lease line: durable is the content
+// covered by the last completed fence (renewal elision compares
+// against it), pending the content staged by an unfenced write.
+type leaseCache struct {
+	durable Lease
+	pending Lease
+	seq     uint64
+}
+
+// RecoveredLease is a lease found active (or torn) in the durable
+// region when an acked group bound it — the in-flight delivery state
+// of the group's previous incarnation, which Gray's argument says must
+// be as durable as the payloads themselves. The referenced messages
+// were never acknowledged, so they are back in their shards awaiting
+// redelivery; the record tells an operator who held them and until
+// when. Torn records (a crash mid-lease-write) decode as the zero
+// Lease.
+type RecoveredLease struct {
+	Shard ShardRef
+	Lease Lease
+}
+
+func (b *Broker) collectRefs(topicNames []string) ([]*consumerShard, error) {
+	var refs []*consumerShard
 	for _, name := range topicNames {
 		t := b.Topic(name)
 		if t == nil {
 			return nil, fmt.Errorf("broker: unknown topic %q", name)
 		}
 		for s := 0; s < t.Shards(); s++ {
-			refs = append(refs, consumerShard{t: t, shard: s})
+			refs = append(refs, &consumerShard{t: t, shard: s, global: t.base + s})
 		}
 	}
 	return refs, nil
 }
 
-func newGroup(refs []consumerShard, n int, deal func(g *Group, refs []consumerShard)) (*Group, error) {
+func (b *Broker) newGroup(refs []*consumerShard, n int, deal func(g *Group, refs []*consumerShard)) (*Group, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("broker: group needs at least one consumer")
 	}
-	g := &Group{consumers: make([]*Consumer, n)}
+	g := &Group{consumers: make([]*Consumer, n), b: b}
 	for i := range g.consumers {
-		g.consumers[i] = &Consumer{}
+		g.consumers[i] = &Consumer{g: g, id: i}
 	}
 	deal(g, refs)
 	return g, nil
@@ -56,12 +98,16 @@ func newGroup(refs []consumerShard, n int, deal func(g *Group, refs []consumerSh
 
 // NewGroup subscribes n consumers to the named topics, assigning
 // shards to members round-robin across the combined shard list.
+// Acked topics may be consumed through a plain group too: every
+// delivery is then acknowledged immediately (auto-ack), which keeps
+// the at-least-once contract but forfeits both ack amortization and
+// crash redelivery of in-flight messages.
 func (b *Broker) NewGroup(topicNames []string, n int) (*Group, error) {
 	refs, err := b.collectRefs(topicNames)
 	if err != nil {
 		return nil, err
 	}
-	return newGroup(refs, n, func(g *Group, refs []consumerShard) {
+	return b.newGroup(refs, n, func(g *Group, refs []*consumerShard) {
 		for i, r := range refs {
 			c := g.consumers[i%n]
 			c.refs = append(c.refs, r)
@@ -84,13 +130,107 @@ func (b *Broker) NewGroupAffine(topicNames []string, n int) (*Group, error) {
 	sort.SliceStable(refs, func(i, j int) bool {
 		return refs[i].t.locs[refs[i].shard].heap < refs[j].t.locs[refs[j].shard].heap
 	})
-	return newGroup(refs, n, func(g *Group, refs []consumerShard) {
+	return b.newGroup(refs, n, func(g *Group, refs []*consumerShard) {
 		for i := range g.consumers {
 			lo, hi := i*len(refs)/n, (i+1)*len(refs)/n
 			g.consumers[i].refs = append(g.consumers[i].refs, refs[lo:hi]...)
 		}
 	})
 }
+
+// LeaseConfig parameterizes an acked consumer group.
+type LeaseConfig struct {
+	// Region selects which pre-allocated lease region (Config.AckGroups)
+	// backs the group; a region serves one live group at a time.
+	Region int
+	// TTL is the lease duration in clock units; a member whose lease is
+	// older than TTL may have its shards adopted (Adopt). Default:
+	// one second of wall-clock nanoseconds.
+	TTL uint64
+	// Now is the group's clock. Default: wall-clock nanoseconds. Tests
+	// inject logical clocks for deterministic expiry.
+	Now func() uint64
+}
+
+// NewGroupAcked subscribes n consumers to the named topics — all of
+// which must be Acked — with durable delivery state: every poll writes
+// a lease record into the group's region before returning messages,
+// Consumer.Ack durably marks them processed, and Adopt moves a
+// crashed member's shards (redelivering its unacked suffix) to a
+// survivor. Shards are dealt round-robin as in NewGroup.
+//
+// Binding inspects the region's durable lease lines: records left
+// active by a previous incarnation are returned by RecoveredLeases and
+// cleared (the messages they cover are unacknowledged and therefore
+// already back in their shards). Call while no other thread operates
+// on the broker; the bind writes with thread id 0.
+func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Group, error) {
+	refs, err := b.collectRefs(topicNames)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		if !r.t.Acked() {
+			return nil, fmt.Errorf("broker: NewGroupAcked over topic %q, which is not Acked", r.t.Name())
+		}
+	}
+	if lc.Region < 0 || lc.Region >= len(b.regions) {
+		return nil, fmt.Errorf("broker: lease region %d out of range (broker has %d; set Config.AckGroups)",
+			lc.Region, len(b.regions))
+	}
+	g, err := b.newGroup(refs, n, func(g *Group, refs []*consumerShard) {
+		for i, r := range refs {
+			g.consumers[i%n].refs = append(g.consumers[i%n].refs, r)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Claim the region only once the group is sure to exist, so a
+	// failed construction cannot leak the claim.
+	b.regionMu.Lock()
+	if b.bound[lc.Region] {
+		b.regionMu.Unlock()
+		return nil, fmt.Errorf("broker: lease region %d already serves a group", lc.Region)
+	}
+	b.bound[lc.Region] = true
+	b.regionMu.Unlock()
+	g.leased = true
+	g.region = b.regions[lc.Region]
+	g.ttl = lc.TTL
+	if g.ttl == 0 {
+		g.ttl = uint64(time.Second)
+	}
+	g.now = lc.Now
+	if g.now == nil {
+		g.now = func() uint64 { return uint64(time.Now().UnixNano()) }
+	}
+	g.cache = make([]leaseCache, b.shardTotal)
+
+	// Bind: seed each ref's frontier from the queue's durable acked
+	// index, surface stale lease records, and clear them. A fresh
+	// region (all lines virgin) writes nothing.
+	const tid = 0
+	w := leaseWriter{g: g, tid: tid}
+	for _, r := range refs {
+		s := r.t.shards[r.shard]
+		floor := s.ackedTo()
+		r.deliveredTo, r.leasedTo = floor, floor
+		l, ok := g.region.readLeaseLine(r.global)
+		if !ok || l.Active {
+			g.recovered = append(g.recovered,
+				RecoveredLease{Shard: ShardRef{Topic: r.t.Name(), Shard: r.shard}, Lease: l})
+			w.write(r.global, Lease{})
+		}
+	}
+	w.commit()
+	return g, nil
+}
+
+// RecoveredLeases lists the lease records an acked group found active
+// (or torn) at bind time — the previous incarnation's in-flight
+// windows. Nil for plain groups and for a first binding.
+func (g *Group) RecoveredLeases() []RecoveredLease { return g.recovered }
 
 // Size returns the number of group members.
 func (g *Group) Size() int { return len(g.consumers) }
@@ -99,19 +239,41 @@ func (g *Group) Size() int { return len(g.consumers) }
 func (g *Group) Consumer(i int) *Consumer { return g.consumers[i] }
 
 type consumerShard struct {
-	t     *Topic
-	shard int
+	t      *Topic
+	shard  int
+	global int // ordinal across all topics, indexes the lease region
+
+	// Acked-group bookkeeping, accessed only by the owning member (or
+	// under both members' locks during Adopt).
+	deliveredTo uint64 // last queue index returned to the application
+	leasedTo    uint64 // high end of the durable lease obligation
+	pendingN    int    // queued redeliveries not yet re-served
+	unackedN    int    // messages delivered but not yet acknowledged
+}
+
+// pendingMsg is one message awaiting redelivery: adopted from a
+// crashed member or returned by a Nack.
+type pendingMsg struct {
+	r       *consumerShard
+	idx     uint64
+	payload []byte
 }
 
 // Consumer is one group member. A Consumer must be driven by a single
 // goroutine; tid follows the usual one-goroutine-per-tid rule.
 type Consumer struct {
-	refs []consumerShard
-	next int
+	g       *Group
+	id      int
+	mu      sync.Mutex // serializes member ops against Adopt (acked groups)
+	refs    []*consumerShard
+	next    int
+	pending []pendingMsg
 }
 
 // Assigned lists the shards this member owns.
 func (c *Consumer) Assigned() []ShardRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]ShardRef, len(c.refs))
 	for i, r := range c.refs {
 		out[i] = ShardRef{Topic: r.t.Name(), Shard: r.shard}
@@ -122,6 +284,8 @@ func (c *Consumer) Assigned() []ShardRef {
 // Domains lists the distinct member heaps this member's shards live
 // on — the number of SFENCEs a full PollBatch sweep pays at most.
 func (c *Consumer) Domains() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []int
 	for _, r := range c.refs {
 		h := r.t.locs[r.shard].heap
@@ -143,9 +307,16 @@ func (c *Consumer) Domains() []int {
 // Poll scans the member's shards round-robin and delivers the first
 // available message. ok is false when every owned shard was observed
 // empty. When Poll returns a message, the delivery is already durable
-// (the dequeue's persist covers it), so the message is never
-// re-delivered after a crash.
+// (the dequeue's persist covers it on a plain group; the lease record
+// on an acked one).
 func (c *Consumer) Poll(tid int) (Message, bool) {
+	if c.g.leased {
+		ms := c.PollBatch(tid, 1)
+		if len(ms) == 0 {
+			return Message{}, false
+		}
+		return ms[0], true
+	}
 	for i := 0; i < len(c.refs); i++ {
 		r := c.refs[(c.next+i)%len(c.refs)]
 		if p, ok := r.t.shards[r.shard].consume(tid); ok {
@@ -172,14 +343,27 @@ func (c *Consumer) Poll(tid int) (Message, bool) {
 // head index issues no persist instructions at all, so idle consumers
 // poll for free.
 //
-// The batch is acknowledged as a whole when PollBatch returns: at that
-// point every delivery in it is durable and will never be re-delivered
-// after a crash. A crash mid-poll leaves the whole window
-// unacknowledged — its messages are redelivered (or, for a suffix
-// whose NTStore happened to land without the fence, consumed) on
-// recovery, exactly dual to PublishBatch. An empty result means every
-// owned shard was observed empty.
+// On a plain group the batch is acknowledged as a whole when PollBatch
+// returns: at that point every delivery in it is durable and will
+// never be re-delivered after a crash. A crash mid-poll leaves the
+// whole window unacknowledged — its messages are redelivered (or, for
+// a suffix whose NTStore happened to land without the fence, consumed)
+// on recovery, exactly dual to PublishBatch.
+//
+// On an acked group the poll instead *leases*: the shard dequeues
+// issue no persist instructions at all, and what the single fence
+// makes durable — before any message is returned — is the lease
+// record (owner, unacked range, deadline) in the group's region, so
+// delivery state itself survives crashes. Messages queued for
+// redelivery (Adopt, Nack) are served first, in index order per
+// shard; the batch stays redeliverable until Consumer.Ack covers it.
+// An empty result means every owned shard was observed empty.
 func (c *Consumer) PollBatch(tid, max int) []Message {
+	if c.g.leased {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.pollLeased(tid, max)
+	}
 	if max <= 0 || len(c.refs) == 0 {
 		return nil
 	}
@@ -222,4 +406,286 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 		}
 	}
 	return out
+}
+
+func (c *Consumer) pollLeased(tid, max int) []Message {
+	if max <= 0 || len(c.refs) == 0 {
+		return nil
+	}
+	var out []Message
+	// Redeliveries first: adopted or nacked messages are already
+	// covered by a durable lease, so serving them costs nothing.
+	for len(out) < max && len(c.pending) > 0 {
+		p := c.pending[0]
+		c.pending = c.pending[1:]
+		out = append(out, Message{Topic: p.r.t.Name(), Shard: p.r.shard, Payload: p.payload})
+		p.r.deliveredTo = p.idx
+		p.r.pendingN--
+		p.r.unackedN++
+	}
+	w := leaseWriter{g: c.g, tid: tid}
+	deadline := c.g.now() + c.g.ttl
+	for scanned := 0; scanned < len(c.refs) && len(out) < max; scanned++ {
+		r := c.refs[c.next]
+		c.next = (c.next + 1) % len(c.refs)
+		if r.pendingN > 0 {
+			// Per-shard FIFO: no fresh dequeues ahead of queued
+			// redeliveries of the same shard.
+			continue
+		}
+		s := r.t.shards[r.shard]
+		ps, idxs := s.consumeLeased(tid, max-len(out))
+		if len(ps) == 0 {
+			continue
+		}
+		for _, p := range ps {
+			out = append(out, Message{Topic: r.t.Name(), Shard: r.shard, Payload: p})
+		}
+		r.deliveredTo = idxs[len(idxs)-1]
+		r.leasedTo = r.deliveredTo
+		r.unackedN += len(ps)
+		w.write(r.global, Lease{
+			Active: true, Owner: c.id,
+			Lo: s.ackedTo() + 1, Hi: r.leasedTo,
+			Deadline: deadline,
+		})
+	}
+	// The leases are durable before any message is exposed; a crash
+	// before this fence redelivers the whole window on recovery.
+	w.commit()
+	return out
+}
+
+// Ack durably acknowledges every message this member has been handed
+// so far: for each owned shard, one NTStore of the delivered index
+// into the shard queue's per-thread ack line, then a single fence per
+// touched persistence domain — the whole ack batch rides one blocking
+// persist per domain, and an Ack with nothing new to acknowledge costs
+// nothing. Acknowledged messages are never redelivered, by any path:
+// recovery takes the maximum acked index per thread exactly as it does
+// for head indices. Returns the number of newly acknowledged messages.
+func (c *Consumer) Ack(tid int) int {
+	if !c.g.leased {
+		panic("broker: Ack on a group without acknowledgments (use NewGroupAcked)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	var touched []*shard
+	for _, r := range c.refs {
+		s := r.t.shards[r.shard]
+		floor := s.ackedTo()
+		if r.deliveredTo <= floor {
+			continue
+		}
+		// Count delivered messages, not the index delta: the range may
+		// contain gaps where recovery discarded torn enqueues.
+		n += r.unackedN
+		r.unackedN = 0
+		if s.ackToUnfenced(tid, r.deliveredTo) {
+			touched = append(touched, s)
+		}
+	}
+	var fenced []int
+	for _, s := range touched {
+		done := false
+		for _, hi := range fenced {
+			if hi == s.heap {
+				done = true
+				break
+			}
+		}
+		if !done {
+			s.h.Fence(tid)
+			fenced = append(fenced, s.heap)
+		}
+	}
+	for _, s := range touched {
+		s.completeAck(tid)
+	}
+	return n
+}
+
+// Nack rescinds every delivered-but-unacknowledged message of this
+// member: the messages go back onto the member's redelivery queue (a
+// later PollBatch serves them again, in order, before any fresh
+// dequeue of the same shard), and each affected shard's lease record
+// is rewritten — one store+flush per shard, one fence for the whole
+// nack — so the rescission itself is durable delivery state. Returns
+// the number of messages queued for redelivery.
+func (c *Consumer) Nack(tid int) int {
+	if !c.g.leased {
+		panic("broker: Nack on a group without acknowledgments (use NewGroupAcked)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := leaseWriter{g: c.g, tid: tid}
+	deadline := c.g.now() + c.g.ttl
+	var nacked []pendingMsg
+	for _, r := range c.refs {
+		s := r.t.shards[r.shard]
+		floor := s.ackedTo()
+		if r.deliveredTo <= floor {
+			continue
+		}
+		ps, idxs := s.unacked()
+		for i := range ps {
+			if idxs[i] > r.deliveredTo {
+				break // not yet re-served redeliveries stay where they are
+			}
+			nacked = append(nacked, pendingMsg{r: r, idx: idxs[i], payload: ps[i]})
+			r.pendingN++
+		}
+		r.deliveredTo = floor
+		r.unackedN = 0
+		w.write(r.global, Lease{
+			Active: true, Owner: c.id,
+			Lo: floor + 1, Hi: r.leasedTo,
+			Deadline: deadline,
+		})
+	}
+	// Prepending keeps per-shard index order: everything nacked
+	// precedes any still-queued redelivery of the same shard.
+	c.pending = append(nacked, c.pending...)
+	w.commit()
+	return len(nacked)
+}
+
+// Renew extends this member's lease deadlines to the given instant on
+// every shard it holds unacknowledged messages of. A renewal whose
+// deadline the durable record already covers writes nothing and costs
+// nothing — the heartbeat of a healthy consumer is free until the
+// deadline actually needs moving; otherwise the rewritten lines ride
+// a single fence.
+func (c *Consumer) Renew(tid int, deadline uint64) {
+	if !c.g.leased {
+		panic("broker: Renew on a group without acknowledgments (use NewGroupAcked)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := leaseWriter{g: c.g, tid: tid}
+	for _, r := range c.refs {
+		s := r.t.shards[r.shard]
+		floor := s.ackedTo()
+		if r.leasedTo <= floor {
+			continue // nothing unacknowledged: no lease to maintain
+		}
+		d := c.g.cache[r.global].durable
+		if d.Active && d.Owner == c.id && d.Deadline >= deadline {
+			continue // already durably covered
+		}
+		w.write(r.global, Lease{
+			Active: true, Owner: c.id,
+			Lo: floor + 1, Hi: r.leasedTo,
+			Deadline: deadline,
+		})
+	}
+	w.commit()
+}
+
+// Adopt transfers every shard of member `from` to member `to`,
+// redelivering the unacknowledged suffix: `from` crashed (or went
+// silent past its lease deadline), so everything it was handed but
+// never acknowledged is queued on `to` for redelivery, and each
+// affected lease record is rewritten to the new owner with a fresh
+// deadline before Adopt returns (one fence). Messages `from` had
+// acknowledged are durably consumed and never reappear — takeover
+// preserves exactly-once processing.
+//
+// Adopt refuses while any of from's lease records is durably
+// unexpired at the group clock: a live member may still be processing
+// its window. Drive `from`'s goroutine to completion first; tid may be
+// the dead member's thread id. Returns the number of redeliveries
+// moved.
+func (g *Group) Adopt(tid, from, to int) (int, error) {
+	if !g.leased {
+		return 0, fmt.Errorf("broker: Adopt on a group without acknowledgments")
+	}
+	if from == to || from < 0 || to < 0 || from >= len(g.consumers) || to >= len(g.consumers) {
+		return 0, fmt.Errorf("broker: Adopt(%d -> %d) with %d members", from, to, len(g.consumers))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a, b := g.consumers[from], g.consumers[to]
+	lo, hi := a, b
+	if to < from {
+		lo, hi = b, a
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+
+	now := g.now()
+	for _, r := range a.refs {
+		if d := g.cache[r.global].durable; d.Active && d.Owner == from && d.Deadline > now {
+			return 0, fmt.Errorf("broker: member %d's lease on %s/%d is unexpired (deadline %d > now %d)",
+				from, r.t.Name(), r.shard, d.Deadline, now)
+		}
+	}
+
+	// The dead member's own redelivery queue is rebuilt from the
+	// queues' unacked snapshots below; drop it to avoid duplicates.
+	a.pending = nil
+	w := leaseWriter{g: g, tid: tid}
+	deadline := now + g.ttl
+	moved := 0
+	for _, r := range a.refs {
+		s := r.t.shards[r.shard]
+		floor := s.ackedTo()
+		ps, idxs := s.unacked()
+		r.deliveredTo, r.pendingN, r.unackedN = floor, len(ps), 0
+		for i := range ps {
+			b.pending = append(b.pending, pendingMsg{r: r, idx: idxs[i], payload: ps[i]})
+		}
+		moved += len(ps)
+		if len(ps) > 0 {
+			r.leasedTo = idxs[len(idxs)-1]
+			w.write(r.global, Lease{
+				Active: true, Owner: to,
+				Lo: floor + 1, Hi: r.leasedTo,
+				Deadline: deadline,
+			})
+		} else {
+			r.leasedTo = floor
+			if d := g.cache[r.global].durable; d.Active {
+				w.write(r.global, Lease{}) // fully acked: retire the stale record
+			}
+		}
+	}
+	b.refs = append(b.refs, a.refs...)
+	a.refs = nil
+	a.next = 0
+	w.commit()
+	return moved, nil
+}
+
+// leaseWriter batches lease-line writes that ride one fence on the
+// region's domain; commit promotes the write cache only after the
+// fence, so renewal elision never trusts an unfenced deadline.
+type leaseWriter struct {
+	g      *Group
+	tid    int
+	staged []int
+}
+
+func (w *leaseWriter) write(global int, l Lease) {
+	c := &w.g.cache[global]
+	c.seq++
+	l.Seq = c.seq
+	w.g.region.writeLeaseLine(w.tid, global, l)
+	c.pending = l
+	w.staged = append(w.staged, global)
+}
+
+func (w *leaseWriter) commit() {
+	if len(w.staged) == 0 {
+		return
+	}
+	w.g.region.h.Fence(w.tid)
+	for _, gl := range w.staged {
+		c := &w.g.cache[gl]
+		c.durable = c.pending
+	}
+	w.staged = w.staged[:0]
 }

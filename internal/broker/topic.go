@@ -14,6 +14,7 @@ import (
 type Topic struct {
 	b      *Broker
 	cfg    TopicConfig
+	base   int // global ordinal of shard 0 (catalog creation order)
 	locs   []shardLoc
 	shards []*shard
 	rr     atomic.Uint64 // round-robin routing cursor
@@ -21,6 +22,10 @@ type Topic struct {
 
 // Name returns the topic name.
 func (t *Topic) Name() string { return t.cfg.Name }
+
+// Acked reports whether the topic's shards require acknowledgment
+// (TopicConfig.Acked).
+func (t *Topic) Acked() bool { return t.cfg.Acked }
 
 // Shards returns the topic's shard count.
 func (t *Topic) Shards() int { return len(t.shards) }
@@ -95,7 +100,8 @@ func (t *Topic) PublishBatch(tid int, payloads [][]byte) {
 
 // DequeueShard removes the oldest message of one shard. Intended for
 // recovery audits and drain tools; normal consumption goes through
-// consumer groups, which own shards exclusively.
+// consumer groups, which own shards exclusively. On an acked topic the
+// message is acknowledged immediately (lease + ack in one step).
 func (t *Topic) DequeueShard(tid, shard int) ([]byte, bool) {
 	return t.shards[shard].consume(tid)
 }

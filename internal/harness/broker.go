@@ -46,6 +46,17 @@ type BrokerConfig struct {
 	// Payload is the message size in bytes; 0 selects fixed 8-byte
 	// topics on OptUnlinkedQ, > 0 variable-payload topics on blobq.
 	Payload int
+	// Ack enables acknowledged delivery: topics are created Acked, the
+	// group is a leased one (NewGroupAcked) and every consumer
+	// acknowledges each poll batch after "processing" it, so the
+	// measurement shows the full exactly-once pipeline — lease fence
+	// per poll, ack fence per batch (AckFencesPerMsg ~ 1/DequeueBatch).
+	Ack bool
+	// Kills crashes that many consumers mid-run (cooperatively: the
+	// member abandons its unacked window), waits out their leases and
+	// adopts their shards into consumer 0 — the adopted redeliveries
+	// surface as Redelivered. Requires Ack; at most Consumers-1.
+	Kills int
 	// Duration bounds the produce phase. Consumers drain afterwards.
 	Duration  time.Duration
 	HeapBytes int64
@@ -80,6 +91,15 @@ func (c *BrokerConfig) norm() {
 	if c.HeapBytes == 0 {
 		c.HeapBytes = 512 << 20
 	}
+	if !c.Ack {
+		c.Kills = 0
+	}
+	if c.Kills >= c.Consumers {
+		c.Kills = c.Consumers - 1
+	}
+	if c.Kills < 0 {
+		c.Kills = 0
+	}
 }
 
 // BrokerResult is one broker measurement outcome. Producer and
@@ -90,13 +110,21 @@ func (c *BrokerConfig) norm() {
 // placement imbalance.
 type BrokerResult struct {
 	Topics, Shards, Heaps, Producers, Consumers, Batch, DequeueBatch, Payload int
-	Affine                                                                    bool
+	Affine, Ack                                                               bool
+	Kills                                                                     int
 
 	Published uint64
 	Delivered uint64
 	Elapsed   time.Duration
 	Producer  pmem.Stats
 	Consumer  pmem.Stats
+
+	// Ack-mode statistics: messages acknowledged, blocking persists
+	// spent inside Ack calls, and messages redelivered after a consumer
+	// kill + lease takeover.
+	Acked       uint64
+	AckFences   uint64
+	Redelivered uint64
 
 	// PerHeap is each member heap's total event counters for the
 	// measured phase (all threads).
@@ -135,6 +163,26 @@ func (r BrokerResult) ConsumerFencesPerMsg() float64 {
 		return 0
 	}
 	return float64(r.Consumer.Fences) / float64(r.Delivered)
+}
+
+// AckFencesPerMsg returns blocking persists spent acknowledging, per
+// delivered message — ~1/DequeueBatch when every batch is acked as a
+// whole, 0 outside ack mode.
+func (r BrokerResult) AckFencesPerMsg() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return float64(r.AckFences) / float64(r.Delivered)
+}
+
+// RedeliveryRate returns the fraction of deliveries that were
+// redeliveries of a killed consumer's unacked window — 0 without
+// kills.
+func (r BrokerResult) RedeliveryRate() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return float64(r.Redelivered) / float64(r.Delivered)
 }
 
 // IdleFencesPerPoll returns blocking persists per poll of an idle
@@ -183,21 +231,33 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	names := make([]string, cfg.Topics)
 	for i := range topics {
 		names[i] = fmt.Sprintf("topic-%d", i)
-		topics[i] = broker.TopicConfig{Name: names[i], Shards: cfg.Shards, MaxPayload: cfg.Payload}
+		topics[i] = broker.TopicConfig{Name: names[i], Shards: cfg.Shards, MaxPayload: cfg.Payload, Acked: cfg.Ack}
 	}
 	bcfg := broker.Config{Topics: topics, Threads: threads}
 	if cfg.Affine {
 		bcfg.Placement = broker.BlockPlacement
 	}
+	// leaseClock is a logical clock so kills can expire leases
+	// instantly instead of sleeping out wall-clock TTLs.
+	var leaseClock atomic.Uint64
+	const leaseTTL = 16
+	if cfg.Ack {
+		bcfg.AckGroups = 1
+	}
 	b, err := broker.NewSet(hs, bcfg)
 	if err != nil {
 		return BrokerResult{}, err
 	}
-	newGroup := b.NewGroup
-	if cfg.Affine {
-		newGroup = b.NewGroupAffine
+	var g *broker.Group
+	if cfg.Ack {
+		g, err = b.NewGroupAcked(names, cfg.Consumers, broker.LeaseConfig{
+			TTL: leaseTTL, Now: leaseClock.Load,
+		})
+	} else if cfg.Affine {
+		g, err = b.NewGroupAffine(names, cfg.Consumers)
+	} else {
+		g, err = b.NewGroup(names, cfg.Consumers)
 	}
-	g, err := newGroup(names, cfg.Consumers)
 	if err != nil {
 		return BrokerResult{}, err
 	}
@@ -251,12 +311,17 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			}
 		}(p)
 	}
+	var acked, ackFences, redelivered atomic.Uint64
+	killFlag := make([]atomic.Bool, cfg.Consumers)
+	consDone := make([]chan struct{}, cfg.Consumers)
 	done := make(chan struct{})
 	go func() { producersDone.Wait(); close(done) }()
 	for c := 0; c < cfg.Consumers; c++ {
 		wg.Add(1)
+		consDone[c] = make(chan struct{})
 		go func(c int) {
 			defer wg.Done()
+			defer close(consDone[c])
 			tid := cfg.Producers + c
 			cons := g.Consumer(c)
 			start.Wait()
@@ -273,8 +338,21 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			for {
 				if n := poll(); n > 0 {
 					delivered.Add(uint64(n))
+					if cfg.Ack {
+						if killFlag[c].Load() {
+							// Killed mid-batch: the window stays unacked
+							// and is redelivered via takeover.
+							return
+						}
+						before := hs.StatsOf(tid).Fences
+						acked.Add(uint64(cons.Ack(tid)))
+						ackFences.Add(hs.StatsOf(tid).Fences - before)
+					}
 					drained = false
 					continue
+				}
+				if killFlag[c].Load() {
+					return
 				}
 				select {
 				case <-done:
@@ -290,6 +368,43 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			}
 		}(c)
 	}
+	var adoptErr error
+	var adoptErrMu sync.Mutex
+	if cfg.Kills > 0 {
+		// The killer crashes consumers 1..Kills one by one mid-run,
+		// expires their leases on the logical clock, and adopts their
+		// shards into consumer 0 (kept alive for the idle phase).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			for victim := 1; victim <= cfg.Kills; victim++ {
+				time.Sleep(cfg.Duration / time.Duration(cfg.Kills+2))
+				killFlag[victim].Store(true)
+				<-consDone[victim]
+				leaseClock.Add(leaseTTL + 1)
+				select {
+				case <-consDone[0]:
+					// The adopter already drained and exited (the kill
+					// slipped past the produce phase): a takeover now
+					// would strand the victim's backlog in a queue no
+					// one polls and count phantom redeliveries.
+					return
+				default:
+				}
+				moved, err := g.Adopt(cfg.Producers+victim, victim, 0)
+				if err != nil {
+					// A failed takeover strands the victim's backlog; the
+					// measurement is invalid, so surface it.
+					adoptErrMu.Lock()
+					adoptErr = fmt.Errorf("harness: takeover of consumer %d failed: %w", victim, err)
+					adoptErrMu.Unlock()
+					return
+				}
+				redelivered.Add(uint64(moved))
+			}
+		}()
+	}
 
 	begin := time.Now()
 	start.Done()
@@ -297,12 +412,17 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	defer timer.Stop()
 	wg.Wait()
 	elapsed := time.Since(begin)
+	if adoptErr != nil {
+		return BrokerResult{}, adoptErr
+	}
 
 	res := BrokerResult{
 		Topics: cfg.Topics, Shards: cfg.Shards, Heaps: cfg.Heaps, Affine: cfg.Affine,
+		Ack: cfg.Ack, Kills: cfg.Kills,
 		Producers: cfg.Producers, Consumers: cfg.Consumers,
 		Batch: cfg.Batch, DequeueBatch: cfg.DequeueBatch, Payload: cfg.Payload,
 		Published: published.Load(), Delivered: delivered.Load(),
+		Acked: acked.Load(), AckFences: ackFences.Load(), Redelivered: redelivered.Load(),
 		Elapsed: elapsed,
 	}
 	for tid := 0; tid < cfg.Producers; tid++ {

@@ -113,3 +113,42 @@ func TestRunBrokerMultiHeap(t *testing.T) {
 			affine, r.Published, r.HeapImbalance(), r.ConsumerFencesPerMsg())
 	}
 }
+
+// TestRunBrokerAckMode runs the acknowledged workload: every batch is
+// acked (AckFencesPerMsg ~ 1/DequeueBatch), kills cause takeovers and
+// the redelivered count surfaces them; nothing acked goes unmeasured.
+func TestRunBrokerAckMode(t *testing.T) {
+	r, err := RunBroker(BrokerConfig{
+		Topics: 2, Shards: 4, Producers: 2, Consumers: 3,
+		Batch: 8, DequeueBatch: 8, Ack: true, Kills: 1,
+		Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Published == 0 || r.Delivered == 0 {
+		t.Fatalf("no traffic: published %d delivered %d", r.Published, r.Delivered)
+	}
+	if r.Acked == 0 {
+		t.Fatal("ack mode ran without acknowledgments")
+	}
+	if r.AckFences == 0 {
+		t.Fatal("acknowledgments measured zero fences")
+	}
+	af := r.AckFencesPerMsg()
+	t.Logf("ack mode: delivered %d, acked %d, ack fences/msg %.4f, redelivered %d (rate %.4f)",
+		r.Delivered, r.Acked, af, r.Redelivered, r.RedeliveryRate())
+	// One ack fence per 8-message batch, with slack for partial final
+	// batches and the killed consumer's unacked windows.
+	if af > 0.5 {
+		t.Errorf("ack fences per message = %.4f; expected amortized (~1/8)", af)
+	}
+	// A leased poll's only persists are the lease lines: consumer
+	// fences stay amortized too.
+	if cf := r.ConsumerFencesPerMsg(); cf > 1.0 {
+		t.Errorf("consumer fences per message = %.4f in ack mode; expected ~2/dbatch", cf)
+	}
+	if r.IdleFencesPerPoll() != 0 {
+		t.Errorf("idle acked polls paid %.4f fences/poll, want 0", r.IdleFencesPerPoll())
+	}
+}

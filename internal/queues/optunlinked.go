@@ -3,6 +3,7 @@ package queues
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/pmem"
@@ -35,6 +36,23 @@ type OptUnlinkedQ struct {
 	// index with an ordinary store + flush (the pre-Section-6.3
 	// design); ablation only.
 	plainStoreLocal bool
+
+	// Ack mode (NewOptUnlinkedQAcked): dequeues become leases. A leased
+	// dequeue issues no persist instructions at all; the dequeued node
+	// stays durable until AckTo covers its index, and recovery
+	// resurrects everything beyond the maximum per-thread *acked* index
+	// (the ackBase lines) instead of everything beyond the dequeued
+	// frontier — so unacknowledged items are redelivered after a crash
+	// and acknowledged items never reappear.
+	acked   bool
+	ackBase pmem.Addr
+	// ackMu guards the in-flight list and the ack frontier. It is
+	// uncontended under the one-consumer-per-queue discipline package
+	// broker maintains, but keeps concurrent dequeuers (the generic
+	// harnesses drive them) coherent.
+	ackMu      sync.Mutex
+	inflight   []*ouNode // dequeued, unacknowledged; retired only once covered by a durable ack
+	ackDurable uint64    // highest acked index covered by a completed fence
 }
 
 // ouNode is the Volatile half of a node.
@@ -45,6 +63,10 @@ type ouNode struct {
 	pnode pmem.Addr
 }
 
+// ouThread keeps one thread's hot dequeue/ack state; the field order
+// (uint64s before the bools) plus the tail padding keep the struct at
+// exactly one cache line, so adjacent per-thread entries never share a
+// line (false sharing would skew the persist-cost measurements).
 type ouThread struct {
 	nodeToRetire *ouNode
 	// pendingRetire accumulates the nodes unlinked by an unfenced batch
@@ -62,9 +84,14 @@ type ouThread struct {
 	// pendingIdx is the head index NTStored by an unfenced batch dequeue
 	// but not yet covered by a fence; promoted to lastPersisted by
 	// CompleteBatch.
-	pendingIdx   uint64
-	pendingDirty bool
-	_            [15]byte
+	pendingIdx uint64
+	// pendingAckIdx is the acked index NTStored into this thread's ack
+	// line by an unfenced AckToUnfenced but not yet covered by a fence;
+	// promoted (and its in-flight nodes retired) by CompleteAck.
+	pendingAckIdx   uint64
+	pendingDirty    bool
+	pendingAckDirty bool
+	_               [6]byte
 }
 
 // Persistent node layout.
@@ -100,6 +127,166 @@ func NewOptUnlinkedQPlainStore(h *pmem.Heap, threads int) *OptUnlinkedQ {
 	q := NewOptUnlinkedQ(h, threads)
 	q.plainStoreLocal = true
 	return q
+}
+
+// NewOptUnlinkedQAcked creates an empty queue in acknowledgment mode:
+// a dequeue only leases its item (DequeueLeased, no persist
+// instructions at all — durability of the delivery is the caller's
+// concern, e.g. a broker lease record), and the item stays in NVRAM
+// until an AckTo covering its index is durable. Recovery takes the
+// maximum of the per-thread acked indices as the consumption frontier,
+// exactly as the plain queue takes the maximum head index, so
+// unacknowledged items are redelivered and acknowledged items never
+// reappear. Dequeue/DequeueBatch remain usable and acknowledge
+// immediately (lease + ack in one step, one fence).
+func NewOptUnlinkedQAcked(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	q := NewOptUnlinkedQ(h, threads)
+	q.acked = true
+	size := int64(threads) * pmem.CacheLineBytes
+	q.ackBase = h.AllocRaw(0, size, pmem.CacheLineBytes)
+	h.InitRange(0, q.ackBase, size)
+	h.Store(0, h.RootAddr(slotAck), uint64(q.ackBase))
+	h.Persist(0, h.RootAddr(slotAck))
+	return q
+}
+
+// Acked reports whether the queue is in acknowledgment mode.
+func (q *OptUnlinkedQ) Acked() bool { return q.acked }
+
+// DequeueLeased removes up to max items without issuing a single
+// persist instruction: the dequeued nodes stay durable in NVRAM and
+// will be resurrected by recovery until an acknowledgment covers them,
+// so across a crash the items are redelivered rather than lost. idxs
+// are the items' queue indices (contiguous and ascending under the
+// one-consumer-per-queue discipline); pass the last one to AckTo once
+// the items are processed. Ack mode only.
+func (q *OptUnlinkedQ) DequeueLeased(tid, max int) (vs, idxs []uint64) {
+	if !q.acked {
+		panic("optunlinkedq: DequeueLeased on a queue without ack mode")
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	var takens []*ouNode
+	for len(vs) < max {
+		taken, _, ok := q.dequeueOne(tid)
+		if !ok {
+			break
+		}
+		// The unlinked previous head is not retired here: it entered the
+		// in-flight list when it was dequeued itself (or it is the
+		// original dummy, which is simply abandoned). Retirement happens
+		// in CompleteAck, once a durable ack covers the node's index —
+		// only then can a reused slot's stale contents (linked flag and
+		// index surviving a crash mid-reuse) be filtered by recovery.
+		vs = append(vs, taken.item)
+		idxs = append(idxs, taken.index)
+		takens = append(takens, taken)
+	}
+	if len(takens) > 0 {
+		q.ackMu.Lock()
+		q.inflight = append(q.inflight, takens...)
+		q.ackMu.Unlock()
+	}
+	return vs, idxs
+}
+
+func (q *OptUnlinkedQ) ackLineAddr(tid int) pmem.Addr {
+	return q.ackBase + pmem.Addr(tid)*pmem.CacheLineBytes
+}
+
+// AckToUnfenced acknowledges every dequeued item with index <= idx:
+// one NTStore of idx into tid's ack line. dirty reports whether a
+// covering Fence (followed by CompleteAck) is still owed; a redundant
+// ack — idx already durably acknowledged — issues nothing and costs
+// nothing. Sound for the same reason as the head-index amortization:
+// per-thread ack indices are monotone and recovery takes the maximum,
+// so the last index covers every earlier one.
+func (q *OptUnlinkedQ) AckToUnfenced(tid int, idx uint64) (dirty bool) {
+	if !q.acked {
+		panic("optunlinkedq: AckToUnfenced on a queue without ack mode")
+	}
+	t := &q.per[tid]
+	q.ackMu.Lock()
+	redundant := idx <= q.ackDurable
+	q.ackMu.Unlock()
+	if redundant {
+		return t.pendingAckDirty
+	}
+	// The soundness argument requires the ack line to be monotone: an
+	// unfenced window that already NTStored a covering index must not
+	// overwrite it with a lower one (CompleteAck would still promote
+	// and retire to the higher index, and a crash would then resurrect
+	// slots the durable line no longer filters).
+	if t.pendingAckDirty && idx <= t.pendingAckIdx {
+		return true
+	}
+	q.h.NTStore(tid, q.ackLineAddr(tid), idx)
+	t.pendingAckIdx = idx
+	t.pendingAckDirty = true
+	return true
+}
+
+// CompleteAck finishes an unfenced acknowledgment after the caller's
+// fence: it promotes the acked frontier and retires every in-flight
+// node the now-durable ack covers. Slot reuse strictly after the
+// covering fence keeps recovery sound: a crash while a reused slot is
+// half-written can at worst resurrect the slot's stale contents, whose
+// index is <= the durable acked frontier and is therefore filtered.
+func (q *OptUnlinkedQ) CompleteAck(tid int) {
+	t := &q.per[tid]
+	if !t.pendingAckDirty {
+		return
+	}
+	t.pendingAckDirty = false
+	q.ackMu.Lock()
+	if t.pendingAckIdx > q.ackDurable {
+		q.ackDurable = t.pendingAckIdx
+	}
+	live := q.inflight[:0]
+	for _, n := range q.inflight {
+		if n.index <= q.ackDurable {
+			q.pool.Retire(tid, n.pnode)
+		} else {
+			live = append(live, n)
+		}
+	}
+	q.inflight = live
+	q.ackMu.Unlock()
+}
+
+// AckTo is the fenced form of AckToUnfenced: one NTStore plus one
+// blocking persist acknowledges the whole batch of items up to idx
+// (zero of either when the ack is redundant).
+func (q *OptUnlinkedQ) AckTo(tid int, idx uint64) {
+	if q.AckToUnfenced(tid, idx) {
+		q.h.Fence(tid)
+	}
+	q.CompleteAck(tid)
+}
+
+// AckedTo reports the durably acknowledged index frontier.
+func (q *OptUnlinkedQ) AckedTo() uint64 {
+	q.ackMu.Lock()
+	defer q.ackMu.Unlock()
+	return q.ackDurable
+}
+
+// Unacked snapshots the dequeued-but-unacknowledged items in index
+// order — the redelivery set a lease takeover hands to a new consumer.
+// Call only while no dequeue or ack runs on this queue.
+func (q *OptUnlinkedQ) Unacked() (vs, idxs []uint64) {
+	q.ackMu.Lock()
+	defer q.ackMu.Unlock()
+	ns := append([]*ouNode(nil), q.inflight...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i].index < ns[j].index })
+	for _, n := range ns {
+		vs = append(vs, n.item)
+		idxs = append(idxs, n.index)
+	}
+	return vs, idxs
 }
 
 func (q *OptUnlinkedQ) localHeadIdxAddr(tid int) pmem.Addr {
@@ -235,6 +422,17 @@ func (q *OptUnlinkedQ) Dequeue(tid int) (uint64, bool) {
 // land, consumes) only items of the unacknowledged window. An empty
 // result means the queue was observed empty.
 func (q *OptUnlinkedQ) DequeueBatch(tid, max int) []uint64 {
+	if q.acked {
+		// Lease + immediate acknowledgment: the batch is processed the
+		// moment it is returned, riding the ack's single fence. An empty
+		// observation issues nothing — emptiness is durable exactly when
+		// the dequeues that emptied the queue are acknowledged.
+		vs, idxs := q.DequeueLeased(tid, max)
+		if len(vs) > 0 {
+			q.AckTo(tid, idxs[len(idxs)-1])
+		}
+		return vs
+	}
 	vs, dirty := q.DequeueBatchUnfenced(tid, max)
 	if dirty {
 		q.h.Fence(tid) // the batch's single blocking persist
@@ -255,6 +453,9 @@ func (q *OptUnlinkedQ) DequeueBatch(tid, max int) []uint64 {
 // as durable. No other operation may run on this queue with this tid
 // in between.
 func (q *OptUnlinkedQ) DequeueBatchUnfenced(tid, max int) (vs []uint64, dirty bool) {
+	if q.acked {
+		panic("optunlinkedq: DequeueBatchUnfenced on an acked queue (use DequeueLeased/AckTo)")
+	}
 	if max <= 0 {
 		return nil, q.per[tid].pendingDirty
 	}
@@ -309,6 +510,9 @@ func (q *OptUnlinkedQ) CompleteBatch(tid int) {
 // matching Volatile objects are materialized and chained in index
 // order.
 func RecoverOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	if pmem.Addr(h.Load(0, h.RootAddr(slotAck))) != 0 {
+		panic("optunlinkedq: queue was created in ack mode; use RecoverOptUnlinkedQAcked")
+	}
 	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
 	perThread := make([]ouThread, threads)
 	var headIdx uint64
@@ -322,6 +526,37 @@ func RecoverOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
 			headIdx = v
 		}
 	}
+	return recoverOptUnlinked(h, threads, headIdx, perThread)
+}
+
+// RecoverOptUnlinkedQAcked rebuilds an ack-mode queue after a crash.
+// The consumption frontier is the maximum of the per-thread *acked*
+// indices, so every linked node beyond it — including items that were
+// leased out and possibly delivered, but never acknowledged — is
+// resurrected for redelivery. Acknowledged items never reappear.
+func RecoverOptUnlinkedQAcked(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	ackBase := pmem.Addr(h.Load(0, h.RootAddr(slotAck)))
+	if ackBase == 0 {
+		panic("optunlinkedq: RecoverOptUnlinkedQAcked on a heap holding no ack-mode queue")
+	}
+	var ackIdx uint64
+	for t := 0; t < threads; t++ {
+		if v := h.Load(0, ackBase+pmem.Addr(t)*pmem.CacheLineBytes); v > ackIdx {
+			ackIdx = v
+		}
+	}
+	q := recoverOptUnlinked(h, threads, ackIdx, make([]ouThread, threads))
+	q.acked = true
+	q.ackBase = ackBase
+	q.ackDurable = ackIdx
+	return q
+}
+
+// recoverOptUnlinked is the shared recovery body: resurrect every
+// linked Persistent object whose index exceeds the given frontier and
+// chain the matching Volatile objects in index order.
+func recoverOptUnlinked(h *pmem.Heap, threads int, headIdx uint64, perThread []ouThread) *OptUnlinkedQ {
+	localBase := pmem.Addr(h.Load(0, h.RootAddr(slotLocal)))
 	type rec struct {
 		addr pmem.Addr
 		idx  uint64

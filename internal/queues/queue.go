@@ -47,6 +47,7 @@ const (
 	slotTail  = 1 // tail line
 	slotPool  = 2 // ssmem pool registry anchor
 	slotLocal = 3 // per-thread persistent local data base address
+	slotAck   = 4 // per-thread acked-index lines (ack-mode queues only)
 )
 
 // Node field offsets; every node occupies exactly one cache line
@@ -85,6 +86,13 @@ func All() []Info {
 		{Name: "opt-linked", Durable: true,
 			New:     func(h *pmem.Heap, n int) Queue { return NewOptLinkedQ(h, n) },
 			Recover: func(h *pmem.Heap, n int) Queue { return RecoverOptLinkedQ(h, n) }},
+		// The ack-mode OptUnlinkedQ behind the plain Queue interface:
+		// Dequeue leases the item and acknowledges it immediately (one
+		// fence), so every generic durability audit applies; the broker
+		// splits the lease from the acknowledgment instead.
+		{Name: "opt-unlinked-acked", Durable: true,
+			New:     func(h *pmem.Heap, n int) Queue { return NewOptUnlinkedQAcked(h, n) },
+			Recover: func(h *pmem.Heap, n int) Queue { return RecoverOptUnlinkedQAcked(h, n) }},
 		{Name: "unlinked", Durable: true,
 			New:     func(h *pmem.Heap, n int) Queue { return NewUnlinkedQ(h, n) },
 			Recover: func(h *pmem.Heap, n int) Queue { return RecoverUnlinkedQ(h, n) }},
