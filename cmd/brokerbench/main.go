@@ -20,12 +20,14 @@
 //	brokerbench -shards 1,2,4,8 -batch 1,16 -dbatch 1,8
 //	brokerbench -heaps 1,2,4              # sweep NVRAM domains
 //	brokerbench -heaps 2 -affine          # heap-affine consumers
+//	brokerbench -heaps 2 -heaplat 100,300  # asymmetric NUMA: per-heap fence ns
+//	brokerbench -dyntopics 4              # create topics mid-run, measure fences/create
 //	brokerbench -ack 0,1                  # acked/leased delivery vs at-least-once
 //	brokerbench -ack 1 -kills 1 -consumers 3  # consumer crash + lease takeover
 //	brokerbench -topics 4 -producers 8 -consumers 4 -payload 64
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
 //	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
-//	brokerbench -shards 4 -heaps 1,2 -ack 0,1 -duration 300ms -json > BENCH_broker.json # refresh the repo baseline
+//	brokerbench -shards 4 -heaps 1,2 -ack 0,1 -dyntopics 2 -duration 300ms -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
@@ -54,6 +56,7 @@ type row struct {
 	Payload           int     `json:"payload"`
 	Ack               int     `json:"ack"`
 	Kills             int     `json:"kills"`
+	DynTopics         int     `json:"dyn_topics"`
 	Published         uint64  `json:"published"`
 	Delivered         uint64  `json:"delivered"`
 	Mops              float64 `json:"mops"`
@@ -63,6 +66,7 @@ type row struct {
 	RedeliveryRate    float64 `json:"redelivery_rate"`
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
 	HeapImbalance     float64 `json:"heap_imbalance"`
+	DynFencesPerNew   float64 `json:"dyn_fences_per_create"`
 }
 
 func main() {
@@ -77,6 +81,8 @@ func main() {
 		dbatchF   = flag.String("dbatch", "1,8", "comma-separated dequeue (poll) batch sizes to sweep")
 		ackF      = flag.String("ack", "0", "comma-separated ack modes to sweep (0 = at-least-once, 1 = acked/leased delivery)")
 		kills     = flag.Int("kills", 0, "consumers killed mid-run in ack cells (redeliveries via lease takeover)")
+		dyn       = flag.Int("dyntopics", 0, "topics created on the live broker mid-run (fences/create in the dyn column)")
+		heaplatF  = flag.String("heaplat", "", "comma-separated per-heap SFENCE ns (asymmetric NUMA; heap i takes entry i mod len)")
 		payload   = flag.Int("payload", 0, "payload bytes (0 = fixed 8-byte messages)")
 		duration  = flag.Duration("duration", time.Second, "produce phase duration per cell")
 		heapMB    = flag.Int64("heap-mb", 512, "persistent heap size in MiB")
@@ -111,15 +117,25 @@ func main() {
 	}
 	lat := pmem.DefaultLatency()
 	lat.FenceNs = *fenceNs
+	var heapLat []int64
+	if *heaplatF != "" {
+		ns, err := parseInts(*heaplatF)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range ns {
+			heapLat = append(heapLat, int64(n))
+		}
+	}
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,idle_fences_per_poll,heap_imbalance")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *kills, *duration)
-		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %10s %10s\n",
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d dyntopics=%d heaplat=%q duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *dyn, *heaplatF, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %10s %10s %12s\n",
 			"shards", "heaps", "batch", "dbatch", "ack", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "idle-f/poll", "heap-imbal")
+			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "idle-f/poll", "heap-imbal", "dyn-f/create")
 	}
 	var rows []row
 	for _, shards := range shardCounts {
@@ -143,9 +159,11 @@ func main() {
 							Payload:      *payload,
 							Ack:          ack != 0,
 							Kills:        cellKills,
+							DynTopics:    *dyn,
 							Duration:     *duration,
 							HeapBytes:    *heapMB << 20,
 							Latency:      lat,
+							HeapFenceNs:  heapLat,
 						})
 						if err != nil {
 							fatal(err)
@@ -155,6 +173,7 @@ func main() {
 							Producers: r.Producers, Consumers: r.Consumers,
 							Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
 							Kills:     r.Kills,
+							DynTopics: int(r.DynTopics),
 							Published: r.Published, Delivered: r.Delivered,
 							Mops:              round3(r.Mops()),
 							ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
@@ -163,22 +182,23 @@ func main() {
 							RedeliveryRate:    round4(r.RedeliveryRate()),
 							IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
 							HeapImbalance:     round3(r.HeapImbalance()),
+							DynFencesPerNew:   round3(r.DynFencesPerCreate()),
 						}
 						if r.Ack {
 							c.Ack = 1
 						}
 						rows = append(rows, c)
 						if *csvOut {
-							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f\n",
+							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f\n",
 								c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
-								c.Ack, c.Kills, c.Published, c.Delivered, c.Mops,
+								c.Ack, c.Kills, c.DynTopics, c.Published, c.Delivered, c.Mops,
 								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
-								c.IdleFencesPerPoll, c.HeapImbalance)
+								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew)
 						} else if !*jsonOut {
-							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %10.4f %10.3f\n",
+							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %10.4f %10.3f %12.3f\n",
 								c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack, c.Published, c.Delivered, c.Mops,
 								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
-								c.IdleFencesPerPoll, c.HeapImbalance)
+								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew)
 						}
 					}
 				}
@@ -193,6 +213,7 @@ func main() {
 			"config": map[string]any{
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
 				"payload": *payload, "affine": *affine, "kills": *kills,
+				"dyntopics": *dyn, "heaplat": *heaplatF,
 				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
 			"rows": rows,
@@ -209,7 +230,9 @@ func main() {
 		fmt.Println(" of deliveries that were redeliveries after -kills lease takeovers.")
 		fmt.Println(" idle-f/poll: persists per all-empty poll — ~0 with empty-poll fence")
 		fmt.Println(" elision. heap-imbal: busiest heap's persist traffic over the per-heap")
-		fmt.Println(" mean — 1.0 is perfectly balanced placement.)")
+		fmt.Println(" mean — 1.0 is perfectly balanced placement. dyn-f/create: blocking")
+		fmt.Println(" persists per mid-run CreateTopic — the pinned 3-fence catalog append")
+		fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.)")
 	}
 }
 

@@ -5,13 +5,16 @@
 // against the recorded operation history (no duplication, no loss of
 // completed enqueues, per-enqueuer FIFO).
 //
-// -smoke is the quick CI mode: few rounds per queue, plus two broker
-// iterations — a 2-heap broker crashed via a single member's access
-// stream, recovered from its catalog and stamps, and audited for
-// delivered-or-recovered-exactly-once; and an acked broker whose
+// -smoke is the quick CI mode: few rounds per queue, plus three
+// broker iterations — a 2-heap broker crashed via a single member's
+// access stream, recovered from its catalog and stamps, and audited
+// for delivered-or-recovered-exactly-once; an acked broker whose
 // consumer is killed mid-batch (lease takeover redelivers the unacked
 // suffix) before a full-system crash, audited for exactly-once
-// processing.
+// processing; and a live-administration broker (Open) whose topics
+// are created mid-traffic through the append-with-fence catalog log,
+// crashed and recovered with the same exactly-once audit — topics
+// whose creation returned must exist, torn creations must not.
 //
 // Examples:
 //
@@ -102,6 +105,12 @@ func main() {
 		} else {
 			fmt.Printf("%-24s ok (consumer kill + lease takeover + system crash, exactly-once)\n", "broker-consumer-crash")
 		}
+		if err := brokerDynSmoke(*seed); err != nil {
+			fmt.Printf("%-24s FAIL: %v\n", "broker-dynamic-topics", err)
+			failed = true
+		} else {
+			fmt.Printf("%-24s ok (topics created mid-traffic, crash, catalog-log recovery, exactly-once)\n", "broker-dynamic-topics")
+		}
 	}
 	if failed {
 		os.Exit(1)
@@ -180,6 +189,158 @@ func brokerSmoke(seed int64) error {
 	r, err := broker.RecoverSet(hs, threads)
 	if err != nil {
 		return err
+	}
+	seen := map[uint64]bool{}
+	for id := range delivered {
+		seen[id] = true
+	}
+	for _, t := range r.Topics() {
+		for s := 0; s < t.Shards(); s++ {
+			last := uint64(0)
+			for {
+				p, ok := t.DequeueShard(0, s)
+				if !ok {
+					break
+				}
+				id := broker.AsU64(p[:8])
+				if seen[id] {
+					return fmt.Errorf("message %d duplicated across crash", id)
+				}
+				seen[id] = true
+				if id <= last {
+					return fmt.Errorf("shard %s/%d out of order: %d after %d", t.Name(), s, id, last)
+				}
+				last = id
+			}
+		}
+	}
+	lost := 0
+	for _, id := range acked {
+		if !seen[id] {
+			lost++
+		}
+	}
+	// The single consumer may lose at most its unacknowledged in-flight
+	// poll window (4 messages).
+	if lost > 4 {
+		return fmt.Errorf("%d acknowledged messages lost (allowance 4)", lost)
+	}
+	return nil
+}
+
+// brokerDynSmoke is one live-administration iteration: a broker
+// brought up empty with Open takes two topics at creation time and
+// more mid-traffic (CreateTopic interleaved with publishes and
+// polls), until a crash scheduled on one member's access stream downs
+// the 2-heap set — sometimes inside the creation protocol itself. The
+// broker is recovered by Open from the catalog log alone and audited:
+// every topic whose CreateTopic returned exists, and every
+// acknowledged publish — to initial and dynamic topics alike — is
+// delivered before the crash or recovered after it, exactly once, in
+// per-shard order.
+func brokerDynSmoke(seed int64) error {
+	const threads = 2
+	rng := rand.New(rand.NewSource(seed + 2))
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	b, err := broker.Open(hs, broker.Options{Threads: threads})
+	if err != nil {
+		return err
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{Name: "events", Shards: 4}); err != nil {
+		return err
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{Name: "jobs", Shards: 2, MaxPayload: 48}); err != nil {
+		return err
+	}
+	g, err := b.NewGroup([]string{"events", "jobs"}, 1)
+	if err != nil {
+		return err
+	}
+	payload := func(id uint64) []byte {
+		p := make([]byte, 8+int(id%40))
+		copy(p, broker.U64(id))
+		for i := 8; i < len(p); i++ {
+			p[i] = byte(id) ^ byte(i)
+		}
+		return p
+	}
+	hs.Heap(rng.Intn(2)).ScheduleCrashAtAccess(int64(rng.Intn(40_000)) + 10_000)
+
+	var acked []uint64
+	var dynCreated []string
+	delivered := map[uint64]bool{}
+	cons := g.Consumer(0)
+	nextDyn := 0
+	for id := uint64(1); ; id++ {
+		crashed := pmem.Protect(func() {
+			if id%3 == 0 {
+				b.Topic("jobs").Publish(0, payload(id))
+			} else {
+				b.Topic("events").Publish(0, broker.U64(id))
+			}
+		})
+		if crashed {
+			break
+		}
+		acked = append(acked, id)
+		// Every ~40 publishes, create a fresh topic on the live broker
+		// and seed it; its messages join the same audit space.
+		if id%40 == 0 {
+			name := fmt.Sprintf("dyn-%d", nextDyn)
+			var cerr error
+			if pmem.Protect(func() { _, cerr = b.CreateTopic(0, broker.TopicConfig{Name: name, Shards: 1 + nextDyn%2}) }) {
+				break
+			}
+			if cerr != nil {
+				return fmt.Errorf("CreateTopic(%s): %v", name, cerr)
+			}
+			dynCreated = append(dynCreated, name)
+			nextDyn++
+			topic := b.Topic(name)
+			stop := false
+			for m := uint64(1); m <= 10; m++ {
+				did := uint64(1000+nextDyn)<<32 | m
+				if pmem.Protect(func() { topic.Publish(0, broker.U64(did)) }) {
+					stop = true
+					break
+				}
+				acked = append(acked, did)
+			}
+			if stop {
+				break
+			}
+			if err := g.Subscribe(1, name); err != nil {
+				return fmt.Errorf("Subscribe(%s): %v", name, err)
+			}
+		}
+		if id%2 == 0 {
+			var got []broker.Message
+			if pmem.Protect(func() { got = cons.PollBatch(1, 4) }) {
+				break
+			}
+			for _, m := range got {
+				mid := broker.AsU64(m.Payload[:8])
+				if delivered[mid] {
+					return fmt.Errorf("message %d delivered twice before the crash", mid)
+				}
+				delivered[mid] = true
+			}
+		}
+	}
+	if !hs.Crashed() {
+		return fmt.Errorf("crash never fired")
+	}
+	hs.FinalizeCrash(rng)
+	hs.Restart()
+
+	r, err := broker.Open(hs, broker.Options{})
+	if err != nil {
+		return err
+	}
+	for _, name := range dynCreated {
+		if r.Topic(name) == nil {
+			return fmt.Errorf("topic %q was created (call returned) but did not recover", name)
+		}
 	}
 	seen := map[uint64]bool{}
 	for id := range delivered {

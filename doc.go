@@ -14,7 +14,16 @@
 // sharded, multi-topic durable message broker — the application the
 // paper's introduction motivates — whose shards spread across the
 // heap set under pluggable placement policies, with a heap-aware
-// durable catalog and whole-broker two-phase recovery. Both
+// durable catalog and whole-broker two-phase recovery. The broker is
+// administered live: Open brings up an empty (or recovered) broker
+// and CreateTopic/CreateAckGroup append checksummed records to a
+// durable catalog log at runtime — each creation claims its shard
+// windows in a durable high-water slot allocator, initializes its
+// queues, and becomes visible only with the anchor stamp's persist
+// (a pinned three blocking persists of administrative cost), so a
+// crash mid-creation recovers as if the create never happened while
+// recovery replays committed records identically however many
+// sessions created them. Both
 // directions amortize durability cost below the paper's
 // one-fence-per-operation bound: EnqueueBatch/PublishBatch ride one
 // SFENCE per publish batch, DequeueBatch/PollBatch one SFENCE per
@@ -29,11 +38,14 @@
 // consumer and whole-broker crashes. See DESIGN.md for the full
 // system inventory, layering, the multi-heap topology (catalog
 // layouts, membership stamps, placement policies, two-phase recovery),
-// the lease/ack protocol and soundness arguments.
+// the live-administration protocol (the append-with-fence catalog
+// log) and the lease/ack protocol with soundness arguments.
 //
 // The benchmark suite in bench_test.go regenerates every panel of the
 // paper's Figure 2; the cmd/durbench tool runs the full sweeps and
 // cmd/brokerbench sweeps the broker over shard counts, heap-set
-// sizes, publish and dequeue batch sizes, and acked delivery (with
-// optional consumer kills exercising lease takeover).
+// sizes (with optional per-heap asymmetric-NUMA latencies), publish
+// and dequeue batch sizes, acked delivery (with optional consumer
+// kills exercising lease takeover), and live topic creation
+// (-dyntopics, measuring fences per mid-run CreateTopic).
 package repro

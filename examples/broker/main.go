@@ -1,35 +1,32 @@
-// Broker: a sharded, multi-topic persistent message broker with
-// durable acknowledgments and redelivery leases, built on
-// internal/broker — delivery state treated as transactional state in
-// the spirit of Gray's "Queues Are Databases".
+// Broker: live administration of a durable message broker — dynamic
+// topics on an append-with-fence catalog log (internal/broker), with
+// exactly-once processing kept across a power failure.
 //
-// Two acked topics live side by side on a 2-heap set: "events"
-// carries fixed 8-byte messages on ack-mode OptUnlinkedQ shards,
-// "jobs" variable byte payloads on ack-mode blobq shards. Consumers
-// form an acked group: a PollBatch writes a durable lease record
-// (owner, unacked range, deadline) and fences it BEFORE returning
-// messages — the shard dequeues themselves persist nothing — and a
-// message is consumed only when Consumer.Ack covers it (one fence per
-// ack batch, riding the same per-thread fence amortization as batch
-// publish). Everything delivered but not acked is redeliverable.
+// The broker is not configured up front: it comes up EMPTY with
+// broker.Open on a 2-heap NVRAM set, and everything else is runtime
+// administration. First an operator creates the "orders" topic (acked,
+// variable payloads) and a durable consumer-group lease region with
+// growth headroom; producers and an acked consumer group go to work.
+// Mid-traffic — the data plane never pauses — the operator creates a
+// second topic, "audit", on the live broker and subscribes the running
+// group to it (Group.Subscribe): the catalog grows by one checksummed
+// record, appended and fenced before an anchor stamp makes the topic
+// visible, for a pinned three blocking persists of administrative cost
+// plus the per-shard queue initialization.
 //
-// Mid-run, two failures hit in sequence:
+// Then the power fails: a crash injected through one member heap downs
+// the whole set mid-traffic. Recovery is broker.Open again — the same
+// call that created the broker — which replays the catalog log record
+// by record: the topic created at birth and the topic created
+// mid-flight recover identically. A fresh acked group binds the lease
+// region, surfaces the previous incarnation's in-flight windows as
+// stale lease records, and drains the backlog.
 //
-//  1. Consumer 1 crashes mid-batch — messages delivered, never
-//     acknowledged. Its lease expires and consumer 0 adopts its
-//     shards (Group.Adopt), redelivering exactly the unacked suffix.
-//  2. The power fails: a crash injected through one member heap downs
-//     the whole set. Recovery rebuilds the broker from the catalog
-//     (v3: topics, placements, lease regions), a fresh group binds
-//     the lease region — surfacing the stale lease records of the
-//     previous incarnation — and drains the backlog.
-//
-// The audit then demands exactly-once processing: every acknowledged
-// publish is processed exactly once — acknowledged messages are never
-// redelivered (not by takeover, not by recovery), unacknowledged ones
-// always are. The only slack is the observer gap: an Ack whose fence
-// completed right before the crash, cut off between the fence and the
-// audit's own record.
+// The audit demands exactly-once processing across both topics:
+// every acknowledged publish is processed exactly once — acknowledged
+// messages are never redelivered, unacknowledged ones always are. The
+// only slack is the observer gap: an Ack whose fence completed right
+// before the crash, cut off between the fence and the audit's record.
 package main
 
 import (
@@ -46,15 +43,17 @@ import (
 
 const (
 	heaps       = 2
-	producers   = 3
+	producers   = 2
 	consumers   = 2
-	perProducer = 4000
-	threads     = producers + consumers
+	adminTid    = producers + consumers // the operator's thread id
+	threads     = producers + consumers + 1
+	perProducer = 3000
+	auditMsgs   = 400
 	pollBatch   = 8
 	leaseTTL    = 50
 )
 
-func jobPayload(id uint64) []byte {
+func orderPayload(id uint64) []byte {
 	p := make([]byte, 16+int(id%48))
 	copy(p, broker.U64(id))
 	for i := 8; i < len(p); i++ {
@@ -72,57 +71,79 @@ func main() {
 		Mode:       pmem.ModeCrash,
 		MaxThreads: threads,
 	})
-	b, err := broker.NewSet(hs, broker.Config{
-		Topics: []broker.TopicConfig{
-			{Name: "events", Shards: 4, Acked: true},
-			{Name: "jobs", Shards: 4, MaxPayload: 64, Acked: true},
-		},
-		Threads:   threads,
-		AckGroups: 1, // one durable lease region, recorded in the catalog
+	// An EMPTY broker: no Config, no topic list. Everything below is
+	// live administration.
+	b, err := broker.Open(hs, broker.Options{Threads: threads})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{
+		Name: "orders", Shards: 4, MaxPayload: 64, Acked: true,
+	}); err != nil {
+		panic(err)
+	}
+	// One durable lease region, with default headroom so topics created
+	// later can join the same acked group.
+	region, err := b.CreateAckGroup(0, broker.AckGroupConfig{})
+	if err != nil {
+		panic(err)
+	}
+	var clock atomic.Uint64 // logical lease clock
+	g, err := b.NewGroupAcked([]string{"orders"}, consumers, broker.LeaseConfig{
+		Region: region, TTL: leaseTTL, Now: clock.Load,
 	})
 	if err != nil {
 		panic(err)
 	}
-	var clock atomic.Uint64 // logical lease clock, advanced by the killer
-	g, err := b.NewGroupAcked([]string{"events", "jobs"}, consumers, broker.LeaseConfig{
-		TTL: leaseTTL, Now: clock.Load,
-	})
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("broker spans %d heaps, %d shards, %d lease region(s)\n", b.Heaps(), b.ShardTotal(), b.AckGroups())
-	for c := 0; c < consumers; c++ {
-		fmt.Printf("  consumer %d owns %d shards\n", c, len(g.Consumer(c).Assigned()))
-	}
+	fmt.Printf("opened empty; created %q at runtime: %d heaps, %d shards, lease region %d\n",
+		"orders", b.Heaps(), b.ShardTotal(), region)
 
 	acked := make([][]uint64, producers) // acknowledged publishes per producer
+	var auditAcked []uint64              // acknowledged publishes to the mid-flight topic
 	processed := make([]map[uint64]bool, consumers)
 	var ackedTotal atomic.Uint64
-	var killFlag [consumers]atomic.Bool
-	consumerDone := make([]chan struct{}, consumers)
 	var producersDone sync.WaitGroup
 	var wg sync.WaitGroup
 
-	// Failure 1: once a sixth of the publishes are acknowledged, kill
-	// consumer 1 mid-batch, wait out its lease, adopt into consumer 0.
-	// Failure 2: at a third, pull the plug through heap 1 alone — the
-	// shared power supply downs the whole set.
+	// The operator: once a quarter of the orders are acknowledged,
+	// create the "audit" topic on the LIVE broker, subscribe the
+	// running group to it and start publishing audit entries; once half
+	// are through, pull the plug via heap 1 — the shared power supply
+	// downs the whole set.
 	monitorDone := make(chan struct{})
 	go func() {
 		defer close(monitorDone)
 		target := uint64(producers * perProducer)
-		for ackedTotal.Load() < target/6 && !hs.Crashed() {
+		for ackedTotal.Load() < target/4 && !hs.Crashed() {
 			time.Sleep(50 * time.Microsecond)
 		}
-		killFlag[1].Store(true)
-		<-consumerDone[1]
-		clock.Add(10 * leaseTTL) // the victim goes silent; its lease expires
-		var moved int
-		var aerr error
-		if !pmem.Protect(func() { moved, aerr = g.Adopt(producers+1, 1, 0) }) && aerr == nil {
-			fmt.Printf("-- consumer 1 crashed mid-batch; consumer 0 adopted its shards, %d redeliveries --\n", moved)
+		before := hs.StatsOf(adminTid).Fences
+		crashed := pmem.Protect(func() {
+			if _, err := b.CreateTopic(adminTid, broker.TopicConfig{
+				Name: "audit", Shards: 2, Acked: true,
+			}); err != nil {
+				panic(err)
+			}
+		})
+		if crashed {
+			return
 		}
-		for ackedTotal.Load() < target/3 && !hs.Crashed() {
+		fmt.Printf("-- created %q mid-traffic: %d blocking persists, data plane never paused --\n",
+			"audit", hs.StatsOf(adminTid).Fences-before)
+		if err := g.Subscribe(adminTid, "audit"); err != nil {
+			fmt.Println("subscribe failed:", err)
+			return
+		}
+		topic := b.Topic("audit")
+		for m := uint64(1); m <= auditMsgs; m++ {
+			id := uint64(9)<<32 | m
+			if pmem.Protect(func() { topic.Publish(adminTid, broker.U64(id)) }) {
+				return
+			}
+			auditAcked = append(auditAcked, id)
+			ackedTotal.Add(1)
+		}
+		for ackedTotal.Load() < target/2 && !hs.Crashed() {
 			time.Sleep(50 * time.Microsecond)
 		}
 		hs.Heap(1).CrashNow() // one domain fails; the set follows
@@ -135,26 +156,30 @@ func main() {
 			defer wg.Done()
 			defer producersDone.Done()
 			rng := rand.New(rand.NewSource(int64(p) + 100))
-			events, jobs := b.Topic("events"), b.Topic("jobs")
-			for m := uint64(1); m <= perProducer; {
+			orders := b.Topic("orders")
+			// Publish until the power fails (the monitor pulls the plug
+			// once half the nominal volume is acknowledged), so the crash
+			// always lands mid-traffic and leaves a recovery backlog; the
+			// bound is only a safety stop.
+			for m := uint64(1); m <= 50*perProducer; {
 				id := uint64(p+1)<<32 | m
 				switch rng.Intn(3) {
-				case 0: // one event, one fence
-					if pmem.Protect(func() { events.Publish(p, broker.U64(id)) }) {
+				case 0: // one order, one fence
+					if pmem.Protect(func() { orders.Publish(p, orderPayload(id)) }) {
 						return
 					}
 					acked[p] = append(acked[p], id)
 					ackedTotal.Add(1)
 					m++
-				default: // batch of 8 jobs riding a single fence
+				default: // batch of 8 riding a single fence
 					var batch [][]byte
 					var ids []uint64
-					for len(batch) < 8 && m <= perProducer {
+					for len(batch) < 8 && m <= 50*perProducer {
 						ids = append(ids, uint64(p+1)<<32|m)
-						batch = append(batch, jobPayload(ids[len(ids)-1]))
+						batch = append(batch, orderPayload(ids[len(ids)-1]))
 						m++
 					}
-					if pmem.Protect(func() { jobs.PublishBatch(p, batch) }) {
+					if pmem.Protect(func() { orders.PublishBatch(p, batch) }) {
 						return // crash: the whole batch is unacknowledged
 					}
 					acked[p] = append(acked[p], ids...)
@@ -168,10 +193,8 @@ func main() {
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
 		processed[c] = map[uint64]bool{}
-		consumerDone[c] = make(chan struct{})
 		go func(c int) {
 			defer wg.Done()
-			defer close(consumerDone[c])
 			tid := producers + c
 			cons := g.Consumer(c)
 			idle := false
@@ -182,11 +205,6 @@ func main() {
 				}
 				if len(msgs) > 0 {
 					idle = false
-					// "Crash" between delivery and acknowledgment: the
-					// window must be redelivered via lease takeover.
-					if killFlag[c].Load() {
-						return
-					}
 					if pmem.Protect(func() { cons.Ack(tid) }) {
 						return // crash mid-ack: the observer gap
 					}
@@ -194,9 +212,6 @@ func main() {
 						processed[c][broker.AsU64(m.Payload[:8])] = true
 					}
 					continue
-				}
-				if killFlag[c].Load() {
-					return
 				}
 				select {
 				case <-done:
@@ -218,22 +233,23 @@ func main() {
 	hs.FinalizeCrash(rand.New(rand.NewSource(42)))
 	hs.Restart()
 
-	// Recover the whole broker from the durable catalog, then bind a
-	// fresh acked group to the same lease region: the previous
-	// incarnation's in-flight windows surface as recovered leases.
-	r, err := broker.RecoverSet(hs, threads)
+	// Recovery is the same call that created the broker: Open replays
+	// the catalog log record by record — the birth topic and the
+	// mid-flight topic recover identically.
+	r, err := broker.Open(hs, broker.Options{})
 	if err != nil {
 		panic(err)
 	}
+	fmt.Printf("recovered %d topics (%v) across %d heaps by replaying the catalog log\n",
+		len(r.Topics()), r.TopicNames(), r.Heaps())
 	var clock2 atomic.Uint64
-	g2, err := r.NewGroupAcked([]string{"events", "jobs"}, 1, broker.LeaseConfig{
+	g2, err := r.NewGroupAcked(r.TopicNames(), 1, broker.LeaseConfig{
 		TTL: leaseTTL, Now: clock2.Load,
 	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("recovered %d topics across %d heaps; %d stale lease record(s) from the crash:\n",
-		len(r.Topics()), r.Heaps(), len(g2.RecoveredLeases()))
+	fmt.Printf("%d stale lease record(s) from the crash:\n", len(g2.RecoveredLeases()))
 	for i, rl := range g2.RecoveredLeases() {
 		if i == 3 {
 			fmt.Printf("  ...\n")
@@ -274,16 +290,20 @@ func main() {
 		}
 	}
 	lost, totalAcked := 0, 0
-	for p := range acked {
-		totalAcked += len(acked[p])
-		for _, id := range acked[p] {
+	audit := func(ids []uint64) {
+		totalAcked += len(ids)
+		for _, id := range ids {
 			if !seen[id] {
 				lost++
 			}
 		}
 	}
+	for p := range acked {
+		audit(acked[p])
+	}
+	audit(auditAcked)
 	allowance := consumers * pollBatch // acks cut off between fence and record
-	fmt.Printf("acknowledged publishes    : %d\n", totalAcked)
+	fmt.Printf("acknowledged publishes    : %d (%d to the mid-flight topic)\n", totalAcked, len(auditAcked))
 	fmt.Printf("processed before the crash: %d\n", preCrash)
 	fmt.Printf("processed from the backlog: %d\n", drained)
 	fmt.Printf("processed twice           : %d\n", dup)

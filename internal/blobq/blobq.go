@@ -71,6 +71,12 @@ type Config struct {
 	// beyond the maximum per-thread acked index instead of everything
 	// beyond the dequeued frontier. Mirrors queues.NewOptUnlinkedQAcked.
 	Acked bool
+	// InitTid is the thread id New charges its construction persists
+	// to. Default 0 — fine for quiescent construction; a queue created
+	// while other threads run (a broker topic created on a live system)
+	// must use a tid owned by the constructing goroutine, because
+	// fences are per-thread. Mirrors queues.NewOptUnlinkedQAs.
+	InitTid int
 }
 
 func (c *Config) norm() {
@@ -146,35 +152,36 @@ type Queue struct {
 // New creates an empty payload queue.
 func New(h *pmem.Heap, cfg Config) *Queue {
 	cfg.norm()
+	tid := cfg.InitTid
 	q := &Queue{
 		h:   h,
 		cfg: cfg,
 		nodes: ssmem.NewPool(h, ssmem.Config{
 			SlotBytes: pmem.CacheLineBytes, SlotsPerArea: 4096,
-			Threads: cfg.Threads, RootSlot: slotPool,
+			Threads: cfg.Threads, RootSlot: slotPool, InitTid: tid,
 		}),
 		blobs: ssmem.NewPool(h, ssmem.Config{
 			SlotBytes: cfg.blobLines() * pmem.CacheLineBytes, SlotsPerArea: 1024,
-			Threads: cfg.Threads, RootSlot: slotBlobPool,
+			Threads: cfg.Threads, RootSlot: slotBlobPool, InitTid: tid,
 		}),
 		per: make([]perThread, cfg.Threads),
 	}
 	size := int64(cfg.Threads) * pmem.CacheLineBytes
-	q.localBase = h.AllocRaw(0, size, pmem.CacheLineBytes)
-	h.InitRange(0, q.localBase, size)
-	h.Store(0, h.RootAddr(slotLocal), uint64(q.localBase))
-	h.Persist(0, h.RootAddr(slotLocal))
+	q.localBase = h.AllocRaw(tid, size, pmem.CacheLineBytes)
+	h.InitRange(tid, q.localBase, size)
+	h.Store(tid, h.RootAddr(slotLocal), uint64(q.localBase))
+	h.Persist(tid, h.RootAddr(slotLocal))
 	q.epoch = 1
-	h.Store(0, h.RootAddr(slotEpoch), q.epoch)
-	h.Persist(0, h.RootAddr(slotEpoch))
+	h.Store(tid, h.RootAddr(slotEpoch), q.epoch)
+	h.Persist(tid, h.RootAddr(slotEpoch))
 	if cfg.Acked {
-		q.ackBase = h.AllocRaw(0, size, pmem.CacheLineBytes)
-		h.InitRange(0, q.ackBase, size)
-		h.Store(0, h.RootAddr(slotAck), uint64(q.ackBase))
-		h.Persist(0, h.RootAddr(slotAck))
+		q.ackBase = h.AllocRaw(tid, size, pmem.CacheLineBytes)
+		h.InitRange(tid, q.ackBase, size)
+		h.Store(tid, h.RootAddr(slotAck), uint64(q.ackBase))
+		h.Persist(tid, h.RootAddr(slotAck))
 	}
 
-	pn := q.nodes.Alloc(0)
+	pn := q.nodes.Alloc(tid)
 	dummy := &vnode{pnode: pn}
 	q.head.Store(dummy)
 	q.tail.Store(dummy)

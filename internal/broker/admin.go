@@ -1,0 +1,370 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blobq"
+	"repro/internal/pmem"
+	"repro/internal/queues"
+)
+
+// Live broker administration. Open brings up a broker — empty on a
+// fresh heap set, fully recovered on a set carrying a catalog — and
+// CreateTopic/CreateAckGroup append to the durable catalog log at
+// runtime, so a production deployment never has to declare its whole
+// topic universe up front. Every creation is crash-atomic through the
+// second amendment's ordered-persist discipline (allocate → fence,
+// initialize, append → fence, anchor; see cataloglog.go): a crash at
+// any point either recovers the creation completely or as if it was
+// never attempted.
+
+// Options parameterizes Open.
+type Options struct {
+	// Threads bounds the thread ids that may call broker operations.
+	// Required (positive) when Open creates a fresh broker; on
+	// recovery, 0 adopts the recorded bound and any other value must
+	// match it.
+	Threads int
+	// Placement chooses each shard's member heap at CreateTopic time;
+	// nil means RoundRobinPlacement. Never consulted for recovered
+	// topics (the catalog records their placements).
+	Placement PlacementPolicy
+	// CatalogLines is the record capacity of the catalog log in cache
+	// lines when Open creates a fresh broker (default 1024 — a few
+	// hundred typical topics; a topic record spans 2 + shards/8 lines).
+	// Ignored on recovery: the log's recorded capacity is adopted.
+	CatalogLines int
+}
+
+type openMode int
+
+const (
+	openAny     openMode = iota // create if empty, recover otherwise
+	openCreate                  // must be empty (legacy NewSet semantics)
+	openRecover                 // must host a broker (legacy RecoverSet semantics)
+)
+
+// Open brings up a broker on the heap set: a set whose anchor heap
+// hosts a catalog is recovered (exactly like RecoverSet, including
+// legacy v1/v2/v3 catalogs), an empty set gets a fresh broker with no
+// topics — create them at runtime with CreateTopic. The anchor stamp
+// is the last persist of creation, so a crash inside Open leaves no
+// broker. Call while no other thread operates; Open itself uses
+// thread id 0.
+func Open(hs *pmem.HeapSet, opts Options) (*Broker, error) {
+	return open(hs, opts, openAny)
+}
+
+func open(hs *pmem.HeapSet, opts Options, mode openMode) (*Broker, error) {
+	h := hs.Heap(0)
+	r := &catReader{h: h}
+	reg := pmem.Addr(r.word(h.RootAddr(slotAnchor)))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if reg == 0 {
+		if mode == openRecover {
+			return nil, fmt.Errorf("broker: no catalog anchored (heap 0 hosts no broker)")
+		}
+		return openFresh(hs, opts)
+	}
+	if mode == openCreate {
+		return nil, checkMemberEmpty(h, 0)
+	}
+	return openExisting(hs, opts)
+}
+
+// openFresh creates an empty broker: membership stamps on heaps 1..,
+// then the catalog log header, zero commit line and virgin high-water
+// marks on heap 0, fenced before the anchor names them.
+func openFresh(hs *pmem.HeapSet, opts Options) (*Broker, error) {
+	if opts.Threads <= 0 {
+		return nil, fmt.Errorf("broker: Threads must be positive to create a broker")
+	}
+	if opts.CatalogLines == 0 {
+		opts.CatalogLines = defaultCatalogLines
+	}
+	maxCap := maxCatalogLines - logHeaderLines - allocLinesFor(hs.Len())
+	if opts.CatalogLines < 1 || opts.CatalogLines > maxCap {
+		return nil, fmt.Errorf("broker: CatalogLines %d out of range [1,%d]", opts.CatalogLines, maxCap)
+	}
+	if err := checkSet(hs, opts.Threads); err != nil {
+		return nil, err
+	}
+	for i := 0; i < hs.Len(); i++ {
+		if err := checkMemberEmpty(hs.Heap(i), i); err != nil {
+			return nil, err
+		}
+	}
+	b := &Broker{hs: hs, threads: opts.Threads, placement: opts.Placement}
+	if b.placement == nil {
+		b.placement = RoundRobinPlacement
+	}
+	b.cat = createCatalogLog(hs, 0, opts.Threads, opts.CatalogLines)
+	b.snap.Store(&topicSet{byName: map[string]*Topic{}})
+	return b, nil
+}
+
+// openExisting recovers the broker anchored on the set: catalog read
+// (or v4 log replay), stamp verification, then the paper's per-queue
+// recovery heap by heap in parallel, then lease-region re-binding.
+func openExisting(hs *pmem.HeapSet, opts Options) (*Broker, error) {
+	lay, err := readCatalog(hs)
+	if err != nil {
+		return nil, err
+	}
+	threads := opts.Threads
+	if threads == 0 {
+		threads = lay.threads
+	} else if threads != lay.threads {
+		return nil, fmt.Errorf("broker: Recover with %d threads, but the broker was created with %d",
+			threads, lay.threads)
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("broker: catalog records non-positive thread bound %d", lay.threads)
+	}
+	if err := checkSet(hs, threads); err != nil {
+		return nil, err
+	}
+	// Replay validates v4 records as it reads them; re-validate the
+	// legacy layouts' topic rows to the same standard (duplicate names
+	// included) so no version can smuggle an inconsistent config in.
+	seen := map[string]bool{}
+	for _, tc := range lay.topics {
+		if err := validateTopic(tc); err != nil {
+			return nil, err
+		}
+		if seen[tc.Name] {
+			return nil, fmt.Errorf("broker: catalog records topic %q twice", tc.Name)
+		}
+		seen[tc.Name] = true
+	}
+	b := build(hs, threads, lay.topics, lay.locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+		if tc.MaxPayload == 0 {
+			if tc.Acked {
+				return &shard{fixed: queues.RecoverOptUnlinkedQAcked(view, threads)}
+			}
+			return &shard{fixed: queues.RecoverOptUnlinkedQ(view, threads)}
+		}
+		return &shard{blob: blobq.Recover(view, blobq.Config{
+			Threads: threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked,
+		})}
+	})
+	for g, loc := range lay.leaseLocs {
+		lr, err := readLeaseRegion(hs.Heap(loc.heap), loc.heap, loc.base, g, lay.leaseCaps[g])
+		if err != nil {
+			return nil, err
+		}
+		b.regions = append(b.regions, lr)
+	}
+	b.bound = make([]bool, len(b.regions))
+	b.cat = lay.cat
+	if opts.Placement != nil {
+		b.placement = opts.Placement
+	}
+	return b, nil
+}
+
+// errLegacyCatalog reports why admin operations are refused on a
+// broker recovered from a write-once catalog.
+func errLegacyCatalog(op string) error {
+	return fmt.Errorf("broker: %s on a legacy (v1/v2/v3) write-once catalog — migrate by draining into a broker created with Open", op)
+}
+
+// CreateTopic creates a topic on a live broker, durably: the shard
+// windows are claimed in the catalog's high-water slot allocator and
+// the marks fenced (a window handed out before a crash is never
+// reused), the shard queues are initialized on the member heaps the
+// placement policy chose, a checksummed record is appended to the
+// catalog log and fenced, and only then does the commit stamp's
+// persist make the topic visible. A crash anywhere before that last
+// persist recovers as if CreateTopic was never called; after it, the
+// topic recovers fully, empty or with whatever was published.
+//
+// The catalog-protocol cost is a pinned three blocking persists
+// (allocator marks, record, commit stamp) plus the per-shard queue
+// initialization — independent of how many topics the broker already
+// has.
+//
+// tid follows the usual rule: it must be owned by the calling
+// goroutine for the duration, and may be any id in [0, Threads).
+// CreateTopic may run concurrently with data-plane traffic on other
+// tids; concurrent CreateTopic calls serialize internally. Groups do
+// not subscribe new topics automatically — subscribe an existing
+// group with Group.Subscribe, or create a new group.
+func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
+	b.adminMu.Lock()
+	defer b.adminMu.Unlock()
+	if b.cat == nil {
+		return nil, errLegacyCatalog("CreateTopic")
+	}
+	if err := validateTopic(tc); err != nil {
+		return nil, err
+	}
+	snap := b.set()
+	if snap.byName[tc.Name] != nil {
+		return nil, fmt.Errorf("broker: duplicate topic %q", tc.Name)
+	}
+	if len(snap.list)+1 > maxCatTopics {
+		return nil, fmt.Errorf("broker: broker already has %d topics (max %d)", len(snap.list), maxCatTopics)
+	}
+	// Reserve log space up front so a full log cannot leak windows.
+	recLines := 2 + (tc.Shards+pmem.WordsPerLine-1)/pmem.WordsPerLine
+	if b.cat.next+recLines > b.cat.totalLines {
+		return nil, fmt.Errorf("broker: catalog log full (%d of %d lines used; reopen with a larger CatalogLines)",
+			b.cat.next, b.cat.totalLines)
+	}
+
+	// 1. Allocate: run the placement policy against a scratch copy of
+	// the high-water marks (no durable effect on error), then claim
+	// the windows and fence the marks.
+	tmp := append([]int(nil), b.cat.marks...)
+	locs := make([]shardLoc, tc.Shards)
+	for si := range locs {
+		hi := b.placement(len(snap.list), si, snap.shardTotal+si, tc.Shards, b.hs.Len())
+		if hi < 0 || hi >= b.hs.Len() {
+			return nil, fmt.Errorf("broker: placement policy put topic %q shard %d on heap %d of %d",
+				tc.Name, si, hi, b.hs.Len())
+		}
+		if tmp[hi]+slotsPerShard > b.hs.Heap(hi).RootSlots() {
+			return nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
+				hi, tc.Name, si, slotsPerShard, b.hs.Heap(hi).RootSlots()-tmp[hi])
+		}
+		locs[si] = shardLoc{heap: hi, base: tmp[hi]}
+		tmp[hi] += slotsPerShard
+	}
+	for hi := range tmp {
+		if tmp[hi] != b.cat.marks[hi] {
+			b.cat.marks[hi] = tmp[hi]
+			b.cat.h.Store(tid, b.cat.markAddr(hi), uint64(tmp[hi]))
+		}
+	}
+	b.cat.persistMarks(tid)
+
+	// 2. Initialize the shard queues, heap by heap in parallel (the
+	// same tid may run on every member concurrently: per-thread
+	// simulator state is per heap).
+	t := &Topic{b: b, cfg: tc, base: snap.shardTotal, locs: locs, shards: make([]*shard, tc.Shards)}
+	perHeap := make([][]int, b.hs.Len())
+	for si, loc := range locs {
+		perHeap[loc.heap] = append(perHeap[loc.heap], si)
+	}
+	var wg sync.WaitGroup
+	for hi, shards := range perHeap {
+		if len(shards) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(hi int, shards []int) {
+			defer wg.Done()
+			h := b.hs.Heap(hi)
+			for _, si := range shards {
+				view := h.View(locs[si].base, slotsPerShard)
+				var s *shard
+				if tc.MaxPayload == 0 {
+					if tc.Acked {
+						s = &shard{fixed: queues.NewOptUnlinkedQAckedAs(view, b.threads, tid)}
+					} else {
+						s = &shard{fixed: queues.NewOptUnlinkedQAs(view, b.threads, tid)}
+					}
+				} else {
+					s = &shard{blob: blobq.New(view, blobq.Config{
+						Threads: b.threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked, InitTid: tid,
+					})}
+				}
+				s.heap = hi
+				s.h = view
+				s.acked = tc.Acked
+				t.shards[si] = s
+			}
+		}(hi, shards)
+	}
+	wg.Wait()
+
+	// 3 + 4. Append the record, fence, anchor. Visible only after the
+	// commit persist; a crash in between recovers as "never existed".
+	hdr, body := topicRecord(b.cat.records+1, tc, locs)
+	if err := b.cat.appendRecord(tid, hdr, body); err != nil {
+		return nil, err
+	}
+
+	ns := &topicSet{
+		list:       append(append([]*Topic(nil), snap.list...), t),
+		byName:     make(map[string]*Topic, len(snap.byName)+1),
+		shardTotal: snap.shardTotal + tc.Shards,
+	}
+	for n, tp := range snap.byName {
+		ns.byName[n] = tp
+	}
+	ns.byName[tc.Name] = t
+	b.snap.Store(ns)
+	return t, nil
+}
+
+// AckGroupConfig parameterizes CreateAckGroup.
+type AckGroupConfig struct {
+	// Capacity is the number of global shard ordinals the region's
+	// lease lines cover: consumer groups bound to the region may only
+	// subscribe topics whose shards fall below it. It must be at least
+	// the broker's current shard total; 0 selects the current shard
+	// total plus 256 ordinals of headroom for topics created later.
+	Capacity int
+}
+
+// defaultLeaseHeadroom is the growth headroom (in global shard
+// ordinals) CreateAckGroup adds over the current shard total when
+// AckGroupConfig.Capacity is zero: room for topics created after the
+// region.
+const defaultLeaseHeadroom = 256
+
+// CreateAckGroup allocates a durable consumer-group lease region on a
+// live broker and records it in the catalog log, following the same
+// allocate → initialize → append → anchor discipline as CreateTopic
+// (the same crash atomicity holds). Regions are dealt round-robin
+// across the heap set. Returns the region index to pass as
+// LeaseConfig.Region to NewGroupAcked.
+func (b *Broker) CreateAckGroup(tid int, cfg AckGroupConfig) (int, error) {
+	b.adminMu.Lock()
+	defer b.adminMu.Unlock()
+	if b.cat == nil {
+		return 0, errLegacyCatalog("CreateAckGroup")
+	}
+	snap := b.set()
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = snap.shardTotal + defaultLeaseHeadroom
+	}
+	if capacity < snap.shardTotal {
+		return 0, fmt.Errorf("broker: lease capacity %d below the current shard total %d", capacity, snap.shardTotal)
+	}
+	if capacity > maxCatShards {
+		return 0, fmt.Errorf("broker: lease capacity %d out of range [1,%d]", capacity, maxCatShards)
+	}
+	b.regionMu.Lock()
+	group := len(b.regions)
+	b.regionMu.Unlock()
+	if group+1 > maxCatAckGroups {
+		return 0, fmt.Errorf("broker: broker already has %d ack groups (max %d)", group, maxCatAckGroups)
+	}
+	if b.cat.next+1 > b.cat.totalLines {
+		return 0, fmt.Errorf("broker: catalog log full (%d of %d lines used; reopen with a larger CatalogLines)",
+			b.cat.next, b.cat.totalLines)
+	}
+
+	hi := group % b.hs.Len()
+	loc, err := b.cat.allocSlots(tid, hi, 1, b.hs, fmt.Sprintf("lease region %d", group))
+	if err != nil {
+		return 0, err
+	}
+	b.cat.persistMarks(tid)
+	lr := initLeaseRegion(b.hs.Heap(hi), tid, hi, loc.base, group, capacity)
+	if err := b.cat.appendRecord(tid, ackGroupRecord(b.cat.records+1, capacity, loc), nil); err != nil {
+		return 0, err
+	}
+	b.regionMu.Lock()
+	b.regions = append(b.regions, lr)
+	b.bound = append(b.bound, false)
+	b.regionMu.Unlock()
+	return group, nil
+}

@@ -21,16 +21,23 @@
 // form groups; each shard is owned by exactly one group member, so
 // per-shard FIFO order is preserved end-to-end.
 //
+// The broker is administered live: Open brings up an empty (or
+// recovered) broker and CreateTopic/CreateAckGroup append checksummed
+// records to a durable catalog log at runtime, each creation made
+// visible only by its anchor stamp's persist (see admin.go and
+// cataloglog.go). New/NewSet/Recover/RecoverSet remain as thin
+// compatibility wrappers.
+//
 // Durability contract: a publish is acknowledged when the call
 // returns; from that point the message survives any crash of any
 // subset of the heap set (the set shares one power supply, so a crash
-// on one domain downs them all). A durable catalog, anchored at heap
-// 0's root slot 0, records every topic's name, shard count, payload
-// kind and every shard's (heapID, baseSlot) placement; every other
-// member heap carries a membership stamp so recovery can tell a
-// mis-assembled set from the real one. Recover is two-phase: read the
-// catalog on heap 0, then replay the paper's per-queue recovery heap
-// by heap (the per-heap phases run in parallel — domains are
+// on one domain downs them all). The durable catalog, anchored at
+// heap 0's root slot 0, records every topic's name, shard count,
+// payload kind and every shard's (heapID, baseSlot) placement; every
+// other member heap carries a membership stamp so recovery can tell a
+// mis-assembled set from the real one. Recovery is two-phase: replay
+// the catalog on heap 0, then replay the paper's per-queue recovery
+// heap by heap (the per-heap phases run in parallel — domains are
 // independent). A delivery is durable when Poll returns: the winning
 // dequeue's persist covers it, so a delivered message is never
 // re-delivered after a crash (delivered-or-recovered exactly once for
@@ -40,7 +47,9 @@ package broker
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blobq"
 	"repro/internal/pmem"
@@ -81,13 +90,14 @@ type TopicConfig struct {
 	Acked bool
 }
 
-// PlacementPolicy chooses the member heap for one shard at broker
+// PlacementPolicy chooses the member heap for one shard at topic
 // creation time. topic and shard identify the shard, global is its
 // ordinal in creation order across all topics, shards the topic's
 // shard count and heaps the set size; the returned index must be in
-// [0, heaps). The policy only runs inside New — the catalog records
-// the resulting (heapID, baseSlot) per shard, so recovery never needs
-// the policy and custom policies are free to use any volatile state.
+// [0, heaps). The policy only runs inside CreateTopic — the catalog
+// records the resulting (heapID, baseSlot) per shard, so recovery
+// never needs the policy and custom policies are free to use any
+// volatile state.
 type PlacementPolicy func(topic, shard, global, shards, heaps int) int
 
 // RoundRobinPlacement (the default) deals shards across the heap set
@@ -104,7 +114,11 @@ func BlockPlacement(topic, shard, global, shards, heaps int) int {
 	return shard * heaps / shards
 }
 
-// Config parameterizes a Broker.
+// Config parameterizes the legacy whole-broker constructors New and
+// NewSet, which remain as thin compatibility wrappers over the live
+// administration API: Open brings up the broker, then every topic and
+// ack group is created through CreateTopic/CreateAckGroup exactly as
+// a runtime creation would be.
 type Config struct {
 	// Topics lists the topics to create. Order is preserved in the
 	// durable catalog.
@@ -117,30 +131,54 @@ type Config struct {
 	// RoundRobinPlacement. Ignored on a 1-heap set (everything lands
 	// on heap 0) and by Recover (the catalog records placements).
 	Placement PlacementPolicy
-	// AckGroups pre-allocates that many durable lease regions — one per
-	// consumer group that will use acknowledgments (NewGroupAcked).
-	// Regions are placed round-robin across the heap set and recorded
-	// in the catalog (v3), so recovery re-binds them; the catalog is
-	// write-once, hence the pre-allocation.
+	// AckGroups allocates that many durable lease regions — one per
+	// consumer group that will use acknowledgments (NewGroupAcked) —
+	// each sized exactly to the config's shard total, mirroring the
+	// write-once catalog's semantics. More regions (and regions with
+	// growth headroom) can be created later with CreateAckGroup.
 	AckGroups int
 }
 
 // Broker is a sharded multi-topic durable message broker over a heap
 // set. Methods taking a tid are safe for concurrent use as long as
 // each tid is driven by at most one goroutine at a time.
+//
+// The broker has two planes. The data plane — Topic lookup, publish,
+// poll — reads an immutable topic snapshot swapped atomically, so it
+// is wait-free with respect to administration. The admin plane —
+// CreateTopic, CreateAckGroup — appends records to the durable
+// catalog log under an internal mutex and publishes a new snapshot;
+// it may run concurrently with data-plane traffic as long as its tid
+// is owned by the calling goroutine, like any other operation.
 type Broker struct {
-	hs      *pmem.HeapSet
-	threads int
-	topics  []*Topic
-	byName  map[string]*Topic
+	hs        *pmem.HeapSet
+	threads   int
+	placement PlacementPolicy
 
-	// Lease regions pre-allocated for acked consumer groups
-	// (Config.AckGroups); regionMu guards the bound flags, which mark
-	// regions claimed by a live NewGroupAcked.
+	// snap is the copy-on-write topic snapshot the data plane reads.
+	snap atomic.Pointer[topicSet]
+
+	// adminMu serializes administrative operations; cat is the v4
+	// catalog log, nil on a broker recovered from a legacy write-once
+	// catalog (v1/v2/v3) — such brokers refuse runtime creation.
+	adminMu sync.Mutex
+	cat     *catalogLog
+
+	// Durable lease regions for acked consumer groups; regionMu guards
+	// the slices (CreateAckGroup appends) and the bound flags, which
+	// mark regions claimed by a live NewGroupAcked.
+	regionMu sync.Mutex
+	regions  []leaseRegion
+	bound    []bool
+}
+
+// topicSet is one immutable data-plane snapshot: the topics in
+// catalog order, the name index, and the global shard total (the next
+// topic's first global shard ordinal).
+type topicSet struct {
+	list       []*Topic
+	byName     map[string]*Topic
 	shardTotal int
-	regions    []leaseRegion
-	regionMu   sync.Mutex
-	bound      []bool
 }
 
 // shard wraps one durable queue of either payload kind behind a
@@ -299,6 +337,21 @@ func U64(v uint64) []byte {
 // AsU64 decodes a fixed-topic payload.
 func AsU64(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
 
+// validateTopic checks one topic's configuration, shared by
+// CreateTopic and the legacy Config validation.
+func validateTopic(tc TopicConfig) error {
+	if tc.Name == "" || len(tc.Name) > catNameBytes {
+		return fmt.Errorf("broker: topic name %q must be 1..%d bytes", tc.Name, catNameBytes)
+	}
+	if tc.Shards <= 0 || tc.Shards > maxCatShards {
+		return fmt.Errorf("broker: topic %q shard count %d out of range [1,%d]", tc.Name, tc.Shards, maxCatShards)
+	}
+	if tc.MaxPayload < 0 || uint64(tc.MaxPayload) >= catAckedBit {
+		return fmt.Errorf("broker: topic %q has invalid MaxPayload %d", tc.Name, tc.MaxPayload)
+	}
+	return nil
+}
+
 func validate(cfg Config) error {
 	if cfg.Threads <= 0 {
 		return fmt.Errorf("broker: Threads must be positive")
@@ -308,19 +361,13 @@ func validate(cfg Config) error {
 	}
 	seen := map[string]bool{}
 	for _, tc := range cfg.Topics {
-		if tc.Name == "" || len(tc.Name) > catNameBytes {
-			return fmt.Errorf("broker: topic name %q must be 1..%d bytes", tc.Name, catNameBytes)
+		if err := validateTopic(tc); err != nil {
+			return err
 		}
 		if seen[tc.Name] {
 			return fmt.Errorf("broker: duplicate topic %q", tc.Name)
 		}
 		seen[tc.Name] = true
-		if tc.Shards <= 0 {
-			return fmt.Errorf("broker: topic %q needs at least one shard", tc.Name)
-		}
-		if tc.MaxPayload < 0 {
-			return fmt.Errorf("broker: topic %q has negative MaxPayload", tc.Name)
-		}
 	}
 	if cfg.AckGroups < 0 || cfg.AckGroups > maxCatAckGroups {
 		return fmt.Errorf("broker: AckGroups %d out of range [0,%d]", cfg.AckGroups, maxCatAckGroups)
@@ -339,74 +386,30 @@ func checkSet(hs *pmem.HeapSet, threads int) error {
 	return nil
 }
 
-// computeLayout runs the placement policy over every shard and assigns
-// each a root-slot window on its heap (slot 0 of every member is
-// reserved for the catalog/stamp anchor); lease regions
-// (Config.AckGroups) then take one anchor slot each, dealt round-robin
-// across the set. Capacity is per heap: a policy that piles too many
-// shards onto one member is an error.
-func computeLayout(hs *pmem.HeapSet, cfg Config) (locs [][]shardLoc, leaseLocs []shardLoc, err error) {
-	policy := cfg.Placement
-	if policy == nil {
-		policy = RoundRobinPlacement
-	}
-	next := make([]int, hs.Len())
-	for i := range next {
-		next[i] = 1 // slot 0 is the anchor
-	}
-	locs = make([][]shardLoc, len(cfg.Topics))
-	global := 0
-	for ti, tc := range cfg.Topics {
-		locs[ti] = make([]shardLoc, tc.Shards)
-		for si := 0; si < tc.Shards; si++ {
-			hi := policy(ti, si, global, tc.Shards, hs.Len())
-			if hi < 0 || hi >= hs.Len() {
-				return nil, nil, fmt.Errorf("broker: placement policy put topic %d shard %d on heap %d of %d",
-					ti, si, hi, hs.Len())
-			}
-			if next[hi]+slotsPerShard > hs.Heap(hi).RootSlots() {
-				return nil, nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
-					hi, tc.Name, si, slotsPerShard, hs.Heap(hi).RootSlots()-next[hi])
-			}
-			locs[ti][si] = shardLoc{heap: hi, base: next[hi]}
-			next[hi] += slotsPerShard
-			global++
-		}
-	}
-	for g := 0; g < cfg.AckGroups; g++ {
-		hi := g % hs.Len()
-		if next[hi]+1 > hs.Heap(hi).RootSlots() {
-			return nil, nil, fmt.Errorf("broker: heap %d out of root slots (lease region %d)", hi, g)
-		}
-		leaseLocs = append(leaseLocs, shardLoc{heap: hi, base: next[hi]})
-		next[hi]++
-	}
-	return locs, leaseLocs, nil
-}
-
 // build constructs the volatile broker skeleton and instantiates each
 // shard's queue via mk, which receives the shard's root-slot view of
 // its member heap. Shards are built heap by heap, the per-heap phases
 // in parallel: member heaps are independent simulators with their own
 // per-thread state, so tid 0 may run on each concurrently. This is the
-// second phase of recovery — and the same fan-out speeds up creation.
-func build(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
-	b := &Broker{hs: hs, threads: cfg.Threads, byName: map[string]*Topic{}}
+// second phase of recovery.
+func build(hs *pmem.HeapSet, threads int, topics []TopicConfig, locs [][]shardLoc, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
+	b := &Broker{hs: hs, threads: threads, placement: RoundRobinPlacement}
+	snap := &topicSet{byName: map[string]*Topic{}}
 	type job struct {
 		t   *Topic
 		si  int
 		loc shardLoc
 	}
 	perHeap := make([][]job, hs.Len())
-	for ti, tc := range cfg.Topics {
-		t := &Topic{b: b, cfg: tc, base: b.shardTotal, locs: locs[ti], shards: make([]*shard, tc.Shards)}
+	for ti, tc := range topics {
+		t := &Topic{b: b, cfg: tc, base: snap.shardTotal, locs: locs[ti], shards: make([]*shard, tc.Shards)}
 		for si := 0; si < tc.Shards; si++ {
 			loc := locs[ti][si]
 			perHeap[loc.heap] = append(perHeap[loc.heap], job{t: t, si: si, loc: loc})
 		}
-		b.topics = append(b.topics, t)
-		b.byName[tc.Name] = t
-		b.shardTotal += tc.Shards
+		snap.list = append(snap.list, t)
+		snap.byName[tc.Name] = t
+		snap.shardTotal += tc.Shards
 	}
 	var wg sync.WaitGroup
 	for hi, jobs := range perHeap {
@@ -428,6 +431,7 @@ func build(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, mk func(view *pmem.H
 		}(hi, jobs)
 	}
 	wg.Wait()
+	b.snap.Store(snap)
 	return b
 }
 
@@ -437,50 +441,39 @@ func New(h *pmem.Heap, cfg Config) (*Broker, error) {
 	return NewSet(pmem.NewSetOf(h), cfg)
 }
 
-// NewSet creates a broker spanning an empty heap set: it instantiates
-// every topic's shards at the placement the policy chose, stamps every
-// non-anchor member, then writes and persists the durable catalog on
-// heap 0. The anchor is persisted last, so a crash inside NewSet
-// leaves no broker (Recover reports none) rather than a partial one.
+// NewSet creates a broker spanning an empty heap set. It is a thin
+// compatibility wrapper over the live administration API: Open brings
+// up an empty broker (stamping every member and anchoring the catalog
+// log), then each topic and ack-group lease region is created through
+// the same CreateTopic/CreateAckGroup path a runtime creation takes.
+// Lease regions are sized exactly to the config's shard total,
+// mirroring the legacy write-once semantics.
 //
 // Every member's anchor slot must be empty: a member carrying a
 // catalog or membership stamp belongs to an existing broker (recover
 // that set instead) or is left over from a creation that crashed
 // before its anchor was written; either way NewSet refuses rather
-// than overwrite durable state it did not allocate.
+// than overwrite durable state it did not allocate. A crash inside
+// NewSet leaves the topics whose catalog records were committed and
+// no trace of the rest.
 func NewSet(hs *pmem.HeapSet, cfg Config) (*Broker, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	if err := checkSet(hs, cfg.Threads); err != nil {
-		return nil, err
-	}
-	for i := 0; i < hs.Len(); i++ {
-		if err := checkMemberEmpty(hs.Heap(i), i); err != nil {
-			return nil, err
-		}
-	}
-	locs, leaseLocs, err := computeLayout(hs, cfg)
+	b, err := open(hs, Options{Threads: cfg.Threads, Placement: cfg.Placement}, openCreate)
 	if err != nil {
 		return nil, err
 	}
-	b := build(hs, cfg, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
-		if tc.MaxPayload == 0 {
-			if tc.Acked {
-				return &shard{fixed: queues.NewOptUnlinkedQAcked(view, cfg.Threads)}
-			}
-			return &shard{fixed: queues.NewOptUnlinkedQ(view, cfg.Threads)}
+	for _, tc := range cfg.Topics {
+		if _, err := b.CreateTopic(0, tc); err != nil {
+			return nil, err
 		}
-		return &shard{blob: blobq.New(view, blobq.Config{
-			Threads: cfg.Threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked,
-		})}
-	})
-	for g, loc := range leaseLocs {
-		b.regions = append(b.regions,
-			initLeaseRegion(hs.Heap(loc.heap), loc.heap, loc.base, g, b.shardTotal))
 	}
-	b.bound = make([]bool, len(b.regions))
-	writeCatalog(hs, cfg, locs, leaseLocs)
+	for g := 0; g < cfg.AckGroups; g++ {
+		if _, err := b.CreateAckGroup(0, AckGroupConfig{Capacity: b.ShardTotal()}); err != nil {
+			return nil, err
+		}
+	}
 	return b, nil
 }
 
@@ -491,61 +484,47 @@ func Recover(h *pmem.Heap, threads int) (*Broker, error) {
 }
 
 // RecoverSet re-discovers a broker after a crash of the whole heap
-// set. Phase one reads the durable catalog on heap 0 and verifies
-// every other member's stamp against it — a set missing a catalogued
-// heap, containing a blank or foreign heap, or assembled in the wrong
-// order is an error, never a silent mis-scan. Phase two replays the
-// paper's per-queue recovery for every shard, heap by heap, the
-// per-heap phases in parallel. Call while no other thread operates.
+// set — the compatibility wrapper over Open that requires a broker to
+// exist. Phase one reads the durable catalog on heap 0 (replaying the
+// v4 log record by record, or parsing a pinned legacy layout) and
+// verifies every other member's stamp against it — a set missing a
+// catalogued heap, containing a blank or foreign heap, or assembled
+// in the wrong order is an error, never a silent mis-scan. Phase two
+// replays the paper's per-queue recovery for every shard, heap by
+// heap, the per-heap phases in parallel. Call while no other thread
+// operates.
 //
 // threads must equal the bound the broker was created with (it sizes
 // the per-thread head-index regions recovery scans); pass 0 to adopt
 // the recorded bound. A mismatch is an error, never silent corruption.
 func RecoverSet(hs *pmem.HeapSet, threads int) (*Broker, error) {
-	lay, err := readCatalog(hs)
-	if err != nil {
-		return nil, err
-	}
-	if threads == 0 {
-		threads = lay.threads
-	} else if threads != lay.threads {
-		return nil, fmt.Errorf("broker: Recover with %d threads, but the broker was created with %d",
-			threads, lay.threads)
-	}
-	cfg := Config{Topics: lay.topics, Threads: threads, AckGroups: len(lay.leaseLocs)}
-	if err := validate(cfg); err != nil {
-		return nil, err
-	}
-	if err := checkSet(hs, threads); err != nil {
-		return nil, err
-	}
-	b := build(hs, cfg, lay.locs, func(view *pmem.Heap, tc TopicConfig) *shard {
-		if tc.MaxPayload == 0 {
-			if tc.Acked {
-				return &shard{fixed: queues.RecoverOptUnlinkedQAcked(view, threads)}
-			}
-			return &shard{fixed: queues.RecoverOptUnlinkedQ(view, threads)}
-		}
-		return &shard{blob: blobq.Recover(view, blobq.Config{
-			Threads: threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked,
-		})}
-	})
-	for g, loc := range lay.leaseLocs {
-		lr, err := readLeaseRegion(hs.Heap(loc.heap), loc.heap, loc.base, g, b.shardTotal)
-		if err != nil {
-			return nil, err
-		}
-		b.regions = append(b.regions, lr)
-	}
-	b.bound = make([]bool, len(b.regions))
-	return b, nil
+	return open(hs, Options{Threads: threads}, openRecover)
 }
 
-// Topic returns the named topic, or nil if the broker has none.
-func (b *Broker) Topic(name string) *Topic { return b.byName[name] }
+// set returns the current data-plane topic snapshot.
+func (b *Broker) set() *topicSet { return b.snap.Load() }
 
-// Topics lists the broker's topics in catalog order.
-func (b *Broker) Topics() []*Topic { return b.topics }
+// Topic returns the named topic, or nil if the broker has none.
+func (b *Broker) Topic(name string) *Topic { return b.set().byName[name] }
+
+// Topics lists the broker's topics in catalog order. The returned
+// slice is the caller's to keep: it is a copy, never an alias of
+// broker state.
+func (b *Broker) Topics() []*Topic {
+	s := b.set()
+	return append([]*Topic(nil), s.list...)
+}
+
+// TopicNames lists the broker's topic names, sorted.
+func (b *Broker) TopicNames() []string {
+	s := b.set()
+	names := make([]string, len(s.list))
+	for i, t := range s.list {
+		names[i] = t.Name()
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Threads reports the configured thread-id bound.
 func (b *Broker) Threads() int { return b.threads }
@@ -553,13 +532,17 @@ func (b *Broker) Threads() int { return b.threads }
 // Heaps reports the size of the heap set the broker spans.
 func (b *Broker) Heaps() int { return b.hs.Len() }
 
-// AckGroups reports the number of pre-allocated consumer-group lease
-// regions (each usable by one NewGroupAcked at a time).
-func (b *Broker) AckGroups() int { return len(b.regions) }
+// AckGroups reports the number of consumer-group lease regions (each
+// usable by one NewGroupAcked at a time).
+func (b *Broker) AckGroups() int {
+	b.regionMu.Lock()
+	defer b.regionMu.Unlock()
+	return len(b.regions)
+}
 
 // ShardTotal reports the number of shards across all topics; global
 // shard ordinals (catalog creation order) index the lease regions.
-func (b *Broker) ShardTotal() int { return b.shardTotal }
+func (b *Broker) ShardTotal() int { return b.set().shardTotal }
 
 // HeapSet returns the heap set the broker spans.
 func (b *Broker) HeapSet() *pmem.HeapSet { return b.hs }

@@ -8,14 +8,16 @@ import (
 )
 
 // The durable catalog is what makes the broker recoverable as a
-// whole: one persistent region recording every topic's name, shard
-// count, payload kind and — since the v2 layout — every shard's
-// placement (heapID, baseSlot) across the heap set. The catalog is
-// anchored on heap 0 at the broker's root slot 0; heap 0 is the
-// anchor domain, the one place recovery starts from.
+// whole. Live brokers write the v4 append-only catalog *log* (see
+// cataloglog.go): an administrative record per creation, appended and
+// fenced before an anchor stamp makes it visible, so topics can be
+// created at runtime. This file keeps the shared plumbing — the
+// bounds-checked reader, placement validation, membership stamps —
+// and the pinned readers for the three legacy write-once layouts,
+// which recover forever:
 //
-// v3 layout (one cache line per row, so each row persists with a
-// single flush and rows never invalidate each other):
+// v3 layout ("Broker3", one cache line per row, so each row persists
+// with a single flush and rows never invalidate each other):
 //
 //	line 0 (header):  [magicV3, topicCount, threads, heapCount,
 //	                   setStamp, shardTotal, ackGroups, 0]
@@ -38,7 +40,7 @@ import (
 // accepts it (lease-free brokers recover as before).
 //
 // Every member heap other than heap 0 carries a membership stamp line
-// anchored at its own root slot 0:
+// anchored at its own root slot 0 (all versions since v2):
 //
 //	[stampMagic, setStamp, heapIndex, heapCount]
 //
@@ -54,13 +56,9 @@ import (
 // deterministic sequential placement on one heap. readCatalog accepts
 // it only on a 1-heap set.
 //
-// The catalog is written once, before the anchor: topics are static
-// for the life of a broker (dynamic topic creation is a ROADMAP open
-// item). Creation order therefore is: shard queues first, then the
-// membership stamps on heaps 1.., then the catalog body on heap 0,
-// then — after a fence covering the body — the anchor. A crash at any
-// point inside New either leaves the anchor empty (no broker; nothing
-// was acknowledged) or a fully readable catalog.
+// Legacy catalogs are write-once, so a broker recovered from one
+// refuses CreateTopic/CreateAckGroup: its layout has no log to append
+// to. Everything else — data plane, groups, leases — works unchanged.
 
 const (
 	catMagic     = 0x42726f6b657231 // "Broker1": legacy single-heap layout
@@ -96,99 +94,19 @@ type shardLoc struct {
 	heap, base int
 }
 
-// layoutInfo is everything readCatalog recovers (and writeCatalog
-// records) about a broker's durable shape.
+// layoutInfo is everything readCatalog recovers about a broker's
+// durable shape, whichever catalog version recorded it.
 type layoutInfo struct {
 	topics    []TopicConfig
 	locs      [][]shardLoc // per topic, per shard
 	leaseLocs []shardLoc   // per ack group: (heap, anchor slot) of its lease region
+	leaseCaps []int        // per ack group: shard-ordinal capacity of the region
 	threads   int
+	cat       *catalogLog // non-nil for a v4 log: the broker stays administrable
 }
 
 func packLoc(l shardLoc) uint64   { return uint64(l.heap)<<32 | uint64(l.base) }
 func unpackLoc(w uint64) shardLoc { return shardLoc{heap: int(w >> 32), base: int(w & 0xffffffff)} }
-
-func writeCatalog(hs *pmem.HeapSet, cfg Config, locs [][]shardLoc, leaseLocs []shardLoc) {
-	const tid = 0
-	stamp := nextSetStamp()
-
-	// Membership stamps on every non-anchor heap, each persisted on
-	// its own domain (fences are per-heap) before the catalog names it.
-	for i := 1; i < hs.Len(); i++ {
-		h := hs.Heap(i)
-		reg := h.AllocRaw(tid, pmem.CacheLineBytes, pmem.CacheLineBytes)
-		h.InitRange(tid, reg, pmem.CacheLineBytes)
-		h.Store(tid, reg, stampMagic)
-		h.Store(tid, reg+8, stamp)
-		h.Store(tid, reg+16, uint64(i))
-		h.Store(tid, reg+24, uint64(hs.Len()))
-		h.Persist(tid, reg)
-		h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
-		h.Persist(tid, h.RootAddr(slotAnchor))
-	}
-
-	h := hs.Heap(0)
-	shardTotal := 0
-	for _, tl := range locs {
-		shardTotal += len(tl)
-	}
-	placeWords := shardTotal + len(leaseLocs)
-	placeLines := (placeWords + pmem.WordsPerLine - 1) / pmem.WordsPerLine
-	bytes := int64(1+len(cfg.Topics)+placeLines) * pmem.CacheLineBytes
-	reg := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
-	h.InitRange(tid, reg, bytes)
-
-	h.Store(tid, reg, catMagicV3)
-	h.Store(tid, reg+8, uint64(len(cfg.Topics)))
-	h.Store(tid, reg+16, uint64(cfg.Threads))
-	h.Store(tid, reg+24, uint64(hs.Len()))
-	h.Store(tid, reg+32, stamp)
-	h.Store(tid, reg+40, uint64(shardTotal))
-	h.Store(tid, reg+48, uint64(len(leaseLocs)))
-	h.Flush(tid, reg)
-	place := 0
-	for i, tc := range cfg.Topics {
-		row := reg + pmem.Addr((1+i)*pmem.CacheLineBytes)
-		payloadWord := uint64(tc.MaxPayload)
-		if tc.Acked {
-			payloadWord |= catAckedBit
-		}
-		h.Store(tid, row, uint64(tc.Shards))
-		h.Store(tid, row+8, payloadWord)
-		h.Store(tid, row+16, uint64(len(tc.Name)))
-		h.Store(tid, row+24, uint64(place))
-		name := make([]byte, catNameBytes)
-		copy(name, tc.Name)
-		for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
-			var word uint64
-			for b := 0; b < 8; b++ {
-				word |= uint64(name[w*8+b]) << (8 * b)
-			}
-			h.Store(tid, row+pmem.Addr(32+w*8), word)
-		}
-		h.Flush(tid, row)
-		place += tc.Shards
-	}
-	placeBase := reg + pmem.Addr((1+len(cfg.Topics))*pmem.CacheLineBytes)
-	j := 0
-	for _, tl := range locs {
-		for _, loc := range tl {
-			h.Store(tid, placeBase+pmem.Addr(j*pmem.WordBytes), packLoc(loc))
-			j++
-		}
-	}
-	for _, loc := range leaseLocs {
-		h.Store(tid, placeBase+pmem.Addr(j*pmem.WordBytes), packLoc(loc))
-		j++
-	}
-	for l := 0; l < placeLines; l++ {
-		h.Flush(tid, placeBase+pmem.Addr(l*pmem.CacheLineBytes))
-	}
-	h.Fence(tid) // catalog body durable before the anchor names it
-
-	h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
-	h.Persist(tid, h.RootAddr(slotAnchor))
-}
 
 // catReader bounds-checks every word it reads against the heap size,
 // so a corrupted count or truncated region yields an error instead of
@@ -253,6 +171,8 @@ func readCatalog(hs *pmem.HeapSet) (layoutInfo, error) {
 		lay, heapCount, stamp, err = readCatalogV2(r, reg)
 	case catMagicV3:
 		lay, heapCount, stamp, err = readCatalogV3(r, reg)
+	case catMagicV4:
+		lay, lay.cat, heapCount, stamp, err = readCatalogV4(r, hs, reg)
 	default:
 		return layoutInfo{}, fmt.Errorf("broker: catalog magic %#x invalid", magic)
 	}
@@ -427,6 +347,8 @@ func readCatalogV2V3(r *catReader, reg pmem.Addr, v3 bool) (layoutInfo, int, uin
 	for g := uint64(0); g < ackGroups; g++ {
 		lay.leaseLocs = append(lay.leaseLocs,
 			unpackLoc(r.word(placeBase+pmem.Addr((shardTotal+g)*pmem.WordBytes))))
+		// v3 regions were sized to the write-once catalog's shard total.
+		lay.leaseCaps = append(lay.leaseCaps, int(shardTotal))
 	}
 	return lay, int(heapCount), stamp, r.err
 }
@@ -443,7 +365,7 @@ func checkMemberEmpty(h *pmem.Heap, i int) error {
 		return nil // nothing anchored (a dangling address is treated as debris below)
 	}
 	switch r.word(reg) {
-	case catMagic, catMagicV2:
+	case catMagic, catMagicV2, catMagicV3, catMagicV4:
 		return fmt.Errorf("broker: heap %d of the set already hosts a broker catalog (use Recover)", i)
 	case stampMagic:
 		return fmt.Errorf("broker: heap %d of the set carries a membership stamp (member of another broker, or leftover from an interrupted creation)", i)

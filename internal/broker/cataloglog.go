@@ -1,0 +1,458 @@
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// The v4 catalog is no longer a write-once snapshot but an append-only
+// durable *log* of administrative records — the redesign that makes
+// topics and ack-group lease regions creatable on a live broker.
+// Every creation follows the second amendment's own ordered-persist
+// discipline, the same append → fence → anchor pattern the queues use
+// for nodes:
+//
+//  1. allocate — the shard windows are claimed in the durable per-heap
+//     high-water slot allocator and the marks fenced, so a window
+//     handed out before a crash is never handed out again;
+//  2. initialize — the shard queues (or the lease region) are built on
+//     their member heaps, each persisting its own state;
+//  3. append — a checksummed record describing the creation is written
+//     into the log's free tail and fenced;
+//  4. anchor — a single commit word (the count of committed records)
+//     is stamped and persisted, making the creation visible.
+//
+// A crash before step 4 recovers as "the create never happened": the
+// commit word still counts the old records, so replay never looks at
+// the torn tail, and the next append simply overwrites it — detected,
+// truncated, never mis-scanned. A crash after step 4 recovers the
+// topic fully, because everything the record references was durable
+// before the anchor moved. Replay is record-by-record, so a broker
+// whose topics were created across many sessions recovers identically
+// to one that made them all at once.
+//
+// Log region layout (heap 0, anchored at root slot 0):
+//
+//	line 0 (header):  [magicV4, threads, heapCount, setStamp,
+//	                   totalLines, allocLines, 0, checksum(w0..w6)]
+//	line 1 (commit):  [committedRecords, 0...]   — the anchor stamp,
+//	                   rewritten once per creation (single-word store,
+//	                   so it is old or new after a crash, never torn)
+//	lines 2..:        allocLines lines of per-heap high-water slot
+//	                   marks, one word per member heap
+//	records:          appended from line 2+allocLines
+//
+// Topic record (header line + name line + placement lines):
+//
+//	line 0: [recTopicMagic, seq, shards, maxPayload | ackedBit,
+//	         nameLen, bodyLines, 0, checksum]
+//	line 1: name words 0..3, 0...
+//	line 2+: one placement word per shard, heapID<<32 | baseSlot
+//
+// Ack-group record (header line only):
+//
+//	line 0: [recAckMagic, seq, capacity, heapID<<32 | anchorSlot,
+//	         0, bodyLines=0, 0, checksum]
+//
+// The checksum of a record covers its header words 0..6 and every
+// body word, so a torn record — some lines landed, others not — fails
+// validation. A *committed* record that fails validation is a hard
+// recovery error (the catalog is corrupt); an uncommitted one is
+// expected debris. Membership stamps on heaps 1.. are unchanged from
+// v2/v3.
+
+const (
+	catMagicV4    = 0x42726f6b657234 // "Broker4": append-only catalog log
+	recTopicMagic = 0x546f7043726531 // "TopCre1": topic-creation record
+	recAckMagic   = 0x416b4743726531 // "AkGCre1": ack-group-creation record
+
+	logHeaderLines = 2 // header line + commit line
+
+	// defaultCatalogLines is the record-space capacity (in cache lines)
+	// of a fresh catalog log when Options.CatalogLines is zero: room
+	// for a few hundred typical topic records.
+	defaultCatalogLines = 1024
+	// maxCatalogLines caps the recorded capacity, like the other
+	// catalog sanity caps: a corrupted count is rejected before it is
+	// used to compute addresses.
+	maxCatalogLines = 1 << 20
+)
+
+// catChecksum mixes an arbitrary word sequence into a guard word; it
+// only needs to catch torn records and random corruption, not
+// adversaries (the same contract as leaseChecksum).
+func catChecksum(ws []uint64) uint64 {
+	s := uint64(catMagicV4)
+	for i, x := range ws {
+		s ^= x + 0x9e3779b97f4a7c15*uint64(i+1)
+		s = s<<13 | s>>51
+	}
+	return s
+}
+
+// testHookAfterAppend, when non-nil, runs between a catalog record's
+// append fence and its commit stamp — the window in which a crash must
+// recover as "the create never happened". Tests only.
+var testHookAfterAppend func()
+
+// catalogLog is the volatile handle of the durable v4 catalog log.
+// All mutation happens under the broker's admin mutex.
+type catalogLog struct {
+	h          *pmem.Heap // anchor heap (member 0 of the set)
+	heaps      int        // set size
+	base       pmem.Addr  // log region base (header line)
+	totalLines int        // region capacity in cache lines
+	allocLines int        // high-water mark lines after the commit line
+
+	records int   // committed records
+	next    int   // next free line (replayed cursor / append position)
+	marks   []int // per-heap high-water root-slot marks (volatile mirror)
+}
+
+func (cl *catalogLog) lineAddr(i int) pmem.Addr {
+	return cl.base + pmem.Addr(i)*pmem.CacheLineBytes
+}
+
+func (cl *catalogLog) recStart() int { return logHeaderLines + cl.allocLines }
+
+func allocLinesFor(heaps int) int {
+	return (heaps + pmem.WordsPerLine - 1) / pmem.WordsPerLine
+}
+
+// createCatalogLog stamps every non-anchor member, then writes and
+// anchors an empty catalog log on heap 0: header, commit line at zero
+// records, and every heap's high-water mark at slot 1 (slot 0 is the
+// anchor). The anchor is persisted last, so a crash inside leaves no
+// broker. capacityLines is the record space to reserve.
+func createCatalogLog(hs *pmem.HeapSet, tid, threads, capacityLines int) *catalogLog {
+	stamp := nextSetStamp()
+	for i := 1; i < hs.Len(); i++ {
+		h := hs.Heap(i)
+		reg := h.AllocRaw(tid, pmem.CacheLineBytes, pmem.CacheLineBytes)
+		h.InitRange(tid, reg, pmem.CacheLineBytes)
+		h.Store(tid, reg, stampMagic)
+		h.Store(tid, reg+8, stamp)
+		h.Store(tid, reg+16, uint64(i))
+		h.Store(tid, reg+24, uint64(hs.Len()))
+		h.Persist(tid, reg)
+		h.Store(tid, h.RootAddr(slotAnchor), uint64(reg))
+		h.Persist(tid, h.RootAddr(slotAnchor))
+	}
+
+	h := hs.Heap(0)
+	cl := &catalogLog{
+		h:          h,
+		heaps:      hs.Len(),
+		allocLines: allocLinesFor(hs.Len()),
+		marks:      make([]int, hs.Len()),
+	}
+	cl.totalLines = logHeaderLines + cl.allocLines + capacityLines
+	cl.next = cl.recStart()
+	bytes := int64(cl.totalLines) * pmem.CacheLineBytes
+	cl.base = h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
+	h.InitRange(tid, cl.base, bytes)
+
+	hdr := []uint64{catMagicV4, uint64(threads), uint64(hs.Len()), stamp,
+		uint64(cl.totalLines), uint64(cl.allocLines), 0}
+	for i, w := range hdr {
+		h.Store(tid, cl.base+pmem.Addr(i*pmem.WordBytes), w)
+	}
+	h.Store(tid, cl.base+7*pmem.WordBytes, catChecksum(hdr))
+	h.Flush(tid, cl.base)
+	for i := range cl.marks {
+		cl.marks[i] = 1 // slot 0 is the anchor
+		h.Store(tid, cl.markAddr(i), 1)
+	}
+	for l := 0; l < cl.allocLines; l++ {
+		h.Flush(tid, cl.lineAddr(logHeaderLines+l))
+	}
+	h.Fence(tid) // header, marks and the zero commit line durable first
+
+	h.Store(tid, h.RootAddr(slotAnchor), uint64(cl.base))
+	h.Persist(tid, h.RootAddr(slotAnchor))
+	return cl
+}
+
+func (cl *catalogLog) markAddr(heap int) pmem.Addr {
+	return cl.lineAddr(logHeaderLines+heap/pmem.WordsPerLine) +
+		pmem.Addr((heap%pmem.WordsPerLine)*pmem.WordBytes)
+}
+
+// allocSlots claims a width-slot root-slot window on the given member
+// heap in the durable high-water allocator: the new mark is stored,
+// flushed and fenced before the caller initializes anything inside the
+// window, so a window handed out before a crash is never handed out
+// again — exactly AllocRaw's contract, lifted to root slots.
+func (cl *catalogLog) allocSlots(tid, heap, width int, hs *pmem.HeapSet, what string) (shardLoc, error) {
+	base := cl.marks[heap]
+	if base+width > hs.Heap(heap).RootSlots() {
+		return shardLoc{}, fmt.Errorf("broker: heap %d out of root slots (%s needs %d, %d left)",
+			heap, what, width, hs.Heap(heap).RootSlots()-base)
+	}
+	cl.marks[heap] = base + width
+	cl.h.Store(tid, cl.markAddr(heap), uint64(cl.marks[heap]))
+	return shardLoc{heap: heap, base: base}, nil
+}
+
+// persistMarks flushes every high-water line and fences: one blocking
+// persist covers all the windows one creation claimed.
+func (cl *catalogLog) persistMarks(tid int) {
+	for l := 0; l < cl.allocLines; l++ {
+		cl.h.Flush(tid, cl.lineAddr(logHeaderLines+l))
+	}
+	cl.h.Fence(tid)
+}
+
+// appendRecord writes a record — header words 0..6 plus body lines —
+// at the log's free tail, fences it, then stamps and persists the
+// commit word. The record is visible (replayed by recovery) only after
+// the commit persist completes; a crash in between leaves debris that
+// the next append overwrites.
+func (cl *catalogLog) appendRecord(tid int, hdr [7]uint64, body [][8]uint64) error {
+	recLines := 1 + len(body)
+	if cl.next+recLines > cl.totalLines {
+		return fmt.Errorf("broker: catalog log full (%d of %d lines used; reopen with a larger CatalogLines)",
+			cl.next, cl.totalLines)
+	}
+	h := cl.h
+	sum := make([]uint64, 0, 7+len(body)*8)
+	sum = append(sum, hdr[:]...)
+	for _, line := range body {
+		sum = append(sum, line[:]...)
+	}
+	hdrAddr := cl.lineAddr(cl.next)
+	for bi, line := range body {
+		a := cl.lineAddr(cl.next + 1 + bi)
+		for w, x := range line {
+			h.Store(tid, a+pmem.Addr(w*pmem.WordBytes), x)
+		}
+		h.Flush(tid, a)
+	}
+	for w, x := range hdr {
+		h.Store(tid, hdrAddr+pmem.Addr(w*pmem.WordBytes), x)
+	}
+	h.Store(tid, hdrAddr+7*pmem.WordBytes, catChecksum(sum))
+	h.Flush(tid, hdrAddr)
+	h.Fence(tid) // the record is durable, but not yet visible
+
+	if testHookAfterAppend != nil {
+		testHookAfterAppend()
+	}
+
+	cl.records++
+	cl.next += recLines
+	h.Store(tid, cl.lineAddr(1), uint64(cl.records))
+	h.Persist(tid, cl.lineAddr(1)) // the anchor stamp: now it exists
+	return nil
+}
+
+func topicRecord(seq int, tc TopicConfig, locs []shardLoc) ([7]uint64, [][8]uint64) {
+	placeLines := (len(locs) + pmem.WordsPerLine - 1) / pmem.WordsPerLine
+	payloadWord := uint64(tc.MaxPayload)
+	if tc.Acked {
+		payloadWord |= catAckedBit
+	}
+	hdr := [7]uint64{recTopicMagic, uint64(seq), uint64(tc.Shards), payloadWord,
+		uint64(len(tc.Name)), uint64(1 + placeLines), 0}
+	body := make([][8]uint64, 1+placeLines)
+	name := make([]byte, catNameBytes)
+	copy(name, tc.Name)
+	for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+		var word uint64
+		for b := 0; b < 8; b++ {
+			word |= uint64(name[w*8+b]) << (8 * b)
+		}
+		body[0][w] = word
+	}
+	for i, loc := range locs {
+		body[1+i/pmem.WordsPerLine][i%pmem.WordsPerLine] = packLoc(loc)
+	}
+	return hdr, body
+}
+
+func ackGroupRecord(seq, capacity int, loc shardLoc) [7]uint64 {
+	return [7]uint64{recAckMagic, uint64(seq), uint64(capacity), packLoc(loc), 0, 0, 0}
+}
+
+// readCatalogV4 replays the catalog log record by record: exactly the
+// committed prefix is applied, every committed record is re-validated
+// (checksum, bounds, field sanity) and anything beyond the commit
+// point — the torn tail of a creation that crashed before its anchor
+// stamp — is ignored and will be overwritten by the next append. The
+// returned catalogLog is positioned to continue appending.
+func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *catalogLog, int, uint64, error) {
+	var hdr [7]uint64
+	for i := range hdr {
+		hdr[i] = r.word(reg + pmem.Addr(i*pmem.WordBytes))
+	}
+	gotSum := r.word(reg + 7*pmem.WordBytes)
+	if r.err != nil {
+		return layoutInfo{}, nil, 0, 0, r.err
+	}
+	if gotSum != catChecksum(hdr[:]) {
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log header corrupt (checksum mismatch)")
+	}
+	threads := hdr[1]
+	heapCount := hdr[2]
+	stamp := hdr[3]
+	totalLines := hdr[4]
+	allocLines := hdr[5]
+	if heapCount == 0 || heapCount > maxCatHeaps {
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog heap count %d invalid", heapCount)
+	}
+	if totalLines == 0 || totalLines > maxCatalogLines {
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log capacity %d lines invalid", totalLines)
+	}
+	if allocLines != uint64(allocLinesFor(int(heapCount))) {
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log records %d allocator lines for %d heaps, want %d",
+			allocLines, heapCount, allocLinesFor(int(heapCount)))
+	}
+	cl := &catalogLog{
+		h:          r.h,
+		heaps:      int(heapCount),
+		base:       reg,
+		totalLines: int(totalLines),
+		allocLines: int(allocLines),
+		marks:      make([]int, heapCount),
+	}
+	records := r.word(cl.lineAddr(1))
+	if records > uint64(cl.totalLines) { // each record spans >= 1 line
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log commit count %d absurd (capacity %d lines)",
+			records, cl.totalLines)
+	}
+
+	lay := layoutInfo{threads: int(threads)}
+	replayMarks := make([]int, heapCount)
+	for i := range replayMarks {
+		replayMarks[i] = 1
+	}
+	seen := map[string]bool{}
+	cursor := cl.recStart()
+	topics, ackGroups := 0, 0
+	for rec := 0; rec < int(records); rec++ {
+		if cursor >= cl.totalLines {
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d starts beyond capacity", rec)
+		}
+		hdrAddr := cl.lineAddr(cursor)
+		var rh [7]uint64
+		for i := range rh {
+			rh[i] = r.word(hdrAddr + pmem.Addr(i*pmem.WordBytes))
+		}
+		recSum := r.word(hdrAddr + 7*pmem.WordBytes)
+		bodyLines := rh[5]
+		if r.err != nil {
+			return layoutInfo{}, nil, 0, 0, r.err
+		}
+		if bodyLines > uint64(cl.totalLines) || cursor+1+int(bodyLines) > cl.totalLines {
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d overruns capacity", rec)
+		}
+		sum := make([]uint64, 0, 7+int(bodyLines)*8)
+		sum = append(sum, rh[:]...)
+		body := make([][8]uint64, bodyLines)
+		for bi := range body {
+			a := cl.lineAddr(cursor + 1 + bi)
+			for w := range body[bi] {
+				body[bi][w] = r.word(a + pmem.Addr(w*pmem.WordBytes))
+			}
+			sum = append(sum, body[bi][:]...)
+		}
+		if r.err != nil {
+			return layoutInfo{}, nil, 0, 0, r.err
+		}
+		if recSum != catChecksum(sum) {
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d corrupt (checksum mismatch)", rec)
+		}
+		if rh[1] != uint64(rec+1) {
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d carries sequence %d", rec, rh[1])
+		}
+		switch rh[0] {
+		case recTopicMagic:
+			shards := rh[2]
+			payloadWord := rh[3]
+			nameLen := rh[4]
+			if shards == 0 || shards > maxCatShards {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid shard count %d", rec, shards)
+			}
+			if nameLen == 0 || nameLen > catNameBytes {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid name length %d", rec, nameLen)
+			}
+			if want := 1 + (int(shards)+pmem.WordsPerLine-1)/pmem.WordsPerLine; int(bodyLines) != want {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has %d body lines for %d shards, want %d",
+					rec, bodyLines, shards, want)
+			}
+			if topics++; topics > maxCatTopics {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log exceeds %d topics", maxCatTopics)
+			}
+			nameBytes := make([]byte, catNameBytes)
+			for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+				for b := 0; b < 8; b++ {
+					nameBytes[w*8+b] = byte(body[0][w] >> (8 * b))
+				}
+			}
+			name := string(nameBytes[:nameLen])
+			if seen[name] {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log records topic %q twice", name)
+			}
+			seen[name] = true
+			locs := make([]shardLoc, shards)
+			for s := range locs {
+				locs[s] = unpackLoc(body[1+s/pmem.WordsPerLine][s%pmem.WordsPerLine])
+				if locs[s].heap >= 0 && locs[s].heap < int(heapCount) {
+					if end := locs[s].base + slotsPerShard; end > replayMarks[locs[s].heap] {
+						replayMarks[locs[s].heap] = end
+					}
+				}
+			}
+			lay.topics = append(lay.topics, TopicConfig{
+				Name:       name,
+				Shards:     int(shards),
+				MaxPayload: int(payloadWord &^ catAckedBit),
+				Acked:      payloadWord&catAckedBit != 0,
+			})
+			lay.locs = append(lay.locs, locs)
+		case recAckMagic:
+			capacity := rh[2]
+			loc := unpackLoc(rh[3])
+			if capacity == 0 || capacity > maxCatShards {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid lease capacity %d", rec, capacity)
+			}
+			if ackGroups++; ackGroups > maxCatAckGroups {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log exceeds %d ack groups", maxCatAckGroups)
+			}
+			if loc.heap >= 0 && loc.heap < int(heapCount) {
+				if end := loc.base + 1; end > replayMarks[loc.heap] {
+					replayMarks[loc.heap] = end
+				}
+			}
+			lay.leaseLocs = append(lay.leaseLocs, loc)
+			lay.leaseCaps = append(lay.leaseCaps, int(capacity))
+		default:
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d magic %#x invalid", rec, rh[0])
+		}
+		cursor += 1 + int(bodyLines)
+	}
+	cl.records = int(records)
+	cl.next = cursor
+
+	// High-water marks: the durable line is authoritative (it may run
+	// ahead of the replayed maxima — windows claimed by a creation that
+	// crashed before its anchor stay retired forever), but it can never
+	// durably lag a committed record, whose claim was fenced first.
+	for i := 0; i < int(heapCount); i++ {
+		m := int(r.word(cl.markAddr(i)))
+		if r.err != nil {
+			return layoutInfo{}, nil, 0, 0, r.err
+		}
+		if m < replayMarks[i] {
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: heap %d high-water mark %d lags committed windows (%d)",
+				i, m, replayMarks[i])
+		}
+		if i < hs.Len() && m > hs.Heap(i).RootSlots() {
+			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: heap %d high-water mark %d exceeds %d root slots",
+				i, m, hs.Heap(i).RootSlots())
+		}
+		cl.marks[i] = m
+	}
+	return lay, cl, int(heapCount), stamp, nil
+}

@@ -37,6 +37,7 @@ type ShardRef struct {
 type Group struct {
 	consumers []*Consumer
 	b         *Broker
+	topics    map[string]bool // subscribed topic names
 
 	// Acked-group state (zero for plain groups).
 	leased    bool
@@ -45,7 +46,7 @@ type Group struct {
 	now       func() uint64
 	cache     []leaseCache // one per global shard ordinal, owner-accessed
 	recovered []RecoveredLease
-	mu        sync.Mutex // serializes Adopt against other Adopts
+	mu        sync.Mutex // serializes Adopt and Subscribe against each other
 }
 
 // leaseCache mirrors one durable lease line: durable is the content
@@ -84,11 +85,14 @@ func (b *Broker) collectRefs(topicNames []string) ([]*consumerShard, error) {
 	return refs, nil
 }
 
-func (b *Broker) newGroup(refs []*consumerShard, n int, deal func(g *Group, refs []*consumerShard)) (*Group, error) {
+func (b *Broker) newGroup(topicNames []string, refs []*consumerShard, n int, deal func(g *Group, refs []*consumerShard)) (*Group, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("broker: group needs at least one consumer")
 	}
-	g := &Group{consumers: make([]*Consumer, n), b: b}
+	g := &Group{consumers: make([]*Consumer, n), b: b, topics: map[string]bool{}}
+	for _, name := range topicNames {
+		g.topics[name] = true
+	}
 	for i := range g.consumers {
 		g.consumers[i] = &Consumer{g: g, id: i}
 	}
@@ -107,7 +111,7 @@ func (b *Broker) NewGroup(topicNames []string, n int) (*Group, error) {
 	if err != nil {
 		return nil, err
 	}
-	return b.newGroup(refs, n, func(g *Group, refs []*consumerShard) {
+	return b.newGroup(topicNames, refs, n, func(g *Group, refs []*consumerShard) {
 		for i, r := range refs {
 			c := g.consumers[i%n]
 			c.refs = append(c.refs, r)
@@ -130,7 +134,7 @@ func (b *Broker) NewGroupAffine(topicNames []string, n int) (*Group, error) {
 	sort.SliceStable(refs, func(i, j int) bool {
 		return refs[i].t.locs[refs[i].shard].heap < refs[j].t.locs[refs[j].shard].heap
 	})
-	return b.newGroup(refs, n, func(g *Group, refs []*consumerShard) {
+	return b.newGroup(topicNames, refs, n, func(g *Group, refs []*consumerShard) {
 		for i := range g.consumers {
 			lo, hi := i*len(refs)/n, (i+1)*len(refs)/n
 			g.consumers[i].refs = append(g.consumers[i].refs, refs[lo:hi]...)
@@ -140,8 +144,10 @@ func (b *Broker) NewGroupAffine(topicNames []string, n int) (*Group, error) {
 
 // LeaseConfig parameterizes an acked consumer group.
 type LeaseConfig struct {
-	// Region selects which pre-allocated lease region (Config.AckGroups)
-	// backs the group; a region serves one live group at a time.
+	// Region selects which lease region (CreateAckGroup, or the legacy
+	// Config.AckGroups) backs the group; a region serves one live
+	// group at a time, and covers only topics whose shards' global
+	// ordinals fall below its recorded capacity.
 	Region int
 	// TTL is the lease duration in clock units; a member whose lease is
 	// older than TTL may have its shards adopted (Adopt). Default:
@@ -174,11 +180,25 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 			return nil, fmt.Errorf("broker: NewGroupAcked over topic %q, which is not Acked", r.t.Name())
 		}
 	}
+	b.regionMu.Lock()
 	if lc.Region < 0 || lc.Region >= len(b.regions) {
-		return nil, fmt.Errorf("broker: lease region %d out of range (broker has %d; set Config.AckGroups)",
-			lc.Region, len(b.regions))
+		n := len(b.regions)
+		b.regionMu.Unlock()
+		return nil, fmt.Errorf("broker: lease region %d out of range (broker has %d; use CreateAckGroup)",
+			lc.Region, n)
 	}
-	g, err := b.newGroup(refs, n, func(g *Group, refs []*consumerShard) {
+	region := b.regions[lc.Region]
+	b.regionMu.Unlock()
+	// The region covers global shard ordinals [0, cap): a topic created
+	// after the region may exceed it, in which case this group needs a
+	// region with more headroom (CreateAckGroup with a larger Capacity).
+	for _, r := range refs {
+		if r.global >= region.cap {
+			return nil, fmt.Errorf("broker: topic %q shard %d (global ordinal %d) exceeds lease region %d's capacity %d",
+				r.t.Name(), r.shard, r.global, lc.Region, region.cap)
+		}
+	}
+	g, err := b.newGroup(topicNames, refs, n, func(g *Group, refs []*consumerShard) {
 		for i, r := range refs {
 			g.consumers[i%n].refs = append(g.consumers[i%n].refs, r)
 		}
@@ -196,7 +216,7 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 	b.bound[lc.Region] = true
 	b.regionMu.Unlock()
 	g.leased = true
-	g.region = b.regions[lc.Region]
+	g.region = region
 	g.ttl = lc.TTL
 	if g.ttl == 0 {
 		g.ttl = uint64(time.Second)
@@ -205,7 +225,9 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 	if g.now == nil {
 		g.now = func() uint64 { return uint64(time.Now().UnixNano()) }
 	}
-	g.cache = make([]leaseCache, b.shardTotal)
+	// Sized to the region's capacity, not the current shard total, so
+	// topics subscribed later (Subscribe) index it without growing.
+	g.cache = make([]leaseCache, region.cap)
 
 	// Bind: seed each ref's frontier from the queue's durable acked
 	// index, surface stale lease records, and clear them. A fresh
@@ -225,6 +247,86 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 	}
 	w.commit()
 	return g, nil
+}
+
+// Subscribe adds the named topics' shards to the group — the way a
+// group reaches topics created (CreateTopic) after the group was. New
+// shards are dealt one by one to the member owning the fewest, so
+// load stays balanced; existing assignments never move. On an acked
+// group the new shards' frontiers are seeded from the queues' durable
+// acked indices and any stale lease records in the region are
+// surfaced (appended to RecoveredLeases) and cleared, exactly as at
+// bind time; the region must have capacity for the topics' global
+// ordinals. Subscribing a topic the group already consumes is an
+// error, as is subscribing a non-Acked topic on an acked group.
+//
+// tid must be owned by the caller (it writes lease records on an
+// acked group). Acked groups may Subscribe while members poll on
+// their own tids; plain groups must be quiescent, because their poll
+// path reads member assignments without locks.
+func (g *Group) Subscribe(tid int, topicNames ...string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.consumers {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	call := map[string]bool{}
+	for _, name := range topicNames {
+		if g.topics[name] {
+			return fmt.Errorf("broker: group already subscribes topic %q", name)
+		}
+		if call[name] {
+			return fmt.Errorf("broker: duplicate topic %q in Subscribe", name)
+		}
+		call[name] = true
+	}
+	refs, err := g.b.collectRefs(topicNames)
+	if err != nil {
+		return err
+	}
+	if g.leased {
+		for _, r := range refs {
+			if !r.t.Acked() {
+				return fmt.Errorf("broker: Subscribe over topic %q, which is not Acked", r.t.Name())
+			}
+			if r.global >= g.region.cap {
+				return fmt.Errorf("broker: topic %q shard %d (global ordinal %d) exceeds the group's lease capacity %d",
+					r.t.Name(), r.shard, r.global, g.region.cap)
+			}
+		}
+	}
+	var w leaseWriter
+	if g.leased {
+		w = leaseWriter{g: g, tid: tid}
+		for _, r := range refs {
+			s := r.t.shards[r.shard]
+			floor := s.ackedTo()
+			r.deliveredTo, r.leasedTo = floor, floor
+			l, ok := g.region.readLeaseLine(r.global)
+			if !ok || l.Active {
+				g.recovered = append(g.recovered,
+					RecoveredLease{Shard: ShardRef{Topic: r.t.Name(), Shard: r.shard}, Lease: l})
+				w.write(r.global, Lease{})
+			}
+		}
+	}
+	for _, r := range refs {
+		min := 0
+		for i := 1; i < len(g.consumers); i++ {
+			if len(g.consumers[i].refs) < len(g.consumers[min].refs) {
+				min = i
+			}
+		}
+		g.consumers[min].refs = append(g.consumers[min].refs, r)
+	}
+	if g.leased {
+		w.commit()
+	}
+	for _, name := range topicNames {
+		g.topics[name] = true
+	}
+	return nil
 }
 
 // RecoveredLeases lists the lease records an acked group found active

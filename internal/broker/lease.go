@@ -8,10 +8,15 @@ import (
 
 // Delivery state is transactional state (Gray, "Queues Are
 // Databases") and must be as durable as the payload. The lease region
-// is where the broker keeps it: one durable region per pre-allocated
-// consumer group (Config.AckGroups), placed like a shard — the catalog
-// (v3) records its (heapID, anchorSlot) — and holding one cache line
-// per global shard ordinal. A consumer's PollBatch writes the shard's
+// is where the broker keeps it: one durable region per consumer-group
+// allocation (CreateAckGroup, or the legacy Config.AckGroups), placed
+// like a shard — the catalog records its (heapID, anchorSlot) and its
+// capacity — and holding one cache line per global shard ordinal up
+// to that capacity. Capacity is fixed at region creation: groups may
+// only subscribe topics whose shards' global ordinals fall below it,
+// so a region minted before a dynamically created topic either has
+// headroom for it or refuses the binding with an error.
+// A consumer's PollBatch writes the shard's
 // lease line (owner, unacked index range, deadline) and fences it
 // BEFORE returning messages, so a crashed-then-recovered observer can
 // always tell an in-flight message from a processed one; Consumer.Ack
@@ -22,7 +27,7 @@ import (
 // Region layout (all single cache lines, so each write persists with
 // one flush riding the operation's fence):
 //
-//	line 0 (header):      [leaseMagic, shardTotal, groupIndex, 0...]
+//	line 0 (header):      [leaseMagic, capacity, groupIndex, 0...]
 //	line 1+g (shard g):   one packed lease line (see packLease)
 //
 // Lease line layout:
@@ -120,10 +125,10 @@ func unpackLease(w [8]uint64) (Lease, bool) {
 // leaseRegion is the volatile handle of one group's durable lease
 // region.
 type leaseRegion struct {
-	h      *pmem.Heap // member heap hosting the region
-	heap   int        // its index in the set (the fence domain)
-	base   pmem.Addr  // region base (header line)
-	shards int        // shardTotal the region covers
+	h    *pmem.Heap // member heap hosting the region
+	heap int        // its index in the set (the fence domain)
+	base pmem.Addr  // region base (header line)
+	cap  int        // global shard ordinals the region covers: [0, cap)
 }
 
 func (lr leaseRegion) lineAddr(global int) pmem.Addr {
@@ -153,29 +158,28 @@ func (lr leaseRegion) readLeaseLine(global int) (Lease, bool) {
 }
 
 // initLeaseRegion allocates, zeroes and persists group's lease region
-// on h and anchors it at the given root slot. Called from NewSet
-// before the catalog is written (a crash in between leaves no broker).
-func initLeaseRegion(h *pmem.Heap, heapIdx, slot, group, shardTotal int) leaseRegion {
-	const tid = 0
-	bytes := int64(1+shardTotal) * pmem.CacheLineBytes
+// on h and anchors it at the given root slot, charging the persists to
+// tid (regions are created on live brokers; see CreateAckGroup).
+func initLeaseRegion(h *pmem.Heap, tid, heapIdx, slot, group, capacity int) leaseRegion {
+	bytes := int64(1+capacity) * pmem.CacheLineBytes
 	base := h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
 	h.InitRange(tid, base, bytes)
 	h.Store(tid, base, leaseMagic)
-	h.Store(tid, base+8, uint64(shardTotal))
+	h.Store(tid, base+8, uint64(capacity))
 	h.Store(tid, base+16, uint64(group))
 	h.Persist(tid, base)
 	h.Store(tid, h.RootAddr(slot), uint64(base))
 	h.Persist(tid, h.RootAddr(slot))
-	return leaseRegion{h: h, heap: heapIdx, base: base, shards: shardTotal}
+	return leaseRegion{h: h, heap: heapIdx, base: base, cap: capacity}
 }
 
 // readLeaseRegion re-discovers group's lease region at (heap, slot)
 // and validates it against the catalog's expectation. Every read is
 // bounds-checked (catReader), so a truncated or absurd region yields
 // an error, never a panic; a missing or foreign region — blank anchor,
-// wrong magic, wrong shard count, wrong group — errors instead of
+// wrong magic, wrong capacity, wrong group — errors instead of
 // letting a consumer mis-scan another group's (or nobody's) leases.
-func readLeaseRegion(h *pmem.Heap, heapIdx, slot, group, shardTotal int) (leaseRegion, error) {
+func readLeaseRegion(h *pmem.Heap, heapIdx, slot, group, capacity int) (leaseRegion, error) {
 	r := &catReader{h: h}
 	base := pmem.Addr(r.word(h.RootAddr(slot)))
 	if r.err != nil {
@@ -190,16 +194,16 @@ func readLeaseRegion(h *pmem.Heap, heapIdx, slot, group, shardTotal int) (leaseR
 	gi := r.word(base + 16)
 	// Touch the last line too, so a region whose body runs off the end
 	// of the heap is rejected up front.
-	r.word(base + pmem.Addr(shardTotal)*pmem.CacheLineBytes)
+	r.word(base + pmem.Addr(capacity)*pmem.CacheLineBytes)
 	if r.err != nil {
 		return leaseRegion{}, r.err
 	}
 	if magic != leaseMagic {
 		return leaseRegion{}, fmt.Errorf("broker: lease region %d magic %#x invalid (foreign or corrupt region)", group, magic)
 	}
-	if st != uint64(shardTotal) || gi != uint64(group) {
+	if st != uint64(capacity) || gi != uint64(group) {
 		return leaseRegion{}, fmt.Errorf("broker: lease region at heap %d slot %d covers %d shards as group %d, catalog expects %d shards as group %d",
-			heapIdx, slot, st, gi, shardTotal, group)
+			heapIdx, slot, st, gi, capacity, group)
 	}
-	return leaseRegion{h: h, heap: heapIdx, base: base, shards: shardTotal}, nil
+	return leaseRegion{h: h, heap: heapIdx, base: base, cap: capacity}, nil
 }

@@ -51,7 +51,7 @@ func TestLeaseLineTornWriteDetected(t *testing.T) {
 	}
 }
 
-// TestLeaseRegionErrors: a v3 catalog whose lease region is missing,
+// TestLeaseRegionErrors: a catalog whose lease region is missing,
 // foreign or truncated must fail RecoverSet with an error — never a
 // panic, never a silent mis-scan of another group's leases.
 func TestLeaseRegionErrors(t *testing.T) {

@@ -57,10 +57,20 @@ type BrokerConfig struct {
 	// adopts their shards into consumer 0 — the adopted redeliveries
 	// surface as Redelivered. Requires Ack; at most Consumers-1.
 	Kills int
+	// DynTopics creates that many extra topics on the live broker,
+	// spread across the produce phase, from a dedicated administrator
+	// thread running beside the traffic — measuring what live
+	// administration costs (DynTopicFences) while the data plane runs.
+	DynTopics int
 	// Duration bounds the produce phase. Consumers drain afterwards.
 	Duration  time.Duration
 	HeapBytes int64
 	Latency   pmem.LatencyModel
+	// HeapFenceNs, when non-empty, gives each member heap its own
+	// SFENCE latency (heap i takes HeapFenceNs[i % len]): the
+	// asymmetric-NUMA topology NewSetOf models, where one domain is
+	// slower than another. Empty means every heap uses Latency as is.
+	HeapFenceNs []int64
 }
 
 func (c *BrokerConfig) norm() {
@@ -100,6 +110,9 @@ func (c *BrokerConfig) norm() {
 	if c.Kills < 0 {
 		c.Kills = 0
 	}
+	if c.DynTopics < 0 {
+		c.DynTopics = 0
+	}
 }
 
 // BrokerResult is one broker measurement outcome. Producer and
@@ -125,6 +138,12 @@ type BrokerResult struct {
 	Acked       uint64
 	AckFences   uint64
 	Redelivered uint64
+
+	// Live-administration statistics: topics created mid-run on the
+	// live broker and the blocking persists they cost (catalog
+	// protocol plus per-shard queue initialization).
+	DynTopics      uint64
+	DynTopicFences uint64
 
 	// PerHeap is each member heap's total event counters for the
 	// measured phase (all threads).
@@ -185,6 +204,16 @@ func (r BrokerResult) RedeliveryRate() float64 {
 	return float64(r.Redelivered) / float64(r.Delivered)
 }
 
+// DynFencesPerCreate returns the blocking persists one mid-run
+// CreateTopic cost on average — the pinned 3-fence catalog protocol
+// plus the per-shard queue initialization. 0 without DynTopics.
+func (r BrokerResult) DynFencesPerCreate() float64 {
+	if r.DynTopics == 0 {
+		return 0
+	}
+	return float64(r.DynTopicFences) / float64(r.DynTopics)
+}
+
 // IdleFencesPerPoll returns blocking persists per poll of an idle
 // consumer whose shards are all empty — ~0 with empty-poll fence
 // elision.
@@ -221,32 +250,57 @@ func (r BrokerResult) HeapImbalance() float64 {
 func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	cfg.norm()
 	threads := cfg.Producers + cfg.Consumers
-	hs := pmem.NewSet(cfg.Heaps, pmem.Config{
+	adminTid := -1
+	if cfg.DynTopics > 0 {
+		adminTid = threads // the administrator gets its own thread id
+		threads++
+	}
+	pcfg := pmem.Config{
 		Bytes:      cfg.HeapBytes,
 		Mode:       pmem.ModePerf,
 		MaxThreads: threads,
 		Latency:    cfg.Latency,
-	})
-	topics := make([]broker.TopicConfig, cfg.Topics)
-	names := make([]string, cfg.Topics)
-	for i := range topics {
-		names[i] = fmt.Sprintf("topic-%d", i)
-		topics[i] = broker.TopicConfig{Name: names[i], Shards: cfg.Shards, MaxPayload: cfg.Payload, Acked: cfg.Ack}
 	}
-	bcfg := broker.Config{Topics: topics, Threads: threads}
+	var hs *pmem.HeapSet
+	if len(cfg.HeapFenceNs) > 0 {
+		// Asymmetric NUMA: every member gets its own fence latency.
+		heaps := make([]*pmem.Heap, cfg.Heaps)
+		for i := range heaps {
+			hc := pcfg
+			hc.Latency.FenceNs = cfg.HeapFenceNs[i%len(cfg.HeapFenceNs)]
+			heaps[i] = pmem.New(hc)
+		}
+		hs = pmem.NewSetOf(heaps...)
+	} else {
+		hs = pmem.NewSet(cfg.Heaps, pcfg)
+	}
+	// The broker comes up empty (Open) and every topic is created
+	// through the live-administration path, exactly as the mid-run
+	// DynTopics creations are.
+	opts := broker.Options{Threads: threads}
 	if cfg.Affine {
-		bcfg.Placement = broker.BlockPlacement
+		opts.Placement = broker.BlockPlacement
+	}
+	b, err := broker.Open(hs, opts)
+	if err != nil {
+		return BrokerResult{}, err
+	}
+	names := make([]string, cfg.Topics)
+	for i := range names {
+		names[i] = fmt.Sprintf("topic-%d", i)
+		tc := broker.TopicConfig{Name: names[i], Shards: cfg.Shards, MaxPayload: cfg.Payload, Acked: cfg.Ack}
+		if _, err := b.CreateTopic(0, tc); err != nil {
+			return BrokerResult{}, err
+		}
 	}
 	// leaseClock is a logical clock so kills can expire leases
 	// instantly instead of sleeping out wall-clock TTLs.
 	var leaseClock atomic.Uint64
 	const leaseTTL = 16
 	if cfg.Ack {
-		bcfg.AckGroups = 1
-	}
-	b, err := broker.NewSet(hs, bcfg)
-	if err != nil {
-		return BrokerResult{}, err
+		if _, err := b.CreateAckGroup(0, broker.AckGroupConfig{}); err != nil {
+			return BrokerResult{}, err
+		}
 	}
 	var g *broker.Group
 	if cfg.Ack {
@@ -368,6 +422,36 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			}
 		}(c)
 	}
+	// The administrator: create DynTopics fresh topics on the live
+	// broker, spread across the produce phase, measuring the blocking
+	// persists each creation costs while the data plane runs.
+	var dynCreated, dynFences atomic.Uint64
+	var dynErr error
+	var dynErrMu sync.Mutex
+	if cfg.DynTopics > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			for d := 0; d < cfg.DynTopics; d++ {
+				time.Sleep(cfg.Duration / time.Duration(cfg.DynTopics+1))
+				before := hs.StatsOf(adminTid).Fences
+				_, err := b.CreateTopic(adminTid, broker.TopicConfig{
+					Name:   fmt.Sprintf("dyn-%d", d),
+					Shards: cfg.Shards, MaxPayload: cfg.Payload,
+				})
+				if err != nil {
+					dynErrMu.Lock()
+					dynErr = fmt.Errorf("harness: mid-run CreateTopic %d failed: %w", d, err)
+					dynErrMu.Unlock()
+					return
+				}
+				dynFences.Add(hs.StatsOf(adminTid).Fences - before)
+				dynCreated.Add(1)
+			}
+		}()
+	}
+
 	var adoptErr error
 	var adoptErrMu sync.Mutex
 	if cfg.Kills > 0 {
@@ -415,6 +499,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	if adoptErr != nil {
 		return BrokerResult{}, adoptErr
 	}
+	if dynErr != nil {
+		return BrokerResult{}, dynErr
+	}
 
 	res := BrokerResult{
 		Topics: cfg.Topics, Shards: cfg.Shards, Heaps: cfg.Heaps, Affine: cfg.Affine,
@@ -423,12 +510,15 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		Batch: cfg.Batch, DequeueBatch: cfg.DequeueBatch, Payload: cfg.Payload,
 		Published: published.Load(), Delivered: delivered.Load(),
 		Acked: acked.Load(), AckFences: ackFences.Load(), Redelivered: redelivered.Load(),
+		DynTopics: dynCreated.Load(), DynTopicFences: dynFences.Load(),
 		Elapsed: elapsed,
 	}
 	for tid := 0; tid < cfg.Producers; tid++ {
 		res.Producer.Add(hs.StatsOf(tid))
 	}
-	for tid := cfg.Producers; tid < threads; tid++ {
+	// The administrator's thread id lies beyond the consumer range, so
+	// its persist traffic never skews the consumer statistics.
+	for tid := cfg.Producers; tid < cfg.Producers+cfg.Consumers; tid++ {
 		res.Consumer.Add(hs.StatsOf(tid))
 	}
 	res.PerHeap = make([]pmem.Stats, cfg.Heaps)

@@ -152,3 +152,57 @@ func TestRunBrokerAckMode(t *testing.T) {
 		t.Errorf("idle acked polls paid %.4f fences/poll, want 0", r.IdleFencesPerPoll())
 	}
 }
+
+// TestRunBrokerDynTopics runs live administration beside the traffic:
+// topics are created mid-run from a dedicated admin thread, their
+// fence cost is measured, and the data plane's audit (delivered ==
+// published) is unaffected.
+func TestRunBrokerDynTopics(t *testing.T) {
+	r, err := RunBroker(BrokerConfig{
+		Topics: 2, Shards: 2, Heaps: 2, Producers: 2, Consumers: 2,
+		Batch: 4, DequeueBatch: 4, DynTopics: 3,
+		Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered != r.Published || r.Published == 0 {
+		t.Fatalf("delivered %d / published %d", r.Delivered, r.Published)
+	}
+	if r.DynTopics != 3 {
+		t.Fatalf("created %d dynamic topics, want 3", r.DynTopics)
+	}
+	df := r.DynFencesPerCreate()
+	if df == 0 {
+		t.Fatal("dynamic creations measured zero fences")
+	}
+	// Catalog protocol = 3 fences; 2 shards of queue init on top. Far
+	// below 100 whatever the queue internals cost.
+	if df < 3 || df > 100 {
+		t.Errorf("dyn fences/create = %.2f, outside the plausible [3,100]", df)
+	}
+	t.Logf("dyn topics: %d created at %.2f fences/create", r.DynTopics, df)
+}
+
+// TestRunBrokerHeapLatencies: per-heap fence latencies (asymmetric
+// NUMA) flow through to the member heaps without disturbing the
+// workload audit.
+func TestRunBrokerHeapLatencies(t *testing.T) {
+	r, err := RunBroker(BrokerConfig{
+		Topics: 2, Shards: 2, Heaps: 2, Producers: 2, Consumers: 2,
+		Batch: 4, DequeueBatch: 4,
+		HeapFenceNs: []int64{50, 800},
+		Duration:    150 * time.Millisecond, HeapBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered != r.Published || r.Published == 0 {
+		t.Fatalf("delivered %d / published %d", r.Delivered, r.Published)
+	}
+	if len(r.PerHeap) != 2 || r.PerHeap[0].Fences == 0 || r.PerHeap[1].Fences == 0 {
+		t.Fatalf("per-heap stats missing: %+v", r.PerHeap)
+	}
+	t.Logf("asymmetric run: published %d, heap fences %d / %d",
+		r.Published, r.PerHeap[0].Fences, r.PerHeap[1].Fences)
+}

@@ -103,17 +103,27 @@ const (
 
 // NewOptUnlinkedQ creates an empty OptUnlinkedQ.
 func NewOptUnlinkedQ(h *pmem.Heap, threads int) *OptUnlinkedQ {
+	return NewOptUnlinkedQAs(h, threads, 0)
+}
+
+// NewOptUnlinkedQAs creates an empty OptUnlinkedQ, charging the
+// construction persists (local-line region, pool registry, dummy node)
+// to tid instead of thread 0. Fences are per-thread: a queue created
+// while other threads run — a broker topic created on a live system —
+// must construct under a tid owned by the constructing goroutine, or
+// its fences would race another goroutine's pending-persist state.
+func NewOptUnlinkedQAs(h *pmem.Heap, threads, tid int) *OptUnlinkedQ {
 	q := &OptUnlinkedQ{
 		h:    h,
-		pool: newNodePool(h, threads),
+		pool: newNodePoolAs(h, threads, tid),
 		per:  make([]ouThread, threads),
 	}
-	q.localBase = h.AllocRaw(0, int64(threads)*pmem.CacheLineBytes, pmem.CacheLineBytes)
-	h.InitRange(0, q.localBase, int64(threads)*pmem.CacheLineBytes)
-	h.Store(0, h.RootAddr(slotLocal), uint64(q.localBase))
-	h.Persist(0, h.RootAddr(slotLocal))
+	q.localBase = h.AllocRaw(tid, int64(threads)*pmem.CacheLineBytes, pmem.CacheLineBytes)
+	h.InitRange(tid, q.localBase, int64(threads)*pmem.CacheLineBytes)
+	h.Store(tid, h.RootAddr(slotLocal), uint64(q.localBase))
+	h.Persist(tid, h.RootAddr(slotLocal))
 
-	pn := q.pool.Alloc(0) // fresh slot: zero index, unset linked
+	pn := q.pool.Alloc(tid) // fresh slot: zero index, unset linked
 	dummy := &ouNode{pnode: pn}
 	q.head.Store(dummy)
 	q.tail.Store(dummy)
@@ -140,13 +150,19 @@ func NewOptUnlinkedQPlainStore(h *pmem.Heap, threads int) *OptUnlinkedQ {
 // reappear. Dequeue/DequeueBatch remain usable and acknowledge
 // immediately (lease + ack in one step, one fence).
 func NewOptUnlinkedQAcked(h *pmem.Heap, threads int) *OptUnlinkedQ {
-	q := NewOptUnlinkedQ(h, threads)
+	return NewOptUnlinkedQAckedAs(h, threads, 0)
+}
+
+// NewOptUnlinkedQAckedAs is NewOptUnlinkedQAcked charging construction
+// persists to tid (see NewOptUnlinkedQAs).
+func NewOptUnlinkedQAckedAs(h *pmem.Heap, threads, tid int) *OptUnlinkedQ {
+	q := NewOptUnlinkedQAs(h, threads, tid)
 	q.acked = true
 	size := int64(threads) * pmem.CacheLineBytes
-	q.ackBase = h.AllocRaw(0, size, pmem.CacheLineBytes)
-	h.InitRange(0, q.ackBase, size)
-	h.Store(0, h.RootAddr(slotAck), uint64(q.ackBase))
-	h.Persist(0, h.RootAddr(slotAck))
+	q.ackBase = h.AllocRaw(tid, size, pmem.CacheLineBytes)
+	h.InitRange(tid, q.ackBase, size)
+	h.Store(tid, h.RootAddr(slotAck), uint64(q.ackBase))
+	h.Persist(tid, h.RootAddr(slotAck))
 	return q
 }
 

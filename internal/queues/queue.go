@@ -139,11 +139,19 @@ func Lookup(name string) (Info, bool) {
 }
 
 func newNodePool(h *pmem.Heap, threads int) *ssmem.Pool {
+	return newNodePoolAs(h, threads, 0)
+}
+
+// newNodePoolAs charges the pool's construction persists to tid, for
+// queues created while other threads are running (see
+// NewOptUnlinkedQAs).
+func newNodePoolAs(h *pmem.Heap, threads, tid int) *ssmem.Pool {
 	return ssmem.NewPool(h, ssmem.Config{
 		SlotBytes:    nodeSize,
 		SlotsPerArea: 4096,
 		Threads:      threads,
 		RootSlot:     slotPool,
+		InitTid:      tid,
 	})
 }
 

@@ -34,6 +34,13 @@ type Config struct {
 	// RootSlot is the pmem root slot that anchors the persistent
 	// area registry, so recovery can find it after a crash.
 	RootSlot int
+	// InitTid is the thread id NewPool charges its construction
+	// persists to (registry allocation, root-slot anchor). Default 0 —
+	// fine for quiescent construction; a pool created while other
+	// threads run (e.g. a broker topic created on a live system) must
+	// use a tid owned by the constructing goroutine, because fences are
+	// per-thread. Must be in [0, Threads).
+	InitTid int
 }
 
 const (
@@ -85,6 +92,9 @@ func validate(cfg *Config) {
 	if cfg.Threads <= 0 {
 		panic("ssmem: Threads must be positive")
 	}
+	if cfg.InitTid < 0 || cfg.InitTid >= cfg.Threads {
+		panic(fmt.Sprintf("ssmem: InitTid %d out of range [0,%d)", cfg.InitTid, cfg.Threads))
+	}
 }
 
 // NewPool creates a fresh pool anchored at cfg.RootSlot. The root slot
@@ -92,16 +102,17 @@ func validate(cfg *Config) {
 func NewPool(h *pmem.Heap, cfg Config) *Pool {
 	validate(&cfg)
 	p := newPoolCommon(h, cfg)
+	tid := cfg.InitTid
 	root := h.RootAddr(cfg.RootSlot)
-	if h.Load(0, root) != 0 {
+	if h.Load(tid, root) != 0 {
 		panic("ssmem: NewPool on a non-empty root slot (did you mean RecoverPool?)")
 	}
 	regBytes := int64((1 + maxAreas*regEntryWords) * pmem.WordBytes)
 	regBytes = (regBytes + pmem.CacheLineBytes - 1) &^ (pmem.CacheLineBytes - 1)
-	p.regAddr = h.AllocRaw(0, regBytes, pmem.CacheLineBytes)
-	h.InitRange(0, p.regAddr, regBytes)
-	h.Store(0, root, uint64(p.regAddr))
-	h.Persist(0, root)
+	p.regAddr = h.AllocRaw(tid, regBytes, pmem.CacheLineBytes)
+	h.InitRange(tid, p.regAddr, regBytes)
+	h.Store(tid, root, uint64(p.regAddr))
+	h.Persist(tid, root)
 	return p
 }
 
