@@ -13,7 +13,11 @@
 // every owned shard). The heap-imbal column shows how evenly shard
 // placement spread persist traffic across the heap set (1.0 =
 // balanced); -affine switches to block placement plus heap-affine
-// consumer groups so each consumer fences a single domain.
+// consumer groups so each consumer fences a single domain. -latency
+// attaches an obs.Observer (costing no persist instructions) and adds
+// p50/p99/p999 per-op latency columns — publish, poll (non-empty) and
+// ack — in microseconds; without the flag the latency columns are
+// zero in -csv/-json and omitted from the table.
 //
 // Examples:
 //
@@ -26,8 +30,9 @@
 //	brokerbench -ack 1 -kills 1 -consumers 3  # consumer crash + lease takeover
 //	brokerbench -topics 4 -producers 8 -consumers 4 -payload 64
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
+//	brokerbench -latency                 # per-op p50/p99/p999 latency columns
 //	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
-//	brokerbench -shards 4 -heaps 1,2 -ack 0,1 -dyntopics 2 -duration 300ms -json > BENCH_broker.json # refresh the repo baseline
+//	brokerbench -shards 4 -heaps 1,2 -ack 0,1 -dyntopics 2 -duration 300ms -latency -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
@@ -67,6 +72,19 @@ type row struct {
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
 	HeapImbalance     float64 `json:"heap_imbalance"`
 	DynFencesPerNew   float64 `json:"dyn_fences_per_create"`
+
+	// Per-op latency quantiles in microseconds, zero without -latency
+	// (the columns stay in the CSV/JSON shape either way, so baselines
+	// diff cleanly across the flag).
+	PubP50Us   float64 `json:"pub_p50_us"`
+	PubP99Us   float64 `json:"pub_p99_us"`
+	PubP999Us  float64 `json:"pub_p999_us"`
+	PollP50Us  float64 `json:"poll_p50_us"`
+	PollP99Us  float64 `json:"poll_p99_us"`
+	PollP999Us float64 `json:"poll_p999_us"`
+	AckP50Us   float64 `json:"ack_p50_us"`
+	AckP99Us   float64 `json:"ack_p99_us"`
+	AckP999Us  float64 `json:"ack_p999_us"`
 }
 
 func main() {
@@ -87,6 +105,7 @@ func main() {
 		duration  = flag.Duration("duration", time.Second, "produce phase duration per cell")
 		heapMB    = flag.Int64("heap-mb", 512, "persistent heap size in MiB")
 		fenceNs   = flag.Int64("nvm-fence-ns", 120, "SFENCE latency")
+		latency   = flag.Bool("latency", false, "attach an observer and report per-op p50/p99/p999 latencies (µs)")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonOut   = flag.Bool("json", false, "emit JSON (the BENCH_broker.json baseline shape)")
 	)
@@ -129,13 +148,17 @@ func main() {
 	}
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d dyntopics=%d heaplat=%q duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *kills, *dyn, *heaplatF, *duration)
-		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %10s %10s %12s\n",
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d dyntopics=%d heaplat=%q latency=%v duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *dyn, *heaplatF, *latency, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %10s %10s %12s",
 			"shards", "heaps", "batch", "dbatch", "ack", "published", "delivered", "Mops",
 			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "idle-f/poll", "heap-imbal", "dyn-f/create")
+		if *latency {
+			fmt.Printf(" %20s %20s %20s", "pub-µs(50/99/999)", "poll-µs(50/99/999)", "ack-µs(50/99/999)")
+		}
+		fmt.Println()
 	}
 	var rows []row
 	for _, shards := range shardCounts {
@@ -164,6 +187,7 @@ func main() {
 							HeapBytes:    *heapMB << 20,
 							Latency:      lat,
 							HeapFenceNs:  heapLat,
+							Observe:      *latency,
 						})
 						if err != nil {
 							fatal(err)
@@ -187,18 +211,33 @@ func main() {
 						if r.Ack {
 							c.Ack = 1
 						}
+						if *latency {
+							c.PubP50Us, c.PubP99Us, c.PubP999Us = usQuantiles(r.PublishQuantiles())
+							c.PollP50Us, c.PollP99Us, c.PollP999Us = usQuantiles(r.PollQuantiles())
+							c.AckP50Us, c.AckP99Us, c.AckP999Us = usQuantiles(r.AckQuantiles())
+						}
 						rows = append(rows, c)
 						if *csvOut {
-							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f\n",
+							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 								c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
 								c.Ack, c.Kills, c.DynTopics, c.Published, c.Delivered, c.Mops,
 								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
-								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew)
+								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
+								c.PubP50Us, c.PubP99Us, c.PubP999Us,
+								c.PollP50Us, c.PollP99Us, c.PollP999Us,
+								c.AckP50Us, c.AckP99Us, c.AckP999Us)
 						} else if !*jsonOut {
-							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %10.4f %10.3f %12.3f\n",
+							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %10.4f %10.3f %12.3f",
 								c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack, c.Published, c.Delivered, c.Mops,
 								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
 								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew)
+							if *latency {
+								fmt.Printf(" %20s %20s %20s",
+									latCell(c.PubP50Us, c.PubP99Us, c.PubP999Us),
+									latCell(c.PollP50Us, c.PollP99Us, c.PollP999Us),
+									latCell(c.AckP50Us, c.AckP99Us, c.AckP999Us))
+							}
+							fmt.Println()
 						}
 					}
 				}
@@ -232,12 +271,30 @@ func main() {
 		fmt.Println(" elision. heap-imbal: busiest heap's persist traffic over the per-heap")
 		fmt.Println(" mean — 1.0 is perfectly balanced placement. dyn-f/create: blocking")
 		fmt.Println(" persists per mid-run CreateTopic — the pinned 3-fence catalog append")
-		fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.)")
+		if *latency {
+			fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.")
+			fmt.Println(" latency cells are p50/p99/p999 in microseconds per op: publish is one")
+			fmt.Println(" Publish call, poll one non-empty Poll/PollBatch call, ack one")
+			fmt.Println(" Consumer.Ack that released at least one message.)")
+		} else {
+			fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.)")
+		}
 	}
 }
 
 func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
 func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
+// usQuantiles converts a (p50, p99, p999) triple from nanoseconds (the
+// harness unit) to microseconds (the report unit).
+func usQuantiles(p50, p99, p999 float64) (float64, float64, float64) {
+	return round3(p50 / 1e3), round3(p99 / 1e3), round3(p999 / 1e3)
+}
+
+// latCell renders one compact p50/p99/p999 table cell in microseconds.
+func latCell(p50, p99, p999 float64) string {
+	return fmt.Sprintf("%.1f/%.1f/%.1f", p50, p99, p999)
+}
 
 func parseInts(s string) ([]int, error) {
 	var out []int

@@ -16,6 +16,11 @@
 // crashed and recovered with the same exactly-once audit — topics
 // whose creation returned must exist, torn creations must not.
 //
+// Each broker smoke runs with an event-trace-enabled observer
+// (internal/obs); when an audit fails, the last trace events — the
+// publishes, polls and acks leading up to the bad state — are dumped
+// to stderr alongside the error.
+//
 // Examples:
 //
 //	crashfuzz -queue opt-linked -rounds 200 -threads 4 -recovery-crashes 2
@@ -30,9 +35,26 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/verify"
 )
+
+// traceEvents is the per-thread event-trace capacity each broker smoke
+// runs with: enough to hold the operations leading up to a bad audit
+// without the ring costing anything on the happy path.
+const traceEvents = 512
+
+// dumpOnFail prints the tail of a failed smoke's event trace to stderr
+// so a red CI run shows the broker operations that led up to the bad
+// audit, then passes the error through.
+func dumpOnFail(o *obs.Observer, name string, err error) error {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashfuzz: %s failed — last trace events:\n", name)
+		o.DumpTrace(os.Stderr, 48)
+	}
+	return err
+}
 
 func main() {
 	var (
@@ -125,6 +147,11 @@ func main() {
 // the crash or recovered after it, exactly once, in per-shard order.
 func brokerSmoke(seed int64) error {
 	const threads = 2
+	o := obs.New(obs.Config{Threads: threads, TraceEvents: traceEvents})
+	return dumpOnFail(o, "broker-multiheap", brokerSmokeRun(seed, threads, o))
+}
+
+func brokerSmokeRun(seed int64, threads int, o *obs.Observer) error {
 	rng := rand.New(rand.NewSource(seed))
 	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
 	b, err := broker.NewSet(hs, broker.Config{
@@ -132,7 +159,8 @@ func brokerSmoke(seed int64) error {
 			{Name: "events", Shards: 4},
 			{Name: "jobs", Shards: 2, MaxPayload: 48},
 		},
-		Threads: threads,
+		Threads:  threads,
+		Observer: o,
 	})
 	if err != nil {
 		return err
@@ -240,9 +268,14 @@ func brokerSmoke(seed int64) error {
 // per-shard order.
 func brokerDynSmoke(seed int64) error {
 	const threads = 2
+	o := obs.New(obs.Config{Threads: threads, TraceEvents: traceEvents})
+	return dumpOnFail(o, "broker-dynamic-topics", brokerDynSmokeRun(seed, threads, o))
+}
+
+func brokerDynSmokeRun(seed int64, threads int, o *obs.Observer) error {
 	rng := rand.New(rand.NewSource(seed + 2))
 	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
-	b, err := broker.Open(hs, broker.Options{Threads: threads})
+	b, err := broker.Open(hs, broker.Options{Threads: threads, Observer: o})
 	if err != nil {
 		return err
 	}
@@ -333,7 +366,9 @@ func brokerDynSmoke(seed int64) error {
 	hs.FinalizeCrash(rng)
 	hs.Restart()
 
-	r, err := broker.Open(hs, broker.Options{})
+	// Recovery reuses the same observer: RegisterTopic dedupes by name,
+	// so the counters and the event trace span the crash.
+	r, err := broker.Open(hs, broker.Options{Threads: threads, Observer: o})
 	if err != nil {
 		return err
 	}
@@ -391,10 +426,13 @@ func brokerDynSmoke(seed int64) error {
 // poll-window observer gap of an Ack cut off between its fence and
 // the record).
 func brokerAckSmoke(seed int64) error {
-	const (
-		threads = 3 // tid 0: producer + recovery drain; 1, 2: consumers
-		window  = 4
-	)
+	const threads = 3 // tid 0: producer + recovery drain; 1, 2: consumers
+	o := obs.New(obs.Config{Threads: threads, TraceEvents: traceEvents})
+	return dumpOnFail(o, "broker-consumer-crash", brokerAckSmokeRun(seed, threads, o))
+}
+
+func brokerAckSmokeRun(seed int64, threads int, o *obs.Observer) error {
+	const window = 4
 	rng := rand.New(rand.NewSource(seed + 1))
 	h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
 	b, err := broker.New(h, broker.Config{
@@ -404,6 +442,7 @@ func brokerAckSmoke(seed int64) error {
 		},
 		Threads:   threads,
 		AckGroups: 1,
+		Observer:  o,
 	})
 	if err != nil {
 		return err

@@ -35,7 +35,12 @@
 // max-merges per-thread acked indices and redelivers everything
 // beyond them), and the broker layers per-group durable lease records
 // and lease takeover on top for exactly-once processing across both
-// consumer and whole-broker crashes. See DESIGN.md for the full
+// consumer and whole-broker crashes. An optional observability layer
+// (internal/obs) watches it all from plain DRAM at zero persist
+// cost — per-thread allocation-free latency histograms per op,
+// topic/group gauges with per-shard lag, a lock-free event trace,
+// and snapshots exported as JSON or Prometheus text — at one
+// predictable branch per operation when disabled. See DESIGN.md for the full
 // system inventory, layering, the multi-heap topology (catalog
 // layouts, membership stamps, placement policies, two-phase recovery),
 // the live-administration protocol (the append-with-fence catalog
@@ -46,6 +51,8 @@
 // cmd/brokerbench sweeps the broker over shard counts, heap-set
 // sizes (with optional per-heap asymmetric-NUMA latencies), publish
 // and dequeue batch sizes, acked delivery (with optional consumer
-// kills exercising lease takeover), and live topic creation
-// (-dyntopics, measuring fences per mid-run CreateTopic).
+// kills exercising lease takeover), live topic creation
+// (-dyntopics, measuring fences per mid-run CreateTopic), and per-op
+// latency percentiles (-latency, p50/p99/p999 columns); cmd/brokerstat
+// dumps one observed workload's snapshot as Prometheus text or JSON.
 package repro

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -71,9 +72,13 @@ func main() {
 		Mode:       pmem.ModeCrash,
 		MaxThreads: threads,
 	})
+	// One observer spans the broker's whole life — both incarnations:
+	// RegisterTopic dedupes by name, so the counters and latency
+	// histograms below cover traffic before AND after the power failure.
+	o := obs.New(obs.Config{Threads: threads})
 	// An EMPTY broker: no Config, no topic list. Everything below is
 	// live administration.
-	b, err := broker.Open(hs, broker.Options{Threads: threads})
+	b, err := broker.Open(hs, broker.Options{Threads: threads, Observer: o})
 	if err != nil {
 		panic(err)
 	}
@@ -236,7 +241,7 @@ func main() {
 	// Recovery is the same call that created the broker: Open replays
 	// the catalog log record by record — the birth topic and the
 	// mid-flight topic recover identically.
-	r, err := broker.Open(hs, broker.Options{})
+	r, err := broker.Open(hs, broker.Options{Observer: o})
 	if err != nil {
 		panic(err)
 	}
@@ -308,6 +313,26 @@ func main() {
 	fmt.Printf("processed from the backlog: %d\n", drained)
 	fmt.Printf("processed twice           : %d\n", dup)
 	fmt.Printf("observer gap              : %d (acks durable but unrecorded; at most %d)\n", lost, allowance)
+
+	// The observability layer watched both incarnations: per-op latency
+	// percentiles across the whole run, and per-topic depth plus group
+	// lag, which a full drain must have taken to zero.
+	snap := o.Snapshot()
+	fmt.Println("-- observability: latency across both incarnations --")
+	for _, op := range snap.Ops {
+		if op.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s n=%-7d p50=%.1fµs p99=%.1fµs p999=%.1fµs\n",
+			op.Op, op.Count, op.P50Ns/1e3, op.P99Ns/1e3, op.P999Ns/1e3)
+	}
+	for _, t := range snap.Topics {
+		fmt.Printf("  topic %-6s published=%-6d delivered=%-6d acked=%-6d redelivered=%-4d depth=%d\n",
+			t.Topic, t.Published, t.Delivered, t.Acked, t.Redelivered, t.Depth)
+	}
+	for _, gs := range snap.Groups {
+		fmt.Printf("  group %s max shard lag=%d\n", gs.Group, gs.MaxLag)
+	}
 	if dup > 0 || lost > allowance {
 		fmt.Println("EXACTLY-ONCE AUDIT FAILED")
 		return

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/blobq"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/queues"
 )
@@ -35,6 +36,14 @@ type Options struct {
 	// hundred typical topics; a topic record spans 2 + shards/8 lines).
 	// Ignored on recovery: the log's recorded capacity is adopted.
 	CatalogLines int
+	// Observer, when non-nil, receives per-op latency samples, topic
+	// and group gauges, and trace events for the broker's lifetime. Its
+	// thread bound must cover the broker's. Observation costs no
+	// persist instructions; with Observer nil each instrumentation site
+	// costs one predictable branch. The same observer may be handed to
+	// a recovered broker: topic gauge state is re-registered by name,
+	// so counters span crashes of the observed process's broker.
+	Observer *obs.Observer
 }
 
 type openMode int
@@ -103,7 +112,37 @@ func openFresh(hs *pmem.HeapSet, opts Options) (*Broker, error) {
 	}
 	b.cat = createCatalogLog(hs, 0, opts.Threads, opts.CatalogLines)
 	b.snap.Store(&topicSet{byName: map[string]*Topic{}})
+	if err := b.observe(opts.Observer); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// observe installs the observer on a newly opened broker: the
+// heap-stat provider, plus gauge state for every topic the broker
+// already has (recovery re-registers by name, so an observer that
+// outlives the broker keeps its counters). Establishes the invariant
+// the hot paths rely on: b.obs != nil ⇒ every topic has ostats.
+func (b *Broker) observe(o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	if o.Threads() < b.threads {
+		return fmt.Errorf("broker: observer admits %d thread ids, broker needs %d", o.Threads(), b.threads)
+	}
+	b.obs = o
+	hs := b.hs
+	o.SetHeapStats(func() []pmem.Stats {
+		out := make([]pmem.Stats, hs.Len())
+		for i := range out {
+			out[i] = hs.Heap(i).TotalStats()
+		}
+		return out
+	})
+	for _, t := range b.set().list {
+		t.ostats = o.RegisterTopic(t.Name(), t.Shards())
+	}
+	return nil
 }
 
 // openExisting recovers the broker anchored on the set: catalog read
@@ -163,6 +202,9 @@ func openExisting(hs *pmem.HeapSet, opts Options) (*Broker, error) {
 	if opts.Placement != nil {
 		b.placement = opts.Placement
 	}
+	if err := b.observe(opts.Observer); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
@@ -196,6 +238,11 @@ func errLegacyCatalog(op string) error {
 func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 	b.adminMu.Lock()
 	defer b.adminMu.Unlock()
+	o := b.obs
+	var startNs int64
+	if o != nil {
+		startNs = obs.Now()
+	}
 	if b.cat == nil {
 		return nil, errLegacyCatalog("CreateTopic")
 	}
@@ -288,6 +335,11 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 	if err := b.cat.appendRecord(tid, hdr, body); err != nil {
 		return nil, err
 	}
+	if o != nil {
+		// Registered before the snapshot swap publishes the topic, so
+		// the hot-path invariant (visible topic ⇒ ostats set) holds.
+		t.ostats = o.RegisterTopic(tc.Name, tc.Shards)
+	}
 
 	ns := &topicSet{
 		list:       append(append([]*Topic(nil), snap.list...), t),
@@ -299,6 +351,10 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 	}
 	ns.byName[tc.Name] = t
 	b.snap.Store(ns)
+	if o != nil {
+		o.Lat(tid, obs.OpAdmin, startNs)
+		o.Event(tid, obs.OpAdmin, t.ostats, -1)
+	}
 	return t, nil
 }
 
@@ -327,6 +383,11 @@ const defaultLeaseHeadroom = 256
 func (b *Broker) CreateAckGroup(tid int, cfg AckGroupConfig) (int, error) {
 	b.adminMu.Lock()
 	defer b.adminMu.Unlock()
+	o := b.obs
+	var startNs int64
+	if o != nil {
+		startNs = obs.Now()
+	}
 	if b.cat == nil {
 		return 0, errLegacyCatalog("CreateAckGroup")
 	}
@@ -366,5 +427,9 @@ func (b *Broker) CreateAckGroup(tid int, cfg AckGroupConfig) (int, error) {
 	b.regions = append(b.regions, lr)
 	b.bound = append(b.bound, false)
 	b.regionMu.Unlock()
+	if o != nil {
+		o.Lat(tid, obs.OpAdmin, startNs)
+		o.Event(tid, obs.OpAdmin, nil, -1)
+	}
 	return group, nil
 }

@@ -28,6 +28,17 @@
 // cataloglog.go). New/NewSet/Recover/RecoverSet remain as thin
 // compatibility wrappers.
 //
+// The broker is observable without being perturbed: Options.Observer
+// accepts an obs.Observer that receives per-op latency samples
+// (publish/poll/ack/admin), per-topic message counters, per-group
+// per-shard lag, and trace events. Observation issues no persist
+// instructions — enabling it adds zero fences, zero NTStores and zero
+// flushes to every operation — and with no observer each
+// instrumentation site costs one predictable branch. Group.Subscribe's
+// concurrency rules are a hard contract: acked groups may be
+// subscribed while members poll; plain groups must be quiescent (see
+// Subscribe).
+//
 // Durability contract: a publish is acknowledged when the call
 // returns; from that point the message survives any crash of any
 // subset of the heap set (the set shares one power supply, so a crash
@@ -52,6 +63,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/blobq"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/queues"
 )
@@ -137,6 +149,9 @@ type Config struct {
 	// write-once catalog's semantics. More regions (and regions with
 	// growth headroom) can be created later with CreateAckGroup.
 	AckGroups int
+	// Observer, when non-nil, receives per-op latencies, topic/group
+	// gauges and trace events (see Options.Observer for the contract).
+	Observer *obs.Observer
 }
 
 // Broker is a sharded multi-topic durable message broker over a heap
@@ -154,6 +169,14 @@ type Broker struct {
 	hs        *pmem.HeapSet
 	threads   int
 	placement PlacementPolicy
+
+	// obs is the optional observability sink (Options.Observer), fixed
+	// for the broker's lifetime at Open. Invariant: when obs is non-nil,
+	// every Topic carries its ostats and every group ref its cursor, so
+	// the hot paths test only this one pointer. Observation never
+	// touches pmem — an enabled observer adds zero fences, zero
+	// NTStores and zero flushes (pinned by TestObserverZeroPersistCost).
+	obs *obs.Observer
 
 	// snap is the copy-on-write topic snapshot the data plane reads.
 	snap atomic.Pointer[topicSet]
@@ -460,7 +483,7 @@ func NewSet(hs *pmem.HeapSet, cfg Config) (*Broker, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	b, err := open(hs, Options{Threads: cfg.Threads, Placement: cfg.Placement}, openCreate)
+	b, err := open(hs, Options{Threads: cfg.Threads, Placement: cfg.Placement, Observer: cfg.Observer}, openCreate)
 	if err != nil {
 		return nil, err
 	}
@@ -546,3 +569,7 @@ func (b *Broker) ShardTotal() int { return b.set().shardTotal }
 
 // HeapSet returns the heap set the broker spans.
 func (b *Broker) HeapSet() *pmem.HeapSet { return b.hs }
+
+// Observer returns the observability sink the broker was opened with,
+// nil when observation is disabled.
+func (b *Broker) Observer() *obs.Observer { return b.obs }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Message is one delivered payload with its provenance.
@@ -38,6 +40,10 @@ type Group struct {
 	consumers []*Consumer
 	b         *Broker
 	topics    map[string]bool // subscribed topic names
+
+	// ostats is the group's gauge state (per-shard lag cursors),
+	// non-nil exactly when the broker has an observer.
+	ostats *obs.GroupStats
 
 	// Acked-group state (zero for plain groups).
 	leased    bool
@@ -97,8 +103,19 @@ func (b *Broker) newGroup(topicNames []string, refs []*consumerShard, n int, dea
 		g.consumers[i] = &Consumer{g: g, id: i}
 	}
 	deal(g, refs)
+	if o := b.obs; o != nil {
+		g.ostats = o.RegisterGroup()
+		for _, r := range refs {
+			r.cur = g.ostats.AddShard(r.t.ostats, r.shard)
+		}
+	}
 	return g, nil
 }
+
+// Stats returns the group's observability gauge state — the per-shard
+// lag cursors the elastic-groups autoscaler reads — or nil when the
+// broker has no observer.
+func (g *Group) Stats() *obs.GroupStats { return g.ostats }
 
 // NewGroup subscribes n consumers to the named topics, assigning
 // shards to members round-robin across the combined shard list.
@@ -261,9 +278,19 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 // error, as is subscribing a non-Acked topic on an acked group.
 //
 // tid must be owned by the caller (it writes lease records on an
-// acked group). Acked groups may Subscribe while members poll on
-// their own tids; plain groups must be quiescent, because their poll
-// path reads member assignments without locks.
+// acked group).
+//
+// Concurrency is a hard contract, not advice. Acked groups may
+// Subscribe while members poll on their own tids: every member op
+// takes the consumer's lock, which Subscribe holds for all members.
+// Plain groups MUST be quiescent — no member may be inside Poll or
+// PollBatch — because the plain poll path deliberately reads member
+// assignments without locks (that is what makes an idle plain poll
+// free); Subscribe on a polling plain group is a data race with
+// undefined results, exactly like calling pmem stats readers on
+// running threads. The package tests exercise the acked half of the
+// contract (Subscribe-while-polling with lag gauges); nothing can
+// make the plain half safe short of locking the hot path.
 func (g *Group) Subscribe(tid int, topicNames ...string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -312,6 +339,9 @@ func (g *Group) Subscribe(tid int, topicNames ...string) error {
 		}
 	}
 	for _, r := range refs {
+		if g.ostats != nil {
+			r.cur = g.ostats.AddShard(r.t.ostats, r.shard)
+		}
 		min := 0
 		for i := 1; i < len(g.consumers); i++ {
 			if len(g.consumers[i].refs) < len(g.consumers[min].refs) {
@@ -344,6 +374,12 @@ type consumerShard struct {
 	t      *Topic
 	shard  int
 	global int // ordinal across all topics, indexes the lease region
+
+	// cur is the shard's lag cursor in the group's gauge state, non-nil
+	// exactly when the broker has an observer. Advanced on fresh
+	// deliveries only — redeliveries re-serve messages the frontier
+	// already passed.
+	cur *obs.ShardCursor
 
 	// Acked-group bookkeeping, accessed only by the owning member (or
 	// under both members' locks during Adopt).
@@ -419,16 +455,29 @@ func (c *Consumer) Poll(tid int) (Message, bool) {
 		}
 		return ms[0], true
 	}
+	o := c.g.b.obs
+	var start int64
+	if o != nil {
+		start = obs.Now()
+	}
 	for i := 0; i < len(c.refs); i++ {
 		r := c.refs[(c.next+i)%len(c.refs)]
 		if p, ok := r.t.shards[r.shard].consume(tid); ok {
 			c.next = (c.next + i + 1) % len(c.refs)
+			if o != nil {
+				r.t.ostats.Delivered(1)
+				r.cur.Advance(1)
+				o.Lat(tid, obs.OpPoll, start)
+				o.Event(tid, obs.OpPoll, r.t.ostats, r.shard)
+			}
 			return Message{Topic: r.t.Name(), Shard: r.shard, Payload: p}, true
 		}
 	}
 	// The cursor stays where it was: resetting it on an all-empty scan
 	// would permanently bias delivery toward low-numbered shards after
-	// any idle period.
+	// any idle period. Empty scans also record no latency sample: an
+	// idle poll is free by design, and a spin-polling consumer would
+	// otherwise drown the delivery distribution in empty-scan samples.
 	return Message{}, false
 }
 
@@ -469,6 +518,11 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 	if max <= 0 || len(c.refs) == 0 {
 		return nil
 	}
+	o := c.g.b.obs
+	var start int64
+	if o != nil {
+		start = obs.Now()
+	}
 	var out []Message
 	var touched []*shard
 	for scanned := 0; scanned < len(c.refs) && len(out) < max; scanned++ {
@@ -477,6 +531,11 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 		ps, dirty := s.consumeBatchUnfenced(tid, max-len(out))
 		if dirty {
 			touched = append(touched, s)
+		}
+		if o != nil && len(ps) > 0 {
+			r.t.ostats.Delivered(len(ps))
+			r.cur.Advance(len(ps))
+			o.Event(tid, obs.OpPoll, r.t.ostats, r.shard)
 		}
 		for _, p := range ps {
 			out = append(out, Message{Topic: r.t.Name(), Shard: r.shard, Payload: p})
@@ -507,12 +566,20 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 			s.completeBatch(tid)
 		}
 	}
+	if o != nil && len(out) > 0 {
+		o.Lat(tid, obs.OpPoll, start)
+	}
 	return out
 }
 
 func (c *Consumer) pollLeased(tid, max int) []Message {
 	if max <= 0 || len(c.refs) == 0 {
 		return nil
+	}
+	o := c.g.b.obs
+	var start int64
+	if o != nil {
+		start = obs.Now()
 	}
 	var out []Message
 	// Redeliveries first: adopted or nacked messages are already
@@ -524,6 +591,12 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 		p.r.deliveredTo = p.idx
 		p.r.pendingN--
 		p.r.unackedN++
+		if o != nil {
+			// A re-serve counts as delivered and redelivered; the lag
+			// frontier already passed this message, so it stays put.
+			p.r.t.ostats.Delivered(1)
+			p.r.t.ostats.Redelivered(1)
+		}
 	}
 	w := leaseWriter{g: c.g, tid: tid}
 	deadline := c.g.now() + c.g.ttl
@@ -543,6 +616,11 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 		for _, p := range ps {
 			out = append(out, Message{Topic: r.t.Name(), Shard: r.shard, Payload: p})
 		}
+		if o != nil {
+			r.t.ostats.Delivered(len(ps))
+			r.cur.Advance(len(ps))
+			o.Event(tid, obs.OpPoll, r.t.ostats, r.shard)
+		}
 		r.deliveredTo = idxs[len(idxs)-1]
 		r.leasedTo = r.deliveredTo
 		r.unackedN += len(ps)
@@ -555,6 +633,9 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 	// The leases are durable before any message is exposed; a crash
 	// before this fence redelivers the whole window on recovery.
 	w.commit()
+	if o != nil && len(out) > 0 {
+		o.Lat(tid, obs.OpPoll, start)
+	}
 	return out
 }
 
@@ -572,6 +653,11 @@ func (c *Consumer) Ack(tid int) int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	o := c.g.b.obs
+	var start int64
+	if o != nil {
+		start = obs.Now()
+	}
 	n := 0
 	var touched []*shard
 	for _, r := range c.refs {
@@ -583,6 +669,9 @@ func (c *Consumer) Ack(tid int) int {
 		// Count delivered messages, not the index delta: the range may
 		// contain gaps where recovery discarded torn enqueues.
 		n += r.unackedN
+		if o != nil && r.unackedN > 0 {
+			r.t.ostats.Acked(r.unackedN)
+		}
 		r.unackedN = 0
 		if s.ackToUnfenced(tid, r.deliveredTo) {
 			touched = append(touched, s)
@@ -604,6 +693,12 @@ func (c *Consumer) Ack(tid int) int {
 	}
 	for _, s := range touched {
 		s.completeAck(tid)
+	}
+	// Like an empty poll, an Ack with nothing new to acknowledge costs
+	// nothing and records no sample.
+	if o != nil && n > 0 {
+		o.Lat(tid, obs.OpAck, start)
+		o.Event(tid, obs.OpAck, nil, -1)
 	}
 	return n
 }

@@ -1,0 +1,377 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pmem"
+)
+
+// obsWorkload drives a fixed deterministic mix — publishes, batch
+// publishes, plain polls, acked polls with acks, a runtime topic
+// creation — so persist counts can be compared across runs that differ
+// only in observation.
+func obsWorkload(t *testing.T, b *Broker) {
+	t.Helper()
+	events, jobs := b.Topic("events"), b.Topic("jobs")
+	for i := uint64(0); i < 100; i++ {
+		events.Publish(0, U64(i))
+		jobs.PublishKey(0, U64(i%5), blobPayload(i))
+	}
+	var batch [][]byte
+	for i := uint64(100); i < 140; i++ {
+		batch = append(batch, U64(i))
+	}
+	events.PublishBatch(0, batch)
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "acked", Shards: 2, Acked: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateAckGroup(0, AckGroupConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 60; i++ {
+		b.Topic("acked").Publish(0, U64(i))
+	}
+
+	g, err := b.NewGroup([]string{"events", "jobs"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Consumer(0)
+	for {
+		if ms := c.PollBatch(0, 16); len(ms) == 0 {
+			break
+		}
+	}
+	if _, ok := c.Poll(0); ok {
+		t.Fatal("plain drain incomplete")
+	}
+
+	ag, err := b.NewGroupAcked([]string{"acked"}, 1, LeaseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := ag.Consumer(0)
+	for {
+		ms := ac.PollBatch(0, 8)
+		if len(ms) == 0 {
+			break
+		}
+		ac.Ack(0)
+	}
+}
+
+// TestObserverZeroPersistCost pins the cost budget: the identical
+// deterministic workload run with and without an observer issues
+// exactly the same fences, NTStores and flushes. Observation lives
+// entirely outside simulated NVRAM.
+func TestObserverZeroPersistCost(t *testing.T) {
+	run := func(o *obs.Observer) pmem.Stats {
+		hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+		b, err := Open(hs, Options{Threads: 2, Observer: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range twoTopics() {
+			if _, err := b.CreateTopic(0, tc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d := hs.TotalDelta()
+		obsWorkload(t, b)
+		return d.Delta()
+	}
+	plain := run(nil)
+	observed := run(obs.New(obs.Config{Threads: 2, TraceEvents: 256}))
+	if plain.Fences != observed.Fences || plain.NTStores != observed.NTStores || plain.Flushes != observed.Flushes {
+		t.Fatalf("observer changed persist behavior:\n  plain:    fences=%d ntstores=%d flushes=%d\n  observed: fences=%d ntstores=%d flushes=%d",
+			plain.Fences, plain.NTStores, plain.Flushes,
+			observed.Fences, observed.NTStores, observed.Flushes)
+	}
+	if plain.Fences == 0 || plain.NTStores == 0 {
+		t.Fatal("workload issued no persists; the comparison is vacuous")
+	}
+}
+
+// TestObserverGauges checks the counters and lag the workload should
+// produce: everything published is delivered and (on the acked topic)
+// acked, frontiers catch published heads, and the snapshot agrees.
+func TestObserverGauges(t *testing.T) {
+	o := obs.New(obs.Config{Threads: 2})
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, MaxThreads: 2})
+	b, err := Open(hs, Options{Threads: 2, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range twoTopics() {
+		if _, err := b.CreateTopic(0, tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obsWorkload(t, b)
+
+	s := o.Snapshot()
+	byName := map[string]obs.TopicSnapshot{}
+	for _, ts := range s.Topics {
+		byName[ts.Topic] = ts
+	}
+	if got := byName["events"]; got.Published != 140 || got.Delivered != 140 || got.Depth != 0 {
+		t.Fatalf("events gauges: %+v", got)
+	}
+	if got := byName["jobs"]; got.Published != 100 || got.Delivered != 100 {
+		t.Fatalf("jobs gauges: %+v", got)
+	}
+	if got := byName["acked"]; got.Published != 60 || got.Delivered != 60 || got.Acked != 60 || got.Redelivered != 0 {
+		t.Fatalf("acked gauges: %+v", got)
+	}
+	for _, gs := range s.Groups {
+		if gs.MaxLag != 0 {
+			t.Fatalf("drained group %s reports lag: %+v", gs.Group, gs)
+		}
+	}
+	for _, opName := range []string{"publish", "poll", "ack", "admin"} {
+		op, ok := s.Op(opName)
+		if !ok || op.Count == 0 {
+			t.Fatalf("no %s latency samples recorded", opName)
+		}
+	}
+	if len(s.Heaps) != 2 || s.Heaps[0].Fences == 0 {
+		t.Fatalf("heap persist counters missing: %+v", s.Heaps)
+	}
+
+	// Lag rises with a fresh backlog and MaxLag sees the biggest one.
+	b.Topic("events").Publish(0, U64(999))
+	var lag uint64
+	for _, gs := range o.Snapshot().Groups {
+		if gs.MaxLag > lag {
+			lag = gs.MaxLag
+		}
+	}
+	if lag != 1 {
+		t.Fatalf("one-message backlog reports max lag %d, want 1", lag)
+	}
+}
+
+// TestObserverNackRedelivery checks redelivery accounting: nacked
+// messages count as delivered+redelivered on re-serve and the
+// frontier does not double-advance, so lag still drains to zero.
+func TestObserverNackRedelivery(t *testing.T) {
+	o := obs.New(obs.Config{Threads: 1})
+	hs := pmem.NewSet(1, pmem.Config{Bytes: 32 << 20, MaxThreads: 1})
+	b, err := Open(hs, Options{Threads: 1, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "t", Shards: 1, Acked: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateAckGroup(0, AckGroupConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		b.Topic("t").Publish(0, U64(i))
+	}
+	g, err := b.NewGroupAcked([]string{"t"}, 1, LeaseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Consumer(0)
+	if ms := c.PollBatch(0, 10); len(ms) != 10 {
+		t.Fatalf("delivered %d, want 10", len(ms))
+	}
+	if n := c.Nack(0); n != 10 {
+		t.Fatalf("nacked %d, want 10", n)
+	}
+	if ms := c.PollBatch(0, 10); len(ms) != 10 {
+		t.Fatal("redelivery incomplete")
+	}
+	c.Ack(0)
+
+	ts := b.Topic("t").Stats()
+	pub, del, ack, redel := ts.Counts()
+	if pub != 10 || del != 20 || ack != 10 || redel != 10 {
+		t.Fatalf("counters pub=%d del=%d ack=%d redel=%d, want 10,20,10,10", pub, del, ack, redel)
+	}
+	if d := ts.Depth(); d != 0 {
+		t.Fatalf("depth = %d, want 0", d)
+	}
+	if lag := g.Stats().MaxLag(); lag != 0 {
+		t.Fatalf("lag = %d, want 0", lag)
+	}
+}
+
+// TestObserverSurvivesRecovery: an observer handed to the recovered
+// broker keeps counting into the same topic series.
+func TestObserverSurvivesRecovery(t *testing.T) {
+	o := obs.New(obs.Config{Threads: 2})
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 4 << 20, MaxThreads: 2, Mode: pmem.ModeCrash})
+	b, err := Open(hs, Options{Threads: 2, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "t", Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		b.Topic("t").Publish(0, U64(i))
+	}
+	hs.CrashNow()
+	hs.FinalizeCrash(nil)
+	hs.Restart()
+	b2, err := Open(hs, Options{Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		b2.Topic("t").Publish(0, U64(i))
+	}
+	s := o.Snapshot()
+	if len(s.Topics) != 1 {
+		t.Fatalf("recovery duplicated the topic series: %+v", s.Topics)
+	}
+	if s.Topics[0].Published != 25 {
+		t.Fatalf("published = %d, want 25 across the crash", s.Topics[0].Published)
+	}
+}
+
+// TestAckedSubscribeWhilePolling exercises the hard half of the
+// Subscribe contract with the gauges watching: an acked group is
+// subscribed to a new topic while a member is actively polling and
+// acking on its own tid, and the lag read through the new gauges must
+// stay sane (bounded by what was actually published, draining to zero
+// once consumption catches up).
+func TestAckedSubscribeWhilePolling(t *testing.T) {
+	o := obs.New(obs.Config{Threads: 3})
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, MaxThreads: 3})
+	b, err := Open(hs, Options{Threads: 3, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "a", Shards: 2, Acked: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "b", Shards: 2, Acked: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateAckGroup(0, AckGroupConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	const perTopic = 300
+	for i := uint64(0); i < perTopic; i++ {
+		b.Topic("a").Publish(0, U64(i))
+		b.Topic("b").Publish(0, U64(i))
+	}
+	g, err := b.NewGroupAcked([]string{"a"}, 1, LeaseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Consumer(0)
+
+	var wg sync.WaitGroup
+	var delivered int
+	wg.Add(1)
+	go func() { // member polls and acks on tid 1 throughout
+		defer wg.Done()
+		idle := 0
+		for idle < 100 {
+			ms := c.PollBatch(1, 7)
+			delivered += len(ms)
+			if len(ms) == 0 {
+				idle++
+			} else {
+				idle = 0
+			}
+			c.Ack(1)
+		}
+	}()
+	if err := g.Subscribe(2, "b"); err != nil { // concurrent, own tid
+		t.Fatal(err)
+	}
+	// Lag read mid-flight must never exceed what exists to consume.
+	for i := 0; i < 50; i++ {
+		if lag := g.Stats().MaxLag(); lag > perTopic {
+			t.Errorf("lag %d exceeds per-topic backlog %d", lag, perTopic)
+			break
+		}
+	}
+	wg.Wait()
+
+	if delivered != 2*perTopic {
+		t.Fatalf("delivered %d, want %d", delivered, 2*perTopic)
+	}
+	if lag := g.Stats().MaxLag(); lag != 0 {
+		t.Fatalf("drained lag = %d, want 0", lag)
+	}
+	s := o.Snapshot()
+	for _, ts := range s.Topics {
+		if ts.Acked != perTopic || ts.Depth != 0 {
+			t.Fatalf("topic %s after drain: %+v", ts.Topic, ts)
+		}
+	}
+}
+
+// benchBroker builds a 1-heap, 2-topic broker for the ± observer
+// benchmarks, returning the publish topic and a plain consumer.
+func benchBroker(b *testing.B, o *obs.Observer) (*Topic, *Consumer) {
+	b.Helper()
+	hs := pmem.NewSet(1, pmem.Config{Bytes: 256 << 20, MaxThreads: 2})
+	br, err := Open(hs, Options{Threads: 2, Observer: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := br.CreateTopic(0, TopicConfig{Name: "t", Shards: 4}); err != nil {
+		b.Fatal(err)
+	}
+	g, err := br.NewGroup([]string{"t"}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return br.Topic("t"), g.Consumer(0)
+}
+
+// BenchmarkPublishPollDisabled vs BenchmarkPublishPollEnabled measure
+// the instrumentation cost: Disabled pins the one-branch budget (no
+// measurable regression vs the pre-observability baseline), Enabled
+// the full record-path cost.
+func BenchmarkPublishPollDisabled(b *testing.B) { benchPublishPoll(b, nil) }
+
+func BenchmarkPublishPollEnabled(b *testing.B) {
+	benchPublishPoll(b, obs.New(obs.Config{Threads: 2}))
+}
+
+func benchPublishPoll(b *testing.B, o *obs.Observer) {
+	topic, c := benchBroker(b, o)
+	p := U64(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topic.Publish(0, p)
+		if i%16 == 15 {
+			c.PollBatch(1, 16)
+		}
+	}
+}
+
+// TestPublishPathAllocFree pins that observation adds no allocations
+// to the fixed-payload publish hot path.
+func TestPublishPathAllocFree(t *testing.T) {
+	topicOf := func(o *obs.Observer) *Topic {
+		hs := pmem.NewSet(1, pmem.Config{Bytes: 64 << 20, MaxThreads: 1})
+		b, err := Open(hs, Options{Threads: 1, Observer: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.CreateTopic(0, TopicConfig{Name: "t", Shards: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Topic("t")
+	}
+	p := U64(1)
+	disabled := topicOf(nil)
+	observed := topicOf(obs.New(obs.Config{Threads: 1, TraceEvents: 64}))
+	base := testing.AllocsPerRun(300, func() { disabled.Publish(0, p) })
+	withObs := testing.AllocsPerRun(300, func() { observed.Publish(0, p) })
+	if withObs > base {
+		t.Fatalf("observer adds allocations to Publish: %.1f -> %.1f per op", base, withObs)
+	}
+}

@@ -3,6 +3,8 @@ package broker
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Topic is one named, sharded durable message stream. Publishing is
@@ -18,6 +20,10 @@ type Topic struct {
 	locs   []shardLoc
 	shards []*shard
 	rr     atomic.Uint64 // round-robin routing cursor
+
+	// ostats is the topic's gauge state, non-nil exactly when the
+	// broker has an observer (set before the topic becomes visible).
+	ostats *obs.TopicStats
 }
 
 // Name returns the topic name.
@@ -64,7 +70,18 @@ func (t *Topic) checkPayload(p []byte) {
 func (t *Topic) Publish(tid int, payload []byte) {
 	t.checkPayload(payload)
 	s := int(t.rr.Add(1)-1) % len(t.shards)
+	// The disabled-observer cost is exactly this one predictable branch:
+	// the fast path below is the whole unobserved operation.
+	o := t.b.obs
+	if o == nil {
+		t.shards[s].publish(tid, payload)
+		return
+	}
+	start := obs.Now()
 	t.shards[s].publish(tid, payload)
+	o.Lat(tid, obs.OpPublish, start)
+	t.ostats.Published(s, 1)
+	o.Event(tid, obs.OpPublish, t.ostats, s)
 }
 
 // PublishKey routes payload by FNV-1a hash of key, so all messages
@@ -77,7 +94,17 @@ func (t *Topic) PublishKey(tid int, key, payload []byte) {
 		h ^= uint64(b)
 		h *= 1099511628211
 	}
-	t.shards[h%uint64(len(t.shards))].publish(tid, payload)
+	s := int(h % uint64(len(t.shards)))
+	o := t.b.obs
+	if o == nil {
+		t.shards[s].publish(tid, payload)
+		return
+	}
+	start := obs.Now()
+	t.shards[s].publish(tid, payload)
+	o.Lat(tid, obs.OpPublish, start)
+	t.ostats.Published(s, 1)
+	o.Event(tid, obs.OpPublish, t.ostats, s)
 }
 
 // PublishBatch routes the whole batch to the next shard round-robin
@@ -95,8 +122,22 @@ func (t *Topic) PublishBatch(tid int, payloads [][]byte) {
 		t.checkPayload(p)
 	}
 	s := int(t.rr.Add(1)-1) % len(t.shards)
+	o := t.b.obs
+	if o == nil {
+		t.shards[s].publishBatch(tid, payloads)
+		return
+	}
+	start := obs.Now()
 	t.shards[s].publishBatch(tid, payloads)
+	o.Lat(tid, obs.OpPublish, start)
+	t.ostats.Published(s, len(payloads))
+	o.Event(tid, obs.OpPublish, t.ostats, s)
 }
+
+// Stats returns the topic's observability gauge state — message
+// counters and per-shard published heads — or nil when the broker has
+// no observer.
+func (t *Topic) Stats() *obs.TopicStats { return t.ostats }
 
 // DequeueShard removes the oldest message of one shard. Intended for
 // recovery audits and drain tools; normal consumption goes through

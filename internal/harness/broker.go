@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 )
 
@@ -71,6 +72,11 @@ type BrokerConfig struct {
 	// asymmetric-NUMA topology NewSetOf models, where one domain is
 	// slower than another. Empty means every heap uses Latency as is.
 	HeapFenceNs []int64
+	// Observe attaches an obs.Observer to the broker and fills
+	// BrokerResult.Latency with the per-op latency snapshot (including
+	// the setup-phase CreateTopic calls under the admin op). Off by
+	// default so throughput baselines measure the uninstrumented paths.
+	Observe bool
 }
 
 func (c *BrokerConfig) norm() {
@@ -155,6 +161,43 @@ type BrokerResult struct {
 	// it every poll would fence once per owned shard.
 	IdlePolls      uint64
 	IdlePollFences uint64
+
+	// Latency is the observer snapshot (per-op histograms, topic and
+	// group gauges, per-heap persist counters), nil unless
+	// BrokerConfig.Observe was set.
+	Latency *obs.Snapshot
+}
+
+// opQuantiles returns (p50, p99, p999) of one op kind in
+// nanoseconds, zeros when latency was not observed or the op recorded
+// no samples.
+func (r BrokerResult) opQuantiles(op string) (p50, p99, p999 float64) {
+	if r.Latency == nil {
+		return 0, 0, 0
+	}
+	o, ok := r.Latency.Op(op)
+	if !ok {
+		return 0, 0, 0
+	}
+	return o.P50Ns, o.P99Ns, o.P999Ns
+}
+
+// PublishQuantiles returns publish latency (p50, p99, p999) in
+// nanoseconds; zeros without Observe.
+func (r BrokerResult) PublishQuantiles() (p50, p99, p999 float64) {
+	return r.opQuantiles("publish")
+}
+
+// PollQuantiles returns non-empty-poll latency (p50, p99, p999) in
+// nanoseconds; zeros without Observe.
+func (r BrokerResult) PollQuantiles() (p50, p99, p999 float64) {
+	return r.opQuantiles("poll")
+}
+
+// AckQuantiles returns ack latency (p50, p99, p999) in nanoseconds;
+// zeros without Observe or outside ack mode.
+func (r BrokerResult) AckQuantiles() (p50, p99, p999 float64) {
+	return r.opQuantiles("ack")
 }
 
 // Mops returns million completed operations (publishes + deliveries)
@@ -281,6 +324,11 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	if cfg.Affine {
 		opts.Placement = broker.BlockPlacement
 	}
+	var o *obs.Observer
+	if cfg.Observe {
+		o = obs.New(obs.Config{Threads: threads})
+		opts.Observer = o
+	}
 	b, err := broker.Open(hs, opts)
 	if err != nil {
 		return BrokerResult{}, err
@@ -398,9 +446,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 							// and is redelivered via takeover.
 							return
 						}
-						before := hs.StatsOf(tid).Fences
+						d := hs.DeltaOf(tid)
 						acked.Add(uint64(cons.Ack(tid)))
-						ackFences.Add(hs.StatsOf(tid).Fences - before)
+						ackFences.Add(d.Delta().Fences)
 					}
 					drained = false
 					continue
@@ -435,7 +483,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			start.Wait()
 			for d := 0; d < cfg.DynTopics; d++ {
 				time.Sleep(cfg.Duration / time.Duration(cfg.DynTopics+1))
-				before := hs.StatsOf(adminTid).Fences
+				delta := hs.DeltaOf(adminTid)
 				_, err := b.CreateTopic(adminTid, broker.TopicConfig{
 					Name:   fmt.Sprintf("dyn-%d", d),
 					Shards: cfg.Shards, MaxPayload: cfg.Payload,
@@ -446,7 +494,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 					dynErrMu.Unlock()
 					return
 				}
-				dynFences.Add(hs.StatsOf(adminTid).Fences - before)
+				dynFences.Add(delta.Delta().Fences)
 				dynCreated.Add(1)
 			}
 		}()
@@ -533,7 +581,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	const idlePolls = 1000
 	idleTid := cfg.Producers
 	idleCons := g.Consumer(0)
-	before := hs.StatsOf(idleTid)
+	idle := hs.DeltaOf(idleTid)
 	for i := 0; i < idlePolls; i++ {
 		if cfg.DequeueBatch == 1 {
 			idleCons.Poll(idleTid)
@@ -542,6 +590,10 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		}
 	}
 	res.IdlePolls = idlePolls
-	res.IdlePollFences = hs.StatsOf(idleTid).Fences - before.Fences
+	res.IdlePollFences = idle.Delta().Fences
+	if o != nil {
+		snap := o.Snapshot()
+		res.Latency = &snap
+	}
 	return res, nil
 }

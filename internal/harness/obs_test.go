@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+// TestHeapImbalanceEdgeCases pins the gauge the autoscaler will read
+// on its degenerate inputs: a single heap and zero traffic must both
+// report exactly 1.0 (balanced by definition), never NaN, Inf or 0.
+func TestHeapImbalanceEdgeCases(t *testing.T) {
+	// Single heap: 1.0 by definition, whatever the traffic.
+	single := BrokerResult{PerHeap: []pmem.Stats{{Fences: 12345, NTStores: 678}}}
+	if got := single.HeapImbalance(); got != 1 {
+		t.Errorf("single heap imbalance = %v, want 1", got)
+	}
+	// No per-heap stats at all (a zero BrokerResult).
+	if got := (BrokerResult{}).HeapImbalance(); got != 1 {
+		t.Errorf("zero result imbalance = %v, want 1", got)
+	}
+	// Multi-heap, zero traffic: the 0/0 case must come out 1.0.
+	quiet := BrokerResult{PerHeap: make([]pmem.Stats, 4)}
+	if got := quiet.HeapImbalance(); got != 1 {
+		t.Errorf("zero-traffic imbalance = %v, want 1", got)
+	}
+	// Fully skewed: one of H heaps carried everything → exactly H.
+	skew := BrokerResult{PerHeap: []pmem.Stats{{Fences: 100}, {}, {}, {}}}
+	if got := skew.HeapImbalance(); got != 4 {
+		t.Errorf("fully skewed imbalance = %v, want 4", got)
+	}
+	// Balanced traffic → exactly 1; mild skew lands strictly between.
+	even := BrokerResult{PerHeap: []pmem.Stats{{Fences: 50}, {NTStores: 50}}}
+	if got := even.HeapImbalance(); got != 1 {
+		t.Errorf("balanced imbalance = %v, want 1", got)
+	}
+	mild := BrokerResult{PerHeap: []pmem.Stats{{Fences: 60}, {Fences: 40}}}
+	if got := mild.HeapImbalance(); got <= 1 || got >= 2 {
+		t.Errorf("mild skew imbalance = %v, want in (1,2)", got)
+	}
+}
+
+// TestHeapImbalanceAllIdleConsumers runs a real measurement with
+// producers disabled-in-effect (zero duration stops them after at most
+// one publish round) so consumers mostly idle-poll: the gauge must
+// stay finite and >= 1 even when some heaps see almost no traffic.
+func TestHeapImbalanceAllIdleConsumers(t *testing.T) {
+	r, err := RunBroker(BrokerConfig{
+		Topics: 1, Shards: 4, Heaps: 2, Producers: 1, Consumers: 2,
+		Duration: time.Millisecond, HeapBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb := r.HeapImbalance()
+	if imb < 1 || imb > float64(r.Heaps) {
+		t.Fatalf("imbalance %v outside [1, %d]", imb, r.Heaps)
+	}
+	if r.IdleFencesPerPoll() > 0.1 {
+		t.Fatalf("idle consumers should poll (nearly) fence-free, got %v fences/poll", r.IdleFencesPerPoll())
+	}
+}
+
+// TestRunBrokerLatency checks the Observe knob end to end: percentile
+// fields are populated and ordered for every exercised op kind, and
+// off by default.
+func TestRunBrokerLatency(t *testing.T) {
+	r, err := RunBroker(BrokerConfig{
+		Topics: 2, Shards: 4, Producers: 2, Consumers: 2, Ack: true,
+		DequeueBatch: 8, Duration: 100 * time.Millisecond,
+		HeapBytes: 128 << 20, Observe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency == nil {
+		t.Fatal("Observe set but Latency is nil")
+	}
+	check := func(name string, q func() (float64, float64, float64)) {
+		p50, p99, p999 := q()
+		if p50 <= 0 || p99 < p50 || p999 < p99 {
+			t.Errorf("%s quantiles not positive/monotone: p50=%v p99=%v p999=%v", name, p50, p99, p999)
+		}
+	}
+	check("publish", r.PublishQuantiles)
+	check("poll", r.PollQuantiles)
+	check("ack", r.AckQuantiles)
+	pub, _ := r.Latency.Op("publish")
+	if pub.Count != r.Published {
+		t.Errorf("publish samples %d != published %d", pub.Count, r.Published)
+	}
+	if len(r.Latency.Heaps) != r.Heaps {
+		t.Errorf("snapshot has %d heap entries, want %d", len(r.Latency.Heaps), r.Heaps)
+	}
+
+	off, err := RunBroker(BrokerConfig{
+		Topics: 1, Shards: 2, Producers: 1, Consumers: 1,
+		Duration: 10 * time.Millisecond, HeapBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Latency != nil {
+		t.Fatal("Latency populated without Observe")
+	}
+	if p50, p99, p999 := off.PublishQuantiles(); p50 != 0 || p99 != 0 || p999 != 0 {
+		t.Fatal("quantile accessors must return zeros without Observe")
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile computes the inverse empirical CDF on the raw samples
+// — the ground truth the histogram estimate must bracket.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileBracketsExactSample is the property test: for random
+// sample sets, every estimated quantile must land inside the bucket
+// that holds the exact rank-selected sample, i.e. within 2x below or
+// above it (the log-bucket resolution bound).
+func TestQuantileBracketsExactSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(2000)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Mix scales: sub-microsecond to tens of milliseconds.
+			samples[i] = rng.Int63n(int64(1) << (4 + rng.Intn(22)))
+			h.Record(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			exact := exactQuantile(samples, q)
+			got := s.Quantile(q)
+			lo, hi := bucketLo(bucketOf(exact)), bucketHi(bucketOf(exact))
+			if got < lo || got > hi {
+				t.Fatalf("trial %d q=%v: estimate %v outside bucket [%v,%v] of exact sample %d",
+					trial, q, got, lo, hi, exact)
+			}
+		}
+	}
+}
+
+// TestQuantileOnBucketBounds pins estimates for samples placed exactly
+// on bucket boundaries, where off-by-one bucket selection would show.
+func TestQuantileOnBucketBounds(t *testing.T) {
+	var h Histogram
+	// 10 samples at 1<<10, 10 samples at 1<<20.
+	for i := 0; i < 10; i++ {
+		h.Record(1 << 10)
+		h.Record(1 << 20)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got < bucketLo(11) || got > bucketHi(11) {
+		t.Fatalf("p50 = %v, want within bucket of 1<<10 [%v,%v]", got, bucketLo(11), bucketHi(11))
+	}
+	if got := s.Quantile(0.99); got < bucketLo(21) || got > bucketHi(21) {
+		t.Fatalf("p99 = %v, want within bucket of 1<<20 [%v,%v]", got, bucketLo(21), bucketHi(21))
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	if got := empty.MeanNs(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+	var h Histogram
+	h.Record(-5) // clamps to 0
+	h.Record(0)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Buckets[0] != 2 {
+		t.Fatalf("negative/zero samples: count=%d bucket0=%d, want 2,2", s.Count, s.Buckets[0])
+	}
+	if got := s.Quantile(1); got != 0 {
+		t.Fatalf("all-zero p100 = %v, want 0", got)
+	}
+}
+
+// TestMergeAssociative checks that per-thread snapshots merge to the
+// same aggregate regardless of grouping and order.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	parts := make([]HistSnapshot, 5)
+	for i := range parts {
+		var h Histogram
+		for j := 0; j < 100+rng.Intn(400); j++ {
+			h.Record(rng.Int63n(1 << 24))
+		}
+		parts[i] = h.Snapshot()
+	}
+	// Left fold.
+	var left HistSnapshot
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	// Right-grouped, reversed order.
+	var right HistSnapshot
+	for i := len(parts) - 1; i >= 0; i-- {
+		var pair HistSnapshot
+		pair.Merge(parts[i])
+		pair.Merge(right)
+		right = pair
+	}
+	if left != right {
+		t.Fatal("merge result depends on grouping/order")
+	}
+	if got := left.Quantile(0.5); got != right.Quantile(0.5) {
+		t.Fatalf("quantiles diverge after equal merges: %v vs %v", got, left.Quantile(0.5))
+	}
+}
+
+// TestHistogramRace hammers one histogram from many goroutines while
+// snapshots are taken concurrently; run under -race this pins the
+// lock-free record path as data-race-free even off the per-tid
+// sharding discipline.
+func TestHistogramRace(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1 << 20))
+				if i%512 == 0 {
+					_ = h.Snapshot().Quantile(0.99)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("lost samples: count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestObserverRace drives every Observer record path (latency, trace,
+// topic counters, cursor advance) from per-tid goroutines while a
+// snapshotter scrapes concurrently; meaningful under -race.
+func TestObserverRace(t *testing.T) {
+	const threads = 6
+	o := New(Config{Threads: threads, TraceEvents: 64})
+	ts := o.RegisterTopic("t", threads)
+	g := o.RegisterGroup()
+	cursors := make([]*ShardCursor, threads)
+	for i := range cursors {
+		cursors[i] = g.AddShard(ts, i)
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				start := Now()
+				ts.Published(tid, 1)
+				o.Lat(tid, OpPublish, start)
+				o.Event(tid, OpPublish, ts, tid)
+				ts.Delivered(1)
+				cursors[tid].Advance(1)
+				o.Lat(tid, OpPoll, start)
+			}
+		}(tid)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := o.Snapshot()
+			if len(s.Ops) != int(NumOps) {
+				t.Errorf("snapshot has %d ops, want %d", len(s.Ops), NumOps)
+				return
+			}
+			_ = g.MaxLag()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := o.Snapshot()
+	pub, _ := s.Op("publish")
+	if pub.Count != threads*3000 {
+		t.Fatalf("publish count = %d, want %d", pub.Count, threads*3000)
+	}
+	if lag := g.MaxLag(); lag != 0 {
+		t.Fatalf("quiescent lag = %d, want 0", lag)
+	}
+}
+
+// TestRecordPathAllocFree pins the zero-allocation budget of every
+// record-path operation.
+func TestRecordPathAllocFree(t *testing.T) {
+	o := New(Config{Threads: 1, TraceEvents: 32})
+	ts := o.RegisterTopic("t", 2)
+	g := o.RegisterGroup()
+	c := g.AddShard(ts, 0)
+	for name, fn := range map[string]func(){
+		"Lat":       func() { o.Lat(0, OpPublish, Now()) },
+		"Event":     func() { o.Event(0, OpPoll, ts, 1) },
+		"Published": func() { ts.Published(1, 1) },
+		"Delivered": func() { ts.Delivered(1) },
+		"Advance":   func() { c.Advance(1) },
+		"Record":    func() { o.hists[OpAck][0].Record(123) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The event trace is the elog idiom: one fixed-size ring of small
+// fixed records per thread, written by that thread alone, so the
+// record path is a lock-free array store plus a counter increment —
+// no CAS, no shared cache line, no allocation. The rings are merged
+// and time-sorted only when someone asks for the evidence (a
+// crash-fuzz audit failure, a debugging session), which is the only
+// moment the trace costs anything.
+
+// Event is one trace record.
+type Event struct {
+	// TimeNs is the Now() timestamp the event was recorded at.
+	TimeNs int64
+	// Op is the operation kind.
+	Op Op
+	// Tid is the recording thread.
+	Tid int32
+	// Topic is the TopicStats registration id, -1 when the event has
+	// no topic attribution (resolve names via Observer.DumpTrace).
+	Topic int32
+	// Shard is the shard index within the topic, -1 when unattributed.
+	Shard int32
+}
+
+// tracePos is one thread's write cursor, padded so neighbouring
+// threads' cursors never share a cache line.
+type tracePos struct {
+	n uint64
+	_ [56]byte
+}
+
+// Trace is a fixed-size per-thread ring-buffer event trace. Record
+// (via Observer.Event) is safe under the one-goroutine-per-tid rule;
+// Events and WriteTo read the rings without synchronization and are
+// exact while the recording threads are quiescent — the same contract
+// as pmem's statistics, and the natural one for a post-mortem dump.
+type Trace struct {
+	mask  uint64
+	rings [][]Event
+	pos   []tracePos
+}
+
+// newTrace builds a trace with perThread slots per thread, rounded up
+// to a power of two so the ring index is a mask, not a division.
+func newTrace(threads, perThread int) *Trace {
+	size := 1
+	for size < perThread {
+		size <<= 1
+	}
+	t := &Trace{mask: uint64(size - 1), rings: make([][]Event, threads), pos: make([]tracePos, threads)}
+	for i := range t.rings {
+		t.rings[i] = make([]Event, size)
+	}
+	return t
+}
+
+func (t *Trace) record(tid int, op Op, topic, shard int32) {
+	p := &t.pos[tid]
+	t.rings[tid][p.n&t.mask] = Event{TimeNs: Now(), Op: op, Tid: int32(tid), Topic: topic, Shard: shard}
+	p.n++
+}
+
+// Len reports how many events have been recorded in total (including
+// ones already overwritten in their rings).
+func (t *Trace) Len() uint64 {
+	var n uint64
+	for i := range t.pos {
+		n += t.pos[i].n
+	}
+	return n
+}
+
+// Events merges every thread's surviving ring contents into one
+// time-ordered slice. Call while the recording threads are quiescent.
+func (t *Trace) Events() []Event {
+	var out []Event
+	for tid := range t.rings {
+		n := t.pos[tid].n
+		ring := uint64(len(t.rings[tid]))
+		kept := n
+		if kept > ring {
+			kept = ring
+		}
+		for i := n - kept; i < n; i++ {
+			out = append(out, t.rings[tid][i&t.mask])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
+	return out
+}
+
+// DumpTrace writes the last (at most) last merged trace events to w,
+// one line per event with topic ids resolved to names — the
+// post-mortem ordering evidence crash-fuzz prints on an audit
+// failure. A disabled trace writes a single note. Call while the
+// recording threads are quiescent.
+func (o *Observer) DumpTrace(w io.Writer, last int) {
+	if o.trace == nil {
+		fmt.Fprintln(w, "obs: no event trace configured")
+		return
+	}
+	o.mu.Lock()
+	names := make([]string, len(o.topics))
+	for i, t := range o.topics {
+		names[i] = t.name
+	}
+	o.mu.Unlock()
+	evs := o.trace.Events()
+	if last > 0 && len(evs) > last {
+		evs = evs[len(evs)-last:]
+	}
+	fmt.Fprintf(w, "obs: last %d of %d trace events (tid op topic/shard @ns):\n", len(evs), o.trace.Len())
+	for _, e := range evs {
+		topic := "-"
+		if e.Topic >= 0 && int(e.Topic) < len(names) {
+			topic = names[e.Topic]
+		}
+		shard := "-"
+		if e.Shard >= 0 {
+			shard = fmt.Sprintf("%d", e.Shard)
+		}
+		fmt.Fprintf(w, "  tid %2d %-7s %s/%s @%d\n", e.Tid, e.Op, topic, shard, e.TimeNs)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceWrapKeepsNewest(t *testing.T) {
+	o := New(Config{Threads: 2, TraceEvents: 4})
+	ts := o.RegisterTopic("orders", 1)
+	// Thread 0 records 10 events into a 4-slot ring: only the last 4
+	// survive. Thread 1 records 2: both survive.
+	for i := 0; i < 10; i++ {
+		o.Event(0, OpPublish, ts, 0)
+	}
+	o.Event(1, OpPoll, ts, 0)
+	o.Event(1, OpAck, nil, -1)
+	tr := o.Trace()
+	if tr.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", tr.Len())
+	}
+	evs := tr.Events()
+	if len(evs) != 6 {
+		t.Fatalf("surviving events = %d, want 6 (4 wrapped + 2)", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNs < evs[i-1].TimeNs {
+			t.Fatalf("events not time-sorted at %d", i)
+		}
+	}
+	var acks int
+	for _, e := range evs {
+		if e.Op == OpAck {
+			acks++
+			if e.Topic != -1 || e.Shard != -1 {
+				t.Fatalf("unattributed event carries topic=%d shard=%d", e.Topic, e.Shard)
+			}
+		}
+	}
+	if acks != 1 {
+		t.Fatalf("ack events = %d, want 1", acks)
+	}
+}
+
+func TestDumpTrace(t *testing.T) {
+	o := New(Config{Threads: 1, TraceEvents: 8})
+	ts := o.RegisterTopic("orders", 2)
+	o.Event(0, OpPublish, ts, 1)
+	o.Event(0, OpPoll, nil, -1)
+	var buf bytes.Buffer
+	o.DumpTrace(&buf, 10)
+	out := buf.String()
+	if !strings.Contains(out, "publish") || !strings.Contains(out, "orders/1") {
+		t.Fatalf("dump missing attributed event:\n%s", out)
+	}
+	if !strings.Contains(out, "poll") || !strings.Contains(out, "-/-") {
+		t.Fatalf("dump missing unattributed event:\n%s", out)
+	}
+
+	disabled := New(Config{Threads: 1})
+	buf.Reset()
+	disabled.DumpTrace(&buf, 10)
+	if !strings.Contains(buf.String(), "no event trace") {
+		t.Fatalf("disabled trace dump = %q", buf.String())
+	}
+	if disabled.Trace() != nil {
+		t.Fatal("TraceEvents=0 should leave trace nil")
+	}
+	// Event on a disabled trace is a cheap no-op, not a panic.
+	disabled.Event(0, OpPublish, ts, 0)
+}

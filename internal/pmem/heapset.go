@@ -115,7 +115,7 @@ func (s *HeapSet) Restart() {
 }
 
 // TotalStats sums the event counters of all threads across all member
-// heaps. Exact while the set is quiescent.
+// heaps (see the quiescence contract in stats.go).
 func (s *HeapSet) TotalStats() Stats {
 	var t Stats
 	for _, h := range s.heaps {
