@@ -28,6 +28,7 @@
 //	brokerbench -dyntopics 4              # create topics mid-run, measure fences/create
 //	brokerbench -ack 0,1                  # acked/leased delivery vs at-least-once
 //	brokerbench -ack 1 -kills 1 -consumers 3  # consumer crash + lease takeover
+//	brokerbench -ack 1 -churn 2 -consumers 3  # membership churn: stalls, splits, steals
 //	brokerbench -topics 4 -producers 8 -consumers 4 -payload 64
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
 //	brokerbench -latency                 # per-op p50/p99/p999 latency columns
@@ -61,6 +62,7 @@ type row struct {
 	Payload           int     `json:"payload"`
 	Ack               int     `json:"ack"`
 	Kills             int     `json:"kills"`
+	Churn             int     `json:"churn"`
 	DynTopics         int     `json:"dyn_topics"`
 	Published         uint64  `json:"published"`
 	Delivered         uint64  `json:"delivered"`
@@ -69,6 +71,10 @@ type row struct {
 	ConsFencesPerMsg  float64 `json:"cons_fences_per_msg"`
 	AckFencesPerMsg   float64 `json:"ack_fences_per_msg"`
 	RedeliveryRate    float64 `json:"redelivery_rate"`
+	FencedAcks        uint64  `json:"fenced_acks"`
+	Reassigned        uint64  `json:"reassigned_shards"`
+	Stolen            uint64  `json:"stolen_shards"`
+	Scans             uint64  `json:"scans"`
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
 	HeapImbalance     float64 `json:"heap_imbalance"`
 	DynFencesPerNew   float64 `json:"dyn_fences_per_create"`
@@ -99,6 +105,7 @@ func main() {
 		dbatchF   = flag.String("dbatch", "1,8", "comma-separated dequeue (poll) batch sizes to sweep")
 		ackF      = flag.String("ack", "0", "comma-separated ack modes to sweep (0 = at-least-once, 1 = acked/leased delivery)")
 		kills     = flag.Int("kills", 0, "consumers killed mid-run in ack cells (redeliveries via lease takeover)")
+		churn     = flag.Int("churn", 0, "membership-churn cycles in ack cells (stall + forced split or work-stealing; needs >= 2 consumers)")
 		dyn       = flag.Int("dyntopics", 0, "topics created on the live broker mid-run (fences/create in the dyn column)")
 		heaplatF  = flag.String("heaplat", "", "comma-separated per-heap SFENCE ns (asymmetric NUMA; heap i takes entry i mod len)")
 		payload   = flag.Int("payload", 0, "payload bytes (0 = fixed 8-byte messages)")
@@ -148,13 +155,13 @@ func main() {
 	}
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,churn,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d dyntopics=%d heaplat=%q latency=%v duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *kills, *dyn, *heaplatF, *latency, *duration)
-		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %10s %10s %12s",
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d heaplat=%q latency=%v duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *heaplatF, *latency, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s",
 			"shards", "heaps", "batch", "dbatch", "ack", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "idle-f/poll", "heap-imbal", "dyn-f/create")
+			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create")
 		if *latency {
 			fmt.Printf(" %20s %20s %20s", "pub-µs(50/99/999)", "poll-µs(50/99/999)", "ack-µs(50/99/999)")
 		}
@@ -166,9 +173,10 @@ func main() {
 			for _, batch := range batches {
 				for _, dbatch := range dbatches {
 					for _, ack := range ackModes {
-						cellKills := 0
+						cellKills, cellChurn := 0, 0
 						if ack != 0 {
 							cellKills = *kills
+							cellChurn = *churn
 						}
 						r, err := harness.RunBroker(harness.BrokerConfig{
 							Topics:       *topics,
@@ -182,6 +190,7 @@ func main() {
 							Payload:      *payload,
 							Ack:          ack != 0,
 							Kills:        cellKills,
+							Churn:        cellChurn,
 							DynTopics:    *dyn,
 							Duration:     *duration,
 							HeapBytes:    *heapMB << 20,
@@ -196,7 +205,7 @@ func main() {
 							Topics: r.Topics, Shards: r.Shards, Heaps: r.Heaps,
 							Producers: r.Producers, Consumers: r.Consumers,
 							Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
-							Kills:     r.Kills,
+							Kills: r.Kills, Churn: r.Churn,
 							DynTopics: int(r.DynTopics),
 							Published: r.Published, Delivered: r.Delivered,
 							Mops:              round3(r.Mops()),
@@ -204,6 +213,10 @@ func main() {
 							ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
 							AckFencesPerMsg:   round4(r.AckFencesPerMsg()),
 							RedeliveryRate:    round4(r.RedeliveryRate()),
+							FencedAcks:        r.FencedAcks,
+							Reassigned:        r.Reassigned,
+							Stolen:            r.Stolen,
+							Scans:             r.Scans,
 							IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
 							HeapImbalance:     round3(r.HeapImbalance()),
 							DynFencesPerNew:   round3(r.DynFencesPerCreate()),
@@ -218,18 +231,20 @@ func main() {
 						}
 						rows = append(rows, c)
 						if *csvOut {
-							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 								c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
-								c.Ack, c.Kills, c.DynTopics, c.Published, c.Delivered, c.Mops,
+								c.Ack, c.Kills, c.Churn, c.DynTopics, c.Published, c.Delivered, c.Mops,
 								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
+								c.FencedAcks, c.Reassigned, c.Stolen, c.Scans,
 								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
 								c.PubP50Us, c.PubP99Us, c.PubP999Us,
 								c.PollP50Us, c.PollP99Us, c.PollP999Us,
 								c.AckP50Us, c.AckP99Us, c.AckP999Us)
 						} else if !*jsonOut {
-							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %10.4f %10.3f %12.3f",
+							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f",
 								c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack, c.Published, c.Delivered, c.Mops,
 								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
+								fmt.Sprintf("%d/%d/%d", c.FencedAcks, c.Reassigned, c.Stolen),
 								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew)
 							if *latency {
 								fmt.Printf(" %20s %20s %20s",
@@ -252,7 +267,7 @@ func main() {
 			"config": map[string]any{
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
 				"payload": *payload, "affine": *affine, "kills": *kills,
-				"dyntopics": *dyn, "heaplat": *heaplatF,
+				"churn": *churn, "dyntopics": *dyn, "heaplat": *heaplatF,
 				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
 			"rows": rows,
@@ -267,6 +282,8 @@ func main() {
 		fmt.Println(" ack-fence/msg: persists spent in Consumer.Ack per delivered message —")
 		fmt.Println(" ~1/dbatch when each poll window is acked as a whole. redeliv: fraction")
 		fmt.Println(" of deliveries that were redeliveries after -kills lease takeovers.")
+		fmt.Println(" churn(f/r/s): stale-epoch acks refused / shards force-reassigned /")
+		fmt.Println(" shards work-stolen across the -churn membership cycles.")
 		fmt.Println(" idle-f/poll: persists per all-empty poll — ~0 with empty-poll fence")
 		fmt.Println(" elision. heap-imbal: busiest heap's persist traffic over the per-heap")
 		fmt.Println(" mean — 1.0 is perfectly balanced placement. dyn-f/create: blocking")

@@ -42,6 +42,7 @@ func main() {
 		producers = flag.Int("producers", 2, "producer threads")
 		consumers = flag.Int("consumers", 2, "consumer threads")
 		ack       = flag.Bool("ack", true, "use acked topics and a leased group (exercises the ack op)")
+		churn     = flag.Int("churn", 1, "membership-churn cycles mid-run (fills the group fenced/reassigned/stolen/scan counters; needs -ack and >= 2 consumers)")
 		heapMB    = flag.Int("heapmb", 256, "per-heap arena size in MiB")
 	)
 	flag.Parse()
@@ -53,7 +54,7 @@ func main() {
 	res, err := harness.RunBroker(harness.BrokerConfig{
 		Topics: *topics, Shards: *shards, Heaps: *heaps,
 		Producers: *producers, Consumers: *consumers,
-		Batch: 4, DequeueBatch: 8, Ack: *ack,
+		Batch: 4, DequeueBatch: 8, Ack: *ack, Churn: *churn,
 		Duration: *duration, HeapBytes: int64(*heapMB) << 20,
 		Observe: true,
 	})
@@ -112,6 +113,24 @@ func check(snap obs.Snapshot) error {
 	}
 	if err := obs.ValidatePrometheus(bytes.NewReader(pbuf.Bytes())); err != nil {
 		return fmt.Errorf("Prometheus text invalid: %w", err)
+	}
+	// The membership counters must be present in both exports whenever
+	// a group was observed (zero-valued is fine — churn cycles can be
+	// skipped — missing is not).
+	if len(snap.Groups) > 0 {
+		for _, metric := range []string{
+			"broker_group_fenced_acks_total",
+			"broker_group_reassigned_shards_total",
+			"broker_group_stolen_shards_total",
+			"broker_group_scans_total",
+		} {
+			if !bytes.Contains(pbuf.Bytes(), []byte(metric)) {
+				return fmt.Errorf("Prometheus text missing %s", metric)
+			}
+		}
+		if !bytes.Contains(jbuf.Bytes(), []byte(`"fenced_acks"`)) {
+			return fmt.Errorf("JSON missing the group fenced_acks field")
+		}
 	}
 	return nil
 }

@@ -5,16 +5,20 @@
 // against the recorded operation history (no duplication, no loss of
 // completed enqueues, per-enqueuer FIFO).
 //
-// -smoke is the quick CI mode: few rounds per queue, plus three
+// -smoke is the quick CI mode: few rounds per queue, plus four
 // broker iterations — a 2-heap broker crashed via a single member's
 // access stream, recovered from its catalog and stamps, and audited
 // for delivered-or-recovered-exactly-once; an acked broker whose
 // consumer is killed mid-batch (lease takeover redelivers the unacked
 // suffix) before a full-system crash, audited for exactly-once
-// processing; and a live-administration broker (Open) whose topics
+// processing; a live-administration broker (Open) whose topics
 // are created mid-traffic through the append-with-fence catalog log,
 // crashed and recovered with the same exactly-once audit — topics
-// whose creation returned must exist, torn creations must not.
+// whose creation returned must exist, torn creations must not; and a
+// membership-churn broker whose silent members are fenced by the
+// expiry scanner or robbed by work-stealing, with their resurfacing
+// stale-epoch acks refused, before the same full-system crash and
+// exactly-once audit.
 //
 // Each broker smoke runs with an event-trace-enabled observer
 // (internal/obs); when an audit fails, the last trace events — the
@@ -28,6 +32,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -132,6 +137,12 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("%-24s ok (topics created mid-traffic, crash, catalog-log recovery, exactly-once)\n", "broker-dynamic-topics")
+		}
+		if err := brokerChurnSmoke(*seed); err != nil {
+			fmt.Printf("%-24s FAIL: %v\n", "broker-membership-churn", err)
+			failed = true
+		} else {
+			fmt.Printf("%-24s ok (scan fences silent members, steal + split, stale acks refused, exactly-once)\n", "broker-membership-churn")
 		}
 	}
 	if failed {
@@ -565,6 +576,212 @@ func brokerAckSmokeRun(seed int64, threads int, o *obs.Observer) error {
 	// record may go unobserved: at most one window per consumer.
 	if lost > 2*window {
 		return fmt.Errorf("%d acknowledged publishes never processed (allowance %d)", lost, 2*window)
+	}
+	return nil
+}
+
+// brokerChurnSmoke is one membership-churn iteration on an acked
+// broker: members go silent holding in-flight windows and the expiry
+// scanner fences them — bumping their shards' epochs and splitting
+// them across the survivors — or a healthy member work-steals their
+// expired shards one at a time; the silent members then resurface and
+// their stale-epoch acknowledgments must be refused with ErrFenced. A
+// full-system crash downs the heap mid-traffic and a fresh group
+// drains the backlog. The audit demands exactly-once processing and
+// at least one provably refused stale ack.
+func brokerChurnSmoke(seed int64) error {
+	const threads = 4 // tid 0: producer + recovery drain; 1..3: consumers
+	o := obs.New(obs.Config{Threads: threads, TraceEvents: traceEvents})
+	return dumpOnFail(o, "broker-membership-churn", brokerChurnSmokeRun(seed, threads, o))
+}
+
+func brokerChurnSmokeRun(seed int64, threads int, o *obs.Observer) error {
+	const window = 4
+	rng := rand.New(rand.NewSource(seed + 3))
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	b, err := broker.New(h, broker.Config{
+		Topics: []broker.TopicConfig{
+			{Name: "events", Shards: 4, Acked: true},
+			{Name: "jobs", Shards: 2, MaxPayload: 48, Acked: true},
+		},
+		Threads:   threads,
+		AckGroups: 1,
+		Observer:  o,
+	})
+	if err != nil {
+		return err
+	}
+	var clock uint64
+	g, err := b.NewGroupAcked([]string{"events", "jobs"}, 3, broker.LeaseConfig{
+		TTL: 10, Now: func() uint64 { return clock },
+	})
+	if err != nil {
+		return err
+	}
+	payload := func(id uint64) []byte {
+		p := make([]byte, 8+int(id%40))
+		copy(p, broker.U64(id))
+		for i := 8; i < len(p); i++ {
+			p[i] = byte(id) ^ byte(i)
+		}
+		return p
+	}
+	h.ScheduleCrashAtAccess(int64(rng.Intn(40_000)) + 10_000)
+
+	var acked []uint64
+	staleRefused := 0
+	processed := map[uint64]string{}
+	record := func(ms []broker.Message, who string) error {
+		for _, m := range ms {
+			id := broker.AsU64(m.Payload[:8])
+			if prev, dup := processed[id]; dup {
+				return fmt.Errorf("message %d acknowledged twice (%s, then %s)", id, prev, who)
+			}
+			processed[id] = who
+		}
+		return nil
+	}
+	// ackOrRefuse acknowledges one member's window; a refusal on the
+	// fencing path drops the window (it belongs to whoever took the
+	// shards) instead of recording it.
+	ackOrRefuse := func(c int, ms []broker.Message) error {
+		var aerr error
+		if pmem.Protect(func() { _, aerr = g.Consumer(c).Ack(c + 1) }) {
+			return nil // ack may or may not be durable: observer gap
+		}
+		if errors.Is(aerr, broker.ErrFenced) {
+			staleRefused++
+			return nil
+		}
+		return record(ms, fmt.Sprintf("consumer %d", c))
+	}
+	churned := false
+	for id := uint64(1); ; id++ {
+		if pmem.Protect(func() {
+			if id%3 == 0 {
+				b.Topic("jobs").Publish(0, payload(id))
+			} else {
+				b.Topic("events").Publish(0, broker.U64(id))
+			}
+		}) {
+			break
+		}
+		acked = append(acked, id)
+		clock++
+		// Consumer 0: poll + ack, the always-healthy member.
+		if id%2 == 0 {
+			var ms []broker.Message
+			if pmem.Protect(func() { ms = g.Consumer(0).PollBatch(1, window) }) {
+				break
+			}
+			if len(ms) > 0 {
+				if err := ackOrRefuse(0, ms); err != nil {
+					return err
+				}
+			}
+		}
+		// The churn episode: members 1 and 2 each deliver a window and
+		// go silent; past their deadlines, member 2's expired shards are
+		// work-stolen one at a time and a scan fences member 1 and
+		// splits its shards across the survivors. Both then resurface
+		// and their stale acknowledgments must be refused.
+		if !churned && id == 40 {
+			churned = true
+			var ms1, ms2 []broker.Message
+			if pmem.Protect(func() { ms1 = g.Consumer(1).PollBatch(2, window) }) {
+				break
+			}
+			if pmem.Protect(func() { ms2 = g.Consumer(2).PollBatch(3, window) }) {
+				break
+			}
+			if len(ms1) == 0 || len(ms2) == 0 {
+				return fmt.Errorf("churn victims polled empty windows (%d, %d)", len(ms1), len(ms2))
+			}
+			clock += 100 // both go silent; every lease deadline passes
+			stop := false
+			for {
+				var took bool
+				var serr error
+				if pmem.Protect(func() { took, _, serr = g.Consumer(0).Steal(1) }) {
+					stop = true
+					break
+				}
+				if serr != nil {
+					return fmt.Errorf("steal failed: %v", serr)
+				}
+				if !took {
+					break
+				}
+			}
+			if stop {
+				break
+			}
+			var rep broker.ScanReport
+			var scerr error
+			if pmem.Protect(func() { rep, scerr = g.Scan(1, clock) }) {
+				break
+			}
+			if scerr != nil {
+				return fmt.Errorf("scan failed: %v", scerr)
+			}
+			_ = rep
+			// The resurfacing members' stale acks must be refused: the
+			// stealing and the scan displaced their windows.
+			var a1, a2 error
+			if pmem.Protect(func() { _, a1 = g.Consumer(1).Ack(2) }) {
+				break
+			}
+			if pmem.Protect(func() { _, a2 = g.Consumer(2).Ack(3) }) {
+				break
+			}
+			for i, aerr := range []error{a1, a2} {
+				if !errors.Is(aerr, broker.ErrFenced) {
+					return fmt.Errorf("displaced consumer %d's ack returned %v, want ErrFenced", i+1, aerr)
+				}
+				staleRefused++
+			}
+		}
+	}
+	if !h.Crashed() {
+		h.CrashNow()
+	}
+	h.FinalizeCrash(rng)
+	h.Restart()
+
+	r, err := broker.Recover(h, threads)
+	if err != nil {
+		return err
+	}
+	var clock2 uint64
+	g2, err := r.NewGroupAcked([]string{"events", "jobs"}, 1, broker.LeaseConfig{
+		TTL: 10, Now: func() uint64 { return clock2 },
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		ms := g2.Consumer(0).PollBatch(0, 8)
+		if len(ms) == 0 {
+			break
+		}
+		g2.Consumer(0).Ack(0)
+		if err := record(ms, "post-crash drain"); err != nil {
+			return err
+		}
+	}
+	if churned && staleRefused == 0 {
+		return fmt.Errorf("churn ran but no stale-epoch ack was refused")
+	}
+	lost := 0
+	for _, id := range acked {
+		if _, ok := processed[id]; !ok {
+			lost++
+		}
+	}
+	// Only an Ack whose fence landed right before the crash cut off the
+	// record may go unobserved: at most one window per consumer.
+	if lost > 3*window {
+		return fmt.Errorf("%d acknowledged publishes never processed (allowance %d)", lost, 3*window)
 	}
 	return nil
 }

@@ -62,7 +62,7 @@ func TestAckedDeliverAckRedeliver(t *testing.T) {
 		t.Fatalf("delivered %d, want %d", len(first), 2*n)
 	}
 	// Nack: everything comes back, same multiset, per-shard order kept.
-	if got := c.Nack(1); got != 2*n {
+	if got, _ := c.Nack(1); got != 2*n {
 		t.Fatalf("Nack requeued %d, want %d", got, 2*n)
 	}
 	second := c.PollBatch(1, 2*n)
@@ -91,10 +91,10 @@ func TestAckedDeliverAckRedeliver(t *testing.T) {
 			}
 		}
 	}
-	if got := c.Ack(1); got != 2*n {
+	if got, _ := c.Ack(1); got != 2*n {
 		t.Fatalf("Ack acknowledged %d, want %d", got, 2*n)
 	}
-	if got := c.Ack(1); got != 0 {
+	if got, _ := c.Ack(1); got != 0 {
 		t.Fatalf("second Ack acknowledged %d, want 0", got)
 	}
 	if ms := c.PollBatch(1, 8); len(ms) != 0 {
@@ -138,7 +138,7 @@ func TestAckFenceAccounting(t *testing.T) {
 	}
 
 	before = hs.TotalStats()
-	if got := c.Ack(1); got != n {
+	if got, _ := c.Ack(1); got != n {
 		t.Fatalf("Ack acknowledged %d, want %d", got, n)
 	}
 	d = hs.TotalStats().Sub(before)
@@ -177,7 +177,7 @@ func TestAckFenceAccounting(t *testing.T) {
 	}
 
 	before = hs.TotalStats()
-	if got := c.Nack(1); got != 4 {
+	if got, _ := c.Nack(1); got != 4 {
 		t.Fatalf("Nack requeued %d, want 4", got)
 	}
 	d = hs.TotalStats().Sub(before)

@@ -39,6 +39,15 @@
 // subscribed while members poll; plain groups must be quiescent (see
 // Subscribe).
 //
+// Acked groups manage their own membership: lease lines carry fencing
+// epochs bumped on every takeover, so a member displaced by the expiry
+// scanner (Group.Scan, or the background Janitor), by a partial
+// split (Group.Reassign) or by work-stealing (Consumer.Steal) has its
+// stale acknowledgments refused with ErrFenced instead of corrupting
+// the exactly-once frontier; Consumer.Heartbeat keeps a healthy
+// member's leases alive at zero persist cost when its durable
+// deadlines still cover the TTL (see membership.go).
+//
 // Durability contract: a publish is acknowledged when the call
 // returns; from that point the message survives any crash of any
 // subset of the heap set (the set shares one power supply, so a crash

@@ -52,7 +52,13 @@ type Group struct {
 	now       func() uint64
 	cache     []leaseCache // one per global shard ordinal, owner-accessed
 	recovered []RecoveredLease
-	mu        sync.Mutex // serializes Adopt and Subscribe against each other
+	mu        sync.Mutex // serializes Adopt/Reassign/Scan and Subscribe against each other
+
+	// epochs holds the current fencing token per global shard ordinal —
+	// the volatile authority mirrored into every lease line's epoch
+	// word. Seeded from the durable lines at bind (pre-epoch regions
+	// seed 0), bumped under g.mu on every takeover. See membership.go.
+	epochs []uint64
 }
 
 // leaseCache mirrors one durable lease line: durable is the content
@@ -245,10 +251,14 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 	// Sized to the region's capacity, not the current shard total, so
 	// topics subscribed later (Subscribe) index it without growing.
 	g.cache = make([]leaseCache, region.cap)
+	g.epochs = make([]uint64, region.cap)
 
 	// Bind: seed each ref's frontier from the queue's durable acked
-	// index, surface stale lease records, and clear them. A fresh
-	// region (all lines virgin) writes nothing.
+	// index and its fencing token from the durable line (pre-epoch v<=4
+	// lines and virgin lines seed epoch 0), surface stale lease
+	// records, and clear them — preserving the epoch, so a cleared line
+	// still outranks any pre-crash owner. A fresh region (all lines
+	// virgin) writes nothing.
 	const tid = 0
 	w := leaseWriter{g: g, tid: tid}
 	for _, r := range refs {
@@ -256,10 +266,14 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 		floor := s.ackedTo()
 		r.deliveredTo, r.leasedTo = floor, floor
 		l, ok := g.region.readLeaseLine(r.global)
+		if ok {
+			g.epochs[r.global] = l.Epoch
+		}
+		r.epoch = g.epochs[r.global]
 		if !ok || l.Active {
 			g.recovered = append(g.recovered,
 				RecoveredLease{Shard: ShardRef{Topic: r.t.Name(), Shard: r.shard}, Lease: l})
-			w.write(r.global, Lease{})
+			w.write(r.global, Lease{Epoch: l.Epoch})
 		}
 	}
 	w.commit()
@@ -331,10 +345,14 @@ func (g *Group) Subscribe(tid int, topicNames ...string) error {
 			floor := s.ackedTo()
 			r.deliveredTo, r.leasedTo = floor, floor
 			l, ok := g.region.readLeaseLine(r.global)
+			if ok {
+				g.epochs[r.global] = l.Epoch
+			}
+			r.epoch = g.epochs[r.global]
 			if !ok || l.Active {
 				g.recovered = append(g.recovered,
 					RecoveredLease{Shard: ShardRef{Topic: r.t.Name(), Shard: r.shard}, Lease: l})
-				w.write(r.global, Lease{})
+				w.write(r.global, Lease{Epoch: l.Epoch})
 			}
 		}
 	}
@@ -382,11 +400,12 @@ type consumerShard struct {
 	cur *obs.ShardCursor
 
 	// Acked-group bookkeeping, accessed only by the owning member (or
-	// under both members' locks during Adopt).
+	// under the involved members' locks during Adopt/Reassign/Steal).
 	deliveredTo uint64 // last queue index returned to the application
 	leasedTo    uint64 // high end of the durable lease obligation
 	pendingN    int    // queued redeliveries not yet re-served
 	unackedN    int    // messages delivered but not yet acknowledged
+	epoch       uint64 // fencing token the current owner writes into the lease line
 }
 
 // pendingMsg is one message awaiting redelivery: adopted from a
@@ -402,10 +421,18 @@ type pendingMsg struct {
 type Consumer struct {
 	g       *Group
 	id      int
-	mu      sync.Mutex // serializes member ops against Adopt (acked groups)
+	mu      sync.Mutex // serializes member ops against Adopt/Reassign/Scan (acked groups)
 	refs    []*consumerShard
 	next    int
 	pending []pendingMsg
+
+	// fenced records the shards taken from this member since its last
+	// acknowledgment-path op: the member held a now-stale epoch on
+	// them. The next Ack/Nack/Renew/Heartbeat is refused with ErrFenced
+	// (consuming the record), so a presumed-dead member that resurfaces
+	// learns it lost ownership before any of its state reaches the
+	// durable frontier. See membership.go.
+	fenced []fencedShard
 }
 
 // Assigned lists the shards this member owns.
@@ -625,7 +652,7 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 		r.leasedTo = r.deliveredTo
 		r.unackedN += len(ps)
 		w.write(r.global, Lease{
-			Active: true, Owner: c.id,
+			Active: true, Owner: c.id, Epoch: r.epoch,
 			Lo: s.ackedTo() + 1, Hi: r.leasedTo,
 			Deadline: deadline,
 		})
@@ -647,12 +674,23 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 // nothing. Acknowledged messages are never redelivered, by any path:
 // recovery takes the maximum acked index per thread exactly as it does
 // for head indices. Returns the number of newly acknowledged messages.
-func (c *Consumer) Ack(tid int) int {
+//
+// If this member was fenced off any of its shards since its last
+// acknowledgment-path op (Scan, Reassign or Steal took them — the
+// member held a stale epoch), Ack refuses the whole call with
+// ErrFenced and acknowledges nothing: the member must treat its
+// outstanding window as lost (it will be redelivered elsewhere) and
+// re-poll. The refusal consumes the fencing record, so subsequent
+// calls proceed on the shards the member still owns.
+func (c *Consumer) Ack(tid int) (int, error) {
 	if !c.g.leased {
 		panic("broker: Ack on a group without acknowledgments (use NewGroupAcked)")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.takeFenced(tid); err != nil {
+		return 0, err
+	}
 	o := c.g.b.obs
 	var start int64
 	if o != nil {
@@ -700,7 +738,7 @@ func (c *Consumer) Ack(tid int) int {
 		o.Lat(tid, obs.OpAck, start)
 		o.Event(tid, obs.OpAck, nil, -1)
 	}
-	return n
+	return n, nil
 }
 
 // Nack rescinds every delivered-but-unacknowledged message of this
@@ -709,13 +747,18 @@ func (c *Consumer) Ack(tid int) int {
 // dequeue of the same shard), and each affected shard's lease record
 // is rewritten — one store+flush per shard, one fence for the whole
 // nack — so the rescission itself is durable delivery state. Returns
-// the number of messages queued for redelivery.
-func (c *Consumer) Nack(tid int) int {
+// the number of messages queued for redelivery, or ErrFenced (and
+// queues nothing) when the member was fenced off shards since its
+// last acknowledgment-path op — see Ack.
+func (c *Consumer) Nack(tid int) (int, error) {
 	if !c.g.leased {
 		panic("broker: Nack on a group without acknowledgments (use NewGroupAcked)")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.takeFenced(tid); err != nil {
+		return 0, err
+	}
 	w := leaseWriter{g: c.g, tid: tid}
 	deadline := c.g.now() + c.g.ttl
 	var nacked []pendingMsg
@@ -736,7 +779,7 @@ func (c *Consumer) Nack(tid int) int {
 		r.deliveredTo = floor
 		r.unackedN = 0
 		w.write(r.global, Lease{
-			Active: true, Owner: c.id,
+			Active: true, Owner: c.id, Epoch: r.epoch,
 			Lo: floor + 1, Hi: r.leasedTo,
 			Deadline: deadline,
 		})
@@ -745,7 +788,7 @@ func (c *Consumer) Nack(tid int) int {
 	// precedes any still-queued redelivery of the same shard.
 	c.pending = append(nacked, c.pending...)
 	w.commit()
-	return len(nacked)
+	return len(nacked), nil
 }
 
 // Renew extends this member's lease deadlines to the given instant on
@@ -753,13 +796,18 @@ func (c *Consumer) Nack(tid int) int {
 // deadline the durable record already covers writes nothing and costs
 // nothing — the heartbeat of a healthy consumer is free until the
 // deadline actually needs moving; otherwise the rewritten lines ride
-// a single fence.
-func (c *Consumer) Renew(tid int, deadline uint64) {
+// a single fence. A member fenced off shards since its last
+// acknowledgment-path op gets ErrFenced and renews nothing (0 fences):
+// a stale owner must not refresh deadlines on leases it lost.
+func (c *Consumer) Renew(tid int, deadline uint64) error {
 	if !c.g.leased {
 		panic("broker: Renew on a group without acknowledgments (use NewGroupAcked)")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.takeFenced(tid); err != nil {
+		return err
+	}
 	w := leaseWriter{g: c.g, tid: tid}
 	for _, r := range c.refs {
 		s := r.t.shards[r.shard]
@@ -772,89 +820,33 @@ func (c *Consumer) Renew(tid int, deadline uint64) {
 			continue // already durably covered
 		}
 		w.write(r.global, Lease{
-			Active: true, Owner: c.id,
+			Active: true, Owner: c.id, Epoch: r.epoch,
 			Lo: floor + 1, Hi: r.leasedTo,
 			Deadline: deadline,
 		})
 	}
 	w.commit()
+	return nil
 }
 
 // Adopt transfers every shard of member `from` to member `to`,
 // redelivering the unacknowledged suffix: `from` crashed (or went
 // silent past its lease deadline), so everything it was handed but
 // never acknowledged is queued on `to` for redelivery, and each
-// affected lease record is rewritten to the new owner with a fresh
-// deadline before Adopt returns (one fence). Messages `from` had
-// acknowledged are durably consumed and never reappear — takeover
-// preserves exactly-once processing.
+// affected lease record is rewritten to the new owner — with a
+// bumped fencing epoch, so a resurfacing `from` gets ErrFenced —
+// and a fresh deadline before Adopt returns (one fence). Messages
+// `from` had acknowledged are durably consumed and never reappear —
+// takeover preserves exactly-once processing.
 //
 // Adopt refuses while any of from's lease records is durably
-// unexpired at the group clock: a live member may still be processing
-// its window. Drive `from`'s goroutine to completion first; tid may be
-// the dead member's thread id. Returns the number of redeliveries
-// moved.
+// unexpired at the group clock (ErrUnexpiredLease): a live member may
+// still be processing its window. Drive `from`'s goroutine to
+// completion first, or use Reassign with force; tid may be the dead
+// member's thread id. Returns the number of redeliveries moved.
+// Adopt is the single-target form of Reassign.
 func (g *Group) Adopt(tid, from, to int) (int, error) {
-	if !g.leased {
-		return 0, fmt.Errorf("broker: Adopt on a group without acknowledgments")
-	}
-	if from == to || from < 0 || to < 0 || from >= len(g.consumers) || to >= len(g.consumers) {
-		return 0, fmt.Errorf("broker: Adopt(%d -> %d) with %d members", from, to, len(g.consumers))
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	a, b := g.consumers[from], g.consumers[to]
-	lo, hi := a, b
-	if to < from {
-		lo, hi = b, a
-	}
-	lo.mu.Lock()
-	defer lo.mu.Unlock()
-	hi.mu.Lock()
-	defer hi.mu.Unlock()
-
-	now := g.now()
-	for _, r := range a.refs {
-		if d := g.cache[r.global].durable; d.Active && d.Owner == from && d.Deadline > now {
-			return 0, fmt.Errorf("broker: member %d's lease on %s/%d is unexpired (deadline %d > now %d)",
-				from, r.t.Name(), r.shard, d.Deadline, now)
-		}
-	}
-
-	// The dead member's own redelivery queue is rebuilt from the
-	// queues' unacked snapshots below; drop it to avoid duplicates.
-	a.pending = nil
-	w := leaseWriter{g: g, tid: tid}
-	deadline := now + g.ttl
-	moved := 0
-	for _, r := range a.refs {
-		s := r.t.shards[r.shard]
-		floor := s.ackedTo()
-		ps, idxs := s.unacked()
-		r.deliveredTo, r.pendingN, r.unackedN = floor, len(ps), 0
-		for i := range ps {
-			b.pending = append(b.pending, pendingMsg{r: r, idx: idxs[i], payload: ps[i]})
-		}
-		moved += len(ps)
-		if len(ps) > 0 {
-			r.leasedTo = idxs[len(idxs)-1]
-			w.write(r.global, Lease{
-				Active: true, Owner: to,
-				Lo: floor + 1, Hi: r.leasedTo,
-				Deadline: deadline,
-			})
-		} else {
-			r.leasedTo = floor
-			if d := g.cache[r.global].durable; d.Active {
-				w.write(r.global, Lease{}) // fully acked: retire the stale record
-			}
-		}
-	}
-	b.refs = append(b.refs, a.refs...)
-	a.refs = nil
-	a.next = 0
-	w.commit()
-	return moved, nil
+	return g.Reassign(tid, from, []int{to}, false)
 }
 
 // leaseWriter batches lease-line writes that ride one fence on the

@@ -33,16 +33,19 @@ import (
 // Lease line layout:
 //
 //	[w0 = active<<63 | owner, w1 = lo, w2 = hi, w3 = deadline,
-//	 w4 = seq, w5 = 0, w6 = 0, w7 = checksum(w0..w6)]
+//	 w4 = seq, w5 = epoch, w6 = 0, w7 = checksum(w0..w6)]
 //
 // [lo, hi] is the leased, unacknowledged index range of the shard's
 // queue; deadline is in the group's clock units (LeaseConfig.Now); seq
-// increments per rewrite. The checksum makes a torn line (a crash
+// increments per rewrite; epoch is the shard's fencing token, bumped
+// on every takeover (see membership.go). The checksum — which always
+// covered the then-spare w5, so pre-epoch (v<=4) regions need no
+// format change and decode as epoch 0 — makes a torn line (a crash
 // mid-write landed only part of the stores) detectable: torn or
 // corrupt lines decode as invalid and are treated as carrying no
 // lease — safe, because the acked-index lines, not the leases, decide
 // what recovery redelivers. An all-zero line is a virgin line (the
-// region is allocated zeroed): valid, no lease.
+// region is allocated zeroed): valid, no lease, epoch 0.
 
 // Lease is one decoded per-shard lease record.
 type Lease struct {
@@ -60,6 +63,12 @@ type Lease struct {
 	Deadline uint64
 	// Seq increments on every rewrite of the line.
 	Seq uint64
+	// Epoch is the shard's fencing token: bumped on every takeover
+	// (Reassign, Scan, Steal), so a presumed-dead owner that resurfaces
+	// holds a stale epoch and its acknowledgments are refused
+	// (ErrFenced). Lines written before the epoch word existed (v<=4
+	// regions) decode as epoch 0, which is valid.
+	Epoch uint64
 }
 
 const (
@@ -91,7 +100,7 @@ func packLease(l Lease) [8]uint64 {
 	if l.Active {
 		w[0] |= leaseActive
 	}
-	w[1], w[2], w[3], w[4] = l.Lo, l.Hi, l.Deadline, l.Seq
+	w[1], w[2], w[3], w[4], w[5] = l.Lo, l.Hi, l.Deadline, l.Seq, l.Epoch
 	w[7] = leaseChecksum(w)
 	return w
 }
@@ -119,6 +128,7 @@ func unpackLease(w [8]uint64) (Lease, bool) {
 		Hi:       w[2],
 		Deadline: w[3],
 		Seq:      w[4],
+		Epoch:    w[5],
 	}, true
 }
 

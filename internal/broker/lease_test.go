@@ -12,16 +12,43 @@ import (
 // every representable lease (property-based, mirroring the catalog's
 // encoding discipline).
 func TestLeasePackUnpackRoundTrip(t *testing.T) {
-	prop := func(active bool, owner uint16, lo, hi, deadline, seq uint64) bool {
+	prop := func(active bool, owner uint16, lo, hi, deadline, seq, epoch uint64) bool {
 		in := Lease{
 			Active: active, Owner: int(owner),
-			Lo: lo, Hi: hi, Deadline: deadline, Seq: seq,
+			Lo: lo, Hi: hi, Deadline: deadline, Seq: seq, Epoch: epoch,
 		}
 		out, ok := unpackLease(packLease(in))
 		return ok && out == in
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLeaseEpochCompat: lease lines written before the epoch word
+// existed (v<=4 regions packed w5 as zero) must decode as epoch 0
+// without any format bump — the checksum always covered the spare
+// word, so a pre-epoch line is bit-identical to a current line with
+// Epoch 0.
+func TestLeaseEpochCompat(t *testing.T) {
+	prop := func(active bool, owner uint16, lo, hi, deadline, seq uint64) bool {
+		// A v<=4 writer packed exactly these words with w5 = 0.
+		legacy := packLease(Lease{
+			Active: active, Owner: int(owner),
+			Lo: lo, Hi: hi, Deadline: deadline, Seq: seq,
+		})
+		if legacy[5] != 0 {
+			return false
+		}
+		out, ok := unpackLease(legacy)
+		return ok && out.Epoch == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// And the all-zero virgin line stays a valid empty epoch-0 lease.
+	if l, ok := unpackLease([8]uint64{}); !ok || l.Epoch != 0 || l != (Lease{}) {
+		t.Fatalf("virgin line decoded as (%+v, %v), want empty epoch-0 lease", l, ok)
 	}
 }
 
@@ -39,6 +66,9 @@ func TestLeaseLineTornWriteDetected(t *testing.T) {
 			Active: true, Owner: rng.Intn(64),
 			Lo: rng.Uint64() >> 1, Hi: rng.Uint64() >> 1,
 			Deadline: rng.Uint64(), Seq: rng.Uint64(),
+			// Nonzero epochs must not weaken torn-line detection: the
+			// checksum covers w5 like every other payload word.
+			Epoch: rng.Uint64(),
 		})
 		i := rng.Intn(8)
 		delta := rng.Uint64() | 1

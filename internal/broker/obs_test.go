@@ -180,7 +180,7 @@ func TestObserverNackRedelivery(t *testing.T) {
 	if ms := c.PollBatch(0, 10); len(ms) != 10 {
 		t.Fatalf("delivered %d, want 10", len(ms))
 	}
-	if n := c.Nack(0); n != 10 {
+	if n, _ := c.Nack(0); n != 10 {
 		t.Fatalf("nacked %d, want 10", n)
 	}
 	if ms := c.PollBatch(0, 10); len(ms) != 10 {

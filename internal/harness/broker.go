@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pmem"
 )
+
+// stallCtl coordinates one churn cycle: the stalled consumer closes
+// stalled when it parks holding a delivered-but-unacked window, and
+// unparks when the controller closes resume.
+type stallCtl struct {
+	stalled chan struct{}
+	resume  chan struct{}
+}
 
 // BrokerConfig parameterizes one broker measurement: a multi-topic
 // produce/consume sweep that joins the five Figure-2 panels as the
@@ -58,6 +67,15 @@ type BrokerConfig struct {
 	// adopts their shards into consumer 0 — the adopted redeliveries
 	// surface as Redelivered. Requires Ack; at most Consumers-1.
 	Kills int
+	// Churn runs that many membership-churn cycles spread across the
+	// produce phase: each cycle stalls one consumer mid-window (it
+	// keeps running but stops acking), then either force-splits its
+	// shards across the survivors (Reassign) or expires the leases on
+	// the logical clock and lets consumer 0 work-steal them shard by
+	// shard before a Scan sweeps up the rest. The stalled member's
+	// refused stale-epoch acks surface as FencedAcks. Requires Ack and
+	// at least two consumers.
+	Churn int
 	// DynTopics creates that many extra topics on the live broker,
 	// spread across the produce phase, from a dedicated administrator
 	// thread running beside the traffic — measuring what live
@@ -109,12 +127,16 @@ func (c *BrokerConfig) norm() {
 	}
 	if !c.Ack {
 		c.Kills = 0
+		c.Churn = 0
 	}
 	if c.Kills >= c.Consumers {
 		c.Kills = c.Consumers - 1
 	}
 	if c.Kills < 0 {
 		c.Kills = 0
+	}
+	if c.Consumers < 2 || c.Churn < 0 {
+		c.Churn = 0
 	}
 	if c.DynTopics < 0 {
 		c.DynTopics = 0
@@ -130,7 +152,7 @@ func (c *BrokerConfig) norm() {
 type BrokerResult struct {
 	Topics, Shards, Heaps, Producers, Consumers, Batch, DequeueBatch, Payload int
 	Affine, Ack                                                               bool
-	Kills                                                                     int
+	Kills, Churn                                                              int
 
 	Published uint64
 	Delivered uint64
@@ -144,6 +166,15 @@ type BrokerResult struct {
 	Acked       uint64
 	AckFences   uint64
 	Redelivered uint64
+
+	// Membership-churn statistics: stale-epoch acks refused with
+	// ErrFenced, shards moved by forced Reassign splits, shards taken
+	// by work-stealing, and expiry scans run (only the churn
+	// controller's deliberate ones are counted).
+	FencedAcks uint64
+	Reassigned uint64
+	Stolen     uint64
+	Scans      uint64
 
 	// Live-administration statistics: topics created mid-run on the
 	// live broker and the blocking persists they cost (catalog
@@ -298,6 +329,11 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		adminTid = threads // the administrator gets its own thread id
 		threads++
 	}
+	churnTid := -1
+	if cfg.Churn > 0 {
+		churnTid = threads // so is the churn controller
+		threads++
+	}
 	pcfg := pmem.Config{
 		Bytes:      cfg.HeapBytes,
 		Mode:       pmem.ModePerf,
@@ -414,7 +450,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		}(p)
 	}
 	var acked, ackFences, redelivered atomic.Uint64
+	var fencedAcks, reassigned, stolen, scans atomic.Uint64
 	killFlag := make([]atomic.Bool, cfg.Consumers)
+	stallOf := make([]atomic.Pointer[stallCtl], cfg.Consumers)
 	consDone := make([]chan struct{}, cfg.Consumers)
 	done := make(chan struct{})
 	go func() { producersDone.Wait(); close(done) }()
@@ -441,13 +479,26 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 				if n := poll(); n > 0 {
 					delivered.Add(uint64(n))
 					if cfg.Ack {
+						if ctl := stallOf[c].Swap(nil); ctl != nil {
+							// Stalled by the churn controller: keep the
+							// window in flight, unacked, until resumed.
+							close(ctl.stalled)
+							<-ctl.resume
+						}
 						if killFlag[c].Load() {
 							// Killed mid-batch: the window stays unacked
 							// and is redelivered via takeover.
 							return
 						}
 						d := hs.DeltaOf(tid)
-						acked.Add(uint64(cons.Ack(tid)))
+						n, err := cons.Ack(tid)
+						if errors.Is(err, broker.ErrFenced) {
+							// The window was reassigned or stolen while we
+							// stalled; it is someone else's now.
+							fencedAcks.Add(1)
+							continue
+						}
+						acked.Add(uint64(n))
 						ackFences.Add(d.Delta().Fences)
 					}
 					drained = false
@@ -538,6 +589,82 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		}()
 	}
 
+	var churnErr error
+	var churnErrMu sync.Mutex
+	if cfg.Churn > 0 {
+		// The churn controller: each cycle stalls one member mid-window,
+		// displaces its shards (even cycles: forced Reassign split across
+		// every survivor; odd cycles: lease expiry + work-stealing into
+		// consumer 0, finished by a Scan), then resumes it so its stale
+		// ack is refused on the fencing path.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			fail := func(err error) {
+				churnErrMu.Lock()
+				churnErr = err
+				churnErrMu.Unlock()
+			}
+			for cycle := 0; cycle < cfg.Churn; cycle++ {
+				time.Sleep(cfg.Duration / time.Duration(cfg.Churn+1))
+				victim := 1 + cycle%(cfg.Consumers-1)
+				ctl := &stallCtl{stalled: make(chan struct{}), resume: make(chan struct{})}
+				stallOf[victim].Store(ctl)
+				select {
+				case <-ctl.stalled:
+				case <-consDone[victim]:
+					if stallOf[victim].Swap(nil) != nil {
+						continue // already drained and gone; skip the cycle
+					}
+					<-ctl.stalled // grabbed the control at the last moment
+				case <-time.After(cfg.Duration):
+					if stallOf[victim].Swap(nil) != nil {
+						continue // never saw a window in time; skip the cycle
+					}
+					<-ctl.stalled
+				}
+				if cycle%2 == 0 {
+					targets := make([]int, 0, cfg.Consumers-1)
+					for m := 0; m < cfg.Consumers; m++ {
+						if m != victim {
+							targets = append(targets, m)
+						}
+					}
+					moved := len(g.Consumer(victim).Assigned())
+					if _, err := g.Reassign(churnTid, victim, targets, true); err != nil {
+						fail(fmt.Errorf("harness: churn cycle %d: forced Reassign of consumer %d failed: %w", cycle, victim, err))
+						close(ctl.resume)
+						return
+					}
+					reassigned.Add(uint64(moved))
+				} else {
+					leaseClock.Add(leaseTTL + 1)
+					thief := g.Consumer(0)
+					for {
+						took, _, err := thief.Steal(churnTid)
+						if err != nil {
+							fail(fmt.Errorf("harness: churn cycle %d: Steal failed: %w", cycle, err))
+							close(ctl.resume)
+							return
+						}
+						if !took {
+							break
+						}
+						stolen.Add(1)
+					}
+					if _, err := g.Scan(churnTid, leaseClock.Load()); err != nil {
+						fail(fmt.Errorf("harness: churn cycle %d: Scan failed: %w", cycle, err))
+						close(ctl.resume)
+						return
+					}
+					scans.Add(1)
+				}
+				close(ctl.resume)
+			}
+		}()
+	}
+
 	begin := time.Now()
 	start.Done()
 	timer := time.AfterFunc(cfg.Duration, func() { stop.Store(true) })
@@ -550,14 +677,19 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	if dynErr != nil {
 		return BrokerResult{}, dynErr
 	}
+	if churnErr != nil {
+		return BrokerResult{}, churnErr
+	}
 
 	res := BrokerResult{
 		Topics: cfg.Topics, Shards: cfg.Shards, Heaps: cfg.Heaps, Affine: cfg.Affine,
-		Ack: cfg.Ack, Kills: cfg.Kills,
+		Ack: cfg.Ack, Kills: cfg.Kills, Churn: cfg.Churn,
 		Producers: cfg.Producers, Consumers: cfg.Consumers,
 		Batch: cfg.Batch, DequeueBatch: cfg.DequeueBatch, Payload: cfg.Payload,
 		Published: published.Load(), Delivered: delivered.Load(),
 		Acked: acked.Load(), AckFences: ackFences.Load(), Redelivered: redelivered.Load(),
+		FencedAcks: fencedAcks.Load(), Reassigned: reassigned.Load(),
+		Stolen: stolen.Load(), Scans: scans.Load(),
 		DynTopics: dynCreated.Load(), DynTopicFences: dynFences.Load(),
 		Elapsed: elapsed,
 	}

@@ -206,3 +206,39 @@ func TestRunBrokerHeapLatencies(t *testing.T) {
 	t.Logf("asymmetric run: published %d, heap fences %d / %d",
 		r.Published, r.PerHeap[0].Fences, r.PerHeap[1].Fences)
 }
+
+// TestRunBrokerChurn runs membership churn beside the traffic:
+// consumers are stalled mid-window, their shards force-split or
+// stolen, and their resurfacing stale acks refused — without the
+// delivered/acked audit losing a message.
+func TestRunBrokerChurn(t *testing.T) {
+	r, err := RunBroker(BrokerConfig{
+		Topics: 2, Shards: 4, Producers: 2, Consumers: 3,
+		Batch: 8, DequeueBatch: 8, Ack: true, Churn: 4,
+		Duration: 200 * time.Millisecond, HeapBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Published == 0 || r.Delivered == 0 || r.Acked == 0 {
+		t.Fatalf("no traffic: published %d delivered %d acked %d", r.Published, r.Delivered, r.Acked)
+	}
+	if r.Churn != 4 {
+		t.Fatalf("churn echoed as %d, want 4", r.Churn)
+	}
+	// Each completed cycle displaces the stalled member's shards one
+	// way (Reassign) or the other (Steal and/or Scan); cycles can be
+	// skipped when the victim drains first, but a 200ms produce phase
+	// has to land at least one.
+	if r.Reassigned == 0 && r.Stolen == 0 && r.Scans == 0 {
+		t.Fatal("churn ran without a single reassignment, steal or scan")
+	}
+	// A displaced member's window is redelivered elsewhere and the
+	// stale ack refused: every delivery still accounts once, so acked
+	// never exceeds published even with the double-counted windows.
+	if r.Acked > r.Published {
+		t.Fatalf("acked %d > published %d", r.Acked, r.Published)
+	}
+	t.Logf("churn: published %d, delivered %d, acked %d, fenced acks %d, reassigned %d, stolen %d, scans %d",
+		r.Published, r.Delivered, r.Acked, r.FencedAcks, r.Reassigned, r.Stolen, r.Scans)
+}

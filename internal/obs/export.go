@@ -44,11 +44,16 @@ type TopicSnapshot struct {
 	Depth       uint64 `json:"depth"`
 }
 
-// GroupSnapshot is one consumer group's lag state.
+// GroupSnapshot is one consumer group's lag state plus its
+// membership-protocol counters.
 type GroupSnapshot struct {
-	Group  string     `json:"group"`
-	MaxLag uint64     `json:"max_lag"`
-	Shards []ShardLag `json:"shards"`
+	Group      string     `json:"group"`
+	MaxLag     uint64     `json:"max_lag"`
+	FencedAcks uint64     `json:"fenced_acks"`
+	Reassigned uint64     `json:"reassigned_shards"`
+	Stolen     uint64     `json:"stolen_shards"`
+	Scans      uint64     `json:"scans"`
+	Shards     []ShardLag `json:"shards"`
 }
 
 // ShardLag is one shard's lag within a group: the published head
@@ -99,6 +104,7 @@ func (o *Observer) Snapshot() Snapshot {
 	}
 	for _, g := range groups {
 		gs := GroupSnapshot{Group: g.name}
+		gs.FencedAcks, gs.Reassigned, gs.Stolen, gs.Scans = g.Membership()
 		g.mu.Lock()
 		cursors := append([]*ShardCursor(nil), g.cursors...)
 		g.mu.Unlock()
@@ -193,6 +199,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 				g.Group, l.Topic, l.Shard, l.Lag)
 		}
 	}
+	groupCounter := func(name, help string, value func(GroupSnapshot) uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, g := range s.Groups {
+			fmt.Fprintf(b, "%s{group=%q} %d\n", name, g.Group, value(g))
+		}
+	}
+	groupCounter("broker_group_fenced_acks_total", "Member ops refused with a stale lease epoch per group.",
+		func(g GroupSnapshot) uint64 { return g.FencedAcks })
+	groupCounter("broker_group_reassigned_shards_total", "Shards dealt off fenced members per group (Reassign/Scan).",
+		func(g GroupSnapshot) uint64 { return g.Reassigned })
+	groupCounter("broker_group_stolen_shards_total", "Expired shards claimed by work-stealing members per group.",
+		func(g GroupSnapshot) uint64 { return g.Stolen })
+	groupCounter("broker_group_scans_total", "Expiry-scanner passes per group.",
+		func(g GroupSnapshot) uint64 { return g.Scans })
 	heapCounter := func(name, help string, value func(HeapSnapshot) uint64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		for _, h := range s.Heaps {

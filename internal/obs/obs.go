@@ -52,6 +52,9 @@ const (
 	OpPoll
 	OpAck
 	OpAdmin
+	// OpScan covers membership-protocol events: expiry scans,
+	// reassignments, and fenced (refused) member ops.
+	OpScan
 	NumOps
 )
 
@@ -65,6 +68,8 @@ func (op Op) String() string {
 		return "ack"
 	case OpAdmin:
 		return "admin"
+	case OpScan:
+		return "scan"
 	}
 	return fmt.Sprintf("op(%d)", int(op))
 }
@@ -258,9 +263,16 @@ func (t *TopicStats) Depth() uint64 {
 }
 
 // GroupStats is one consumer group's gauge state: a consumption
-// frontier per owned shard, registered as the group subscribes.
+// frontier per owned shard, registered as the group subscribes, plus
+// the membership-protocol counters (fenced ops, reassigned and stolen
+// shards, expiry scans).
 type GroupStats struct {
 	name string
+
+	fencedN     atomic.Uint64
+	reassignedN atomic.Uint64
+	stolenN     atomic.Uint64
+	scanN       atomic.Uint64
 
 	mu      sync.Mutex
 	cursors []*ShardCursor
@@ -289,6 +301,26 @@ func (g *GroupStats) AddShard(t *TopicStats, shard int) *ShardCursor {
 	g.cursors = append(g.cursors, c)
 	g.mu.Unlock()
 	return c
+}
+
+// Fenced counts n member ops refused with a stale epoch (ErrFenced).
+func (g *GroupStats) Fenced(n int) { g.fencedN.Add(uint64(n)) }
+
+// Reassigned counts n shards dealt off a fenced member by
+// Reassign/Scan.
+func (g *GroupStats) Reassigned(n int) { g.reassignedN.Add(uint64(n)) }
+
+// Stolen counts n shards claimed one at a time by Consumer.Steal.
+func (g *GroupStats) Stolen(n int) { g.stolenN.Add(uint64(n)) }
+
+// Scanned counts n expiry-scanner passes (Group.Scan), expiring or
+// not.
+func (g *GroupStats) Scanned(n int) { g.scanN.Add(uint64(n)) }
+
+// Membership returns the membership-protocol counters: ops refused
+// as fenced, shards reassigned, shards stolen, and scan passes.
+func (g *GroupStats) Membership() (fenced, reassigned, stolen, scans uint64) {
+	return g.fencedN.Load(), g.reassignedN.Load(), g.stolenN.Load(), g.scanN.Load()
 }
 
 // MaxLag returns the largest per-shard lag across the group's shards
