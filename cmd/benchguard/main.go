@@ -1,0 +1,185 @@
+// Command benchguard compares a fresh brokerbench -json sweep against
+// the checked-in BENCH_broker.json baseline and exits non-zero when a
+// guarded metric regressed beyond tolerance — the CI tripwire that
+// keeps fences/msg and tail latency from quietly creeping up.
+//
+// Rows are matched by their workload dimensions (topics, shards,
+// heaps, producers, consumers, batch, dbatch, payload, ack, abatch,
+// pipeline, poller, pgap_ns, kills, churn); rows decode generically,
+// so a baseline written before a dimension existed matches candidates
+// where the new dimension is zero. Guarded metrics:
+//
+//   - prod_fences_per_msg, cons_fences_per_msg, ack_fences_per_msg:
+//     fail when candidate > baseline*(1+fence-tol) + 0.02. Fence
+//     ratios are nearly deterministic per workload, so the tolerance
+//     is tight.
+//   - soj_p99_us (publish sojourn p99, the tail-latency headline):
+//     guarded *within the candidate sweep*, not against the baseline.
+//     For every idle cell (pgap_ns > 0) with abatch=1, the matching
+//     abatch=0 cell from the same sweep must have a worse p99:
+//     adaptive <= fixed * tail-factor. Comparing two cells of one run
+//     self-normalizes the machine's scheduler noise, which makes
+//     absolute cross-run quantile comparison useless (the same cell
+//     honestly varies 0.5ms–13ms between runs), while the regression
+//     this exists to catch — losing adaptive batching on an idle
+//     topic — is structural: fixed windows hold messages for ~7
+//     arrival gaps (36ms at the baseline settings), far above any
+//     noise-smeared adaptive tail observed (13ms). The per-op
+//     pub_p99_us is NOT guarded: idle cells collect too few op
+//     samples for a stable p99.
+//
+// Baseline rows missing from the candidate are an error (the sweep
+// shrank: the guard would silently stop guarding them); extra
+// candidate rows are ignored.
+//
+// Example (the CI step):
+//
+//	go run ./cmd/brokerbench <baseline flags> -json > sweep.json
+//	go run ./cmd/benchguard -baseline BENCH_broker.json -candidate sweep.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// dimKeys are the workload dimensions that identify a sweep cell.
+// Absent keys read as 0, so old baselines match new sweeps where the
+// added dimension is off.
+var dimKeys = []string{
+	"topics", "shards", "heaps", "producers", "consumers",
+	"batch", "dbatch", "payload", "ack",
+	"abatch", "pipeline", "poller", "pgap_ns",
+	"kills", "churn",
+}
+
+type sweep struct {
+	Rows []map[string]any `json:"rows"`
+}
+
+func load(path string) ([]map[string]any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s sweep
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return s.Rows, nil
+}
+
+func num(r map[string]any, k string) float64 {
+	if v, ok := r[k].(float64); ok {
+		return v
+	}
+	return 0
+}
+
+func key(r map[string]any) string {
+	parts := make([]string, len(dimKeys))
+	for i, k := range dimKeys {
+		parts[i] = fmt.Sprintf("%s=%g", k, num(r, k))
+	}
+	return strings.Join(parts, " ")
+}
+
+func main() {
+	var (
+		basePath   = flag.String("baseline", "BENCH_broker.json", "checked-in baseline sweep (brokerbench -json)")
+		candPath   = flag.String("candidate", "sweep.json", "fresh sweep to judge (brokerbench -json)")
+		fenceTol   = flag.Float64("fence-tol", 0.15, "relative tolerance on fences/msg metrics")
+		tailFactor = flag.Float64("tail-factor", 0.75, "idle adaptive sojourn p99 must be <= fixed p99 times this")
+	)
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := load(*candPath)
+	if err != nil {
+		fatal(err)
+	}
+	candBy := make(map[string]map[string]any, len(cand))
+	for _, r := range cand {
+		candBy[key(r)] = r
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	checked := 0
+	var keys []string
+	rowBy := make(map[string]map[string]any, len(base))
+	for _, b := range base {
+		k := key(b)
+		keys = append(keys, k)
+		rowBy[k] = b
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := rowBy[k]
+		c, ok := candBy[k]
+		if !ok {
+			fail("row missing from candidate sweep: %s", k)
+			continue
+		}
+		checked++
+		for _, m := range []string{"prod_fences_per_msg", "cons_fences_per_msg", "ack_fences_per_msg"} {
+			bv, cv := num(b, m), num(c, m)
+			if limit := bv*(1+*fenceTol) + 0.02; cv > limit {
+				fail("%s regressed: %.4f -> %.4f (limit %.4f) at %s", m, bv, cv, limit, k)
+			}
+		}
+	}
+
+	// Tail guard: within the candidate sweep, every idle adaptive cell
+	// must beat its fixed-window twin on sojourn p99.
+	tailPairs := 0
+	for _, c := range cand {
+		if num(c, "pgap_ns") <= 0 || num(c, "abatch") != 1 {
+			continue
+		}
+		twin := make(map[string]any, len(c))
+		for _, dk := range dimKeys {
+			twin[dk] = num(c, dk)
+		}
+		twin["abatch"] = float64(0)
+		f, ok := candBy[key(twin)]
+		if !ok {
+			continue // sweep has no fixed twin for this cell
+		}
+		tailPairs++
+		av, fv := num(c, "soj_p99_us"), num(f, "soj_p99_us")
+		if av > fv**tailFactor {
+			fail("idle adaptive soj_p99_us %.1fµs not <= %.0f%% of fixed %.1fµs at %s",
+				av, *tailFactor*100, fv, key(c))
+		}
+	}
+	if tailPairs == 0 {
+		fail("no idle adaptive/fixed cell pairs in candidate sweep: tail guard did not run")
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) across %d checked row(s):\n", len(failures), checked)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, " -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d rows within fence tolerance %.0f%%, %d idle tail pair(s) within factor %.2f\n",
+		checked, *fenceTol*100, tailPairs, *tailFactor)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -19,9 +19,23 @@
 // ack — in microseconds; without the flag the latency columns are
 // zero in -csv/-json and omitted from the table.
 //
+// The tail-latency dimensions sweep like -ack: -abatch swaps the fixed
+// publish/drain window sizes for AIMD policies adapting between 1 and
+// batch/dbatch, -pipeline defers each publish window's fence into the
+// next flush (and, with -poller in ack cells, acks via AckAsync), and
+// -poller runs consumers as backoff event loops instead of busy
+// spinners. -pgap spaces producer arrivals to model an idle topic; any
+// non-zero gap routes producers through the buffering Publisher so the
+// soj-µs columns — the publish *sojourn* from a message's arrival to
+// its durable acknowledgment, reported regardless of -latency — show
+// what batching policy does to an idle topic's tail.
+//
 // Examples:
 //
 //	brokerbench -shards 1,2,4,8 -batch 1,16 -dbatch 1,8
+//	brokerbench -batch 8 -dbatch 8 -abatch 0,1 -pgap 200000  # idle tail: fixed vs adaptive
+//	brokerbench -batch 8 -pipeline 0,1           # pipelined persists
+//	brokerbench -ack 1 -poller 1 -pipeline 1     # event-loop consumers, async acks
 //	brokerbench -heaps 1,2,4              # sweep NVRAM domains
 //	brokerbench -heaps 2 -affine          # heap-affine consumers
 //	brokerbench -heaps 2 -heaplat 100,300  # asymmetric NUMA: per-heap fence ns
@@ -33,7 +47,7 @@
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
 //	brokerbench -latency                 # per-op p50/p99/p999 latency columns
 //	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
-//	brokerbench -shards 4 -heaps 1,2 -ack 0,1 -dyntopics 2 -duration 300ms -latency -json > BENCH_broker.json # refresh the repo baseline
+//	brokerbench -shards 4 -heaps 2 -heaplat 120,480 -batch 8 -dbatch 8 -consumers 3 -ack 0,1 -abatch 0,1 -pipeline 0,1 -poller 0,1 -pgap 0,200000 -dyntopics 2 -duration 250ms -latency -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
@@ -61,6 +75,10 @@ type row struct {
 	DequeueBatch      int     `json:"dbatch"`
 	Payload           int     `json:"payload"`
 	Ack               int     `json:"ack"`
+	AdaptiveBatch     int     `json:"abatch"`
+	Pipeline          int     `json:"pipeline"`
+	Poller            int     `json:"poller"`
+	ProduceGapNs      int64   `json:"pgap_ns"`
 	Kills             int     `json:"kills"`
 	Churn             int     `json:"churn"`
 	DynTopics         int     `json:"dyn_topics"`
@@ -78,6 +96,16 @@ type row struct {
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
 	HeapImbalance     float64 `json:"heap_imbalance"`
 	DynFencesPerNew   float64 `json:"dyn_fences_per_create"`
+	PollerSleeps      uint64  `json:"poller_sleeps"`
+	PollerWakes       uint64  `json:"poller_wakes"`
+
+	// Publish sojourn (arrival → durable acknowledgment) quantiles in
+	// microseconds — the tail a client of the topic experiences,
+	// including Publisher buffering and pipelined acknowledgment lag.
+	// Measured by the harness itself, so present without -latency.
+	SojP50Us  float64 `json:"soj_p50_us"`
+	SojP99Us  float64 `json:"soj_p99_us"`
+	SojP999Us float64 `json:"soj_p999_us"`
 
 	// Per-op latency quantiles in microseconds, zero without -latency
 	// (the columns stay in the CSV/JSON shape either way, so baselines
@@ -104,6 +132,10 @@ func main() {
 		batchF    = flag.String("batch", "1,16", "comma-separated publish batch sizes to sweep")
 		dbatchF   = flag.String("dbatch", "1,8", "comma-separated dequeue (poll) batch sizes to sweep")
 		ackF      = flag.String("ack", "0", "comma-separated ack modes to sweep (0 = at-least-once, 1 = acked/leased delivery)")
+		abatchF   = flag.String("abatch", "0", "comma-separated adaptive-batch modes to sweep (0 = fixed windows, 1 = AIMD)")
+		pipeF     = flag.String("pipeline", "0", "comma-separated pipeline modes to sweep (0 = fence per flush, 1 = fence deferred into next flush)")
+		pollerF   = flag.String("poller", "0", "comma-separated consumer modes to sweep (0 = busy poll loop, 1 = backoff event loop)")
+		pgapF     = flag.String("pgap", "0", "comma-separated ns between message arrivals per producer to sweep (0 = saturating; >0 models an idle topic)")
 		kills     = flag.Int("kills", 0, "consumers killed mid-run in ack cells (redeliveries via lease takeover)")
 		churn     = flag.Int("churn", 0, "membership-churn cycles in ack cells (stall + forced split or work-stealing; needs >= 2 consumers)")
 		dyn       = flag.Int("dyntopics", 0, "topics created on the live broker mid-run (fences/create in the dyn column)")
@@ -141,6 +173,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	abatchModes, err := parseInts(*abatchF)
+	if err != nil {
+		fatal(err)
+	}
+	pipeModes, err := parseInts(*pipeF)
+	if err != nil {
+		fatal(err)
+	}
+	pollerModes, err := parseInts(*pollerF)
+	if err != nil {
+		fatal(err)
+	}
+	pgaps, err := parseInts(*pgapF)
+	if err != nil {
+		fatal(err)
+	}
 	lat := pmem.DefaultLatency()
 	lat.FenceNs = *fenceNs
 	var heapLat []int64
@@ -155,13 +203,13 @@ func main() {
 	}
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,kills,churn,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,abatch,pipeline,poller,pgap_ns,kills,churn,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,poller_sleeps,poller_wakes,soj_p50_us,soj_p99_us,soj_p999_us,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d heaplat=%q latency=%v duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *heaplatF, *latency, *duration)
-		fmt.Printf("%7s %6s %6s %7s %4s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s",
-			"shards", "heaps", "batch", "dbatch", "ack", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create")
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d heaplat=%q pgap=%q latency=%v duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *heaplatF, *pgapF, *latency, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %8s %9s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s %20s",
+			"shards", "heaps", "batch", "dbatch", "ack", "ab/pl/po", "pgap-ns", "published", "delivered", "Mops",
+			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create", "soj-µs(50/99/999)")
 		if *latency {
 			fmt.Printf(" %20s %20s %20s", "pub-µs(50/99/999)", "poll-µs(50/99/999)", "ack-µs(50/99/999)")
 		}
@@ -173,86 +221,118 @@ func main() {
 			for _, batch := range batches {
 				for _, dbatch := range dbatches {
 					for _, ack := range ackModes {
-						cellKills, cellChurn := 0, 0
-						if ack != 0 {
-							cellKills = *kills
-							cellChurn = *churn
-						}
-						r, err := harness.RunBroker(harness.BrokerConfig{
-							Topics:       *topics,
-							Shards:       shards,
-							Heaps:        heaps,
-							Affine:       *affine,
-							Producers:    *producers,
-							Consumers:    *consumers,
-							Batch:        batch,
-							DequeueBatch: dbatch,
-							Payload:      *payload,
-							Ack:          ack != 0,
-							Kills:        cellKills,
-							Churn:        cellChurn,
-							DynTopics:    *dyn,
-							Duration:     *duration,
-							HeapBytes:    *heapMB << 20,
-							Latency:      lat,
-							HeapFenceNs:  heapLat,
-							Observe:      *latency,
-						})
-						if err != nil {
-							fatal(err)
-						}
-						c := row{
-							Topics: r.Topics, Shards: r.Shards, Heaps: r.Heaps,
-							Producers: r.Producers, Consumers: r.Consumers,
-							Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
-							Kills: r.Kills, Churn: r.Churn,
-							DynTopics: int(r.DynTopics),
-							Published: r.Published, Delivered: r.Delivered,
-							Mops:              round3(r.Mops()),
-							ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
-							ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
-							AckFencesPerMsg:   round4(r.AckFencesPerMsg()),
-							RedeliveryRate:    round4(r.RedeliveryRate()),
-							FencedAcks:        r.FencedAcks,
-							Reassigned:        r.Reassigned,
-							Stolen:            r.Stolen,
-							Scans:             r.Scans,
-							IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
-							HeapImbalance:     round3(r.HeapImbalance()),
-							DynFencesPerNew:   round3(r.DynFencesPerCreate()),
-						}
-						if r.Ack {
-							c.Ack = 1
-						}
-						if *latency {
-							c.PubP50Us, c.PubP99Us, c.PubP999Us = usQuantiles(r.PublishQuantiles())
-							c.PollP50Us, c.PollP99Us, c.PollP999Us = usQuantiles(r.PollQuantiles())
-							c.AckP50Us, c.AckP99Us, c.AckP999Us = usQuantiles(r.AckQuantiles())
-						}
-						rows = append(rows, c)
-						if *csvOut {
-							fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
-								c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
-								c.Ack, c.Kills, c.Churn, c.DynTopics, c.Published, c.Delivered, c.Mops,
-								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
-								c.FencedAcks, c.Reassigned, c.Stolen, c.Scans,
-								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
-								c.PubP50Us, c.PubP99Us, c.PubP999Us,
-								c.PollP50Us, c.PollP99Us, c.PollP999Us,
-								c.AckP50Us, c.AckP99Us, c.AckP999Us)
-						} else if !*jsonOut {
-							fmt.Printf("%7d %6d %6d %7d %4d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f",
-								c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack, c.Published, c.Delivered, c.Mops,
-								c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
-								fmt.Sprintf("%d/%d/%d", c.FencedAcks, c.Reassigned, c.Stolen),
-								c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew)
-							if *latency {
-								fmt.Printf(" %20s %20s %20s",
-									latCell(c.PubP50Us, c.PubP99Us, c.PubP999Us),
-									latCell(c.PollP50Us, c.PollP99Us, c.PollP999Us),
-									latCell(c.AckP50Us, c.AckP99Us, c.AckP999Us))
+						for _, abatch := range abatchModes {
+							for _, pipe := range pipeModes {
+								for _, poller := range pollerModes {
+									for _, pg := range pgaps {
+										cellKills, cellChurn := 0, 0
+										if ack != 0 && poller == 0 {
+											cellKills = *kills
+											cellChurn = *churn
+										}
+										r, err := harness.RunBroker(harness.BrokerConfig{
+											Topics:        *topics,
+											Shards:        shards,
+											Heaps:         heaps,
+											Affine:        *affine,
+											Producers:     *producers,
+											Consumers:     *consumers,
+											Batch:         batch,
+											DequeueBatch:  dbatch,
+											Payload:       *payload,
+											Ack:           ack != 0,
+											Kills:         cellKills,
+											Churn:         cellChurn,
+											AdaptiveBatch: abatch != 0,
+											Pipeline:      pipe != 0,
+											Poller:        poller != 0,
+											ProduceGapNs:  int64(pg),
+											DynTopics:     *dyn,
+											Duration:      *duration,
+											HeapBytes:     *heapMB << 20,
+											Latency:       lat,
+											HeapFenceNs:   heapLat,
+											Observe:       *latency,
+										})
+										if err != nil {
+											fatal(err)
+										}
+										c := row{
+											Topics: r.Topics, Shards: r.Shards, Heaps: r.Heaps,
+											Producers: r.Producers, Consumers: r.Consumers,
+											Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
+											ProduceGapNs: r.ProduceGapNs,
+											Kills:        r.Kills, Churn: r.Churn,
+											DynTopics: int(r.DynTopics),
+											Published: r.Published, Delivered: r.Delivered,
+											Mops:              round3(r.Mops()),
+											ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
+											ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
+											AckFencesPerMsg:   round4(r.AckFencesPerMsg()),
+											RedeliveryRate:    round4(r.RedeliveryRate()),
+											FencedAcks:        r.FencedAcks,
+											Reassigned:        r.Reassigned,
+											Stolen:            r.Stolen,
+											Scans:             r.Scans,
+											IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
+											HeapImbalance:     round3(r.HeapImbalance()),
+											DynFencesPerNew:   round3(r.DynFencesPerCreate()),
+											PollerSleeps:      r.PollerSleeps,
+											PollerWakes:       r.PollerWakes,
+										}
+										if r.Ack {
+											c.Ack = 1
+										}
+										if r.AdaptiveBatch {
+											c.AdaptiveBatch = 1
+										}
+										if r.Pipeline {
+											c.Pipeline = 1
+										}
+										if r.Poller {
+											c.Poller = 1
+										}
+										c.SojP50Us, c.SojP99Us, c.SojP999Us = usQuantiles(
+											r.PubSojournP50Ns, r.PubSojournP99Ns, r.PubSojournP999Ns)
+										if *latency {
+											c.PubP50Us, c.PubP99Us, c.PubP999Us = usQuantiles(r.PublishQuantiles())
+											c.PollP50Us, c.PollP99Us, c.PollP999Us = usQuantiles(r.PollQuantiles())
+											c.AckP50Us, c.AckP99Us, c.AckP999Us = usQuantiles(r.AckQuantiles())
+										}
+										rows = append(rows, c)
+										if *csvOut {
+											fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+												c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
+												c.Ack, c.AdaptiveBatch, c.Pipeline, c.Poller, c.ProduceGapNs,
+												c.Kills, c.Churn, c.DynTopics, c.Published, c.Delivered, c.Mops,
+												c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
+												c.FencedAcks, c.Reassigned, c.Stolen, c.Scans,
+												c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
+												c.PollerSleeps, c.PollerWakes,
+												c.SojP50Us, c.SojP99Us, c.SojP999Us,
+												c.PubP50Us, c.PubP99Us, c.PubP999Us,
+												c.PollP50Us, c.PollP99Us, c.PollP999Us,
+												c.AckP50Us, c.AckP99Us, c.AckP999Us)
+										} else if !*jsonOut {
+											fmt.Printf("%7d %6d %6d %7d %4d %8s %9d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f %20s",
+												c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack,
+												fmt.Sprintf("%d/%d/%d", c.AdaptiveBatch, c.Pipeline, c.Poller),
+												c.ProduceGapNs, c.Published, c.Delivered, c.Mops,
+												c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
+												fmt.Sprintf("%d/%d/%d", c.FencedAcks, c.Reassigned, c.Stolen),
+												c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
+												latCell(c.SojP50Us, c.SojP99Us, c.SojP999Us))
+											if *latency {
+												fmt.Printf(" %20s %20s %20s",
+													latCell(c.PubP50Us, c.PubP99Us, c.PubP999Us),
+													latCell(c.PollP50Us, c.PollP99Us, c.PollP999Us),
+													latCell(c.AckP50Us, c.AckP99Us, c.AckP999Us))
+											}
+											fmt.Println()
+										}
+									}
+								}
 							}
-							fmt.Println()
 						}
 					}
 				}
@@ -268,6 +348,7 @@ func main() {
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
 				"payload": *payload, "affine": *affine, "kills": *kills,
 				"churn": *churn, "dyntopics": *dyn, "heaplat": *heaplatF,
+				"pgap":     *pgapF,
 				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
 			"rows": rows,
@@ -284,6 +365,9 @@ func main() {
 		fmt.Println(" of deliveries that were redeliveries after -kills lease takeovers.")
 		fmt.Println(" churn(f/r/s): stale-epoch acks refused / shards force-reassigned /")
 		fmt.Println(" shards work-stolen across the -churn membership cycles.")
+		fmt.Println(" ab/pl/po: the tail-latency modes — adaptive batch / pipelined persists /")
+		fmt.Println(" event-loop poller. soj-µs: publish sojourn (arrival → durable ack)")
+		fmt.Println(" p50/p99/p999 — the idle-topic tail adaptive batching attacks.")
 		fmt.Println(" idle-f/poll: persists per all-empty poll — ~0 with empty-poll fence")
 		fmt.Println(" elision. heap-imbal: busiest heap's persist traffic over the per-heap")
 		fmt.Println(" mean — 1.0 is perfectly balanced placement. dyn-f/create: blocking")

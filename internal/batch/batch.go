@@ -1,0 +1,105 @@
+// Package batch provides pluggable batch-size policies for the
+// broker's producers and consumers.
+//
+// Batch size is the central latency/throughput dial of a durable
+// queue: a batch of n messages rides one fence, so large batches
+// amortize the ordered-persist cost (fences per message ~ 1/n) while
+// small batches bound how long a message waits for its covering fence.
+// The right size therefore depends on load. A Policy observes how full
+// each window actually was and picks the size for the next one; the
+// broker threads one policy instance per producer (flush threshold)
+// and per consumer (PollBatch drain size).
+//
+// Policies are deliberately single-owner state machines: each instance
+// belongs to exactly one goroutine (the producer or consumer it
+// steers), so Size and Observe need no synchronization and cost a few
+// arithmetic instructions — nothing on the persist path.
+package batch
+
+// Policy picks the batch (or drain) size for the next window and
+// learns from how the previous one went. Implementations are not safe
+// for concurrent use; give each producer/consumer its own instance.
+type Policy interface {
+	// Size returns the number of messages the next window should aim
+	// for. Always >= 1.
+	Size() int
+	// Observe reports how many messages the previous window actually
+	// carried: a window that filled to Size suggests backlog (grow), a
+	// short or empty one suggests idleness (shrink).
+	Observe(got int)
+}
+
+// Fixed is the trivial policy: every window targets N messages,
+// feedback is ignored. It reproduces the pre-adaptive behaviour of the
+// -batch / -dbatch knobs and serves as the experimental control.
+type Fixed struct{ N int }
+
+// Size returns the fixed target (at least 1).
+func (f Fixed) Size() int {
+	if f.N < 1 {
+		return 1
+	}
+	return f.N
+}
+
+// Observe ignores feedback.
+func (Fixed) Observe(int) {}
+
+// AIMD adapts the window size by additive increase, multiplicative
+// decrease — TCP's congestion dial pointed at fence amortization
+// instead of packet loss. Full windows (got >= size) are evidence of
+// backlog: grow linearly toward Max so a loaded queue converges to
+// max-sized batches and minimal fences/msg. Short windows are evidence
+// of idleness: halve toward Min so an idle queue converges to
+// per-message windows and minimal latency. The asymmetry (slow up,
+// fast down) keeps the tail short: one quiet window is enough to stop
+// holding messages hostage to a big batch.
+type AIMD struct {
+	Min, Max int // size bounds; Min >= 1
+	Step     int // additive increase per full window (default 1)
+
+	size int
+}
+
+// NewAIMD returns an AIMD policy bounded to [min, max], starting at
+// min (assume idle until the queue proves otherwise).
+func NewAIMD(min, max int) *AIMD {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &AIMD{Min: min, Max: max, Step: 1, size: min}
+}
+
+// Size returns the current window target.
+func (a *AIMD) Size() int {
+	if a.size < a.Min {
+		a.size = a.Min
+	}
+	return a.size
+}
+
+// Observe applies the AIMD update for a window that carried got
+// messages.
+func (a *AIMD) Observe(got int) {
+	step := a.Step
+	if step < 1 {
+		step = 1
+	}
+	if got >= a.Size() {
+		a.size += step
+		if a.size > a.Max {
+			a.size = a.Max
+		}
+		return
+	}
+	a.size /= 2
+	if a.size < got {
+		a.size = got // don't undershoot a load level we just saw
+	}
+	if a.size < a.Min {
+		a.size = a.Min
+	}
+}

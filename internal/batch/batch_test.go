@@ -1,0 +1,81 @@
+package batch
+
+import "testing"
+
+func TestFixedClampsToOne(t *testing.T) {
+	if got := (Fixed{N: 0}).Size(); got != 1 {
+		t.Fatalf("Fixed{0}.Size() = %d, want 1", got)
+	}
+	if got := (Fixed{N: 8}).Size(); got != 8 {
+		t.Fatalf("Fixed{8}.Size() = %d, want 8", got)
+	}
+}
+
+// An AIMD policy fed full windows must climb to Max and stay there —
+// the loaded regime where fences/msg matters most.
+func TestAIMDGrowsToMaxUnderLoad(t *testing.T) {
+	p := NewAIMD(1, 64)
+	for i := 0; i < 200; i++ {
+		p.Observe(p.Size()) // every window fills
+	}
+	if p.Size() != 64 {
+		t.Fatalf("after sustained full windows Size() = %d, want 64", p.Size())
+	}
+	p.Observe(64)
+	if p.Size() != 64 {
+		t.Fatalf("Size() exceeded Max: %d", p.Size())
+	}
+}
+
+// Fed empty windows it must collapse to Min quickly — the idle regime
+// where latency matters most. Multiplicative decrease means the
+// collapse takes O(log Max) windows, not O(Max).
+func TestAIMDShrinksToMinWhenIdle(t *testing.T) {
+	p := NewAIMD(1, 64)
+	for i := 0; i < 200; i++ {
+		p.Observe(p.Size())
+	}
+	steps := 0
+	for p.Size() > 1 {
+		p.Observe(0)
+		steps++
+		if steps > 10 {
+			t.Fatalf("AIMD did not collapse to Min within 10 empty windows (stuck at %d)", p.Size())
+		}
+	}
+	if steps > 7 { // log2(64) + slack
+		t.Fatalf("collapse took %d windows, want multiplicative (<= 7)", steps)
+	}
+}
+
+// A short-but-nonzero window must not shrink below the observed load:
+// halving 64 -> 32 on a 40-message window would immediately refill.
+func TestAIMDDoesNotUndershootObservedLoad(t *testing.T) {
+	p := NewAIMD(1, 64)
+	for i := 0; i < 200; i++ {
+		p.Observe(p.Size())
+	}
+	p.Observe(40)
+	if p.Size() != 40 {
+		t.Fatalf("after a 40-message short window Size() = %d, want 40", p.Size())
+	}
+}
+
+func TestAIMDRespectsBounds(t *testing.T) {
+	p := NewAIMD(4, 16)
+	if p.Size() != 4 {
+		t.Fatalf("fresh policy starts at %d, want Min=4", p.Size())
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(0)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("Size() fell below Min: %d", p.Size())
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(p.Size())
+	}
+	if p.Size() != 16 {
+		t.Fatalf("Size() = %d, want Max=16", p.Size())
+	}
+}

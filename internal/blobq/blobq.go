@@ -313,6 +313,27 @@ func (q *Queue) EnqueueBatch(tid int, payloads [][]byte) {
 	q.h.Fence(tid) // the batch's single blocking persist
 }
 
+// EnqueueBatchUnfenced is the issue phase of EnqueueBatch alone —
+// every blob is sealed, linked and asynchronously flushed, with the
+// blocking SFENCE left to the caller. See the fixed-queue counterpart
+// (queues.OptUnlinkedQ.EnqueueBatchUnfenced) for the per-thread
+// ordering soundness argument; it transfers verbatim because blob
+// recovery likewise sorts surviving sealed nodes by index, accepts
+// gaps, and drops unsealed or unfenced suffixes as unacknowledged.
+// The caller must issue a covering Fence with the same tid before
+// reporting the batch acknowledged.
+func (q *Queue) EnqueueBatchUnfenced(tid int, payloads [][]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	q.nodes.Enter(tid)
+	defer q.nodes.Exit(tid)
+	for _, payload := range payloads {
+		tail, vn := q.enqueueOne(tid, payload)
+		q.tail.CompareAndSwap(tail, vn)
+	}
+}
+
 // dequeueOne CASes the head past the oldest node without persisting.
 // On success it returns the node holding the payload and the unlinked
 // previous head (to retire after a covering persist); on an empty

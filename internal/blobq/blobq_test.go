@@ -616,3 +616,52 @@ func TestAckedFenceAccounting(t *testing.T) {
 		t.Fatalf("redundant ack issued fences=%d ntstores=%d, want 0/0", d.Fences, d.NTStores)
 	}
 }
+
+// TestEnqueueBatchUnfencedPipeline pins the pipelined publish
+// primitive for blob payloads: the issue phase costs zero fences, a
+// later caller-side Fence acknowledges every window issued before it,
+// and the issue/fence split preserves both FIFO content and the total
+// fence count.
+func TestEnqueueBatchUnfencedPipeline(t *testing.T) {
+	h := newHeap(pmem.ModePerf)
+	q := New(h, Config{Threads: 1, MaxPayload: 64})
+	for i := 0; i < 100; i++ { // warm the node arenas past area creation
+		q.Enqueue(0, payloadFor(uint64(i), 24))
+	}
+	for i := 0; i < 100; i++ {
+		q.Dequeue(0)
+	}
+	const windows, wsize = 6, 5
+	mk := func(w int) [][]byte {
+		ps := make([][]byte, wsize)
+		for i := range ps {
+			ps[i] = payloadFor(uint64(1000+w*wsize+i), 33)
+		}
+		return ps
+	}
+
+	before := h.TotalStats()
+	q.EnqueueBatchUnfenced(0, mk(0))
+	if d := h.TotalStats().Sub(before); d.Fences != 0 {
+		t.Fatalf("EnqueueBatchUnfenced issued %d fences, want 0 (issue phase only)", d.Fences)
+	}
+	before = h.TotalStats()
+	for w := 1; w < windows; w++ {
+		q.EnqueueBatchUnfenced(0, mk(w))
+		h.Fence(0)
+	}
+	h.Fence(0)
+	if d := h.TotalStats().Sub(before); d.Fences != windows {
+		t.Fatalf("pipelined schedule paid %d fences for %d windows, want equal (count parity)",
+			d.Fences, windows)
+	}
+	for i := 0; i < windows*wsize; i++ {
+		p, ok := q.Dequeue(0)
+		if !ok || !bytes.Equal(p, payloadFor(uint64(1000+i), 33)) {
+			t.Fatalf("dequeue %d mismatched (ok=%v)", i, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue not empty after draining all windows")
+	}
+}

@@ -48,10 +48,27 @@
 // member's leases alive at zero persist cost when its durable
 // deadlines still cover the TTL (see membership.go).
 //
+// The tail-latency layer rides on the same paths without changing
+// their contracts. Topic.NewPublisher buffers payloads into
+// batch.Policy-sized windows (Fixed, or AIMD adapting between
+// per-message and max-batch from arrival rate and fill), each window
+// one batch publish — one fence — and under PublisherConfig.Pipeline
+// the window's fence is deferred into the next flush so the
+// write-pending queue drains while the producer keeps working
+// (acknowledgment trails by one window; fence count is unchanged).
+// Consumer.AckAsync defers an acknowledgment's covering fence the same
+// way, traded against a documented at-least-once window on crash or
+// takeover during the deferral. Poller services a consumer as a
+// level-triggered event loop — drain everything ready, then park on an
+// exponentially backed-off timer — so idle consumers cost ~0 CPU and
+// ~0 persists instead of a spinning core (see poller.go).
+//
 // Durability contract: a publish is acknowledged when the call
 // returns; from that point the message survives any crash of any
 // subset of the heap set (the set shares one power supply, so a crash
-// on one domain downs them all). The durable catalog, anchored at
+// on one domain downs them all). With a pipelined Publisher the
+// acknowledgment is the int returned by Publish/Flush — the same
+// guarantee, reported one window later. The durable catalog, anchored at
 // heap 0's root slot 0, records every topic's name, shard count,
 // payload kind and every shard's (heapID, baseSlot) placement; every
 // other member heap carries a membership stamp so recovery can tell a
@@ -242,6 +259,22 @@ func (s *shard) publishBatch(tid int, ps [][]byte) {
 		return
 	}
 	s.blob.EnqueueBatch(tid, ps)
+}
+
+// publishBatchUnfenced issues the batch's stores and asynchronous
+// flushes but leaves the blocking fence to the caller (the pipelined
+// publish path — see Publisher). The batch must not be reported
+// acknowledged until the caller fences tid on this shard's heap.
+func (s *shard) publishBatchUnfenced(tid int, ps [][]byte) {
+	if s.fixed != nil {
+		vs := make([]uint64, len(ps))
+		for i, p := range ps {
+			vs[i] = binary.LittleEndian.Uint64(p)
+		}
+		s.fixed.EnqueueBatchUnfenced(tid, vs)
+		return
+	}
+	s.blob.EnqueueBatchUnfenced(tid, ps)
 }
 
 func (s *shard) consume(tid int) ([]byte, bool) {

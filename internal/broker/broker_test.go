@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/pmem"
 )
 
@@ -454,6 +455,19 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch, heaps int) {
 			start.Wait()
 			rng := rand.New(rand.NewSource(seed*997 + int64(p)))
 			events, jobs := b.Topic("events"), b.Topic("jobs")
+			// The pipelined arm: windows issue unfenced and acknowledge
+			// one flush late, so `issued` tracks ids whose covering fence
+			// is still owed. A crash discards them (they were never
+			// acknowledged; whatever landed durably is recovered, which
+			// the audit allows).
+			pub := events.NewPublisher(p, PublisherConfig{
+				Policy: batch.NewAIMD(1, 8), Pipeline: true,
+			})
+			var issued []uint64
+			ackN := func(n int) {
+				acked[p] = append(acked[p], issued[:n]...)
+				issued = issued[n:]
+			}
 			// Each iteration publishes ids in increasing order before
 			// minting the next, so every shard sees any one producer's
 			// messages with ascending ids — the FIFO the audit checks.
@@ -463,11 +477,15 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch, heaps int) {
 				// than a preemption quantum.
 				runtime.Gosched()
 				id := uint64(p+1)<<32 | m
-				switch rng.Intn(4) {
-				case 0: // fixed-topic publish
-					if pmem.Protect(func() { events.Publish(p, U64(id)) }) {
+				switch rng.Intn(5) {
+				case 0: // fixed-topic publish (after draining the pipeline:
+					// a buffered window holds earlier ids, and publishing id
+					// directly before they land would break per-shard FIFO)
+					n := 0
+					if pmem.Protect(func() { n = pub.Flush(); events.Publish(p, U64(id)) }) {
 						return
 					}
+					ackN(n)
 					acked[p] = append(acked[p], id)
 					m++
 				case 1: // keyed publish
@@ -476,6 +494,17 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch, heaps int) {
 					}
 					acked[p] = append(acked[p], id)
 					m++
+				case 2: // pipelined adaptive burst, acked one window late
+					for burst := 0; burst < 8 && m <= perProducer; burst++ {
+						id := uint64(p+1)<<32 | m
+						n := 0
+						if pmem.Protect(func() { n = pub.Publish(U64(id)) }) {
+							return
+						}
+						issued = append(issued, id)
+						ackN(n)
+						m++
+					}
 				default: // batch of consecutive ids, acked as a whole
 					var batch [][]byte
 					var ids []uint64
@@ -489,6 +518,16 @@ func brokerCrashRound(t *testing.T, seed int64, dequeueBatch, heaps int) {
 					}
 					acked[p] = append(acked[p], ids...)
 				}
+			}
+			// Drain the pipeline: after Flush every issued id is durably
+			// acknowledged.
+			n := 0
+			if pmem.Protect(func() { n = pub.Flush() }) {
+				return
+			}
+			ackN(n)
+			if len(issued) != 0 {
+				panic(fmt.Sprintf("publisher Flush left %d ids unacknowledged", len(issued)))
 			}
 		}(p)
 	}

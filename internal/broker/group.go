@@ -1,13 +1,26 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// ErrNotQuiescent reports a plain-group Subscribe attempted while a
+// member was inside Poll or PollBatch. The plain poll path reads
+// member assignments without locks (that is what makes an idle plain
+// poll free), so Subscribe-while-polling would be a data race;
+// detection turns the race into this typed refusal. Detection is
+// best-effort in the way that matters: a poll *observed* in flight is
+// always refused, so a caller that retries until success and itself
+// guarantees no *new* polls start (the documented quiescence contract)
+// is safe.
+var ErrNotQuiescent = errors.New("broker: plain group not quiescent (member inside Poll/PollBatch)")
 
 // Message is one delivered payload with its provenance.
 type Message struct {
@@ -302,15 +315,27 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 // assignments without locks (that is what makes an idle plain poll
 // free); Subscribe on a polling plain group is a data race with
 // undefined results, exactly like calling pmem stats readers on
-// running threads. The package tests exercise the acked half of the
-// contract (Subscribe-while-polling with lag gauges); nothing can
-// make the plain half safe short of locking the hot path.
+// running threads. Subscribe enforces the contract as far as it can
+// see: a plain-group Subscribe that observes any member inside
+// Poll/PollBatch refuses with ErrNotQuiescent instead of racing. The
+// detection is one-sided — it cannot stop a poll that *starts* after
+// the check — so the caller must still guarantee members stay
+// stopped, but a violation now fails loudly instead of corrupting
+// assignments. Nothing can make the plain half fully safe short of
+// locking the hot path.
 func (g *Group) Subscribe(tid int, topicNames ...string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, c := range g.consumers {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+	}
+	if !g.leased {
+		for _, c := range g.consumers {
+			if c.polling.Load() != 0 {
+				return fmt.Errorf("%w: member %d", ErrNotQuiescent, c.id)
+			}
+		}
 	}
 	call := map[string]bool{}
 	for _, name := range topicNames {
@@ -433,6 +458,17 @@ type Consumer struct {
 	// learns it lost ownership before any of its state reaches the
 	// durable frontier. See membership.go.
 	fenced []fencedShard
+
+	// polling counts in-flight plain Poll/PollBatch calls. It exists
+	// only so a plain-group Subscribe can detect a concurrent poll and
+	// refuse with ErrNotQuiescent; the cost on the hot path is one
+	// uncontended atomic add/sub on a line this member owns.
+	polling atomic.Int32
+
+	// asyncAcks lists the shards holding this member's unfenced ack
+	// NTStores (AckAsync): the covering fence is owed and will be paid
+	// by the next acknowledgment-path op or DrainAcks.
+	asyncAcks []*shard
 }
 
 // Assigned lists the shards this member owns.
@@ -482,6 +518,8 @@ func (c *Consumer) Poll(tid int) (Message, bool) {
 		}
 		return ms[0], true
 	}
+	c.polling.Add(1)
+	defer c.polling.Add(-1)
 	o := c.g.b.obs
 	var start int64
 	if o != nil {
@@ -542,6 +580,8 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 		defer c.mu.Unlock()
 		return c.pollLeased(tid, max)
 	}
+	c.polling.Add(1)
+	defer c.polling.Add(-1)
 	if max <= 0 || len(c.refs) == 0 {
 		return nil
 	}
@@ -603,6 +643,7 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 	if max <= 0 || len(c.refs) == 0 {
 		return nil
 	}
+	c.drainAcks(tid)
 	o := c.g.b.obs
 	var start int64
 	if o != nil {
@@ -688,6 +729,7 @@ func (c *Consumer) Ack(tid int) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainAcks(tid)
 	if err := c.takeFenced(tid); err != nil {
 		return 0, err
 	}
@@ -741,6 +783,99 @@ func (c *Consumer) Ack(tid int) (int, error) {
 	return n, nil
 }
 
+// AckAsync is the pipelined half of Ack: it issues the same ack
+// NTStores but defers the covering fence to this member's *next*
+// acknowledgment-path op (Ack, AckAsync, PollBatch, Nack, Renew) or
+// an explicit DrainAcks. The fence count per acknowledgment is
+// unchanged — each deferred fence is paid exactly once, at the start
+// of the next op — but the write-pending queue drains in the
+// background during the handler work between the two calls, so the
+// fence's blocking residual shrinks toward zero (see
+// pmem.LatencyModel.DrainNsPerLine). Returns the number of messages
+// newly counted acknowledged, or ErrFenced exactly as Ack does.
+//
+// The deferral trades the exactly-once guarantee down to at-least-once
+// for its window: a crash — or a lease takeover that races the
+// deferral — between AckAsync and the covering fence can leave the
+// window both redelivered elsewhere and (if the stores land under a
+// later fence) marked acked. Callers that need the strict guarantee
+// use Ack; callers optimizing the tail call AckAsync from a single
+// processing loop where the next op follows promptly.
+func (c *Consumer) AckAsync(tid int) (int, error) {
+	if !c.g.leased {
+		panic("broker: AckAsync on a group without acknowledgments (use NewGroupAcked)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drainAcks(tid)
+	if err := c.takeFenced(tid); err != nil {
+		return 0, err
+	}
+	o := c.g.b.obs
+	var start int64
+	if o != nil {
+		start = obs.Now()
+	}
+	n := 0
+	for _, r := range c.refs {
+		s := r.t.shards[r.shard]
+		floor := s.ackedTo()
+		if r.deliveredTo <= floor {
+			continue
+		}
+		n += r.unackedN
+		if o != nil && r.unackedN > 0 {
+			r.t.ostats.Acked(r.unackedN)
+		}
+		r.unackedN = 0
+		if s.ackToUnfenced(tid, r.deliveredTo) {
+			c.asyncAcks = append(c.asyncAcks, s)
+		}
+	}
+	if o != nil && n > 0 {
+		o.Lat(tid, obs.OpAck, start)
+		o.Event(tid, obs.OpAck, nil, -1)
+	}
+	return n, nil
+}
+
+// DrainAcks pays any fence deferred by AckAsync, making the staged
+// acknowledgments durable. Idempotent; costs nothing when no fence is
+// owed. An event-loop consumer calls it before sleeping so the
+// deferral window is bounded by the wakeup, not the next arrival.
+func (c *Consumer) DrainAcks(tid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drainAcks(tid)
+}
+
+// drainAcks fences the domains holding deferred ack NTStores (one
+// fence per distinct heap) and promotes their durable ack frontiers.
+// Caller holds c.mu.
+func (c *Consumer) drainAcks(tid int) {
+	if len(c.asyncAcks) == 0 {
+		return
+	}
+	var fenced []int
+	for _, s := range c.asyncAcks {
+		done := false
+		for _, hi := range fenced {
+			if hi == s.heap {
+				done = true
+				break
+			}
+		}
+		if !done {
+			s.h.Fence(tid)
+			fenced = append(fenced, s.heap)
+		}
+	}
+	for _, s := range c.asyncAcks {
+		s.completeAck(tid)
+	}
+	c.asyncAcks = c.asyncAcks[:0]
+}
+
 // Nack rescinds every delivered-but-unacknowledged message of this
 // member: the messages go back onto the member's redelivery queue (a
 // later PollBatch serves them again, in order, before any fresh
@@ -756,6 +891,7 @@ func (c *Consumer) Nack(tid int) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainAcks(tid)
 	if err := c.takeFenced(tid); err != nil {
 		return 0, err
 	}
@@ -805,6 +941,7 @@ func (c *Consumer) Renew(tid int, deadline uint64) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.drainAcks(tid)
 	if err := c.takeFenced(tid); err != nil {
 		return err
 	}

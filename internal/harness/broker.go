@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/broker"
 	"repro/internal/obs"
 	"repro/internal/pmem"
@@ -76,6 +78,26 @@ type BrokerConfig struct {
 	// refused stale-epoch acks surface as FencedAcks. Requires Ack and
 	// at least two consumers.
 	Churn int
+	// AdaptiveBatch replaces the fixed window sizes with AIMD policies:
+	// producers publish through a Publisher whose window adapts between
+	// 1 and Batch (with an arrival-rate gate, see PublisherConfig), and
+	// consumers size each PollBatch drain between 1 and DequeueBatch
+	// from the depth the previous drain observed.
+	AdaptiveBatch bool
+	// Pipeline defers each publish window's fence into the next flush
+	// (Publisher pipelining); with Poller+Ack it also selects AckAsync,
+	// so ack fences ride into the next wakeup.
+	Pipeline bool
+	// Poller runs each consumer as a broker.Poller event loop (backoff
+	// instead of spinning) rather than a busy poll loop. Incompatible
+	// with Kills/Churn (the cooperative stall/kill hooks live in the
+	// busy loop); norm() zeroes them.
+	Poller bool
+	// ProduceGapNs spaces message arrivals: each producer waits this
+	// long between minting messages, modelling an idle/low-rate topic.
+	// Any non-zero gap routes producers through the Publisher path so
+	// buffering delay is part of the measured publish sojourn.
+	ProduceGapNs int64
 	// DynTopics creates that many extra topics on the live broker,
 	// spread across the produce phase, from a dedicated administrator
 	// thread running beside the traffic — measuring what live
@@ -141,6 +163,22 @@ func (c *BrokerConfig) norm() {
 	if c.DynTopics < 0 {
 		c.DynTopics = 0
 	}
+	if c.ProduceGapNs < 0 {
+		c.ProduceGapNs = 0
+	}
+	if c.Poller {
+		c.Kills = 0
+		c.Churn = 0
+	}
+}
+
+// usePublisher reports whether producers go through the Publisher
+// path (buffered windows, optional pipelining) instead of direct
+// Publish/PublishBatch calls. Any arrival gap forces it: buffering
+// delay must be visible in the sojourn measurement for the fixed
+// and adaptive policies to be comparable.
+func (c *BrokerConfig) usePublisher() bool {
+	return c.AdaptiveBatch || c.Pipeline || c.ProduceGapNs > 0
 }
 
 // BrokerResult is one broker measurement outcome. Producer and
@@ -153,6 +191,8 @@ type BrokerResult struct {
 	Topics, Shards, Heaps, Producers, Consumers, Batch, DequeueBatch, Payload int
 	Affine, Ack                                                               bool
 	Kills, Churn                                                              int
+	AdaptiveBatch, Pipeline, Poller                                           bool
+	ProduceGapNs                                                              int64
 
 	Published uint64
 	Delivered uint64
@@ -193,10 +233,44 @@ type BrokerResult struct {
 	IdlePolls      uint64
 	IdlePollFences uint64
 
+	// PubSojournP50Ns/P99Ns/P999Ns are quantiles of the publish
+	// *sojourn*: the time from a message's arrival at the producer to
+	// its durable acknowledgment, including any wait in a Publisher
+	// window and any pipelined one-window acknowledgment lag. This —
+	// not the publish-call latency — is the tail a client of an idle
+	// topic experiences, and the number adaptive batching attacks.
+	// On the direct (non-Publisher) path it degenerates to the
+	// publish-call duration.
+	PubSojournP50Ns  float64
+	PubSojournP99Ns  float64
+	PubSojournP999Ns float64
+
+	// Poller-mode statistics: timer sleeps taken after empty sweeps
+	// and explicit wakeups, summed over all consumers' loops. Zero
+	// outside Poller mode.
+	PollerSleeps uint64
+	PollerWakes  uint64
+
 	// Latency is the observer snapshot (per-op histograms, topic and
 	// group gauges, per-heap persist counters), nil unless
 	// BrokerConfig.Observe was set.
 	Latency *obs.Snapshot
+}
+
+// sojournQuantiles sorts the sample set and fills the sojourn
+// quantile fields; no samples leaves them zero.
+func (r *BrokerResult) sojournQuantiles(samples []int64) {
+	if len(samples) == 0 {
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(samples)-1))
+		return float64(samples[i])
+	}
+	r.PubSojournP50Ns = at(0.50)
+	r.PubSojournP99Ns = at(0.99)
+	r.PubSojournP999Ns = at(0.999)
 }
 
 // opQuantiles returns (p50, p99, p999) of one op kind in
@@ -423,6 +497,18 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		return p
 	}
 
+	// Publish-sojourn sampling: every producer records arrival→durable-
+	// acknowledgment times into a bounded ring (recent samples win once
+	// full); the rings merge into the result quantiles after the run.
+	const sojournCap = 1 << 19
+	sojourns := make([][]int64, cfg.Producers)
+
+	// adaptiveMaxDelayNs is the Publisher deadline/arrival-rate gate in
+	// adaptive mode: arrivals spaced wider than this count as idle (the
+	// window shrinks toward per-message flushes) and no buffered message
+	// waits longer than this for its window to fill.
+	const adaptiveMaxDelayNs = 100_000
+
 	for p := 0; p < cfg.Producers; p++ {
 		wg.Add(1)
 		producersDone.Add(1)
@@ -431,12 +517,66 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 			defer producersDone.Done()
 			start.Wait()
 			seq := uint64(tid) << 40
+			var samples []int64
+			nsamp := 0
+			rec := func(d int64) {
+				if len(samples) < sojournCap {
+					samples = append(samples, d)
+				} else {
+					samples[nsamp%sojournCap] = d
+				}
+				nsamp++
+			}
+			defer func() { sojourns[tid] = samples }()
+			gap := time.Duration(cfg.ProduceGapNs)
+			if cfg.usePublisher() {
+				// One publisher (and one arrival FIFO — acks are FIFO in
+				// publish order) per topic the producer round-robins over.
+				pubs := make([]*broker.Publisher, cfg.Topics)
+				arr := make([][]int64, cfg.Topics)
+				for ti := range pubs {
+					pc := broker.PublisherConfig{Pipeline: cfg.Pipeline}
+					if cfg.AdaptiveBatch {
+						pc.Policy = batch.NewAIMD(1, cfg.Batch)
+						pc.MaxDelayNs = adaptiveMaxDelayNs
+					} else {
+						pc.Policy = batch.Fixed{N: cfg.Batch}
+					}
+					pubs[ti] = b.Topic(names[ti]).NewPublisher(tid, pc)
+				}
+				ackN := func(ti, n int, end int64) {
+					if n == 0 {
+						return
+					}
+					for _, at := range arr[ti][:n] {
+						rec(end - at)
+					}
+					arr[ti] = arr[ti][n:]
+					published.Add(uint64(n))
+				}
+				for i := uint64(0); !stop.Load(); i++ {
+					if gap > 0 {
+						time.Sleep(gap)
+					}
+					ti := int(i % uint64(cfg.Topics))
+					seq++
+					arr[ti] = append(arr[ti], obs.Now())
+					n := pubs[ti].Publish(payload(seq))
+					ackN(ti, n, obs.Now())
+				}
+				for ti := range pubs {
+					ackN(ti, pubs[ti].Flush(), obs.Now())
+				}
+				return
+			}
 			batch := make([][]byte, cfg.Batch)
 			for i := uint64(0); !stop.Load(); i++ {
 				t := b.Topic(names[i%uint64(cfg.Topics)])
 				if cfg.Batch == 1 {
 					seq++
+					at := obs.Now()
 					t.Publish(tid, payload(seq))
+					rec(obs.Now() - at)
 					published.Add(1)
 					continue
 				}
@@ -444,7 +584,12 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 					seq++
 					batch[j] = payload(seq)
 				}
+				at := obs.Now()
 				t.PublishBatch(tid, batch)
+				d := obs.Now() - at
+				for range batch {
+					rec(d)
+				}
 				published.Add(uint64(cfg.Batch))
 			}
 		}(p)
@@ -456,70 +601,113 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	consDone := make([]chan struct{}, cfg.Consumers)
 	done := make(chan struct{})
 	go func() { producersDone.Wait(); close(done) }()
-	for c := 0; c < cfg.Consumers; c++ {
-		wg.Add(1)
-		consDone[c] = make(chan struct{})
-		go func(c int) {
-			defer wg.Done()
-			defer close(consDone[c])
+	drainPolicy := func() batch.Policy {
+		if cfg.AdaptiveBatch {
+			return batch.NewAIMD(1, cfg.DequeueBatch)
+		}
+		return batch.Fixed{N: cfg.DequeueBatch}
+	}
+	var pollers []*broker.Poller
+	if cfg.Poller {
+		// Event-loop mode: each consumer is a Poller. The loops run past
+		// the produce phase and are stopped — with a final drain-to-empty
+		// sweep — once the producers have finished.
+		for c := 0; c < cfg.Consumers; c++ {
 			tid := cfg.Producers + c
-			cons := g.Consumer(c)
-			start.Wait()
-			drained := false
-			poll := func() int {
-				if cfg.DequeueBatch == 1 {
-					if _, ok := cons.Poll(tid); ok {
-						return 1
-					}
-					return 0
-				}
-				return len(cons.PollBatch(tid, cfg.DequeueBatch))
+			pl := broker.NewPoller(broker.PollerConfig{
+				Consumer: g.Consumer(c),
+				Tid:      tid,
+				Policy:   drainPolicy(),
+				Ack:      cfg.Ack,
+				Pipeline: cfg.Pipeline,
+				Handler:  func(ms []broker.Message) { delivered.Add(uint64(len(ms))) },
+			})
+			pollers = append(pollers, pl)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				pl.Run()
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-done
+			for _, pl := range pollers {
+				pl.Stop()
 			}
-			for {
-				if n := poll(); n > 0 {
-					delivered.Add(uint64(n))
-					if cfg.Ack {
-						if ctl := stallOf[c].Swap(nil); ctl != nil {
-							// Stalled by the churn controller: keep the
-							// window in flight, unacked, until resumed.
-							close(ctl.stalled)
-							<-ctl.resume
+		}()
+	}
+	if !cfg.Poller {
+		for c := 0; c < cfg.Consumers; c++ {
+			wg.Add(1)
+			consDone[c] = make(chan struct{})
+			go func(c int) {
+				defer wg.Done()
+				defer close(consDone[c])
+				tid := cfg.Producers + c
+				cons := g.Consumer(c)
+				start.Wait()
+				drained := false
+				pol := drainPolicy()
+				poll := func() int {
+					if cfg.DequeueBatch == 1 {
+						if _, ok := cons.Poll(tid); ok {
+							return 1
 						}
-						if killFlag[c].Load() {
-							// Killed mid-batch: the window stays unacked
-							// and is redelivered via takeover.
-							return
-						}
-						d := hs.DeltaOf(tid)
-						n, err := cons.Ack(tid)
-						if errors.Is(err, broker.ErrFenced) {
-							// The window was reassigned or stolen while we
-							// stalled; it is someone else's now.
-							fencedAcks.Add(1)
-							continue
-						}
-						acked.Add(uint64(n))
-						ackFences.Add(d.Delta().Fences)
+						return 0
 					}
-					drained = false
-					continue
+					n := len(cons.PollBatch(tid, pol.Size()))
+					pol.Observe(n)
+					return n
 				}
-				if killFlag[c].Load() {
-					return
-				}
-				select {
-				case <-done:
-					// Exit only on an empty sweep that began after the
-					// producers were observed finished; the first empty
-					// sweep may predate their last publishes.
-					if drained {
+				for {
+					if n := poll(); n > 0 {
+						delivered.Add(uint64(n))
+						if cfg.Ack {
+							if ctl := stallOf[c].Swap(nil); ctl != nil {
+								// Stalled by the churn controller: keep the
+								// window in flight, unacked, until resumed.
+								close(ctl.stalled)
+								<-ctl.resume
+							}
+							if killFlag[c].Load() {
+								// Killed mid-batch: the window stays unacked
+								// and is redelivered via takeover.
+								return
+							}
+							d := hs.DeltaOf(tid)
+							n, err := cons.Ack(tid)
+							if errors.Is(err, broker.ErrFenced) {
+								// The window was reassigned or stolen while we
+								// stalled; it is someone else's now.
+								fencedAcks.Add(1)
+								continue
+							}
+							acked.Add(uint64(n))
+							ackFences.Add(d.Delta().Fences)
+						}
+						drained = false
+						continue
+					}
+					if killFlag[c].Load() {
 						return
 					}
-					drained = true
-				default:
+					select {
+					case <-done:
+						// Exit only on an empty sweep that began after the
+						// producers were observed finished; the first empty
+						// sweep may predate their last publishes.
+						if drained {
+							return
+						}
+						drained = true
+					default:
+					}
 				}
-			}
-		}(c)
+			}(c)
+		}
 	}
 	// The administrator: create DynTopics fresh topics on the live
 	// broker, spread across the produce phase, measuring the blocking
@@ -684,7 +872,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	res := BrokerResult{
 		Topics: cfg.Topics, Shards: cfg.Shards, Heaps: cfg.Heaps, Affine: cfg.Affine,
 		Ack: cfg.Ack, Kills: cfg.Kills, Churn: cfg.Churn,
-		Producers: cfg.Producers, Consumers: cfg.Consumers,
+		AdaptiveBatch: cfg.AdaptiveBatch, Pipeline: cfg.Pipeline, Poller: cfg.Poller,
+		ProduceGapNs: cfg.ProduceGapNs,
+		Producers:    cfg.Producers, Consumers: cfg.Consumers,
 		Batch: cfg.Batch, DequeueBatch: cfg.DequeueBatch, Payload: cfg.Payload,
 		Published: published.Load(), Delivered: delivered.Load(),
 		Acked: acked.Load(), AckFences: ackFences.Load(), Redelivered: redelivered.Load(),
@@ -692,6 +882,23 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		Stolen: stolen.Load(), Scans: scans.Load(),
 		DynTopics: dynCreated.Load(), DynTopicFences: dynFences.Load(),
 		Elapsed: elapsed,
+	}
+	var allSojourns []int64
+	for _, s := range sojourns {
+		allSojourns = append(allSojourns, s...)
+	}
+	res.sojournQuantiles(allSojourns)
+	if cfg.Poller {
+		for _, pl := range pollers {
+			st := pl.Stats()
+			res.PollerSleeps += st.IdleSleeps
+			res.PollerWakes += st.Wakes
+			if cfg.Ack {
+				// The poller acknowledges everything it delivers; its
+				// per-call fence split is not tracked separately.
+				res.Acked += st.Delivered
+			}
+		}
 	}
 	for tid := 0; tid < cfg.Producers; tid++ {
 		res.Producer.Add(hs.StatsOf(tid))

@@ -22,9 +22,14 @@ type LatencyModel struct {
 	FlushNs int64
 	// NTStoreNs is the issue cost of a movnti non-temporal store.
 	NTStoreNs int64
-	// DrainNsPerLine is added to every fence for each line flushed or
-	// NT-stored since the previous fence, modelling write-pending-
-	// queue drain bandwidth.
+	// DrainNsPerLine models write-pending-queue drain bandwidth: each
+	// line flushed or NT-stored becomes durable DrainNsPerLine after
+	// the previous queued line (or after its own issue, whichever is
+	// later). The drain proceeds in the background — a Fence pays only
+	// the residual wait for lines not yet drained, so work performed
+	// between the last store and the fence (issuing the next batch,
+	// application processing) genuinely overlaps the drain. Zero
+	// disables drain modelling; fences then cost FenceNs alone.
 	DrainNsPerLine int64
 }
 
@@ -56,6 +61,15 @@ func (h *Heap) delay(ns int64) {
 		spinFor(ns)
 	}
 }
+
+// monotonicEpoch anchors the package clock used by the background
+// write-pending-queue drain model. time.Since on a fixed anchor reads
+// the runtime's monotonic clock, so the values are strictly
+// non-decreasing and immune to wall-clock steps.
+var monotonicEpoch = time.Now()
+
+// monotonicNs returns nanoseconds since the package clock's epoch.
+func monotonicNs() int64 { return int64(time.Since(monotonicEpoch)) }
 
 var (
 	calOnce        sync.Once

@@ -42,6 +42,62 @@ func TestOptUnlinkedEnqueueBatchOneFence(t *testing.T) {
 	}
 }
 
+// TestOptUnlinkedEnqueueBatchUnfencedPipeline pins the pipelined
+// publish primitive: EnqueueBatchUnfenced issues the batch's stores
+// and flushes with zero fences, a later caller-side Fence acknowledges
+// every window issued before it, and the issue/fence split never
+// changes the total fence count — N windows cost N fences however the
+// fences are interleaved with the issues.
+func TestOptUnlinkedEnqueueBatchUnfencedPipeline(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 32 << 20, MaxThreads: 2})
+	q := NewOptUnlinkedQ(h, 1)
+	for i := 0; i < 100; i++ { // warm the pool past area creation
+		q.Enqueue(0, uint64(i))
+	}
+	for i := 0; i < 100; i++ {
+		q.Dequeue(0)
+	}
+	const windows, wsize = 8, 8
+	mk := func(w int) []uint64 {
+		vs := make([]uint64, wsize)
+		for i := range vs {
+			vs[i] = uint64(1000 + w*wsize + i)
+		}
+		return vs
+	}
+
+	before := h.TotalStats()
+	q.EnqueueBatchUnfenced(0, mk(0))
+	d := h.TotalStats().Sub(before)
+	if d.Fences != 0 {
+		t.Fatalf("EnqueueBatchUnfenced issued %d fences, want 0 (issue phase only)", d.Fences)
+	}
+	if d.Flushes != wsize {
+		t.Fatalf("EnqueueBatchUnfenced issued %d flushes, want %d", d.Flushes, wsize)
+	}
+	// Pipelined schedule: issue window w+1, then fence (covering w and
+	// w+1's already-issued lines per the per-thread ordering argument).
+	before = h.TotalStats()
+	for w := 1; w < windows; w++ {
+		q.EnqueueBatchUnfenced(0, mk(w))
+		h.Fence(0)
+	}
+	h.Fence(0) // covers the final window
+	d = h.TotalStats().Sub(before)
+	if d.Fences != windows {
+		t.Fatalf("pipelined schedule paid %d fences for %d windows, want equal (count parity)",
+			d.Fences, windows)
+	}
+	for i := 0; i < windows*wsize; i++ {
+		if v, ok := q.Dequeue(0); !ok || v != uint64(1000+i) {
+			t.Fatalf("dequeue %d = %d,%v, want %d", i, v, ok, 1000+i)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue not empty after draining all windows")
+	}
+}
+
 // TestOptUnlinkedDequeueBatchOneFence verifies the amortized consume
 // path: a whole dequeue batch rides exactly one blocking persist and
 // one NTStore (of the final head index), preserves FIFO, and keeps the

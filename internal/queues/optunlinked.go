@@ -382,6 +382,34 @@ func (q *OptUnlinkedQ) EnqueueBatch(tid int, vs []uint64) {
 	q.h.Fence(tid) // the batch's single blocking persist
 }
 
+// EnqueueBatchUnfenced is the issue phase of EnqueueBatch alone: every
+// node is written, linked and asynchronously flushed, but the blocking
+// SFENCE is left to the caller. It is the pipelined-persist primitive:
+// a producer may issue window N+1 while window N's flushed lines are
+// still draining, then pay one fence covering both the residue and the
+// new window's lines.
+//
+// Soundness is the same per-thread ordering argument as EnqueueBatch's:
+// a fence by this thread covers *all* its earlier flushes, so a later
+// Fence(tid) durably acknowledges every window issued before it, in
+// order. Until that fence, the window's nodes are linked but possibly
+// not durable — exactly the state any helper already tolerates, and
+// recovery drops such nodes as unacknowledged enqueues (it sorts by
+// index and accepts gaps). The caller must therefore not report the
+// batch as acknowledged until it has issued a covering Fence on this
+// queue's heap with the same tid.
+func (q *OptUnlinkedQ) EnqueueBatchUnfenced(tid int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	q.pool.Enter(tid)
+	defer q.pool.Exit(tid)
+	for _, v := range vs {
+		tail, vn := q.enqueueOne(tid, v)
+		q.tail.CompareAndSwap(tail, vn)
+	}
+}
+
 // dequeueOne runs the dequeue protocol of Figure 4 (lines 90-99) up to
 // but not including the blocking persist: CAS the head past the oldest
 // node. On success it returns the node holding the dequeued item (now
