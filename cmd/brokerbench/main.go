@@ -40,6 +40,7 @@
 //	brokerbench -heaps 2 -affine          # heap-affine consumers
 //	brokerbench -heaps 2 -heaplat 100,300  # asymmetric NUMA: per-heap fence ns
 //	brokerbench -dyntopics 4              # create topics mid-run, measure fences/create
+//	brokerbench -deltopics 4              # churn create→delete cycles, measure fences/delete + footprint
 //	brokerbench -ack 0,1                  # acked/leased delivery vs at-least-once
 //	brokerbench -ack 1 -kills 1 -consumers 3  # consumer crash + lease takeover
 //	brokerbench -ack 1 -churn 2 -consumers 3  # membership churn: stalls, splits, steals
@@ -47,7 +48,7 @@
 //	brokerbench -nvm-fence-ns 500        # Optane-like fence cost
 //	brokerbench -latency                 # per-op p50/p99/p999 latency columns
 //	brokerbench -csv  > sweep.csv        # machine-readable, one row per cell
-//	brokerbench -shards 4 -heaps 2 -heaplat 120,480 -batch 8 -dbatch 8 -consumers 3 -ack 0,1 -abatch 0,1 -pipeline 0,1 -poller 0,1 -pgap 0,200000 -dyntopics 2 -duration 250ms -latency -json > BENCH_broker.json # refresh the repo baseline
+//	brokerbench -shards 4 -heaps 2 -heaplat 120,480 -batch 8 -dbatch 8 -consumers 3 -ack 0,1 -abatch 0,1 -pipeline 0,1 -poller 0,1 -pgap 0,200000 -dyntopics 2 -deltopics 2 -duration 250ms -latency -json > BENCH_broker.json # refresh the repo baseline
 package main
 
 import (
@@ -82,6 +83,7 @@ type row struct {
 	Kills             int     `json:"kills"`
 	Churn             int     `json:"churn"`
 	DynTopics         int     `json:"dyn_topics"`
+	DelTopics         int     `json:"del_topics"`
 	Published         uint64  `json:"published"`
 	Delivered         uint64  `json:"delivered"`
 	Mops              float64 `json:"mops"`
@@ -96,6 +98,9 @@ type row struct {
 	IdleFencesPerPoll float64 `json:"idle_fences_per_poll"`
 	HeapImbalance     float64 `json:"heap_imbalance"`
 	DynFencesPerNew   float64 `json:"dyn_fences_per_create"`
+	DelFencesPerDel   float64 `json:"del_fences_per_delete"`
+	SlotsUsed         int     `json:"slots_used"`
+	SlotsFree         int     `json:"slots_free"`
 	PollerSleeps      uint64  `json:"poller_sleeps"`
 	PollerWakes       uint64  `json:"poller_wakes"`
 
@@ -139,6 +144,7 @@ func main() {
 		kills     = flag.Int("kills", 0, "consumers killed mid-run in ack cells (redeliveries via lease takeover)")
 		churn     = flag.Int("churn", 0, "membership-churn cycles in ack cells (stall + forced split or work-stealing; needs >= 2 consumers)")
 		dyn       = flag.Int("dyntopics", 0, "topics created on the live broker mid-run (fences/create in the dyn column)")
+		del       = flag.Int("deltopics", 0, "create→delete cycles of a scratch topic mid-run (fences/delete + slot footprint columns)")
 		heaplatF  = flag.String("heaplat", "", "comma-separated per-heap SFENCE ns (asymmetric NUMA; heap i takes entry i mod len)")
 		payload   = flag.Int("payload", 0, "payload bytes (0 = fixed 8-byte messages)")
 		duration  = flag.Duration("duration", time.Second, "produce phase duration per cell")
@@ -203,13 +209,13 @@ func main() {
 	}
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,abatch,pipeline,poller,pgap_ns,kills,churn,dyn_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,poller_sleeps,poller_wakes,soj_p50_us,soj_p99_us,soj_p999_us,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,abatch,pipeline,poller,pgap_ns,kills,churn,dyn_topics,del_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,del_fences_per_delete,slots_used,slots_free,poller_sleeps,poller_wakes,soj_p50_us,soj_p99_us,soj_p999_us,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d heaplat=%q pgap=%q latency=%v duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *heaplatF, *pgapF, *latency, *duration)
-		fmt.Printf("%7s %6s %6s %7s %4s %8s %9s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s %20s",
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d deltopics=%d heaplat=%q pgap=%q latency=%v duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *del, *heaplatF, *pgapF, *latency, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %8s %9s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s %12s %12s %20s",
 			"shards", "heaps", "batch", "dbatch", "ack", "ab/pl/po", "pgap-ns", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create", "soj-µs(50/99/999)")
+			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create", "del-f/delete", "slots(u/f)", "soj-µs(50/99/999)")
 		if *latency {
 			fmt.Printf(" %20s %20s %20s", "pub-µs(50/99/999)", "poll-µs(50/99/999)", "ack-µs(50/99/999)")
 		}
@@ -248,6 +254,7 @@ func main() {
 											Poller:        poller != 0,
 											ProduceGapNs:  int64(pg),
 											DynTopics:     *dyn,
+											DelTopics:     *del,
 											Duration:      *duration,
 											HeapBytes:     *heapMB << 20,
 											Latency:       lat,
@@ -264,6 +271,7 @@ func main() {
 											ProduceGapNs: r.ProduceGapNs,
 											Kills:        r.Kills, Churn: r.Churn,
 											DynTopics: int(r.DynTopics),
+											DelTopics: int(r.DelTopics),
 											Published: r.Published, Delivered: r.Delivered,
 											Mops:              round3(r.Mops()),
 											ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
@@ -277,6 +285,9 @@ func main() {
 											IdleFencesPerPoll: round4(r.IdleFencesPerPoll()),
 											HeapImbalance:     round3(r.HeapImbalance()),
 											DynFencesPerNew:   round3(r.DynFencesPerCreate()),
+											DelFencesPerDel:   round3(r.DelFencesPerDelete()),
+											SlotsUsed:         r.SlotsUsed,
+											SlotsFree:         r.SlotsFree,
 											PollerSleeps:      r.PollerSleeps,
 											PollerWakes:       r.PollerWakes,
 										}
@@ -301,26 +312,29 @@ func main() {
 										}
 										rows = append(rows, c)
 										if *csvOut {
-											fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+											fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 												c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
 												c.Ack, c.AdaptiveBatch, c.Pipeline, c.Poller, c.ProduceGapNs,
-												c.Kills, c.Churn, c.DynTopics, c.Published, c.Delivered, c.Mops,
+												c.Kills, c.Churn, c.DynTopics, c.DelTopics, c.Published, c.Delivered, c.Mops,
 												c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
 												c.FencedAcks, c.Reassigned, c.Stolen, c.Scans,
 												c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
+												c.DelFencesPerDel, c.SlotsUsed, c.SlotsFree,
 												c.PollerSleeps, c.PollerWakes,
 												c.SojP50Us, c.SojP99Us, c.SojP999Us,
 												c.PubP50Us, c.PubP99Us, c.PubP999Us,
 												c.PollP50Us, c.PollP99Us, c.PollP999Us,
 												c.AckP50Us, c.AckP99Us, c.AckP999Us)
 										} else if !*jsonOut {
-											fmt.Printf("%7d %6d %6d %7d %4d %8s %9d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f %20s",
+											fmt.Printf("%7d %6d %6d %7d %4d %8s %9d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f %12.3f %12s %20s",
 												c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack,
 												fmt.Sprintf("%d/%d/%d", c.AdaptiveBatch, c.Pipeline, c.Poller),
 												c.ProduceGapNs, c.Published, c.Delivered, c.Mops,
 												c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
 												fmt.Sprintf("%d/%d/%d", c.FencedAcks, c.Reassigned, c.Stolen),
 												c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
+												c.DelFencesPerDel,
+												fmt.Sprintf("%d/%d", c.SlotsUsed, c.SlotsFree),
 												latCell(c.SojP50Us, c.SojP99Us, c.SojP999Us))
 											if *latency {
 												fmt.Printf(" %20s %20s %20s",
@@ -347,7 +361,7 @@ func main() {
 			"config": map[string]any{
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
 				"payload": *payload, "affine": *affine, "kills": *kills,
-				"churn": *churn, "dyntopics": *dyn, "heaplat": *heaplatF,
+				"churn": *churn, "dyntopics": *dyn, "deltopics": *del, "heaplat": *heaplatF,
 				"pgap":     *pgapF,
 				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
@@ -372,13 +386,17 @@ func main() {
 		fmt.Println(" elision. heap-imbal: busiest heap's persist traffic over the per-heap")
 		fmt.Println(" mean — 1.0 is perfectly balanced placement. dyn-f/create: blocking")
 		fmt.Println(" persists per mid-run CreateTopic — the pinned 3-fence catalog append")
+		fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.")
+		fmt.Println(" del-f/delete: blocking persists per mid-run DeleteTopic — the pinned")
+		fmt.Println(" tombstone protocol, ≤3; 0 without -deltopics. slots(u/f): post-run slot")
+		fmt.Println(" footprint, high-water used / free-list population — steady used across")
 		if *latency {
-			fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.")
+			fmt.Println(" -deltopics churn shows retired windows being recycled.")
 			fmt.Println(" latency cells are p50/p99/p999 in microseconds per op: publish is one")
 			fmt.Println(" Publish call, poll one non-empty Poll/PollBatch call, ack one")
 			fmt.Println(" Consumer.Ack that released at least one message.)")
 		} else {
-			fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.)")
+			fmt.Println(" -deltopics churn shows retired windows being recycled.)")
 		}
 	}
 }

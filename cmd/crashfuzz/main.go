@@ -5,7 +5,7 @@
 // against the recorded operation history (no duplication, no loss of
 // completed enqueues, per-enqueuer FIFO).
 //
-// -smoke is the quick CI mode: few rounds per queue, plus four
+// -smoke is the quick CI mode: few rounds per queue, plus five
 // broker iterations — a 2-heap broker crashed via a single member's
 // access stream, recovered from its catalog and stamps, and audited
 // for delivered-or-recovered-exactly-once; an acked broker whose
@@ -14,11 +14,17 @@
 // processing; a live-administration broker (Open) whose topics
 // are created mid-traffic through the append-with-fence catalog log,
 // crashed and recovered with the same exactly-once audit — topics
-// whose creation returned must exist, torn creations must not; and a
+// whose creation returned must exist, torn creations must not; a
 // membership-churn broker whose silent members are fenced by the
 // expiry scanner or robbed by work-stealing, with their resurfacing
 // stale-epoch acks refused, before the same full-system crash and
-// exactly-once audit.
+// exactly-once audit; and a topic-churn broker cycling topics through
+// create → publish → delete on a deliberately small catalog log (so
+// the cycles run through tombstones, free-list reuse and generation
+// compactions), crashed anywhere — including mid-delete and
+// mid-compaction — and audited: a delete that returned never
+// resurrects, a torn delete leaves the topic intact, and the
+// exactly-once guarantee holds over every surviving topic.
 //
 // Each broker smoke runs with an event-trace-enabled observer
 // (internal/obs); when an audit fails, the last trace events — the
@@ -143,6 +149,12 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("%-24s ok (scan fences silent members, steal + split, stale acks refused, exactly-once)\n", "broker-membership-churn")
+		}
+		if err := brokerDelSmoke(*seed); err != nil {
+			fmt.Printf("%-24s FAIL: %v\n", "broker-topic-churn", err)
+			failed = true
+		} else {
+			fmt.Printf("%-24s ok (topics deleted mid-traffic, tombstone + compaction recovery, no resurrection, exactly-once)\n", "broker-topic-churn")
 		}
 	}
 	if failed {
@@ -422,6 +434,250 @@ func brokerDynSmokeRun(seed int64, threads int, o *obs.Observer) error {
 	// poll window (4 messages).
 	if lost > 4 {
 		return fmt.Errorf("%d acknowledged messages lost (allowance 4)", lost)
+	}
+	return nil
+}
+
+// brokerDelSmoke is one topic-churn iteration: a broker brought up
+// empty with Open and a deliberately small catalog log cycles scratch
+// topics through create → publish → partial drain → delete while the
+// static topics take traffic, with an occasional explicit compaction;
+// the tiny log also forces automatic compactions, so tombstones,
+// free-list window reuse and generation flips all run under fire. The
+// crash lands anywhere — including between a tombstone's append and
+// its anchor stamp, and between a new generation's fence and its
+// anchor flip. The audit: a delete whose call returned never
+// resurrects, a topic created and never deleted always recovers, a
+// torn delete may land either way, and every acknowledged publish to
+// a surviving topic is delivered or recovered exactly once, in order.
+func brokerDelSmoke(seed int64) error {
+	const threads = 2
+	o := obs.New(obs.Config{Threads: threads, TraceEvents: traceEvents})
+	return dumpOnFail(o, "broker-topic-churn", brokerDelSmokeRun(seed, threads, o))
+}
+
+func brokerDelSmokeRun(seed int64, threads int, o *obs.Observer) error {
+	rng := rand.New(rand.NewSource(seed + 4))
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	// 64 record-space lines: a handful of churn cycles fill the log, so
+	// deletes trigger the auto-compaction path mid-traffic.
+	b, err := broker.Open(hs, broker.Options{Threads: threads, CatalogLines: 64, Observer: o})
+	if err != nil {
+		return err
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{Name: "events", Shards: 4}); err != nil {
+		return err
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{Name: "jobs", Shards: 2, MaxPayload: 48}); err != nil {
+		return err
+	}
+	g, err := b.NewGroup([]string{"events", "jobs"}, 1)
+	if err != nil {
+		return err
+	}
+	payload := func(id uint64) []byte {
+		p := make([]byte, 8+int(id%40))
+		copy(p, broker.U64(id))
+		for i := 8; i < len(p); i++ {
+			p[i] = byte(id) ^ byte(i)
+		}
+		return p
+	}
+	hs.Heap(rng.Intn(2)).ScheduleCrashAtAccess(int64(rng.Intn(40_000)) + 10_000)
+
+	type churn struct {
+		created        bool
+		deleteAttempt  bool
+		deleteReturned bool
+		acked          []uint64
+	}
+	var (
+		acked     []uint64
+		cyclesRun []*churn
+		delivered = map[uint64]bool{}
+	)
+	cons := g.Consumer(0)
+	nextDel := 0
+	pendingLive := -1 // index of the one cycle allowed to outlive its own turn
+	for id := uint64(1); ; id++ {
+		crashed := pmem.Protect(func() {
+			if id%3 == 0 {
+				b.Topic("jobs").Publish(0, payload(id))
+			} else {
+				b.Topic("events").Publish(0, broker.U64(id))
+			}
+		})
+		if crashed {
+			break
+		}
+		acked = append(acked, id)
+		// Every ~30 publishes, run one churn cycle on the live broker.
+		if id%30 == 0 {
+			// Retire last round's survivor first, so live churn records
+			// never accumulate past one — the small log must fill with
+			// tombstone debris, not survivors.
+			if pendingLive >= 0 {
+				lst := cyclesRun[pendingLive]
+				lname := fmt.Sprintf("del-%d", pendingLive)
+				pendingLive = -1
+				lst.deleteAttempt = true
+				var lerr error
+				if pmem.Protect(func() { lerr = b.DeleteTopic(0, lname) }) {
+					break
+				}
+				if lerr != nil {
+					return fmt.Errorf("DeleteTopic(%s): %v", lname, lerr)
+				}
+				lst.deleteReturned = true
+			}
+			st := &churn{}
+			cyclesRun = append(cyclesRun, st)
+			name := fmt.Sprintf("del-%d", nextDel)
+			nextDel++
+			var cerr error
+			if pmem.Protect(func() { _, cerr = b.CreateTopic(0, broker.TopicConfig{Name: name, Shards: 1 + nextDel%2}) }) {
+				break
+			}
+			if cerr != nil {
+				return fmt.Errorf("CreateTopic(%s): %v", name, cerr)
+			}
+			st.created = true
+			topic := b.Topic(name)
+			stop := false
+			for m := uint64(1); m <= 8; m++ {
+				did := uint64(2000+nextDel)<<32 | m
+				if pmem.Protect(func() { topic.Publish(0, broker.U64(did)) }) {
+					stop = true
+					break
+				}
+				st.acked = append(st.acked, did)
+			}
+			if stop {
+				break
+			}
+			// Drain a prefix so delivered, dropped and recovered
+			// populations all appear in the audit.
+			for k := 0; k < 3; k++ {
+				var p []byte
+				var ok bool
+				if pmem.Protect(func() { p, ok = topic.DequeueShard(1, 0) }) {
+					stop = true
+					break
+				}
+				if !ok {
+					break
+				}
+				delivered[broker.AsU64(p[:8])] = true
+			}
+			if stop {
+				break
+			}
+			if nextDel%4 == 0 {
+				var kerr error
+				if pmem.Protect(func() { kerr = b.CompactCatalog(0, 0) }) {
+					break
+				}
+				if kerr != nil {
+					return fmt.Errorf("CompactCatalog: %v", kerr)
+				}
+			}
+			if nextDel%5 == 0 {
+				pendingLive = len(cyclesRun) - 1 // let this one live a round
+				continue
+			}
+			st.deleteAttempt = true
+			var derr error
+			if pmem.Protect(func() { derr = b.DeleteTopic(0, name) }) {
+				break // torn delete: either outcome is legal
+			}
+			if derr != nil {
+				return fmt.Errorf("DeleteTopic(%s): %v", name, derr)
+			}
+			st.deleteReturned = true
+		}
+		if id%2 == 0 {
+			var got []broker.Message
+			if pmem.Protect(func() { got = cons.PollBatch(1, 4) }) {
+				break
+			}
+			for _, m := range got {
+				mid := broker.AsU64(m.Payload[:8])
+				if delivered[mid] {
+					return fmt.Errorf("message %d delivered twice before the crash", mid)
+				}
+				delivered[mid] = true
+			}
+		}
+	}
+	if !hs.Crashed() {
+		return fmt.Errorf("crash never fired")
+	}
+	hs.FinalizeCrash(rng)
+	hs.Restart()
+
+	// Open replays tombstones and picks the live generation; its
+	// allocator simulation rejects any window overlap outright.
+	r, err := broker.Open(hs, broker.Options{Threads: threads, Observer: o})
+	if err != nil {
+		return err
+	}
+	for d, st := range cyclesRun {
+		name := fmt.Sprintf("del-%d", d)
+		exists := r.Topic(name) != nil
+		switch {
+		case st.deleteReturned && exists:
+			return fmt.Errorf("topic %s resurrected: DeleteTopic returned, yet it recovered", name)
+		case st.created && !st.deleteAttempt && !exists:
+			return fmt.Errorf("topic %s lost: created and never deleted, yet it did not recover", name)
+		}
+	}
+	seen := map[uint64]bool{}
+	for id := range delivered {
+		seen[id] = true
+	}
+	for _, t := range r.Topics() {
+		for s := 0; s < t.Shards(); s++ {
+			last := uint64(0)
+			for {
+				p, ok := t.DequeueShard(0, s)
+				if !ok {
+					break
+				}
+				id := broker.AsU64(p[:8])
+				if seen[id] {
+					return fmt.Errorf("message %d duplicated across crash", id)
+				}
+				seen[id] = true
+				if id <= last {
+					return fmt.Errorf("shard %s/%d out of order: %d after %d", t.Name(), s, id, last)
+				}
+				last = id
+			}
+		}
+	}
+	lost := 0
+	for _, id := range acked {
+		if !seen[id] {
+			lost++
+		}
+	}
+	// A deleted topic's undelivered messages were dropped with it by
+	// design: only surviving topics' churn publishes join the loss
+	// audit (their deliveries were duplicate-checked above either way).
+	for d, st := range cyclesRun {
+		if r.Topic(fmt.Sprintf("del-%d", d)) == nil {
+			continue
+		}
+		for _, id := range st.acked {
+			if !seen[id] {
+				lost++
+			}
+		}
+	}
+	// The single consumer may lose at most its unacknowledged in-flight
+	// poll window (4), plus the churn drain's window (3).
+	if lost > 7 {
+		return fmt.Errorf("%d acknowledged messages lost (allowance 7)", lost)
 	}
 	return nil
 }

@@ -23,7 +23,16 @@
 // (a pinned three blocking persists of administrative cost), so a
 // crash mid-creation recovers as if the create never happened while
 // recovery replays committed records identically however many
-// sessions created them. Both
+// sessions created them. The lifecycle closes with DeleteTopic —
+// a checksummed tombstone appended under the same ordered-persist
+// discipline (two blocking persists; windows reclaimed only after
+// the anchor stamp, so a torn delete recovers as "still exists") —
+// a size-bucketed free list, rebuilt at recovery by replaying the
+// log as an allocator simulation, that returns retired shard windows
+// to later creations so churning workloads hold a steady-state NVRAM
+// footprint, and CompactCatalog, which rewrites live records into a
+// next-generation log region behind a single anchor flip when
+// tombstone debris accumulates (doubling as the log resize path). Both
 // directions amortize durability cost below the paper's
 // one-fence-per-operation bound: EnqueueBatch/PublishBatch ride one
 // SFENCE per publish batch, DequeueBatch/PollBatch one SFENCE per
@@ -52,7 +61,9 @@
 // sizes (with optional per-heap asymmetric-NUMA latencies), publish
 // and dequeue batch sizes, acked delivery (with optional consumer
 // kills exercising lease takeover), live topic creation
-// (-dyntopics, measuring fences per mid-run CreateTopic), and per-op
+// (-dyntopics, measuring fences per mid-run CreateTopic), topic
+// retirement churn (-deltopics, measuring fences per mid-run
+// DeleteTopic plus the recycled-window slot footprint), and per-op
 // latency percentiles (-latency, p50/p99/p999 columns); cmd/brokerstat
 // dumps one observed workload's snapshot as Prometheus text or JSON.
 package repro

@@ -27,9 +27,18 @@
 // messages are never redelivered, unacknowledged ones always are. The
 // only slack is the observer gap: an Ack whose fence completed right
 // before the crash, cut off between the fence and the audit's record.
+//
+// Finally the lifecycle closes: the operator retires the drained
+// "audit" topic with DeleteTopic (a checksummed tombstone, two
+// blocking persists, windows reclaimed only after the anchor stamp),
+// a stale handle is refused with ErrTopicDeleted, CompactCatalog
+// folds the tombstone debris into a next-generation log, and a
+// replacement topic reuses the retired shard windows off the free
+// list — the steady-footprint churn story.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -338,4 +347,41 @@ func main() {
 		return
 	}
 	fmt.Println("audit passed: every acknowledged publish processed exactly once")
+
+	// Epilogue: the lifecycle closes. The audit trail is drained, so the
+	// operator retires the topic — a checksummed tombstone appended under
+	// the same ordered-persist discipline as creation (two blocking
+	// persists; the shard windows join the free list only after the
+	// anchor stamp, so a torn delete recovers as "still exists"). A stale
+	// handle held across the delete refuses further traffic with a typed
+	// error rather than writing into recycled windows.
+	stale := r.Topic("audit")
+	before := hs.StatsOf(0).Fences
+	if err := r.DeleteTopic(0, "audit"); err != nil {
+		panic(err)
+	}
+	used, free := r.SlotFootprint()
+	fmt.Printf("-- retired %q: %d blocking persists; slot footprint %d used / %d free --\n",
+		"audit", hs.StatsOf(0).Fences-before, used, free)
+	if err := stale.Publish(0, broker.U64(1)); !errors.Is(err, broker.ErrTopicDeleted) {
+		fmt.Println("stale handle not refused:", err)
+		return
+	}
+	fmt.Println("stale handle refused: " + broker.ErrTopicDeleted.Error())
+
+	// Compact the tombstone debris into a next-generation log region
+	// (one anchor flip, two fences regardless of how much debris there
+	// is), then recreate: the new topic's windows come off the free
+	// list, so the NVRAM footprint is steady under churn.
+	if err := r.CompactCatalog(0, 0); err != nil {
+		panic(err)
+	}
+	if _, err := r.CreateTopic(0, broker.TopicConfig{
+		Name: "audit-v2", Shards: 2, Acked: true,
+	}); err != nil {
+		panic(err)
+	}
+	used2, free2 := r.SlotFootprint()
+	fmt.Printf("compacted to catalog generation %d; %q reuses the retired windows: %d used / %d free\n",
+		r.CatalogGeneration(), "audit-v2", used2, free2)
 }

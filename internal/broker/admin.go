@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/blobq"
@@ -14,11 +15,14 @@ import (
 // fresh heap set, fully recovered on a set carrying a catalog — and
 // CreateTopic/CreateAckGroup append to the durable catalog log at
 // runtime, so a production deployment never has to declare its whole
-// topic universe up front. Every creation is crash-atomic through the
-// second amendment's ordered-persist discipline (allocate → fence,
-// initialize, append → fence, anchor; see cataloglog.go): a crash at
-// any point either recovers the creation completely or as if it was
-// never attempted.
+// topic universe up front. DeleteTopic and CompactCatalog complete
+// the lifecycle: topics retire behind tombstone records, their shard
+// windows return through a free list, and the log itself is rewritten
+// into a fresh generation when debris accumulates. Every operation is
+// crash-atomic through the second amendment's ordered-persist
+// discipline (allocate → fence, initialize, append → fence, anchor;
+// see cataloglog.go): a crash at any point either recovers the
+// operation completely or as if it was never attempted.
 
 // Options parameterizes Open.
 type Options struct {
@@ -179,7 +183,7 @@ func openExisting(hs *pmem.HeapSet, opts Options) (*Broker, error) {
 		}
 		seen[tc.Name] = true
 	}
-	b := build(hs, threads, lay.topics, lay.locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+	b := build(hs, threads, lay.topics, lay.locs, lay.bases, lay.nextGlobal, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
 			if tc.Acked {
 				return &shard{fixed: queues.RecoverOptUnlinkedQAcked(view, threads)}
@@ -227,7 +231,8 @@ func errLegacyCatalog(op string) error {
 // The catalog-protocol cost is a pinned three blocking persists
 // (allocator marks, record, commit stamp) plus the per-shard queue
 // initialization — independent of how many topics the broker already
-// has.
+// has. When every shard window is reused from the free list the marks
+// never move and their persist is skipped: two blocking persists.
 //
 // tid follows the usual rule: it must be owned by the calling
 // goroutine for the duration, and may be any id in [0, Threads).
@@ -257,37 +262,62 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 		return nil, fmt.Errorf("broker: broker already has %d topics (max %d)", len(snap.list), maxCatTopics)
 	}
 	// Reserve log space up front so a full log cannot leak windows.
-	recLines := 2 + (tc.Shards+pmem.WordsPerLine-1)/pmem.WordsPerLine
+	recLines := topicRecLines(tc.Shards)
 	if b.cat.next+recLines > b.cat.totalLines {
-		return nil, fmt.Errorf("broker: catalog log full (%d of %d lines used; reopen with a larger CatalogLines)",
+		return nil, fmt.Errorf("broker: catalog log full (%d of %d lines used; CompactCatalog reclaims tombstone debris and can resize)",
 			b.cat.next, b.cat.totalLines)
+	}
+	if snap.shardTotal+tc.Shards > maxCatShards {
+		return nil, fmt.Errorf("broker: global shard ordinal space exhausted (%d of %d; ordinals of deleted topics are never reissued)",
+			snap.shardTotal, maxCatShards)
 	}
 
 	// 1. Allocate: run the placement policy against a scratch copy of
-	// the high-water marks (no durable effect on error), then claim
-	// the windows and fence the marks.
+	// the high-water marks, taking free-list windows (retired by
+	// earlier deletes) before bumping a mark, then claim the fresh
+	// windows and fence the marks. On error the popped free windows go
+	// back — nothing durable has happened yet.
 	tmp := append([]int(nil), b.cat.marks...)
 	locs := make([]shardLoc, tc.Shards)
+	reused := make([]bool, tc.Shards)
+	var popped []shardLoc
+	unpop := func() {
+		for _, loc := range popped {
+			b.cat.releaseSlots(loc.heap, loc.base, slotsPerShard)
+		}
+	}
 	for si := range locs {
 		hi := b.placement(len(snap.list), si, snap.shardTotal+si, tc.Shards, b.hs.Len())
 		if hi < 0 || hi >= b.hs.Len() {
+			unpop()
 			return nil, fmt.Errorf("broker: placement policy put topic %q shard %d on heap %d of %d",
 				tc.Name, si, hi, b.hs.Len())
 		}
+		if base, ok := b.cat.takeFree(hi, slotsPerShard); ok {
+			locs[si] = shardLoc{heap: hi, base: base}
+			reused[si] = true
+			popped = append(popped, locs[si])
+			continue
+		}
 		if tmp[hi]+slotsPerShard > b.hs.Heap(hi).RootSlots() {
+			unpop()
 			return nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
 				hi, tc.Name, si, slotsPerShard, b.hs.Heap(hi).RootSlots()-tmp[hi])
 		}
 		locs[si] = shardLoc{heap: hi, base: tmp[hi]}
 		tmp[hi] += slotsPerShard
 	}
+	marksDirty := false
 	for hi := range tmp {
 		if tmp[hi] != b.cat.marks[hi] {
 			b.cat.marks[hi] = tmp[hi]
 			b.cat.h.Store(tid, b.cat.markAddr(hi), uint64(tmp[hi]))
+			marksDirty = true
 		}
 	}
-	b.cat.persistMarks(tid)
+	if marksDirty {
+		b.cat.persistMarks(tid)
+	}
 
 	// 2. Initialize the shard queues, heap by heap in parallel (the
 	// same tid may run on every member concurrently: per-thread
@@ -308,6 +338,20 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 			h := b.hs.Heap(hi)
 			for _, si := range shards {
 				view := h.View(locs[si].base, slotsPerShard)
+				if reused[si] {
+					// Scrub a free-list window's root slots before building
+					// on it: the retired queue's slots (acked frontier,
+					// epoch...) would otherwise survive wherever the new
+					// queue kind does not overwrite them and mislead the
+					// recovery dispatch. The constructor's own persist on
+					// this heap orders the scrub durably before the
+					// record's anchor, so a crash never sees a committed
+					// topic on an unscrubbed window.
+					for slot := 0; slot < slotsPerShard; slot++ {
+						view.Store(tid, view.RootAddr(slot), 0)
+						view.Flush(tid, view.RootAddr(slot))
+					}
+				}
 				var s *shard
 				if tc.MaxPayload == 0 {
 					if tc.Acked {
@@ -330,9 +374,12 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 	wg.Wait()
 
 	// 3 + 4. Append the record, fence, anchor. Visible only after the
-	// commit persist; a crash in between recovers as "never existed".
-	hdr, body := topicRecord(b.cat.records+1, tc, locs)
+	// commit persist; a crash in between recovers as "never existed"
+	// (the popped free windows then come back through replay's
+	// allocator simulation, just as they come back here on error).
+	hdr, body := topicRecord(b.cat.records+1, tc, locs, snap.shardTotal)
 	if err := b.cat.appendRecord(tid, hdr, body); err != nil {
+		unpop()
 		return nil, err
 	}
 	if o != nil {
@@ -432,4 +479,174 @@ func (b *Broker) CreateAckGroup(tid int, cfg AckGroupConfig) (int, error) {
 		o.Event(tid, obs.OpAdmin, nil, -1)
 	}
 	return group, nil
+}
+
+// DeleteTopic retires the named topic durably and reclaims its NVRAM:
+// the topic is unpublished from the data plane (every *Topic handle
+// turns into ErrTopicDeleted, in-flight operations are drained), a
+// checksummed tombstone record is appended to the catalog log and
+// anchored exactly like a creation, and only after that anchor persist
+// do the topic's shard windows return to the free-list allocator for
+// CreateTopic to reuse. A crash anywhere before the anchor recovers as
+// "the topic still exists" — with every message it held — and a crash
+// after it recovers the delete completely, so a window is never
+// reusable in any execution where the topic could come back.
+//
+// Messages still in the topic are dropped with it: drain first (group
+// consumption or DequeueShard) if they matter. Consumer groups that
+// subscribed the topic keep working on their other topics — polls skip
+// the deleted refs — and the topic's global shard ordinals are never
+// reissued, so its stale lease lines can never be adopted by a new
+// topic.
+//
+// The catalog-protocol cost is at most three blocking persists; the
+// common path is two (tombstone record, commit stamp — the high-water
+// marks never move backward). When tombstone debris has accumulated
+// past half the log's record space, DeleteTopic compacts the log in
+// the same call (see CompactCatalog) — amortized, the cost bound
+// still holds.
+func (b *Broker) DeleteTopic(tid int, name string) error {
+	b.adminMu.Lock()
+	defer b.adminMu.Unlock()
+	o := b.obs
+	var startNs int64
+	if o != nil {
+		startNs = obs.Now()
+	}
+	if b.cat == nil {
+		return errLegacyCatalog("DeleteTopic")
+	}
+	snap := b.set()
+	t := snap.byName[name]
+	if t == nil {
+		return fmt.Errorf("broker: no topic %q", name)
+	}
+	// Reserve log space up front. A log too full for a tombstone but
+	// holding debris is compacted instead — the new generation simply
+	// omits the topic, which is the same atomic flip.
+	full := b.cat.next+tombstoneLines > b.cat.totalLines
+	if full && b.cat.deadLines == 0 {
+		return fmt.Errorf("broker: catalog log full (%d of %d lines used; CompactCatalog can resize it)",
+			b.cat.next, b.cat.totalLines)
+	}
+
+	// 1. Unpublish: swap a snapshot without the topic, flip its deleted
+	// flag, and drain the data plane — after this loop no operation is
+	// inside a shard and none can get in.
+	ns := &topicSet{
+		byName:     make(map[string]*Topic, len(snap.byName)-1),
+		shardTotal: snap.shardTotal,
+	}
+	for _, tp := range snap.list {
+		if tp != t {
+			ns.list = append(ns.list, tp)
+			ns.byName[tp.Name()] = tp
+		}
+	}
+	b.snap.Store(ns)
+	t.deleted.Store(true)
+	for t.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+
+	// 2 + 3. Tombstone: append, fence, anchor. Visible (the topic gone)
+	// only after the commit persist; a crash in between recovers the
+	// topic.
+	if full {
+		if err := b.compactLocked(tid, 0); err != nil {
+			// Nothing durable changed; resurrect the volatile state.
+			t.deleted.Store(false)
+			b.snap.Store(snap)
+			return err
+		}
+	} else {
+		hdr, body := tombstoneRecord(b.cat.records+1, name)
+		if err := b.cat.appendRecord(tid, hdr, body); err != nil {
+			t.deleted.Store(false)
+			b.snap.Store(snap)
+			return err
+		}
+		b.cat.deadLines += topicRecLines(len(t.locs)) + tombstoneLines
+	}
+
+	// 4. Reclaim: only now — the tombstone (or the generation that
+	// omits the topic) is anchored — do the windows return. The view
+	// claims go back to the member heaps so CreateTopic can re-view the
+	// same slots, and the windows join the free list.
+	for si, loc := range t.locs {
+		b.hs.Heap(loc.heap).ReleaseView(t.shards[si].h)
+		b.cat.releaseSlots(loc.heap, loc.base, slotsPerShard)
+	}
+
+	// Debris past half the record space triggers reclamation of the log
+	// itself.
+	if b.cat.deadLines*2 > b.cat.totalLines-b.cat.recStart() {
+		if err := b.compactLocked(tid, 0); err != nil {
+			return fmt.Errorf("broker: topic %q deleted, but compaction failed: %w", name, err)
+		}
+	}
+	if o != nil {
+		o.Lat(tid, obs.OpAdmin, startNs)
+		o.Event(tid, obs.OpAdmin, nil, -1)
+	}
+	return nil
+}
+
+// CompactCatalog rewrites the catalog log's live records into a fresh
+// next-generation region, dropping tombstone debris, and flips the
+// root-slot anchor to it — one single-word persist, so recovery on
+// either side of the flip reads exactly one complete generation.
+// capacityLines resizes the log's record space (0 keeps the current
+// capacity), which makes compaction the log-full escape hatch: a
+// broker that outgrew Options.CatalogLines compacts into a larger
+// generation without restarting.
+//
+// Cost: one fence covering the whole new generation plus the anchor
+// persist — independent of how many dead records are dropped.
+// DeleteTopic calls this automatically when debris exceeds half the
+// record space; explicit calls are for resizing or for reclaiming
+// eagerly.
+func (b *Broker) CompactCatalog(tid, capacityLines int) error {
+	b.adminMu.Lock()
+	defer b.adminMu.Unlock()
+	o := b.obs
+	var startNs int64
+	if o != nil {
+		startNs = obs.Now()
+	}
+	if b.cat == nil {
+		return errLegacyCatalog("CompactCatalog")
+	}
+	maxCap := maxCatalogLines - logHeaderLines - b.cat.allocLines
+	if capacityLines < 0 || capacityLines > maxCap {
+		return fmt.Errorf("broker: CatalogLines %d out of range [0,%d]", capacityLines, maxCap)
+	}
+	if err := b.compactLocked(tid, capacityLines); err != nil {
+		return err
+	}
+	if o != nil {
+		o.Lat(tid, obs.OpAdmin, startNs)
+		o.Event(tid, obs.OpAdmin, nil, -1)
+	}
+	return nil
+}
+
+// compactLocked gathers the live catalog contents — the current
+// snapshot's topics with their ordinal bases, every lease region —
+// and hands them to the log's generation writer. Caller holds adminMu.
+func (b *Broker) compactLocked(tid, capacityLines int) error {
+	snap := b.set()
+	topics := make([]liveTopic, len(snap.list))
+	for i, t := range snap.list {
+		topics[i] = liveTopic{tc: t.cfg, locs: t.locs, base: t.base}
+	}
+	b.regionMu.Lock()
+	leaseLocs := make([]shardLoc, len(b.regions))
+	leaseCaps := make([]int, len(b.regions))
+	for g, lr := range b.regions {
+		leaseLocs[g] = shardLoc{heap: lr.heap, base: lr.slot}
+		leaseCaps[g] = lr.cap
+	}
+	b.regionMu.Unlock()
+	return b.cat.compact(tid, b.threads, capacityLines, topics, leaseLocs, leaseCaps, snap.shardTotal)
 }

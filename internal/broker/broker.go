@@ -25,8 +25,15 @@
 // recovered) broker and CreateTopic/CreateAckGroup append checksummed
 // records to a durable catalog log at runtime, each creation made
 // visible only by its anchor stamp's persist (see admin.go and
-// cataloglog.go). New/NewSet/Recover/RecoverSet remain as thin
-// compatibility wrappers.
+// cataloglog.go). The lifecycle is complete: DeleteTopic retires a
+// topic with a tombstone record under the same ordered-persist
+// discipline and returns its root-slot windows to a size-bucketed
+// free list that CreateTopic reuses, so churning workloads reach a
+// steady-state NVRAM footprint; CompactCatalog rewrites the live
+// records into a fresh log generation when tombstone debris
+// accumulates (and doubles as the log's resize path).
+// New/NewSet/Recover/RecoverSet remain as thin compatibility
+// wrappers.
 //
 // The broker is observable without being perturbed: Options.Observer
 // accepts an obs.Observer that receives per-op latency samples
@@ -221,9 +228,11 @@ type Broker struct {
 	bound    []bool
 }
 
-// topicSet is one immutable data-plane snapshot: the topics in
-// catalog order, the name index, and the global shard total (the next
-// topic's first global shard ordinal).
+// topicSet is one immutable data-plane snapshot: the live topics in
+// catalog order, the name index, and the global shard-ordinal
+// frontier (the next topic's first global shard ordinal). shardTotal
+// is monotone — a deleted topic's ordinals are never reissued, so a
+// stale lease line can never be adopted by a new topic's shard.
 type topicSet struct {
 	list       []*Topic
 	byName     map[string]*Topic
@@ -457,9 +466,9 @@ func checkSet(hs *pmem.HeapSet, threads int) error {
 // in parallel: member heaps are independent simulators with their own
 // per-thread state, so tid 0 may run on each concurrently. This is the
 // second phase of recovery.
-func build(hs *pmem.HeapSet, threads int, topics []TopicConfig, locs [][]shardLoc, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
+func build(hs *pmem.HeapSet, threads int, topics []TopicConfig, locs [][]shardLoc, bases []int, nextGlobal int, mk func(view *pmem.Heap, tc TopicConfig) *shard) *Broker {
 	b := &Broker{hs: hs, threads: threads, placement: RoundRobinPlacement}
-	snap := &topicSet{byName: map[string]*Topic{}}
+	snap := &topicSet{byName: map[string]*Topic{}, shardTotal: nextGlobal}
 	type job struct {
 		t   *Topic
 		si  int
@@ -467,14 +476,13 @@ func build(hs *pmem.HeapSet, threads int, topics []TopicConfig, locs [][]shardLo
 	}
 	perHeap := make([][]job, hs.Len())
 	for ti, tc := range topics {
-		t := &Topic{b: b, cfg: tc, base: snap.shardTotal, locs: locs[ti], shards: make([]*shard, tc.Shards)}
+		t := &Topic{b: b, cfg: tc, base: bases[ti], locs: locs[ti], shards: make([]*shard, tc.Shards)}
 		for si := 0; si < tc.Shards; si++ {
 			loc := locs[ti][si]
 			perHeap[loc.heap] = append(perHeap[loc.heap], job{t: t, si: si, loc: loc})
 		}
 		snap.list = append(snap.list, t)
 		snap.byName[tc.Name] = t
-		snap.shardTotal += tc.Shards
 	}
 	var wg sync.WaitGroup
 	for hi, jobs := range perHeap {
@@ -605,9 +613,42 @@ func (b *Broker) AckGroups() int {
 	return len(b.regions)
 }
 
-// ShardTotal reports the number of shards across all topics; global
-// shard ordinals (catalog creation order) index the lease regions.
+// ShardTotal reports the global shard-ordinal frontier: one past the
+// highest ordinal any topic — live or deleted — ever held. Global
+// shard ordinals (catalog creation order) index the lease regions;
+// the frontier is monotone so a retired topic's lease lines are never
+// adopted by a new one.
 func (b *Broker) ShardTotal() int { return b.set().shardTotal }
+
+// CatalogGeneration reports the catalog log's generation — bumped by
+// every CompactCatalog. Zero on a legacy (write-once) catalog.
+func (b *Broker) CatalogGeneration() uint64 {
+	b.adminMu.Lock()
+	defer b.adminMu.Unlock()
+	if b.cat == nil {
+		return 0
+	}
+	return b.cat.gen
+}
+
+// SlotFootprint reports the broker's root-slot footprint: used is the
+// total number of slots below the per-heap high-water marks (the
+// anchor slots excluded) — the durable NVRAM the broker has ever
+// claimed for shard windows and lease regions — and free how many of
+// those currently sit on the free list awaiting reuse. A churning
+// workload whose deletes balance its creates holds used steady while
+// free oscillates. Zero on a legacy catalog (which cannot delete).
+func (b *Broker) SlotFootprint() (used, free int) {
+	b.adminMu.Lock()
+	defer b.adminMu.Unlock()
+	if b.cat == nil {
+		return 0, 0
+	}
+	for _, m := range b.cat.marks {
+		used += m - 1 // slot 0 is the anchor, never allocator-owned
+	}
+	return used, b.cat.freeSlots()
+}
 
 // HeapSet returns the heap set the broker spans.
 func (b *Broker) HeapSet() *pmem.HeapSet { return b.hs }

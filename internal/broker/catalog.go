@@ -99,10 +99,16 @@ type shardLoc struct {
 type layoutInfo struct {
 	topics    []TopicConfig
 	locs      [][]shardLoc // per topic, per shard
+	bases     []int        // per topic: global shard-ordinal base (lease-line index of shard 0)
 	leaseLocs []shardLoc   // per ack group: (heap, anchor slot) of its lease region
 	leaseCaps []int        // per ack group: shard-ordinal capacity of the region
 	threads   int
-	cat       *catalogLog // non-nil for a v4 log: the broker stays administrable
+	// nextGlobal is where the broker continues issuing global shard
+	// ordinals: past every ordinal any topic — live, deleted, or
+	// compacted away — ever held, so a retired topic's lease lines are
+	// never adopted by a new one.
+	nextGlobal int
+	cat        *catalogLog // non-nil for a v4 log: the broker stays administrable
 }
 
 func packLoc(l shardLoc) uint64   { return uint64(l.heap)<<32 | uint64(l.base) }
@@ -178,6 +184,14 @@ func readCatalog(hs *pmem.HeapSet) (layoutInfo, error) {
 	}
 	if err != nil {
 		return layoutInfo{}, err
+	}
+	if magic != catMagicV4 {
+		// Legacy write-once catalogs assigned global shard ordinals
+		// sequentially in row order and never deleted a topic.
+		for _, tc := range lay.topics {
+			lay.bases = append(lay.bases, lay.nextGlobal)
+			lay.nextGlobal += tc.Shards
+		}
 	}
 	if heapCount != hs.Len() {
 		return layoutInfo{}, fmt.Errorf("broker: catalog records %d heaps, the given set has %d",

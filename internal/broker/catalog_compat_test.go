@@ -88,6 +88,16 @@ func writeCatalogV1(h *pmem.Heap, cfg Config) {
 	h.Persist(tid, h.RootAddr(slotAnchor))
 }
 
+// seqBases assigns global shard ordinals sequentially in topic order,
+// exactly as every pre-tombstone catalog version implies them.
+func seqBases(topics []TopicConfig) (bases []int, next int) {
+	for _, tc := range topics {
+		bases = append(bases, next)
+		next += tc.Shards
+	}
+	return bases, next
+}
+
 // newWithV1Catalog builds a broker exactly as a pre-heap-set binary
 // did: shard queues at the deterministic sequential layout on one
 // heap, then the v1 catalog.
@@ -98,7 +108,8 @@ func newWithV1Catalog(t *testing.T, h *pmem.Heap, cfg Config) *Broker {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := build(hs, cfg.Threads, cfg.Topics, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+	bases, next := seqBases(cfg.Topics)
+	b := build(hs, cfg.Threads, cfg.Topics, locs, bases, next, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
 			return &shard{fixed: queues.NewOptUnlinkedQ(view, cfg.Threads)}
 		}
@@ -194,7 +205,8 @@ func TestCatalogV2Recover(t *testing.T) {
 	if len(leaseLocs) != 0 {
 		t.Fatalf("lease-free layout allocated %d lease regions", len(leaseLocs))
 	}
-	b := build(hs, bcfg.Threads, bcfg.Topics, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+	bases, next := seqBases(bcfg.Topics)
+	b := build(hs, bcfg.Threads, bcfg.Topics, locs, bases, next, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
 			return &shard{fixed: queues.NewOptUnlinkedQ(view, bcfg.Threads)}
 		}
@@ -341,7 +353,8 @@ func TestCatalogV3Recover(t *testing.T) {
 	if len(leaseLocs) != 1 {
 		t.Fatalf("layout allocated %d lease regions, want 1", len(leaseLocs))
 	}
-	b := build(hs, bcfg.Threads, bcfg.Topics, locs, func(view *pmem.Heap, tc TopicConfig) *shard {
+	bases, next := seqBases(bcfg.Topics)
+	b := build(hs, bcfg.Threads, bcfg.Topics, locs, bases, next, func(view *pmem.Heap, tc TopicConfig) *shard {
 		if tc.MaxPayload == 0 {
 			return &shard{fixed: queues.NewOptUnlinkedQAcked(view, bcfg.Threads)}
 		}

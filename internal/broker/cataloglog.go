@@ -32,13 +32,45 @@ import (
 // whose topics were created across many sessions recovers identically
 // to one that made them all at once.
 //
+// Retirement rides the same discipline in reverse. DeleteTopic
+// appends a checksummed *tombstone* record naming the topic and
+// anchors it exactly like a creation; only after the anchor persist
+// completes are the topic's shard windows handed to the volatile
+// free-list allocator (and their pmem view claims released), so a
+// crash anywhere mid-delete recovers as "the topic still exists" and
+// a window is never reusable before its tombstone is durable. The
+// free list is durable *by derivation*: replay simulates the
+// allocator record by record — a creation claims its windows, a
+// tombstone frees them — so recovery rebuilds the identical free list
+// from the log alone, and a committed creation whose windows overlap
+// a still-live structure is a hard recovery error instead of silent
+// aliasing. The high-water marks never move backward; freed windows
+// live below them and are handed out again by exact width.
+//
+// Tombstone debris is reclaimed by compaction (CompactCatalog): the
+// live records are rewritten, re-sequenced, into a freshly allocated
+// next-generation region — same magic, same set stamp, generation
+// word bumped — whose records carry explicit global shard bases so
+// dropping dead records never renumbers the survivors. The whole new
+// generation is fenced first and then the root-slot anchor is flipped
+// to it with a single-word store + persist, so a crash on either side
+// of the flip recovers exactly one complete generation. Compaction is
+// also the log's resize path: the new generation's record capacity is
+// chosen independently of the old.
+//
 // Log region layout (heap 0, anchored at root slot 0):
 //
 //	line 0 (header):  [magicV4, threads, heapCount, setStamp,
-//	                   totalLines, allocLines, 0, checksum(w0..w6)]
-//	line 1 (commit):  [committedRecords, 0...]   — the anchor stamp,
-//	                   rewritten once per creation (single-word store,
-//	                   so it is old or new after a crash, never torn)
+//	                   totalLines, allocLines, generation,
+//	                   checksum(w0..w6)]
+//	line 1 (commit):  [committedRecords, ordinalFloor, 0...] — the
+//	                   anchor stamp, rewritten once per creation
+//	                   (single-word store, so it is old or new after a
+//	                   crash, never torn); ordinalFloor is the global
+//	                   shard ordinal the generation starts issuing at
+//	                   (written once at generation creation), so
+//	                   ordinals of compacted-away topics are never
+//	                   reissued
 //	lines 2..:        allocLines lines of per-heap high-water slot
 //	                   marks, one word per member heap
 //	records:          appended from line 2+allocLines
@@ -46,14 +78,24 @@ import (
 // Topic record (header line + name line + placement lines):
 //
 //	line 0: [recTopicMagic, seq, shards, maxPayload | ackedBit,
-//	         nameLen, bodyLines, 0, checksum]
+//	         nameLen, bodyLines, 1+globalBase, checksum]
 //	line 1: name words 0..3, 0...
 //	line 2+: one placement word per shard, heapID<<32 | baseSlot
+//
+// (word 6 = 0 in records written before topic retirement existed:
+// replay then assigns the global base sequentially, which is exactly
+// what those brokers did.)
 //
 // Ack-group record (header line only):
 //
 //	line 0: [recAckMagic, seq, capacity, heapID<<32 | anchorSlot,
 //	         0, bodyLines=0, 0, checksum]
+//
+// Tombstone record (header line + name line):
+//
+//	line 0: [recTombMagic, seq, nameLen, 0, 0, bodyLines=1, 0,
+//	         checksum]
+//	line 1: name words 0..3, 0...
 //
 // The checksum of a record covers its header words 0..6 and every
 // body word, so a torn record — some lines landed, others not — fails
@@ -66,8 +108,14 @@ const (
 	catMagicV4    = 0x42726f6b657234 // "Broker4": append-only catalog log
 	recTopicMagic = 0x546f7043726531 // "TopCre1": topic-creation record
 	recAckMagic   = 0x416b4743726531 // "AkGCre1": ack-group-creation record
+	recTombMagic  = 0x546f7044656c31 // "TopDel1": topic tombstone record
 
 	logHeaderLines = 2 // header line + commit line
+	tombstoneLines = 2 // tombstone header line + name line
+
+	// maxCatGenerations caps the header's generation word, like the
+	// other catalog sanity caps.
+	maxCatGenerations = 1 << 32
 
 	// defaultCatalogLines is the record-space capacity (in cache lines)
 	// of a fresh catalog log when Options.CatalogLines is zero: room
@@ -96,6 +144,11 @@ func catChecksum(ws []uint64) uint64 {
 // recover as "the create never happened". Tests only.
 var testHookAfterAppend func()
 
+// testHookBeforeFlip, when non-nil, runs between a compaction's
+// generation fence and its anchor flip — the window in which a crash
+// must recover the *old* generation intact. Tests only.
+var testHookBeforeFlip func()
+
 // catalogLog is the volatile handle of the durable v4 catalog log.
 // All mutation happens under the broker's admin mutex.
 type catalogLog struct {
@@ -104,10 +157,32 @@ type catalogLog struct {
 	base       pmem.Addr  // log region base (header line)
 	totalLines int        // region capacity in cache lines
 	allocLines int        // high-water mark lines after the commit line
+	stamp      uint64     // membership set stamp (carried across generations)
+	gen        uint64     // log generation (bumped by compaction)
 
 	records int   // committed records
 	next    int   // next free line (replayed cursor / append position)
 	marks   []int // per-heap high-water root-slot marks (volatile mirror)
+
+	// free is the size-bucketed free-list allocator layered under the
+	// high-water marks: per heap, window width -> LIFO of window base
+	// slots retired by committed tombstones. It is volatile but durable
+	// by derivation — replay rebuilds it from the record sequence — so
+	// it is only ever fed *after* a tombstone's anchor persist.
+	free []map[int][]int
+
+	// deadLines counts record lines that replay would skip over:
+	// tombstoned topic records plus the tombstones themselves. It is
+	// the debris measure that triggers compaction.
+	deadLines int
+
+	// spareBase/spareLines remember the previous generation's region
+	// after a compaction so the next compaction can ping-pong into it
+	// instead of allocating; a resize strands the smaller region
+	// (AllocRaw has no free), and a crash forgets the spare — both are
+	// bounded leaks, not correctness issues.
+	spareBase  pmem.Addr
+	spareLines int
 }
 
 func (cl *catalogLog) lineAddr(i int) pmem.Addr {
@@ -145,7 +220,9 @@ func createCatalogLog(hs *pmem.HeapSet, tid, threads, capacityLines int) *catalo
 		h:          h,
 		heaps:      hs.Len(),
 		allocLines: allocLinesFor(hs.Len()),
+		stamp:      stamp,
 		marks:      make([]int, hs.Len()),
+		free:       make([]map[int][]int, hs.Len()),
 	}
 	cl.totalLines = logHeaderLines + cl.allocLines + capacityLines
 	cl.next = cl.recStart()
@@ -154,7 +231,7 @@ func createCatalogLog(hs *pmem.HeapSet, tid, threads, capacityLines int) *catalo
 	h.InitRange(tid, cl.base, bytes)
 
 	hdr := []uint64{catMagicV4, uint64(threads), uint64(hs.Len()), stamp,
-		uint64(cl.totalLines), uint64(cl.allocLines), 0}
+		uint64(cl.totalLines), uint64(cl.allocLines), cl.gen}
 	for i, w := range hdr {
 		h.Store(tid, cl.base+pmem.Addr(i*pmem.WordBytes), w)
 	}
@@ -179,12 +256,55 @@ func (cl *catalogLog) markAddr(heap int) pmem.Addr {
 		pmem.Addr((heap%pmem.WordsPerLine)*pmem.WordBytes)
 }
 
+// takeFree pops a width-wide window from the heap's free list, if one
+// is there. No durable write happens: the high-water mark already
+// covers every freed window, and the tombstone that freed it is
+// already anchored, so reuse is purely a volatile pop (replay reaches
+// the same window by simulating the same records).
+func (cl *catalogLog) takeFree(heap, width int) (int, bool) {
+	fl := cl.free[heap]
+	bases := fl[width]
+	if len(bases) == 0 {
+		return 0, false
+	}
+	base := bases[len(bases)-1]
+	fl[width] = bases[:len(bases)-1]
+	return base, true
+}
+
+// releaseSlots returns a window to the free list. Callers must have
+// persisted the tombstone that retires the window first — a window on
+// the free list is reusable immediately.
+func (cl *catalogLog) releaseSlots(heap, base, width int) {
+	if cl.free[heap] == nil {
+		cl.free[heap] = make(map[int][]int)
+	}
+	cl.free[heap][width] = append(cl.free[heap][width], base)
+}
+
+// freeSlots reports the total number of root slots sitting on free
+// lists across the set — the reclaimed-but-unreused footprint.
+func (cl *catalogLog) freeSlots() int {
+	total := 0
+	for _, fl := range cl.free {
+		for width, bases := range fl {
+			total += width * len(bases)
+		}
+	}
+	return total
+}
+
 // allocSlots claims a width-slot root-slot window on the given member
-// heap in the durable high-water allocator: the new mark is stored,
-// flushed and fenced before the caller initializes anything inside the
-// window, so a window handed out before a crash is never handed out
-// again — exactly AllocRaw's contract, lifted to root slots.
+// heap: first from the free list (windows retired by tombstones, no
+// durable write needed — the mark already covers them), else from the
+// durable high-water allocator, where the new mark is stored, flushed
+// and fenced before the caller initializes anything inside the window,
+// so a window handed out before a crash is never handed out again —
+// exactly AllocRaw's contract, lifted to root slots.
 func (cl *catalogLog) allocSlots(tid, heap, width int, hs *pmem.HeapSet, what string) (shardLoc, error) {
+	if base, ok := cl.takeFree(heap, width); ok {
+		return shardLoc{heap: heap, base: base}, nil
+	}
 	base := cl.marks[heap]
 	if base+width > hs.Heap(heap).RootSlots() {
 		return shardLoc{}, fmt.Errorf("broker: heap %d out of root slots (%s needs %d, %d left)",
@@ -204,6 +324,34 @@ func (cl *catalogLog) persistMarks(tid int) {
 	cl.h.Fence(tid)
 }
 
+// writeRecordAt stores one record — header words 0..6, the checksum,
+// and the body lines — at line `at` of the region based at `base`, and
+// flushes every line it wrote. No fence: callers order their own (one
+// fence per append, one per whole compaction). Returns the record's
+// line count.
+func (cl *catalogLog) writeRecordAt(tid int, base pmem.Addr, at int, hdr [7]uint64, body [][8]uint64) int {
+	h := cl.h
+	sum := make([]uint64, 0, 7+len(body)*8)
+	sum = append(sum, hdr[:]...)
+	for _, line := range body {
+		sum = append(sum, line[:]...)
+	}
+	hdrAddr := base + pmem.Addr(at)*pmem.CacheLineBytes
+	for bi, line := range body {
+		a := base + pmem.Addr(at+1+bi)*pmem.CacheLineBytes
+		for w, x := range line {
+			h.Store(tid, a+pmem.Addr(w*pmem.WordBytes), x)
+		}
+		h.Flush(tid, a)
+	}
+	for w, x := range hdr {
+		h.Store(tid, hdrAddr+pmem.Addr(w*pmem.WordBytes), x)
+	}
+	h.Store(tid, hdrAddr+7*pmem.WordBytes, catChecksum(sum))
+	h.Flush(tid, hdrAddr)
+	return 1 + len(body)
+}
+
 // appendRecord writes a record — header words 0..6 plus body lines —
 // at the log's free tail, fences it, then stamps and persists the
 // commit word. The record is visible (replayed by recovery) only after
@@ -216,24 +364,7 @@ func (cl *catalogLog) appendRecord(tid int, hdr [7]uint64, body [][8]uint64) err
 			cl.next, cl.totalLines)
 	}
 	h := cl.h
-	sum := make([]uint64, 0, 7+len(body)*8)
-	sum = append(sum, hdr[:]...)
-	for _, line := range body {
-		sum = append(sum, line[:]...)
-	}
-	hdrAddr := cl.lineAddr(cl.next)
-	for bi, line := range body {
-		a := cl.lineAddr(cl.next + 1 + bi)
-		for w, x := range line {
-			h.Store(tid, a+pmem.Addr(w*pmem.WordBytes), x)
-		}
-		h.Flush(tid, a)
-	}
-	for w, x := range hdr {
-		h.Store(tid, hdrAddr+pmem.Addr(w*pmem.WordBytes), x)
-	}
-	h.Store(tid, hdrAddr+7*pmem.WordBytes, catChecksum(sum))
-	h.Flush(tid, hdrAddr)
+	cl.writeRecordAt(tid, cl.base, cl.next, hdr, body)
 	h.Fence(tid) // the record is durable, but not yet visible
 
 	if testHookAfterAppend != nil {
@@ -247,24 +378,32 @@ func (cl *catalogLog) appendRecord(tid int, hdr [7]uint64, body [][8]uint64) err
 	return nil
 }
 
-func topicRecord(seq int, tc TopicConfig, locs []shardLoc) ([7]uint64, [][8]uint64) {
+// packName packs a topic name into one body line, catNameBytes packed
+// little-endian, zero-padded.
+func packName(s string) [8]uint64 {
+	var line [8]uint64
+	name := make([]byte, catNameBytes)
+	copy(name, s)
+	for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+		var word uint64
+		for b := 0; b < 8; b++ {
+			word |= uint64(name[w*8+b]) << (8 * b)
+		}
+		line[w] = word
+	}
+	return line
+}
+
+func topicRecord(seq int, tc TopicConfig, locs []shardLoc, base int) ([7]uint64, [][8]uint64) {
 	placeLines := (len(locs) + pmem.WordsPerLine - 1) / pmem.WordsPerLine
 	payloadWord := uint64(tc.MaxPayload)
 	if tc.Acked {
 		payloadWord |= catAckedBit
 	}
 	hdr := [7]uint64{recTopicMagic, uint64(seq), uint64(tc.Shards), payloadWord,
-		uint64(len(tc.Name)), uint64(1 + placeLines), 0}
+		uint64(len(tc.Name)), uint64(1 + placeLines), uint64(1 + base)}
 	body := make([][8]uint64, 1+placeLines)
-	name := make([]byte, catNameBytes)
-	copy(name, tc.Name)
-	for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
-		var word uint64
-		for b := 0; b < 8; b++ {
-			word |= uint64(name[w*8+b]) << (8 * b)
-		}
-		body[0][w] = word
-	}
+	body[0] = packName(tc.Name)
 	for i, loc := range locs {
 		body[1+i/pmem.WordsPerLine][i%pmem.WordsPerLine] = packLoc(loc)
 	}
@@ -275,12 +414,133 @@ func ackGroupRecord(seq, capacity int, loc shardLoc) [7]uint64 {
 	return [7]uint64{recAckMagic, uint64(seq), uint64(capacity), packLoc(loc), 0, 0, 0}
 }
 
+func tombstoneRecord(seq int, name string) ([7]uint64, [][8]uint64) {
+	hdr := [7]uint64{recTombMagic, uint64(seq), uint64(len(name)), 0, 0, 1, 0}
+	return hdr, [][8]uint64{packName(name)}
+}
+
+// topicRecLines is the log footprint of a topic-creation record:
+// header line, name line, placement lines.
+func topicRecLines(shards int) int {
+	return 2 + (shards+pmem.WordsPerLine-1)/pmem.WordsPerLine
+}
+
+// liveTopic is one surviving topic handed to compact: its config, its
+// shard placements, and the global shard-ordinal base its lease lines
+// live at (which compaction must preserve verbatim — re-basing would
+// repoint every durable lease at the wrong topic).
+type liveTopic struct {
+	tc   TopicConfig
+	locs []shardLoc
+	base int
+}
+
+// compact rewrites the live records into a next-generation log region
+// and flips the root-slot anchor to it: the debris-reclamation and
+// resize path. capacityLines is the new record capacity (0 keeps the
+// current capacity); floor is the global shard ordinal the new
+// generation starts issuing at, recorded in its commit line so the
+// ordinals of compacted-away topics are never reissued.
+//
+// The whole new generation — header, commit line at the live record
+// count, high-water marks, records — is written and fenced before the
+// anchor flips, so recovery on either side of the flip reads exactly
+// one complete generation. Cost: one fence plus one anchor persist,
+// regardless of how many dead records are dropped.
+func (cl *catalogLog) compact(tid, threads, capacityLines int,
+	topics []liveTopic, leaseLocs []shardLoc, leaseCaps []int, floor int) error {
+	if capacityLines == 0 {
+		capacityLines = cl.totalLines - cl.recStart()
+	}
+	need := 0
+	for _, t := range topics {
+		need += topicRecLines(len(t.locs))
+	}
+	need += len(leaseLocs)
+	if need > capacityLines {
+		return fmt.Errorf("broker: catalog capacity %d lines cannot hold %d live record lines",
+			capacityLines, need)
+	}
+	if cl.gen+1 >= maxCatGenerations {
+		return fmt.Errorf("broker: catalog generation limit reached")
+	}
+
+	h := cl.h
+	newTotal := logHeaderLines + cl.allocLines + capacityLines
+	var newBase pmem.Addr
+	if cl.spareBase != 0 && cl.spareLines >= newTotal {
+		// Ping-pong into the previous generation's region; it is already
+		// initialized and nothing reads past the commit prefix we are
+		// about to write.
+		newBase, cl.spareBase, cl.spareLines = cl.spareBase, 0, 0
+	} else {
+		bytes := int64(newTotal) * pmem.CacheLineBytes
+		newBase = h.AllocRaw(tid, bytes, pmem.CacheLineBytes)
+		h.InitRange(tid, newBase, bytes)
+	}
+	la := func(i int) pmem.Addr { return newBase + pmem.Addr(i)*pmem.CacheLineBytes }
+
+	hdr := []uint64{catMagicV4, uint64(threads), uint64(cl.heaps), cl.stamp,
+		uint64(newTotal), uint64(cl.allocLines), cl.gen + 1}
+	for i, w := range hdr {
+		h.Store(tid, la(0)+pmem.Addr(i*pmem.WordBytes), w)
+	}
+	h.Store(tid, la(0)+7*pmem.WordBytes, catChecksum(hdr))
+	h.Flush(tid, la(0))
+	h.Store(tid, la(1), uint64(len(topics)+len(leaseLocs)))
+	h.Store(tid, la(1)+pmem.WordBytes, uint64(floor))
+	h.Flush(tid, la(1))
+	for i, m := range cl.marks {
+		h.Store(tid, la(logHeaderLines+i/pmem.WordsPerLine)+
+			pmem.Addr((i%pmem.WordsPerLine)*pmem.WordBytes), uint64(m))
+	}
+	for l := 0; l < cl.allocLines; l++ {
+		h.Flush(tid, la(logHeaderLines+l))
+	}
+	next := logHeaderLines + cl.allocLines
+	seq := 0
+	for _, t := range topics {
+		seq++
+		rh, body := topicRecord(seq, t.tc, t.locs, t.base)
+		next += cl.writeRecordAt(tid, newBase, next, rh, body)
+	}
+	for g, loc := range leaseLocs {
+		seq++
+		rh := ackGroupRecord(seq, leaseCaps[g], loc)
+		next += cl.writeRecordAt(tid, newBase, next, rh, nil)
+	}
+	h.Fence(tid) // the whole generation is durable, but not yet visible
+
+	if testHookBeforeFlip != nil {
+		testHookBeforeFlip()
+	}
+
+	h.Store(tid, h.RootAddr(slotAnchor), uint64(newBase))
+	h.Persist(tid, h.RootAddr(slotAnchor)) // the flip: now this is the catalog
+
+	cl.spareBase, cl.spareLines = cl.base, cl.totalLines
+	cl.base = newBase
+	cl.totalLines = newTotal
+	cl.records = seq
+	cl.next = next
+	cl.gen++
+	cl.deadLines = 0
+	return nil
+}
+
 // readCatalogV4 replays the catalog log record by record: exactly the
 // committed prefix is applied, every committed record is re-validated
 // (checksum, bounds, field sanity) and anything beyond the commit
 // point — the torn tail of a creation that crashed before its anchor
 // stamp — is ignored and will be overwritten by the next append. The
 // returned catalogLog is positioned to continue appending.
+//
+// Replay is also an allocator simulation: each creation record claims
+// its root-slot windows, each tombstone retires its topic's windows,
+// and a committed creation whose windows overlap a still-live
+// structure — or partially overlap a retired window instead of reusing
+// it exactly — is a hard recovery error. What is retired and never
+// reclaimed at the end of the log becomes the rebuilt free list.
 func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *catalogLog, int, uint64, error) {
 	var hdr [7]uint64
 	for i := range hdr {
@@ -298,6 +558,7 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 	stamp := hdr[3]
 	totalLines := hdr[4]
 	allocLines := hdr[5]
+	gen := hdr[6]
 	if heapCount == 0 || heapCount > maxCatHeaps {
 		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog heap count %d invalid", heapCount)
 	}
@@ -308,26 +569,84 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log records %d allocator lines for %d heaps, want %d",
 			allocLines, heapCount, allocLinesFor(int(heapCount)))
 	}
+	if gen >= maxCatGenerations {
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log generation %d invalid", gen)
+	}
 	cl := &catalogLog{
 		h:          r.h,
 		heaps:      int(heapCount),
 		base:       reg,
 		totalLines: int(totalLines),
 		allocLines: int(allocLines),
+		stamp:      stamp,
+		gen:        gen,
 		marks:      make([]int, heapCount),
+		free:       make([]map[int][]int, heapCount),
 	}
 	records := r.word(cl.lineAddr(1))
+	floor := r.word(cl.lineAddr(1) + pmem.WordBytes)
 	if records > uint64(cl.totalLines) { // each record spans >= 1 line
 		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log commit count %d absurd (capacity %d lines)",
 			records, cl.totalLines)
 	}
+	if floor > maxCatShards {
+		return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log ordinal floor %d invalid", floor)
+	}
 
-	lay := layoutInfo{threads: int(threads)}
+	lay := layoutInfo{threads: int(threads), nextGlobal: int(floor)}
 	replayMarks := make([]int, heapCount)
 	for i := range replayMarks {
 		replayMarks[i] = 1
 	}
-	seen := map[string]bool{}
+
+	// The allocator simulation: per heap, windows claimed by live
+	// structures and windows retired by tombstones.
+	type repWin struct{ base, width int }
+	liveWins := make([][]repWin, heapCount)
+	freedWins := make([][]repWin, heapCount)
+	claimWin := func(rec int, what string, loc shardLoc, width int) error {
+		if loc.heap < 0 || loc.heap >= int(heapCount) {
+			return fmt.Errorf("broker: catalog log record %d places %s on heap %d of %d",
+				rec, what, loc.heap, heapCount)
+		}
+		if loc.base < 1 || (loc.heap < hs.Len() && loc.base+width > hs.Heap(loc.heap).RootSlots()) {
+			return fmt.Errorf("broker: catalog log record %d places %s at slots [%d,%d) outside heap %d",
+				rec, what, loc.base, loc.base+width, loc.heap)
+		}
+		for _, w := range liveWins[loc.heap] {
+			if loc.base < w.base+w.width && w.base < loc.base+width {
+				return fmt.Errorf("broker: catalog log record %d claims slots [%d,%d) on heap %d overlapping live window [%d,%d)",
+					rec, loc.base, loc.base+width, loc.heap, w.base, w.base+w.width)
+			}
+		}
+		for i, w := range freedWins[loc.heap] {
+			if loc.base < w.base+w.width && w.base < loc.base+width {
+				if w.base != loc.base || w.width != width {
+					return fmt.Errorf("broker: catalog log record %d claims slots [%d,%d) on heap %d partially overlapping retired window [%d,%d)",
+						rec, loc.base, loc.base+width, loc.heap, w.base, w.base+w.width)
+				}
+				// Exact reuse of a retired window.
+				freedWins[loc.heap] = append(freedWins[loc.heap][:i], freedWins[loc.heap][i+1:]...)
+				break
+			}
+		}
+		liveWins[loc.heap] = append(liveWins[loc.heap], repWin{loc.base, width})
+		if end := loc.base + width; end > replayMarks[loc.heap] {
+			replayMarks[loc.heap] = end
+		}
+		return nil
+	}
+
+	// Topics accumulate with a liveness flag so tombstones can retire
+	// them; the surviving ones compact into lay at the end.
+	type repTopic struct {
+		tc   TopicConfig
+		locs []shardLoc
+		base int
+		dead bool
+	}
+	var reps []*repTopic
+	byName := map[string]*repTopic{}
 	cursor := cl.recStart()
 	topics, ackGroups := 0, 0
 	for rec := 0; rec < int(records); rec++ {
@@ -371,6 +690,7 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 			shards := rh[2]
 			payloadWord := rh[3]
 			nameLen := rh[4]
+			baseWord := rh[6]
 			if shards == 0 || shards > maxCatShards {
 				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid shard count %d", rec, shards)
 			}
@@ -380,6 +700,9 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 			if want := 1 + (int(shards)+pmem.WordsPerLine-1)/pmem.WordsPerLine; int(bodyLines) != want {
 				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has %d body lines for %d shards, want %d",
 					rec, bodyLines, shards, want)
+			}
+			if baseWord > maxCatShards {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid ordinal base %d", rec, baseWord)
 			}
 			if topics++; topics > maxCatTopics {
 				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log exceeds %d topics", maxCatTopics)
@@ -391,26 +714,38 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 				}
 			}
 			name := string(nameBytes[:nameLen])
-			if seen[name] {
+			if byName[name] != nil {
 				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log records topic %q twice", name)
 			}
-			seen[name] = true
+			// Word 6 is 1+base for records written since topic retirement
+			// existed; 0 means sequential assignment, exactly what the
+			// broker that wrote the record did.
+			base := lay.nextGlobal
+			if baseWord > 0 {
+				base = int(baseWord) - 1
+			}
+			if end := base + int(shards); end > lay.nextGlobal {
+				lay.nextGlobal = end
+			}
 			locs := make([]shardLoc, shards)
 			for s := range locs {
 				locs[s] = unpackLoc(body[1+s/pmem.WordsPerLine][s%pmem.WordsPerLine])
-				if locs[s].heap >= 0 && locs[s].heap < int(heapCount) {
-					if end := locs[s].base + slotsPerShard; end > replayMarks[locs[s].heap] {
-						replayMarks[locs[s].heap] = end
-					}
+				if err := claimWin(rec, fmt.Sprintf("topic %q shard %d", name, s), locs[s], slotsPerShard); err != nil {
+					return layoutInfo{}, nil, 0, 0, err
 				}
 			}
-			lay.topics = append(lay.topics, TopicConfig{
-				Name:       name,
-				Shards:     int(shards),
-				MaxPayload: int(payloadWord &^ catAckedBit),
-				Acked:      payloadWord&catAckedBit != 0,
-			})
-			lay.locs = append(lay.locs, locs)
+			rt := &repTopic{
+				tc: TopicConfig{
+					Name:       name,
+					Shards:     int(shards),
+					MaxPayload: int(payloadWord &^ catAckedBit),
+					Acked:      payloadWord&catAckedBit != 0,
+				},
+				locs: locs,
+				base: base,
+			}
+			reps = append(reps, rt)
+			byName[name] = rt
 		case recAckMagic:
 			capacity := rh[2]
 			loc := unpackLoc(rh[3])
@@ -420,17 +755,62 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 			if ackGroups++; ackGroups > maxCatAckGroups {
 				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log exceeds %d ack groups", maxCatAckGroups)
 			}
-			if loc.heap >= 0 && loc.heap < int(heapCount) {
-				if end := loc.base + 1; end > replayMarks[loc.heap] {
-					replayMarks[loc.heap] = end
-				}
+			if err := claimWin(rec, fmt.Sprintf("lease region %d", ackGroups-1), loc, 1); err != nil {
+				return layoutInfo{}, nil, 0, 0, err
 			}
 			lay.leaseLocs = append(lay.leaseLocs, loc)
 			lay.leaseCaps = append(lay.leaseCaps, int(capacity))
+		case recTombMagic:
+			nameLen := rh[2]
+			if nameLen == 0 || nameLen > catNameBytes {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid name length %d", rec, nameLen)
+			}
+			if bodyLines != 1 {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log tombstone %d has %d body lines, want 1", rec, bodyLines)
+			}
+			nameBytes := make([]byte, catNameBytes)
+			for w := 0; w < catNameBytes/pmem.WordBytes; w++ {
+				for b := 0; b < 8; b++ {
+					nameBytes[w*8+b] = byte(body[0][w] >> (8 * b))
+				}
+			}
+			name := string(nameBytes[:nameLen])
+			rt := byName[name]
+			if rt == nil {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log tombstone %d names no live topic %q", rec, name)
+			}
+			rt.dead = true
+			delete(byName, name)
+			// Retire the topic's windows: out of the live set, onto the
+			// freed set, in shard order (matching the live broker's
+			// release order, so the rebuilt free list is identical).
+			for _, loc := range rt.locs {
+				for i, w := range liveWins[loc.heap] {
+					if w.base == loc.base && w.width == slotsPerShard {
+						liveWins[loc.heap] = append(liveWins[loc.heap][:i], liveWins[loc.heap][i+1:]...)
+						break
+					}
+				}
+				freedWins[loc.heap] = append(freedWins[loc.heap], repWin{loc.base, slotsPerShard})
+			}
+			cl.deadLines += topicRecLines(len(rt.locs)) + tombstoneLines
 		default:
 			return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d magic %#x invalid", rec, rh[0])
 		}
 		cursor += 1 + int(bodyLines)
+	}
+	for _, rt := range reps {
+		if rt.dead {
+			continue
+		}
+		lay.topics = append(lay.topics, rt.tc)
+		lay.locs = append(lay.locs, rt.locs)
+		lay.bases = append(lay.bases, rt.base)
+	}
+	for heap, wins := range freedWins {
+		for _, w := range wins {
+			cl.releaseSlots(heap, w.base, w.width)
+		}
 	}
 	cl.records = int(records)
 	cl.next = cursor

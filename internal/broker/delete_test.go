@@ -1,0 +1,885 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// TestDeleteTopicRoundTrip is the retirement round trip: a deleted
+// topic vanishes from the data plane (typed ErrTopicDeleted on stale
+// handles), its name is immediately reusable with a different shape,
+// and a crash after the delete recovers the new world — old messages
+// gone with their topic, everything else intact.
+func TestDeleteTopicRoundTrip(t *testing.T) {
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+	b, err := Open(hs, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "keep", Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "gone", Shards: 2, MaxPayload: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := b.Topic("keep").Publish(0, U64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Topic("gone").Publish(0, blobPayload(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	handle := b.Topic("gone")
+	if err := b.DeleteTopic(0, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Topic("gone") != nil {
+		t.Fatal("deleted topic still visible")
+	}
+	if !handle.Deleted() {
+		t.Fatal("stale handle does not report Deleted")
+	}
+	if err := handle.Publish(0, blobPayload(1)); !errors.Is(err, ErrTopicDeleted) {
+		t.Fatalf("Publish on a deleted topic = %v, want ErrTopicDeleted", err)
+	}
+	if err := handle.PublishKey(0, []byte("k"), blobPayload(1)); !errors.Is(err, ErrTopicDeleted) {
+		t.Fatalf("PublishKey on a deleted topic = %v, want ErrTopicDeleted", err)
+	}
+	if err := handle.PublishBatch(0, [][]byte{blobPayload(1)}); !errors.Is(err, ErrTopicDeleted) {
+		t.Fatalf("PublishBatch on a deleted topic = %v, want ErrTopicDeleted", err)
+	}
+	if _, ok := handle.DequeueShard(0, 0); ok {
+		t.Fatal("DequeueShard on a deleted topic delivered a message")
+	}
+	if err := b.DeleteTopic(0, "gone"); err == nil {
+		t.Fatal("double DeleteTopic should fail")
+	}
+	// The name is free again, with a different shape; the old windows
+	// feed the free list.
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "gone", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Topic("gone").Publish(0, U64(31)); err != nil {
+		t.Fatal(err)
+	}
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(91)))
+	hs.Restart()
+
+	r, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := r.Topic("gone")
+	if rg == nil || rg.Shards() != 1 || rg.MaxPayload() != 8 {
+		t.Fatalf("recreated topic recovered wrong: %+v", rg)
+	}
+	got := map[uint64]bool{}
+	for {
+		p, ok := rg.DequeueShard(0, 0)
+		if !ok {
+			break
+		}
+		got[AsU64(p)] = true
+	}
+	if len(got) != 1 || !got[31] {
+		t.Fatalf("recreated topic recovered %v, want {31} (pre-delete messages must not resurface)", got)
+	}
+	kept := map[uint64]bool{}
+	for s := 0; s < 2; s++ {
+		for {
+			p, ok := r.Topic("keep").DequeueShard(0, s)
+			if !ok {
+				break
+			}
+			kept[AsU64(p)] = true
+		}
+	}
+	if len(kept) != 4 {
+		t.Fatalf("untouched topic recovered %d messages, want 4", len(kept))
+	}
+}
+
+// TestDeleteTopicCrashBeforeAnchor pins the delete protocol's crash
+// atomicity: a crash between the tombstone's append fence and its
+// anchor stamp recovers as "the topic still exists", messages and all —
+// and a committed delete never resurrects across further crashes.
+func TestDeleteTopicCrashBeforeAnchor(t *testing.T) {
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 4})
+	b, err := Open(hs, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "victim", Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	b.Topic("victim").Publish(0, U64(41))
+	b.Topic("victim").Publish(0, U64(42))
+
+	testHookAfterAppend = func() { hs.CrashNow() }
+	crashed := pmem.Protect(func() { b.DeleteTopic(0, "victim") })
+	testHookAfterAppend = nil
+	if !crashed {
+		t.Fatal("DeleteTopic survived a crash armed between append and anchor")
+	}
+	hs.FinalizeCrash(rand.New(rand.NewSource(92)))
+	hs.Restart()
+
+	r, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Topic("victim") == nil {
+		t.Fatal("a delete that crashed before its anchor stamp recovered as committed")
+	}
+	got := map[uint64]bool{}
+	for s := 0; s < r.Topic("victim").Shards(); s++ {
+		for {
+			p, ok := r.Topic("victim").DequeueShard(0, s)
+			if !ok {
+				break
+			}
+			if got[AsU64(p)] {
+				t.Fatalf("message %d recovered twice", AsU64(p))
+			}
+			got[AsU64(p)] = true
+		}
+	}
+	if !got[41] || !got[42] || len(got) != 2 {
+		t.Fatalf("surviving topic recovered %v, want {41, 42}", got)
+	}
+	// The retry appends over the torn tombstone and commits; the delete
+	// then survives any further crash — no resurrected topic.
+	if err := r.DeleteTopic(0, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(93)))
+	hs.Restart()
+	r2, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Topic("victim") != nil {
+		t.Fatal("a committed delete resurrected across a crash")
+	}
+}
+
+// TestDeleteTopicWindowReuse pins the acceptance criterion: a
+// create/delete storm over cycles of the same topic shape reaches a
+// steady-state high-water mark — the retired windows are provably
+// reused, the footprint stops growing after the first cycle, and the
+// rebuilt free list after a crash matches the live one exactly (the
+// free list is durable by derivation). The deliberately tiny log also
+// forces the storm through repeated compactions.
+func TestDeleteTopicWindowReuse(t *testing.T) {
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 2})
+	b, err := Open(hs, Options{Threads: 1, CatalogLines: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "base", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b.Topic("base").Publish(0, U64(7))
+
+	const cycles = 10
+	// Two shards over two heaps: the same shape claims the same windows
+	// every cycle once the free list is primed.
+	shape := TopicConfig{Name: "churn", Shards: 2}
+	var used0, free0 int
+	for i := 0; i < cycles; i++ {
+		if _, err := b.CreateTopic(0, shape); err != nil {
+			t.Fatalf("cycle %d create: %v", i, err)
+		}
+		for m := uint64(0); m < 4; m++ {
+			b.Topic("churn").Publish(0, U64(uint64(i)<<8|m))
+		}
+		if err := b.DeleteTopic(0, "churn"); err != nil {
+			t.Fatalf("cycle %d delete: %v", i, err)
+		}
+		used, free := b.SlotFootprint()
+		if i == 0 {
+			used0, free0 = used, free
+			if free != 2*slotsPerShard {
+				t.Fatalf("cycle 0 freed %d slots, want %d (two shard windows)", free, 2*slotsPerShard)
+			}
+			continue
+		}
+		if used != used0 || free != free0 {
+			t.Fatalf("cycle %d footprint (used %d, free %d) drifted from steady state (used %d, free %d): windows not reused",
+				i, used, free, used0, free0)
+		}
+	}
+	if gen := b.CatalogGeneration(); gen == 0 {
+		t.Fatal("a 10-cycle storm on a 24-line log never compacted")
+	}
+	// A same-shape create consumes the free list completely: no fresh
+	// windows, no mark movement.
+	if _, err := b.CreateTopic(0, shape); err != nil {
+		t.Fatal(err)
+	}
+	if used, free := b.SlotFootprint(); used != used0 || free != 0 {
+		t.Fatalf("steady-state create left (used %d, free %d), want (used %d, free 0)", used, free, used0)
+	}
+	if err := b.DeleteTopic(0, "churn"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The free list is durable by derivation: recovery's allocator
+	// simulation rebuilds the same footprint.
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(94)))
+	hs.Restart()
+	r, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used, free := r.SlotFootprint(); used != used0 || free != free0 {
+		t.Fatalf("recovered footprint (used %d, free %d), want (used %d, free %d)", used, free, used0, free0)
+	}
+	if p, ok := r.Topic("base").DequeueShard(0, 0); !ok || AsU64(p) != 7 {
+		t.Fatalf("base message lost in the storm: %v,%v", p, ok)
+	}
+	// And the recovered free list actually serves allocations.
+	if _, err := r.CreateTopic(0, shape); err != nil {
+		t.Fatal(err)
+	}
+	if used, free := r.SlotFootprint(); used != used0 || free != 0 {
+		t.Fatalf("post-recovery create left (used %d, free %d), want (used %d, free 0)", used, free, used0)
+	}
+}
+
+// TestDeleteTopicFenceAccounting pins the retirement cost model: the
+// common DeleteTopic path is exactly two blocking persists (tombstone
+// append, commit stamp — under the documented bound of three), and the
+// cost is independent of the broker's topic count and of the victim's
+// shard count.
+func TestDeleteTopicFenceAccounting(t *testing.T) {
+	cfg := pmem.Config{Bytes: 256 << 20, MaxThreads: 2}
+	h := pmem.New(cfg)
+	b, err := Open(pmem.NewSetOf(h), Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, shards int) {
+		if _, err := b.CreateTopic(0, TopicConfig{Name: name, Shards: shards}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(name string) uint64 {
+		before := h.TotalStats().Fences
+		if err := b.DeleteTopic(0, name); err != nil {
+			t.Fatal(err)
+		}
+		return h.TotalStats().Fences - before
+	}
+	mk("d-first", 1)
+	mk("d-wide", 4)
+	first := measure("d-first")
+	if first > 3 {
+		t.Fatalf("DeleteTopic = %d fences, documented bound is 3", first)
+	}
+	if first != 2 {
+		t.Fatalf("DeleteTopic common path = %d fences, want exactly 2 (tombstone, commit stamp)", first)
+	}
+	if wide := measure("d-wide"); wide != first {
+		t.Fatalf("DeleteTopic cost depends on shard count: %d fences for 4 shards, %d for 1", wide, first)
+	}
+	for i := 0; i < 20; i++ {
+		mk(fmt.Sprintf("filler-%d", i), 1)
+	}
+	mk("d-late", 1)
+	if late := measure("d-late"); late != first {
+		t.Fatalf("DeleteTopic cost grew with the topic count: %d fences on a 21-topic broker, %d on a 2-topic one",
+			late, first)
+	}
+}
+
+// TestCompactCatalogFenceAccounting pins the compaction cost model:
+// in steady state (the spare region already exists, so generations
+// ping-pong) one fence covers the whole new generation plus one anchor
+// persist — independent of how many dead records are dropped.
+func TestCompactCatalogFenceAccounting(t *testing.T) {
+	scenario := func(deleted int) uint64 {
+		h := pmem.New(pmem.Config{Bytes: 256 << 20, MaxThreads: 2})
+		b, err := Open(pmem.NewSetOf(h), Options{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := b.CreateTopic(0, TopicConfig{Name: fmt.Sprintf("live-%d", i), Shards: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Prime the spare region: the first compaction ever pays a
+		// one-time allocation; every later one ping-pongs.
+		if err := b.CompactCatalog(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < deleted; i++ {
+			name := fmt.Sprintf("dead-%d", i)
+			if _, err := b.CreateTopic(0, TopicConfig{Name: name, Shards: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.DeleteTopic(0, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := h.TotalStats().Fences
+		if err := b.CompactCatalog(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return h.TotalStats().Fences - before
+	}
+	few, many := scenario(2), scenario(8)
+	if few != many {
+		t.Fatalf("CompactCatalog cost depends on dead record count: %d fences dropping 2, %d dropping 8", few, many)
+	}
+	if few != 2 {
+		t.Fatalf("CompactCatalog = %d fences, want exactly 2 (generation fence, anchor flip)", few)
+	}
+}
+
+// TestCompactCatalogCrashBeforeFlip pins the generation flip's crash
+// atomicity: a crash between the new generation's fence and the anchor
+// flip recovers the old generation intact — same topics, same
+// tombstones, same messages — and a completed flip survives crashes.
+func TestCompactCatalogCrashBeforeFlip(t *testing.T) {
+	hs := pmem.NewSetOf(pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 2}))
+	b, err := Open(hs, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "a", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "b", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b.Topic("a").Publish(0, U64(51))
+	if err := b.DeleteTopic(0, "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	testHookBeforeFlip = func() { hs.CrashNow() }
+	crashed := pmem.Protect(func() { b.CompactCatalog(0, 0) })
+	testHookBeforeFlip = nil
+	if !crashed {
+		t.Fatal("CompactCatalog survived a crash armed before the anchor flip")
+	}
+	hs.FinalizeCrash(rand.New(rand.NewSource(95)))
+	hs.Restart()
+
+	r, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := r.CatalogGeneration(); g != 0 {
+		t.Fatalf("crash before the flip recovered generation %d, want 0 (the old one)", g)
+	}
+	if r.Topic("a") == nil || r.Topic("b") != nil {
+		t.Fatal("old generation recovered with the wrong topic set")
+	}
+	if p, ok := r.Topic("a").DequeueShard(0, 0); !ok || AsU64(p) != 51 {
+		t.Fatalf("message lost across the aborted compaction: %v,%v", p, ok)
+	}
+	r.Topic("a").Publish(0, U64(52))
+	// The retried compaction commits; the new generation then survives
+	// crashes and stays administrable.
+	if err := r.CompactCatalog(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g := r.CatalogGeneration(); g != 1 {
+		t.Fatalf("generation after compaction = %d, want 1", g)
+	}
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(96)))
+	hs.Restart()
+	r2, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := r2.CatalogGeneration(); g != 1 {
+		t.Fatalf("recovered generation = %d, want 1", g)
+	}
+	if p, ok := r2.Topic("a").DequeueShard(0, 0); !ok || AsU64(p) != 52 {
+		t.Fatalf("message lost across the committed compaction: %v,%v", p, ok)
+	}
+	if _, err := r2.CreateTopic(0, TopicConfig{Name: "c", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactCatalogResize: compaction is the log-full escape hatch — a
+// log that refused a create for want of space compacts into a larger
+// generation and takes it, durably.
+func TestCompactCatalogResize(t *testing.T) {
+	hs := pmem.NewSetOf(pmem.New(pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: 2}))
+	// Room for exactly one 1-shard topic record (3 lines).
+	b, err := Open(hs, Options{Threads: 2, CatalogLines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "only", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "more", Shards: 1}); err == nil {
+		t.Fatal("CreateTopic on a full log should fail")
+	}
+	if err := b.CompactCatalog(0, 2); err == nil {
+		t.Fatal("resizing below the live record space should fail")
+	}
+	if err := b.CompactCatalog(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "more", Shards: 1}); err != nil {
+		t.Fatalf("CreateTopic after resize: %v", err)
+	}
+	b.Topic("more").Publish(0, U64(61))
+	hs.CrashNow()
+	hs.FinalizeCrash(rand.New(rand.NewSource(97)))
+	hs.Restart()
+	r, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Topic("only") == nil || r.Topic("more") == nil {
+		t.Fatal("resized catalog lost a topic")
+	}
+	if p, ok := r.Topic("more").DequeueShard(0, 0); !ok || AsU64(p) != 61 {
+		t.Fatalf("post-resize message = %v,%v", p, ok)
+	}
+	// The adopted capacity persists: more creates fit.
+	if _, err := r.CreateTopic(0, TopicConfig{Name: "third", Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrLeaseCapacity pins the capacity-exceeded refusal as a typed,
+// consistently phrased error on both binding paths: NewGroupAcked at
+// construction and Subscribe afterwards.
+func TestErrLeaseCapacity(t *testing.T) {
+	h := pmem.New(pmem.Config{Bytes: 64 << 20, MaxThreads: 3})
+	b, err := Open(pmem.NewSetOf(h), Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "a", Shards: 2, Acked: true}); err != nil {
+		t.Fatal(err)
+	}
+	tight, err := b.CreateAckGroup(0, AckGroupConfig{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic(0, TopicConfig{Name: "late", Shards: 1, Acked: true}); err != nil {
+		t.Fatal(err)
+	}
+	clk := &logicalClock{}
+	_, bindErr := b.NewGroupAcked([]string{"a", "late"}, 1, LeaseConfig{Region: tight, TTL: 10, Now: clk.Now})
+	if !errors.Is(bindErr, ErrLeaseCapacity) {
+		t.Fatalf("bind past capacity = %v, want ErrLeaseCapacity", bindErr)
+	}
+	g, err := b.NewGroupAcked([]string{"a"}, 1, LeaseConfig{Region: tight, TTL: 10, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subErr := g.Subscribe(0, "late")
+	if !errors.Is(subErr, ErrLeaseCapacity) {
+		t.Fatalf("Subscribe past capacity = %v, want ErrLeaseCapacity", subErr)
+	}
+	// Both paths phrase the same condition identically, region index
+	// included.
+	want := fmt.Sprintf("exceeds lease region %d's capacity 2", tight)
+	if !strings.Contains(bindErr.Error(), want) || !strings.Contains(subErr.Error(), want) {
+		t.Fatalf("inconsistent capacity diagnostics:\n  bind:      %v\n  subscribe: %v", bindErr, subErr)
+	}
+}
+
+// TestBrokerCrashFuzzTopicChurn is the topic-churn fuzz tier: while
+// producers and a consumer group hammer the static topics, an
+// administrator churns topics — create, publish, drain a little,
+// delete — through a deliberately small catalog log (so the storm runs
+// through compactions too), while another thread publishes into
+// whatever churn topic is currently alive, racing every delete. The
+// crash lands anywhere, including mid-delete and mid-compaction. The
+// audit: recovery succeeds (replay's allocator simulation rejects any
+// window overlap), no topic whose delete returned resurfaces, and
+// every acknowledged publish to a surviving topic is delivered or
+// recovered exactly once, in per-publisher order.
+func TestBrokerCrashFuzzTopicChurn(t *testing.T) {
+	seeds := []int64{51, 52, 53}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { topicChurnRound(t, seed) })
+	}
+}
+
+func topicChurnRound(t *testing.T, seed int64) {
+	const (
+		producers   = 2
+		consumers   = 2
+		perProducer = 2000
+		heaps       = 2
+		churnTid    = producers + consumers     // tid 4: the administrator
+		raceTid     = producers + consumers + 1 // tid 5: publishes into live churn topics
+		threads     = producers + consumers + 2
+		maxCycles   = 10
+	)
+	hs := pmem.NewSet(heaps, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	// Small log: ~4 churn cycles fill it, so the storm exercises the
+	// auto-compaction path under fire.
+	b, err := Open(hs, Options{Threads: threads, CatalogLines: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range twoTopics() {
+		if _, err := b.CreateTopic(0, tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.NewGroup([]string{"events", "jobs"}, consumers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashRng := rand.New(rand.NewSource(seed))
+	hs.Heap(crashRng.Intn(heaps)).ScheduleCrashAtAccess((20_000 + int64(crashRng.Intn(120_000))) / int64(heaps))
+
+	// Per churn cycle: lifecycle flags and the acknowledged ids, the
+	// raced publisher's under raceMu (it appends concurrently).
+	type churnCycle struct {
+		created        bool
+		deleteAttempt  bool
+		deleteReturned bool
+		acked          []uint64
+		raceAcked      []uint64
+	}
+	cycles := make([]*churnCycle, maxCycles)
+	for i := range cycles {
+		cycles[i] = &churnCycle{}
+	}
+	var raceMu sync.Mutex
+	var liveCycle atomic.Int64 // index of the currently alive churn topic, -1 when none
+	liveCycle.Store(-1)
+
+	acked := make([][]uint64, producers)
+	delivered := make([]map[uint64]ShardRef, consumers)
+	churnDelivered := map[uint64]bool{}
+	var producersDone sync.WaitGroup
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		producersDone.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer producersDone.Done()
+			start.Wait()
+			rng := rand.New(rand.NewSource(seed*733 + int64(p)))
+			events, jobs := b.Topic("events"), b.Topic("jobs")
+			for m := uint64(1); m <= perProducer; {
+				runtime.Gosched()
+				id := uint64(p+1)<<32 | m
+				switch rng.Intn(3) {
+				case 0:
+					if pmem.Protect(func() { events.Publish(p, U64(id)) }) {
+						return
+					}
+					acked[p] = append(acked[p], id)
+					m++
+				default:
+					var batch [][]byte
+					var ids []uint64
+					for len(batch) < 6 && m <= perProducer {
+						ids = append(ids, uint64(p+1)<<32|m)
+						batch = append(batch, blobPayload(ids[len(ids)-1]))
+						m++
+					}
+					if pmem.Protect(func() { jobs.PublishBatch(p, batch) }) {
+						return
+					}
+					acked[p] = append(acked[p], ids...)
+				}
+			}
+		}(p)
+	}
+
+	// The administrator: one full lifecycle per cycle — create, publish,
+	// drain a prefix, occasionally compact, then (usually) delete.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer liveCycle.Store(-1)
+		start.Wait()
+		rng := rand.New(rand.NewSource(seed * 919))
+		for d := 0; d < maxCycles; d++ {
+			runtime.Gosched()
+			st := cycles[d]
+			name := fmt.Sprintf("churn-%d", d)
+			tc := TopicConfig{Name: name, Shards: 1 + rng.Intn(2)}
+			if rng.Intn(2) == 0 {
+				tc.MaxPayload = 100
+			}
+			var cerr error
+			if pmem.Protect(func() { _, cerr = b.CreateTopic(churnTid, tc) }) {
+				return
+			}
+			if cerr != nil {
+				t.Errorf("CreateTopic(%s): %v", name, cerr)
+				return
+			}
+			st.created = true
+			liveCycle.Store(int64(d))
+			topic := b.Topic(name)
+			n := 15 + rng.Intn(30)
+			for m := 1; m <= n; m++ {
+				id := uint64(300+d)<<32 | uint64(m)
+				payload := U64(id)
+				if tc.MaxPayload != 0 {
+					payload = blobPayload(id)
+				}
+				if pmem.Protect(func() { topic.Publish(churnTid, payload) }) {
+					return
+				}
+				st.acked = append(st.acked, id)
+			}
+			// Drain a prefix so the audit sees delivered, dropped and
+			// recovered populations.
+			for s := 0; s < topic.Shards(); s++ {
+				for k := 0; k < 4; k++ {
+					var p []byte
+					var ok bool
+					if pmem.Protect(func() { p, ok = topic.DequeueShard(churnTid, s) }) {
+						return
+					}
+					if !ok {
+						break
+					}
+					churnDelivered[AsU64(p[:8])] = true
+				}
+			}
+			if rng.Intn(3) == 0 {
+				var kerr error
+				if pmem.Protect(func() { kerr = b.CompactCatalog(churnTid, 0) }) {
+					return
+				}
+				if kerr != nil {
+					t.Errorf("CompactCatalog: %v", kerr)
+					return
+				}
+			}
+			if rng.Intn(4) == 0 {
+				continue // let this one live
+			}
+			liveCycle.Store(-1)
+			st.deleteAttempt = true
+			var derr error
+			if pmem.Protect(func() { derr = b.DeleteTopic(churnTid, name) }) {
+				return // crash inside the delete protocol: existence is ambiguous
+			}
+			if derr != nil {
+				t.Errorf("DeleteTopic(%s): %v", name, derr)
+				return
+			}
+			st.deleteReturned = true
+		}
+	}()
+
+	// The racer: publish into whatever churn topic is alive right now,
+	// racing the administrator's deletes — a publish that loses the race
+	// observes ErrTopicDeleted and is simply not acknowledged.
+	wg.Add(1)
+	raceDone := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		start.Wait()
+		seq := uint64(0)
+		for {
+			select {
+			case <-raceDone:
+				return
+			default:
+			}
+			runtime.Gosched()
+			d := liveCycle.Load()
+			if d < 0 {
+				continue
+			}
+			topic := b.Topic(fmt.Sprintf("churn-%d", d))
+			if topic == nil {
+				continue
+			}
+			seq++
+			id := uint64(500+d)<<32 | seq
+			var perr error
+			payload := U64(id)
+			if topic.MaxPayload() != 8 {
+				payload = blobPayload(id)
+			}
+			if pmem.Protect(func() { perr = topic.Publish(raceTid, payload) }) {
+				return
+			}
+			if perr == nil {
+				raceMu.Lock()
+				cycles[d].raceAcked = append(cycles[d].raceAcked, id)
+				raceMu.Unlock()
+			} else if !errors.Is(perr, ErrTopicDeleted) {
+				t.Errorf("racer Publish: %v", perr)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { producersDone.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		delivered[c] = map[uint64]ShardRef{}
+		go func(c int) {
+			defer wg.Done()
+			start.Wait()
+			tid := producers + c
+			cons := g.Consumer(c)
+			idle := false
+			for {
+				runtime.Gosched()
+				var ms []Message
+				if pmem.Protect(func() { ms = cons.PollBatch(tid, 8) }) {
+					return
+				}
+				if len(ms) > 0 {
+					for _, m := range ms {
+						delivered[c][AsU64(m.Payload[:8])] = ShardRef{Topic: m.Topic, Shard: m.Shard}
+					}
+					idle = false
+					continue
+				}
+				select {
+				case <-done:
+					if idle {
+						return
+					}
+					idle = true
+				default:
+				}
+			}
+		}(c)
+	}
+	start.Done()
+	producersDone.Wait()
+	close(raceDone)
+	wg.Wait()
+	if !hs.Crashed() {
+		hs.CrashNow()
+	}
+	hs.FinalizeCrash(rand.New(rand.NewSource(seed * 37)))
+	hs.Restart()
+
+	// Recovery replays the catalog across whatever generations and
+	// tombstones the churn left; its allocator simulation is itself the
+	// no-window-overlap audit.
+	r, err := Open(hs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ambiguous := 0
+	for d, st := range cycles {
+		name := fmt.Sprintf("churn-%d", d)
+		exists := r.Topic(name) != nil
+		switch {
+		case st.deleteReturned && exists:
+			t.Fatalf("topic %s resurrected: DeleteTopic returned, yet it recovered", name)
+		case st.created && !st.deleteAttempt && !exists:
+			t.Fatalf("topic %s lost: created and never deleted, yet it did not recover", name)
+		case st.deleteAttempt && !st.deleteReturned:
+			ambiguous++ // crash mid-delete: either outcome is legal
+		}
+	}
+
+	seen := map[uint64]string{}
+	for c := range delivered {
+		for id := range delivered[c] {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("message %#x delivered twice (%s)", id, prev)
+			}
+			seen[id] = "delivered"
+		}
+	}
+	for id := range churnDelivered {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("message %#x delivered twice (%s and churn drain)", id, prev)
+		}
+		seen[id] = "churn-delivered"
+	}
+	for _, topic := range r.Topics() {
+		for s := 0; s < topic.Shards(); s++ {
+			lastPerProducer := map[uint64]uint64{}
+			for {
+				p, ok := topic.DequeueShard(0, s)
+				if !ok {
+					break
+				}
+				id := AsU64(p[:8])
+				if len(p) > 8 && !bytes.Equal(p, blobPayload(id)) {
+					t.Fatalf("recovered payload for %#x corrupted", id)
+				}
+				if prev, dup := seen[id]; dup {
+					t.Fatalf("message %#x both %s and recovered", id, prev)
+				}
+				seen[id] = "recovered"
+				prod, m := id>>32, id&0xffffffff
+				if last := lastPerProducer[prod]; m <= last {
+					t.Fatalf("shard %s/%d: publisher %d out of order (%d after %d)",
+						topic.Name(), s, prod, m, last)
+				}
+				lastPerProducer[prod] = m
+			}
+		}
+	}
+	// Exactly-once is audited over the surviving topics: a deleted
+	// topic's messages were deliberately dropped with it, so its acked
+	// ids are exempt from the loss audit (their *deliveries* still went
+	// through the duplicate check above).
+	lost, totalAcked := 0, 0
+	audit := func(ids []uint64) {
+		totalAcked += len(ids)
+		for _, id := range ids {
+			if _, ok := seen[id]; !ok {
+				lost++
+			}
+		}
+	}
+	for p := range acked {
+		audit(acked[p])
+	}
+	churnAudited := 0
+	for d, st := range cycles {
+		if r.Topic(fmt.Sprintf("churn-%d", d)) == nil {
+			continue
+		}
+		churnAudited++
+		audit(st.acked)
+		audit(st.raceAcked)
+	}
+	t.Logf("seed %d: acked %d (auditing %d surviving churn topics, %d ambiguous deletes), audited %d, in-flight losses %d",
+		seed, totalAcked, churnAudited, ambiguous, len(seen), lost)
+	// Allowance: one unacknowledged poll window per main consumer (8)
+	// plus the churn drain's in-flight window.
+	if allowance := consumers*8 + 8; lost > allowance {
+		t.Fatalf("%d acknowledged messages lost (allowance %d)", lost, allowance)
+	}
+}

@@ -22,6 +22,15 @@ import (
 // is safe.
 var ErrNotQuiescent = errors.New("broker: plain group not quiescent (member inside Poll/PollBatch)")
 
+// ErrLeaseCapacity reports a topic whose shards' global ordinals
+// exceed the lease region's recorded capacity. Both binding paths —
+// NewGroupAcked at construction and Subscribe afterwards — wrap this
+// sentinel with the same diagnostic (topic, shard, ordinal, region,
+// capacity), so callers test errors.Is(err, ErrLeaseCapacity) and
+// react by minting a roomier region (CreateAckGroup) regardless of
+// which path refused.
+var ErrLeaseCapacity = errors.New("broker: lease region capacity exceeded")
+
 // Message is one delivered payload with its provenance.
 type Message struct {
 	Topic   string
@@ -61,6 +70,7 @@ type Group struct {
 	// Acked-group state (zero for plain groups).
 	leased    bool
 	region    leaseRegion
+	regionIdx int // the region's index (LeaseConfig.Region), for diagnostics
 	ttl       uint64
 	now       func() uint64
 	cache     []leaseCache // one per global shard ordinal, owner-accessed
@@ -230,8 +240,8 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 	// region with more headroom (CreateAckGroup with a larger Capacity).
 	for _, r := range refs {
 		if r.global >= region.cap {
-			return nil, fmt.Errorf("broker: topic %q shard %d (global ordinal %d) exceeds lease region %d's capacity %d",
-				r.t.Name(), r.shard, r.global, lc.Region, region.cap)
+			return nil, fmt.Errorf("%w: topic %q shard %d (global ordinal %d) exceeds lease region %d's capacity %d",
+				ErrLeaseCapacity, r.t.Name(), r.shard, r.global, lc.Region, region.cap)
 		}
 	}
 	g, err := b.newGroup(topicNames, refs, n, func(g *Group, refs []*consumerShard) {
@@ -253,6 +263,7 @@ func (b *Broker) NewGroupAcked(topicNames []string, n int, lc LeaseConfig) (*Gro
 	b.regionMu.Unlock()
 	g.leased = true
 	g.region = region
+	g.regionIdx = lc.Region
 	g.ttl = lc.TTL
 	if g.ttl == 0 {
 		g.ttl = uint64(time.Second)
@@ -357,8 +368,8 @@ func (g *Group) Subscribe(tid int, topicNames ...string) error {
 				return fmt.Errorf("broker: Subscribe over topic %q, which is not Acked", r.t.Name())
 			}
 			if r.global >= g.region.cap {
-				return fmt.Errorf("broker: topic %q shard %d (global ordinal %d) exceeds the group's lease capacity %d",
-					r.t.Name(), r.shard, r.global, g.region.cap)
+				return fmt.Errorf("%w: topic %q shard %d (global ordinal %d) exceeds lease region %d's capacity %d",
+					ErrLeaseCapacity, r.t.Name(), r.shard, r.global, g.regionIdx, g.region.cap)
 			}
 		}
 	}
@@ -527,7 +538,12 @@ func (c *Consumer) Poll(tid int) (Message, bool) {
 	}
 	for i := 0; i < len(c.refs); i++ {
 		r := c.refs[(c.next+i)%len(c.refs)]
-		if p, ok := r.t.shards[r.shard].consume(tid); ok {
+		if !r.t.enter() {
+			continue // topic retired: its shards read as empty
+		}
+		p, ok := r.t.shards[r.shard].consume(tid)
+		r.t.exit()
+		if ok {
 			c.next = (c.next + i + 1) % len(c.refs)
 			if o != nil {
 				r.t.ostats.Delivered(1)
@@ -592,8 +608,22 @@ func (c *Consumer) PollBatch(tid, max int) []Message {
 	}
 	var out []Message
 	var touched []*shard
+	// Topics entered below stay entered until after the covering fence:
+	// the dequeues' NTStores must land before DeleteTopic may reclaim
+	// (and CreateTopic reuse) the windows they target.
+	var entered []*Topic
+	defer func() {
+		for _, t := range entered {
+			t.exit()
+		}
+	}()
 	for scanned := 0; scanned < len(c.refs) && len(out) < max; scanned++ {
 		r := c.refs[c.next]
+		if !r.t.enter() {
+			c.next = (c.next + 1) % len(c.refs)
+			continue // topic retired: its shards read as empty
+		}
+		entered = append(entered, r.t)
 		s := r.t.shards[r.shard]
 		ps, dirty := s.consumeBatchUnfenced(tid, max-len(out))
 		if dirty {
@@ -655,6 +685,12 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 	for len(out) < max && len(c.pending) > 0 {
 		p := c.pending[0]
 		c.pending = c.pending[1:]
+		if p.r.t.Deleted() {
+			// Retired with the topic: a deleted topic's messages are
+			// dropped, redeliveries included (see DeleteTopic).
+			p.r.pendingN--
+			continue
+		}
 		out = append(out, Message{Topic: p.r.t.Name(), Shard: p.r.shard, Payload: p.payload})
 		p.r.deliveredTo = p.idx
 		p.r.pendingN--
@@ -676,8 +712,12 @@ func (c *Consumer) pollLeased(tid, max int) []Message {
 			// redeliveries of the same shard.
 			continue
 		}
+		if !r.t.enter() {
+			continue // topic retired: its shards read as empty
+		}
 		s := r.t.shards[r.shard]
 		ps, idxs := s.consumeLeased(tid, max-len(out))
+		r.t.exit()
 		if len(ps) == 0 {
 			continue
 		}
@@ -740,7 +780,22 @@ func (c *Consumer) Ack(tid int) (int, error) {
 	}
 	n := 0
 	var touched []*shard
+	// Entered topics are exited only after the covering fence lands the
+	// ack NTStores, so DeleteTopic cannot reclaim a window under them.
+	var entered []*Topic
+	defer func() {
+		for _, t := range entered {
+			t.exit()
+		}
+	}()
 	for _, r := range c.refs {
+		if !r.t.enter() {
+			// Retired with the topic: nothing durable left to advance,
+			// and the outstanding window is dropped, not acknowledged.
+			r.unackedN = 0
+			continue
+		}
+		entered = append(entered, r.t)
 		s := r.t.shards[r.shard]
 		floor := s.ackedTo()
 		if r.deliveredTo <= floor {
@@ -818,9 +873,14 @@ func (c *Consumer) AckAsync(tid int) (int, error) {
 	}
 	n := 0
 	for _, r := range c.refs {
+		if !r.t.enter() {
+			r.unackedN = 0 // dropped with the topic, see Ack
+			continue
+		}
 		s := r.t.shards[r.shard]
 		floor := s.ackedTo()
 		if r.deliveredTo <= floor {
+			r.t.exit()
 			continue
 		}
 		n += r.unackedN
@@ -831,6 +891,7 @@ func (c *Consumer) AckAsync(tid int) (int, error) {
 		if s.ackToUnfenced(tid, r.deliveredTo) {
 			c.asyncAcks = append(c.asyncAcks, s)
 		}
+		r.t.exit()
 	}
 	if o != nil && n > 0 {
 		o.Lat(tid, obs.OpAck, start)
@@ -899,12 +960,18 @@ func (c *Consumer) Nack(tid int) (int, error) {
 	deadline := c.g.now() + c.g.ttl
 	var nacked []pendingMsg
 	for _, r := range c.refs {
+		if !r.t.enter() {
+			r.unackedN = 0 // dropped with the topic, see Ack
+			continue
+		}
 		s := r.t.shards[r.shard]
 		floor := s.ackedTo()
 		if r.deliveredTo <= floor {
+			r.t.exit()
 			continue
 		}
 		ps, idxs := s.unacked()
+		r.t.exit()
 		for i := range ps {
 			if idxs[i] > r.deliveredTo {
 				break // not yet re-served redeliveries stay where they are
@@ -947,8 +1014,12 @@ func (c *Consumer) Renew(tid int, deadline uint64) error {
 	}
 	w := leaseWriter{g: c.g, tid: tid}
 	for _, r := range c.refs {
+		if !r.t.enter() {
+			continue // retired with the topic: no lease to maintain
+		}
 		s := r.t.shards[r.shard]
 		floor := s.ackedTo()
+		r.t.exit()
 		if r.leasedTo <= floor {
 			continue // nothing unacknowledged: no lease to maintain
 		}

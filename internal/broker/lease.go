@@ -137,6 +137,7 @@ func unpackLease(w [8]uint64) (Lease, bool) {
 type leaseRegion struct {
 	h    *pmem.Heap // member heap hosting the region
 	heap int        // its index in the set (the fence domain)
+	slot int        // root slot anchoring the region (rewritten by compaction)
 	base pmem.Addr  // region base (header line)
 	cap  int        // global shard ordinals the region covers: [0, cap)
 }
@@ -180,7 +181,7 @@ func initLeaseRegion(h *pmem.Heap, tid, heapIdx, slot, group, capacity int) leas
 	h.Persist(tid, base)
 	h.Store(tid, h.RootAddr(slot), uint64(base))
 	h.Persist(tid, h.RootAddr(slot))
-	return leaseRegion{h: h, heap: heapIdx, base: base, cap: capacity}
+	return leaseRegion{h: h, heap: heapIdx, slot: slot, base: base, cap: capacity}
 }
 
 // readLeaseRegion re-discovers group's lease region at (heap, slot)
@@ -215,5 +216,5 @@ func readLeaseRegion(h *pmem.Heap, heapIdx, slot, group, capacity int) (leaseReg
 		return leaseRegion{}, fmt.Errorf("broker: lease region at heap %d slot %d covers %d shards as group %d, catalog expects %d shards as group %d",
 			heapIdx, slot, st, gi, capacity, group)
 	}
-	return leaseRegion{h: h, heap: heapIdx, base: base, cap: capacity}, nil
+	return leaseRegion{h: h, heap: heapIdx, slot: slot, base: base, cap: capacity}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -180,9 +181,22 @@ func (g *Group) reassignLocked(tid, from int, targets []int) (shards, moved int)
 		g.epochs[r.global]++
 		r.epoch = g.epochs[r.global]
 		a.fenced = append(a.fenced, fencedShard{t: r.t, shard: r.shard, stale: stale, cur: r.epoch})
+		if !r.t.enter() {
+			// Retired topic: its messages were dropped with it, so there
+			// is nothing to redeliver — retire any stale record at the
+			// new epoch and move the inert ref.
+			r.pendingN, r.unackedN = 0, 0
+			if d := g.cache[r.global].durable; d.Active {
+				w.write(r.global, Lease{Epoch: r.epoch})
+			}
+			b.refs = append(b.refs, r)
+			shards++
+			continue
+		}
 		s := r.t.shards[r.shard]
 		floor := s.ackedTo()
 		ps, idxs := s.unacked()
+		r.t.exit()
 		r.deliveredTo, r.pendingN, r.unackedN = floor, len(ps), 0
 		for i := range ps {
 			b.pending = append(b.pending, pendingMsg{r: r, idx: idxs[i], payload: ps[i]})
@@ -267,12 +281,19 @@ func (g *Group) Scan(tid int, now uint64) (ScanReport, error) {
 			if !d.Active || d.Owner != i {
 				continue
 			}
+			// A retired topic's lease holds no obligation either way:
+			// its messages were dropped with the topic.
+			if !r.t.enter() {
+				continue
+			}
 			// Ack never rewrites lease lines (that is what keeps an ack
 			// batch at one NTStore per shard), so a fully acked window
 			// leaves an Active line behind with a deadline nobody
 			// maintains. Such a moot lease holds no obligation: the
 			// member is idle, not dead.
-			if r.t.shards[r.shard].ackedTo() >= r.leasedTo {
+			moot := r.t.shards[r.shard].ackedTo() >= r.leasedTo
+			r.t.exit()
+			if moot {
 				continue
 			}
 			held++
@@ -339,9 +360,15 @@ func (c *Consumer) Steal(tid int) (bool, int, error) {
 			if !d.Active || d.Owner != vi || d.Deadline > now {
 				continue
 			}
-			// A fully acked (moot) lease holds no stealable work; see
-			// the matching check in Scan.
-			if r.t.shards[r.shard].ackedTo() >= r.leasedTo {
+			// A retired topic holds no stealable work, and a fully
+			// acked (moot) lease none either; see the matching checks
+			// in Scan.
+			if !r.t.enter() {
+				continue
+			}
+			moot := r.t.shards[r.shard].ackedTo() >= r.leasedTo
+			r.t.exit()
+			if moot {
 				continue
 			}
 			moved := g.stealShardLocked(tid, v, c, ri)
@@ -379,9 +406,21 @@ func (g *Group) stealShardLocked(tid int, v, to *Consumer, ri int) int {
 	}
 	w := leaseWriter{g: g, tid: tid}
 	deadline := g.now() + g.ttl
+	if !r.t.enter() {
+		// Retired between the caller's check and here: nothing to
+		// redeliver (see reassignLocked).
+		r.pendingN, r.unackedN = 0, 0
+		if d := g.cache[r.global].durable; d.Active {
+			w.write(r.global, Lease{Epoch: r.epoch})
+		}
+		to.refs = append(to.refs, r)
+		w.commit()
+		return 0
+	}
 	s := r.t.shards[r.shard]
 	floor := s.ackedTo()
 	ps, idxs := s.unacked()
+	r.t.exit()
 	r.deliveredTo, r.pendingN, r.unackedN = floor, len(ps), 0
 	for i := range ps {
 		to.pending = append(to.pending, pendingMsg{r: r, idx: idxs[i], payload: ps[i]})
@@ -411,6 +450,7 @@ func (g *Group) stealShardLocked(tid int, v, to *Consumer, ri int) int {
 type Janitor struct {
 	stop chan struct{}
 	done chan struct{}
+	once sync.Once
 }
 
 // StartJanitor runs Scan in a background goroutine with a jittered
@@ -443,8 +483,11 @@ func (g *Group) StartJanitor(tid int, period time.Duration) (*Janitor, error) {
 	return j, nil
 }
 
-// Stop halts the janitor and waits for its goroutine to exit.
+// Stop halts the janitor and waits for its goroutine to exit. Stop is
+// idempotent: teardown paths (defer stacks, signal handlers, tests)
+// routinely race to stop the same janitor, and a second Stop must wait
+// for the exit like the first instead of panicking on a double close.
 func (j *Janitor) Stop() {
-	close(j.stop)
+	j.once.Do(func() { close(j.stop) })
 	<-j.done
 }

@@ -809,3 +809,36 @@ func membershipChurnRound(t *testing.T, seed int64) {
 		t.Fatalf("%d acknowledged publishes never processed (allowance %d)", lost, allowance)
 	}
 }
+
+// TestJanitorDoubleStop: Stop is idempotent — calling it twice (even
+// concurrently) must neither panic on a double close nor hang, and
+// every call returns only after the janitor goroutine has exited.
+func TestJanitorDoubleStop(t *testing.T) {
+	_, b := newAckedBroker(t, 1, 4, pmem.ModePerf)
+	clk := &logicalClock{}
+	g, err := b.NewGroupAcked([]string{"events"}, 2, LeaseConfig{TTL: 10, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := g.StartJanitor(3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Stop()
+	j.Stop() // regression: this used to panic on a double close
+
+	// And under contention: every racer must return, none may panic.
+	j2, err := g.StartJanitor(3, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j2.Stop()
+		}()
+	}
+	wg.Wait()
+}

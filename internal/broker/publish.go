@@ -44,6 +44,12 @@ type PublisherConfig struct {
 // acknowledged. A crash acknowledges nothing beyond the last fence:
 // issued-but-unfenced windows are dropped or partially recovered as
 // unacked messages, exactly as for a crash inside PublishBatch.
+//
+// A Publisher cannot surface ErrTopicDeleted through its count
+// returns, so retiring the topic under a live Publisher is a caller
+// bug: quiesce (Flush and stop) publishers before DeleteTopic, or a
+// flush whose window lands after the delete panics instead of racing
+// the reclaimed shard windows.
 type Publisher struct {
 	t        *Topic
 	tid      int
@@ -134,6 +140,11 @@ func (p *Publisher) Flush() int {
 // new window then becomes pending), the new window's own otherwise.
 func (p *Publisher) flush() int {
 	t := p.t
+	if !t.enter() {
+		panic("broker: Publisher flush on deleted topic " + t.cfg.Name +
+			" (quiesce publishers before DeleteTopic)")
+	}
+	defer t.exit()
 	if p.slow {
 		p.pol.Observe(0) // slow arrivals: shrink toward per-message windows
 	} else {

@@ -1,11 +1,20 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/obs"
 )
+
+// ErrTopicDeleted is returned by the data plane — publish paths and
+// drain helpers — when the topic has been retired by DeleteTopic. A
+// caller holding a *Topic across a delete observes this typed error
+// instead of racing a reclaimed shard window; nothing it published
+// before the delete is lost (the delete drained nothing — retired
+// messages are dropped with the topic, as documented on DeleteTopic).
+var ErrTopicDeleted = errors.New("broker: topic deleted")
 
 // Topic is one named, sharded durable message stream. Publishing is
 // safe from any number of producers (each with its own tid); ordering
@@ -21,6 +30,15 @@ type Topic struct {
 	shards []*shard
 	rr     atomic.Uint64 // round-robin routing cursor
 
+	// deleted flips exactly once, before the topic's tombstone is
+	// appended: the data plane refuses the topic (ErrTopicDeleted) from
+	// that point on. inflight counts data-plane operations currently
+	// inside a shard; DeleteTopic drains it to zero after flipping
+	// deleted and before reclaiming the windows, so no straggler that
+	// passed the flag check can race a window's reuse.
+	deleted  atomic.Bool
+	inflight atomic.Int64
+
 	// ostats is the topic's gauge state, non-nil exactly when the
 	// broker has an observer (set before the topic becomes visible).
 	ostats *obs.TopicStats
@@ -35,6 +53,28 @@ func (t *Topic) Acked() bool { return t.cfg.Acked }
 
 // Shards returns the topic's shard count.
 func (t *Topic) Shards() int { return len(t.shards) }
+
+// Deleted reports whether the topic has been retired by DeleteTopic.
+func (t *Topic) Deleted() bool { return t.deleted.Load() }
+
+// enter registers one data-plane operation on the topic, refusing it
+// once the topic is retired; every true return must be paired with
+// exit. The double flag check brackets the increment, so either the
+// operation is visible to DeleteTopic's drain before it touches a
+// shard, or it observes the flag and touches nothing.
+func (t *Topic) enter() bool {
+	if t.deleted.Load() {
+		return false
+	}
+	t.inflight.Add(1)
+	if t.deleted.Load() {
+		t.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (t *Topic) exit() { t.inflight.Add(-1) }
 
 // HeapOf reports the member heap (persistence domain) shard s lives
 // on.
@@ -64,30 +104,41 @@ func (t *Topic) checkPayload(p []byte) {
 }
 
 // Publish routes payload to the next shard round-robin and enqueues
-// it durably. When Publish returns the message is acknowledged: it
-// survives any subsequent crash. One blocking persist per message, on
-// the shard's own heap.
-func (t *Topic) Publish(tid int, payload []byte) {
+// it durably. When Publish returns nil the message is acknowledged:
+// it survives any subsequent crash. One blocking persist per message,
+// on the shard's own heap. Returns ErrTopicDeleted (and publishes
+// nothing) once the topic is retired.
+func (t *Topic) Publish(tid int, payload []byte) error {
 	t.checkPayload(payload)
+	if !t.enter() {
+		return ErrTopicDeleted
+	}
+	defer t.exit()
 	s := int(t.rr.Add(1)-1) % len(t.shards)
 	// The disabled-observer cost is exactly this one predictable branch:
 	// the fast path below is the whole unobserved operation.
 	o := t.b.obs
 	if o == nil {
 		t.shards[s].publish(tid, payload)
-		return
+		return nil
 	}
 	start := obs.Now()
 	t.shards[s].publish(tid, payload)
 	o.Lat(tid, obs.OpPublish, start)
 	t.ostats.Published(s, 1)
 	o.Event(tid, obs.OpPublish, t.ostats, s)
+	return nil
 }
 
 // PublishKey routes payload by FNV-1a hash of key, so all messages
 // with equal keys share a shard and are delivered in publish order.
-func (t *Topic) PublishKey(tid int, key, payload []byte) {
+// Returns ErrTopicDeleted once the topic is retired.
+func (t *Topic) PublishKey(tid int, key, payload []byte) error {
 	t.checkPayload(payload)
+	if !t.enter() {
+		return ErrTopicDeleted
+	}
+	defer t.exit()
 	// FNV-1a inlined: hash.Hash would heap-allocate per publish.
 	h := uint64(14695981039346656037)
 	for _, b := range key {
@@ -98,40 +149,48 @@ func (t *Topic) PublishKey(tid int, key, payload []byte) {
 	o := t.b.obs
 	if o == nil {
 		t.shards[s].publish(tid, payload)
-		return
+		return nil
 	}
 	start := obs.Now()
 	t.shards[s].publish(tid, payload)
 	o.Lat(tid, obs.OpPublish, start)
 	t.ostats.Published(s, 1)
 	o.Event(tid, obs.OpPublish, t.ostats, s)
+	return nil
 }
 
 // PublishBatch routes the whole batch to the next shard round-robin
 // and enqueues it with a single blocking persist (see
 // queues.OptUnlinkedQ.EnqueueBatch): the amortized publish path. The
-// batch is acknowledged as a whole when PublishBatch returns; a crash
-// before that acknowledges none of it (messages that happened to
+// batch is acknowledged as a whole when PublishBatch returns nil; a
+// crash before that acknowledges none of it (messages that happened to
 // become durable are recovered, which is allowed — they were simply
 // never acked). Batch elements stay FIFO relative to each other.
-func (t *Topic) PublishBatch(tid int, payloads [][]byte) {
+// Returns ErrTopicDeleted (and publishes nothing) once the topic is
+// retired.
+func (t *Topic) PublishBatch(tid int, payloads [][]byte) error {
 	if len(payloads) == 0 {
-		return
+		return nil
 	}
 	for _, p := range payloads {
 		t.checkPayload(p)
 	}
+	if !t.enter() {
+		return ErrTopicDeleted
+	}
+	defer t.exit()
 	s := int(t.rr.Add(1)-1) % len(t.shards)
 	o := t.b.obs
 	if o == nil {
 		t.shards[s].publishBatch(tid, payloads)
-		return
+		return nil
 	}
 	start := obs.Now()
 	t.shards[s].publishBatch(tid, payloads)
 	o.Lat(tid, obs.OpPublish, start)
 	t.ostats.Published(s, len(payloads))
 	o.Event(tid, obs.OpPublish, t.ostats, s)
+	return nil
 }
 
 // Stats returns the topic's observability gauge state — message
@@ -143,6 +202,11 @@ func (t *Topic) Stats() *obs.TopicStats { return t.ostats }
 // recovery audits and drain tools; normal consumption goes through
 // consumer groups, which own shards exclusively. On an acked topic the
 // message is acknowledged immediately (lease + ack in one step).
+// Reports empty once the topic is retired.
 func (t *Topic) DequeueShard(tid, shard int) ([]byte, bool) {
+	if !t.enter() {
+		return nil, false
+	}
+	defer t.exit()
 	return t.shards[shard].consume(tid)
 }

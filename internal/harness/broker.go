@@ -103,6 +103,14 @@ type BrokerConfig struct {
 	// thread running beside the traffic — measuring what live
 	// administration costs (DynTopicFences) while the data plane runs.
 	DynTopics int
+	// DelTopics runs that many create→delete cycles of a scratch topic
+	// on the live broker, spread across the produce phase, from a
+	// dedicated retirement thread — measuring what topic retirement
+	// costs (DelTopicFences, a pinned ≤3-fence tombstone protocol) and,
+	// through the post-run SlotsUsed/SlotsFree footprint, that the
+	// churned windows are recycled through the free list instead of
+	// growing the heaps' high-water marks.
+	DelTopics int
 	// Duration bounds the produce phase. Consumers drain afterwards.
 	Duration  time.Duration
 	HeapBytes int64
@@ -163,6 +171,9 @@ func (c *BrokerConfig) norm() {
 	if c.DynTopics < 0 {
 		c.DynTopics = 0
 	}
+	if c.DelTopics < 0 {
+		c.DelTopics = 0
+	}
 	if c.ProduceGapNs < 0 {
 		c.ProduceGapNs = 0
 	}
@@ -221,6 +232,17 @@ type BrokerResult struct {
 	// protocol plus per-shard queue initialization).
 	DynTopics      uint64
 	DynTopicFences uint64
+
+	// Topic-retirement statistics: create→delete cycles completed
+	// mid-run, the blocking persists the DeleteTopic calls cost, and
+	// the slot footprint after the run — SlotsUsed is the high-water
+	// sum across heaps, SlotsFree the free-list population. A churn run
+	// whose SlotsUsed matches the churn-free baseline proves the
+	// retired windows were recycled.
+	DelTopics      uint64
+	DelTopicFences uint64
+	SlotsUsed      int
+	SlotsFree      int
 
 	// PerHeap is each member heap's total event counters for the
 	// measured phase (all threads).
@@ -362,6 +384,17 @@ func (r BrokerResult) DynFencesPerCreate() float64 {
 	return float64(r.DynTopicFences) / float64(r.DynTopics)
 }
 
+// DelFencesPerDelete returns the blocking persists one mid-run
+// DeleteTopic cost on average — the tombstone append plus the commit
+// stamp, bounded at 3 even counting an amortized compaction share.
+// 0 without DelTopics.
+func (r BrokerResult) DelFencesPerDelete() float64 {
+	if r.DelTopics == 0 {
+		return 0
+	}
+	return float64(r.DelTopicFences) / float64(r.DelTopics)
+}
+
 // IdleFencesPerPoll returns blocking persists per poll of an idle
 // consumer whose shards are all empty — ~0 with empty-poll fence
 // elision.
@@ -406,6 +439,11 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	churnTid := -1
 	if cfg.Churn > 0 {
 		churnTid = threads // so is the churn controller
+		threads++
+	}
+	delTid := -1
+	if cfg.DelTopics > 0 {
+		delTid = threads // and the topic-retirement thread
 		threads++
 	}
 	pcfg := pmem.Config{
@@ -739,6 +777,47 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		}()
 	}
 
+	// The retirement thread: cycle a scratch topic through create →
+	// publish a little → delete, spread across the produce phase. The
+	// fence delta brackets only the DeleteTopic call, so the measured
+	// cost is the retirement protocol itself; the recycled-window proof
+	// comes from the post-run slot footprint.
+	var delCycles, delFences atomic.Uint64
+	var delErr error
+	var delErrMu sync.Mutex
+	if cfg.DelTopics > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			scratch := make([][]byte, 4)
+			for j := range scratch {
+				scratch[j] = payload(uint64(j))
+			}
+			for d := 0; d < cfg.DelTopics; d++ {
+				time.Sleep(cfg.Duration / time.Duration(cfg.DelTopics+1))
+				name := fmt.Sprintf("del-%d", d)
+				t, err := b.CreateTopic(delTid, broker.TopicConfig{
+					Name:   name,
+					Shards: cfg.Shards, MaxPayload: cfg.Payload,
+				})
+				if err == nil {
+					t.PublishBatch(delTid, scratch)
+					delta := hs.DeltaOf(delTid)
+					err = b.DeleteTopic(delTid, name)
+					delFences.Add(delta.Delta().Fences)
+				}
+				if err != nil {
+					delErrMu.Lock()
+					delErr = fmt.Errorf("harness: retirement cycle %d failed: %w", d, err)
+					delErrMu.Unlock()
+					return
+				}
+				delCycles.Add(1)
+			}
+		}()
+	}
+
 	var adoptErr error
 	var adoptErrMu sync.Mutex
 	if cfg.Kills > 0 {
@@ -865,6 +944,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	if dynErr != nil {
 		return BrokerResult{}, dynErr
 	}
+	if delErr != nil {
+		return BrokerResult{}, delErr
+	}
 	if churnErr != nil {
 		return BrokerResult{}, churnErr
 	}
@@ -881,8 +963,10 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		FencedAcks: fencedAcks.Load(), Reassigned: reassigned.Load(),
 		Stolen: stolen.Load(), Scans: scans.Load(),
 		DynTopics: dynCreated.Load(), DynTopicFences: dynFences.Load(),
+		DelTopics: delCycles.Load(), DelTopicFences: delFences.Load(),
 		Elapsed: elapsed,
 	}
+	res.SlotsUsed, res.SlotsFree = b.SlotFootprint()
 	var allSojourns []int64
 	for _, s := range sojourns {
 		allSojourns = append(allSojourns, s...)

@@ -184,6 +184,47 @@ func TestRunBrokerDynTopics(t *testing.T) {
 	t.Logf("dyn topics: %d created at %.2f fences/create", r.DynTopics, df)
 }
 
+// TestRunBrokerDelTopics runs topic retirement beside the traffic:
+// a scratch topic is cycled through create → publish → delete from a
+// dedicated thread, the delete cost is pinned, and the slot footprint
+// proves the retired windows are recycled — more cycles, same marks.
+func TestRunBrokerDelTopics(t *testing.T) {
+	run := func(cycles int) BrokerResult {
+		r, err := RunBroker(BrokerConfig{
+			Topics: 2, Shards: 2, Heaps: 2, Producers: 2, Consumers: 2,
+			Batch: 4, DequeueBatch: 4, DelTopics: cycles,
+			Duration: 150 * time.Millisecond, HeapBytes: 256 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Delivered != r.Published || r.Published == 0 {
+			t.Fatalf("delivered %d / published %d", r.Delivered, r.Published)
+		}
+		if int(r.DelTopics) != cycles {
+			t.Fatalf("retired %d topics, want %d", r.DelTopics, cycles)
+		}
+		return r
+	}
+	one, four := run(1), run(4)
+	df := four.DelFencesPerDelete()
+	if df < 2 || df > 3 {
+		t.Errorf("del fences/delete = %.2f, outside the pinned [2,3]", df)
+	}
+	// Reuse proof: three more create→delete cycles of the same shape
+	// must not move the high-water marks, and the scratch windows end
+	// on the free list both times.
+	if four.SlotsUsed != one.SlotsUsed {
+		t.Errorf("slot high-water grew with churn: %d used after 4 cycles, %d after 1",
+			four.SlotsUsed, one.SlotsUsed)
+	}
+	if four.SlotsFree == 0 {
+		t.Error("no freed windows on the free list after retirement churn")
+	}
+	t.Logf("del topics: %d cycles at %.2f fences/delete, footprint %d used / %d free",
+		four.DelTopics, df, four.SlotsUsed, four.SlotsFree)
+}
+
 // TestRunBrokerHeapLatencies: per-heap fence latencies (asymmetric
 // NUMA) flow through to the member heaps without disturbing the
 // workload audit.

@@ -297,6 +297,33 @@ func (h *Heap) View(baseSlot, slots int) *Heap {
 	return &Heap{heapState: h.heapState, rootBase: h.rootBase + baseSlot, rootSlots: slots}
 }
 
+// ReleaseView returns v's window — previously derived from h by View —
+// to h, so the same slots can be claimed by a later View without a
+// Restart. This is the primitive behind durable-structure retirement
+// (e.g. broker.DeleteTopic): the caller guarantees the structure
+// inside the window is dead — no goroutine will access the heap
+// through v again — before releasing, exactly as a free() caller
+// guarantees no dangling use. Releasing a window that was not claimed
+// by View on h panics: it would mask a double-release bug.
+func (h *Heap) ReleaseView(v *Heap) {
+	claim := viewClaim{
+		parentBase: h.rootBase,
+		parentEnd:  h.rootBase + h.rootSlots,
+		base:       v.rootBase,
+		end:        v.rootBase + v.rootSlots,
+	}
+	h.viewMu.Lock()
+	defer h.viewMu.Unlock()
+	for i, c := range h.views {
+		if c == claim {
+			h.views = append(h.views[:i], h.views[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("pmem: ReleaseView of window [%d,%d) not claimed from parent [%d,%d) — double release or wrong parent",
+		claim.base, claim.end, claim.parentBase, claim.parentEnd))
+}
+
 func (h *Heap) lock(line int) *sync.Mutex {
 	return &h.locks[line&(lockShards-1)]
 }
