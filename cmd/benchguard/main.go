@@ -5,17 +5,20 @@
 //
 // Rows are matched by their workload dimensions (topics, shards,
 // heaps, producers, consumers, batch, dbatch, payload, ack, abatch,
-// pipeline, poller, pgap_ns, kills, churn, dyn_topics, del_topics);
+// pipeline, poller, pgap_ns, kills, churn, dyn_topics, del_topics,
+// delay_topics, prio_topics);
 // rows decode generically, so a baseline written before a dimension
 // existed matches candidates where the new dimension is zero. Guarded
 // metrics:
 //
 //   - prod_fences_per_msg, cons_fences_per_msg, ack_fences_per_msg,
-//     del_fences_per_delete: fail when candidate >
+//     del_fences_per_delete, heap_fences_per_publish,
+//     heap_fences_per_pop: fail when candidate >
 //     baseline*(1+fence-tol) + 0.02. Fence ratios are nearly
 //     deterministic per workload (a topic retirement is two blocking
-//     persists unless a cycle happens to absorb a compaction), so the
-//     tolerance is tight.
+//     persists unless a cycle happens to absorb a compaction; a heap
+//     topic publishes one fence per batch window and consumes one per
+//     non-empty pop-min batch), so the tolerance is tight.
 //   - soj_p99_us (publish sojourn p99, the tail-latency headline):
 //     guarded *within the candidate sweep*, not against the baseline.
 //     For every idle cell (pgap_ns > 0) with abatch=1, the matching
@@ -58,6 +61,7 @@ var dimKeys = []string{
 	"batch", "dbatch", "payload", "ack",
 	"abatch", "pipeline", "poller", "pgap_ns",
 	"kills", "churn", "dyn_topics", "del_topics",
+	"delay_topics", "prio_topics",
 }
 
 type sweep struct {
@@ -137,7 +141,8 @@ func main() {
 			continue
 		}
 		checked++
-		for _, m := range []string{"prod_fences_per_msg", "cons_fences_per_msg", "ack_fences_per_msg", "del_fences_per_delete"} {
+		for _, m := range []string{"prod_fences_per_msg", "cons_fences_per_msg", "ack_fences_per_msg", "del_fences_per_delete",
+			"heap_fences_per_publish", "heap_fences_per_pop"} {
 			bv, cv := num(b, m), num(c, m)
 			if limit := bv*(1+*fenceTol) + 0.02; cv > limit {
 				fail("%s regressed: %.4f -> %.4f (limit %.4f) at %s", m, bv, cv, limit, k)

@@ -30,9 +30,18 @@
 // its durable acknowledgment, reported regardless of -latency — show
 // what batching policy does to an idle topic's tail.
 //
+// -delay and -prio add heap-backed topics beside the FIFO sweep: a
+// dedicated thread durably publishes batch-sized windows (deadlines /
+// ranks off a logical clock) and pops the ready backlog in dbatch-sized
+// batches, and the heap-f(pub/pop) column shows the two pinned
+// amortization ratios — one fence per publish window (~1/batch per
+// message) and one per non-empty pop-min batch (~1/dbatch), with heap
+// maintenance persisting nothing.
+//
 // Examples:
 //
 //	brokerbench -shards 1,2,4,8 -batch 1,16 -dbatch 1,8
+//	brokerbench -delay 2 -prio 2 -batch 8 -dbatch 8  # heap topics: fences per publish/pop
 //	brokerbench -batch 8 -dbatch 8 -abatch 0,1 -pgap 200000  # idle tail: fixed vs adaptive
 //	brokerbench -batch 8 -pipeline 0,1           # pipelined persists
 //	brokerbench -ack 1 -poller 1 -pipeline 1     # event-loop consumers, async acks
@@ -84,6 +93,8 @@ type row struct {
 	Churn             int     `json:"churn"`
 	DynTopics         int     `json:"dyn_topics"`
 	DelTopics         int     `json:"del_topics"`
+	DelayTopics       int     `json:"delay_topics"`
+	PrioTopics        int     `json:"prio_topics"`
 	Published         uint64  `json:"published"`
 	Delivered         uint64  `json:"delivered"`
 	Mops              float64 `json:"mops"`
@@ -99,6 +110,10 @@ type row struct {
 	HeapImbalance     float64 `json:"heap_imbalance"`
 	DynFencesPerNew   float64 `json:"dyn_fences_per_create"`
 	DelFencesPerDel   float64 `json:"del_fences_per_delete"`
+	HeapPublished     uint64  `json:"heap_published"`
+	HeapPopped        uint64  `json:"heap_popped"`
+	HeapFencesPerPub  float64 `json:"heap_fences_per_publish"`
+	HeapFencesPerPop  float64 `json:"heap_fences_per_pop"`
 	SlotsUsed         int     `json:"slots_used"`
 	SlotsFree         int     `json:"slots_free"`
 	PollerSleeps      uint64  `json:"poller_sleeps"`
@@ -145,6 +160,8 @@ func main() {
 		churn     = flag.Int("churn", 0, "membership-churn cycles in ack cells (stall + forced split or work-stealing; needs >= 2 consumers)")
 		dyn       = flag.Int("dyntopics", 0, "topics created on the live broker mid-run (fences/create in the dyn column)")
 		del       = flag.Int("deltopics", 0, "create→delete cycles of a scratch topic mid-run (fences/delete + slot footprint columns)")
+		delay     = flag.Int("delay", 0, "delay (deadline-ordered heap) topics driven by a dedicated thread (heap-f columns)")
+		prio      = flag.Int("prio", 0, "priority (rank-ordered heap) topics driven by a dedicated thread (heap-f columns)")
 		heaplatF  = flag.String("heaplat", "", "comma-separated per-heap SFENCE ns (asymmetric NUMA; heap i takes entry i mod len)")
 		payload   = flag.Int("payload", 0, "payload bytes (0 = fixed 8-byte messages)")
 		duration  = flag.Duration("duration", time.Second, "produce phase duration per cell")
@@ -209,13 +226,13 @@ func main() {
 	}
 
 	if *csvOut {
-		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,abatch,pipeline,poller,pgap_ns,kills,churn,dyn_topics,del_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,del_fences_per_delete,slots_used,slots_free,poller_sleeps,poller_wakes,soj_p50_us,soj_p99_us,soj_p999_us,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
+		fmt.Println("topics,shards,heaps,producers,consumers,batch,dbatch,payload,ack,abatch,pipeline,poller,pgap_ns,kills,churn,dyn_topics,del_topics,delay_topics,prio_topics,published,delivered,mops,prod_fences_per_msg,cons_fences_per_msg,ack_fences_per_msg,redelivery_rate,fenced_acks,reassigned_shards,stolen_shards,scans,idle_fences_per_poll,heap_imbalance,dyn_fences_per_create,del_fences_per_delete,heap_published,heap_popped,heap_fences_per_publish,heap_fences_per_pop,slots_used,slots_free,poller_sleeps,poller_wakes,soj_p50_us,soj_p99_us,soj_p999_us,pub_p50_us,pub_p99_us,pub_p999_us,poll_p50_us,poll_p99_us,poll_p999_us,ack_p50_us,ack_p99_us,ack_p999_us")
 	} else if !*jsonOut {
-		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d deltopics=%d heaplat=%q pgap=%q latency=%v duration=%v\n\n",
-			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *del, *heaplatF, *pgapF, *latency, *duration)
-		fmt.Printf("%7s %6s %6s %7s %4s %8s %9s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s %12s %12s %20s",
+		fmt.Printf("broker sweep: topics=%d producers=%d consumers=%d payload=%dB affine=%v kills=%d churn=%d dyntopics=%d deltopics=%d delay=%d prio=%d heaplat=%q pgap=%q latency=%v duration=%v\n\n",
+			*topics, *producers, *consumers, *payload, *affine, *kills, *churn, *dyn, *del, *delay, *prio, *heaplatF, *pgapF, *latency, *duration)
+		fmt.Printf("%7s %6s %6s %7s %4s %8s %9s %12s %12s %10s %15s %15s %14s %9s %12s %10s %10s %12s %12s %16s %12s %20s",
 			"shards", "heaps", "batch", "dbatch", "ack", "ab/pl/po", "pgap-ns", "published", "delivered", "Mops",
-			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create", "del-f/delete", "slots(u/f)", "soj-µs(50/99/999)")
+			"prod-fence/msg", "cons-fence/msg", "ack-fence/msg", "redeliv", "churn(f/r/s)", "idle-f/poll", "heap-imbal", "dyn-f/create", "del-f/delete", "heap-f(pub/pop)", "slots(u/f)", "soj-µs(50/99/999)")
 		if *latency {
 			fmt.Printf(" %20s %20s %20s", "pub-µs(50/99/999)", "poll-µs(50/99/999)", "ack-µs(50/99/999)")
 		}
@@ -255,6 +272,8 @@ func main() {
 											ProduceGapNs:  int64(pg),
 											DynTopics:     *dyn,
 											DelTopics:     *del,
+											DelayTopics:   *delay,
+											PrioTopics:    *prio,
 											Duration:      *duration,
 											HeapBytes:     *heapMB << 20,
 											Latency:       lat,
@@ -270,9 +289,11 @@ func main() {
 											Batch: r.Batch, DequeueBatch: r.DequeueBatch, Payload: r.Payload,
 											ProduceGapNs: r.ProduceGapNs,
 											Kills:        r.Kills, Churn: r.Churn,
-											DynTopics: int(r.DynTopics),
-											DelTopics: int(r.DelTopics),
-											Published: r.Published, Delivered: r.Delivered,
+											DynTopics:   int(r.DynTopics),
+											DelTopics:   int(r.DelTopics),
+											DelayTopics: r.DelayTopics,
+											PrioTopics:  r.PrioTopics,
+											Published:   r.Published, Delivered: r.Delivered,
 											Mops:              round3(r.Mops()),
 											ProdFencesPerMsg:  round4(r.ProducerFencesPerMsg()),
 											ConsFencesPerMsg:  round4(r.ConsumerFencesPerMsg()),
@@ -286,6 +307,10 @@ func main() {
 											HeapImbalance:     round3(r.HeapImbalance()),
 											DynFencesPerNew:   round3(r.DynFencesPerCreate()),
 											DelFencesPerDel:   round3(r.DelFencesPerDelete()),
+											HeapPublished:     r.HeapPublished,
+											HeapPopped:        r.HeapPopped,
+											HeapFencesPerPub:  round4(r.HeapFencesPerPublish()),
+											HeapFencesPerPop:  round4(r.HeapFencesPerPop()),
 											SlotsUsed:         r.SlotsUsed,
 											SlotsFree:         r.SlotsFree,
 											PollerSleeps:      r.PollerSleeps,
@@ -312,21 +337,24 @@ func main() {
 										}
 										rows = append(rows, c)
 										if *csvOut {
-											fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+											fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f,%.3f,%.3f,%.3f,%d,%d,%.4f,%.4f,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 												c.Topics, c.Shards, c.Heaps, c.Producers, c.Consumers, c.Batch, c.DequeueBatch, c.Payload,
 												c.Ack, c.AdaptiveBatch, c.Pipeline, c.Poller, c.ProduceGapNs,
-												c.Kills, c.Churn, c.DynTopics, c.DelTopics, c.Published, c.Delivered, c.Mops,
+												c.Kills, c.Churn, c.DynTopics, c.DelTopics, c.DelayTopics, c.PrioTopics,
+												c.Published, c.Delivered, c.Mops,
 												c.ProdFencesPerMsg, c.ConsFencesPerMsg, c.AckFencesPerMsg, c.RedeliveryRate,
 												c.FencedAcks, c.Reassigned, c.Stolen, c.Scans,
 												c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
-												c.DelFencesPerDel, c.SlotsUsed, c.SlotsFree,
+												c.DelFencesPerDel, c.HeapPublished, c.HeapPopped,
+												c.HeapFencesPerPub, c.HeapFencesPerPop,
+												c.SlotsUsed, c.SlotsFree,
 												c.PollerSleeps, c.PollerWakes,
 												c.SojP50Us, c.SojP99Us, c.SojP999Us,
 												c.PubP50Us, c.PubP99Us, c.PubP999Us,
 												c.PollP50Us, c.PollP99Us, c.PollP999Us,
 												c.AckP50Us, c.AckP99Us, c.AckP999Us)
 										} else if !*jsonOut {
-											fmt.Printf("%7d %6d %6d %7d %4d %8s %9d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f %12.3f %12s %20s",
+											fmt.Printf("%7d %6d %6d %7d %4d %8s %9d %12d %12d %10.3f %15.4f %15.4f %14.4f %9.4f %12s %10.4f %10.3f %12.3f %12.3f %16s %12s %20s",
 												c.Shards, c.Heaps, c.Batch, c.DequeueBatch, c.Ack,
 												fmt.Sprintf("%d/%d/%d", c.AdaptiveBatch, c.Pipeline, c.Poller),
 												c.ProduceGapNs, c.Published, c.Delivered, c.Mops,
@@ -334,6 +362,7 @@ func main() {
 												fmt.Sprintf("%d/%d/%d", c.FencedAcks, c.Reassigned, c.Stolen),
 												c.IdleFencesPerPoll, c.HeapImbalance, c.DynFencesPerNew,
 												c.DelFencesPerDel,
+												fmt.Sprintf("%.4f/%.4f", c.HeapFencesPerPub, c.HeapFencesPerPop),
 												fmt.Sprintf("%d/%d", c.SlotsUsed, c.SlotsFree),
 												latCell(c.SojP50Us, c.SojP99Us, c.SojP999Us))
 											if *latency {
@@ -361,7 +390,8 @@ func main() {
 			"config": map[string]any{
 				"topics": *topics, "producers": *producers, "consumers": *consumers,
 				"payload": *payload, "affine": *affine, "kills": *kills,
-				"churn": *churn, "dyntopics": *dyn, "deltopics": *del, "heaplat": *heaplatF,
+				"churn": *churn, "dyntopics": *dyn, "deltopics": *del,
+				"delay": *delay, "prio": *prio, "heaplat": *heaplatF,
 				"pgap":     *pgapF,
 				"duration": duration.String(), "nvm_fence_ns": *fenceNs,
 			},
@@ -388,7 +418,10 @@ func main() {
 		fmt.Println(" persists per mid-run CreateTopic — the pinned 3-fence catalog append")
 		fmt.Println(" protocol plus per-shard queue initialization; 0 without -dyntopics.")
 		fmt.Println(" del-f/delete: blocking persists per mid-run DeleteTopic — the pinned")
-		fmt.Println(" tombstone protocol, ≤3; 0 without -deltopics. slots(u/f): post-run slot")
+		fmt.Println(" tombstone protocol, ≤3; 0 without -deltopics. heap-f(pub/pop): blocking")
+		fmt.Println(" persists per message published to / popped from the -delay/-prio heap")
+		fmt.Println(" topics — ~1/batch and ~1/dbatch, heap maintenance persists nothing.")
+		fmt.Println(" slots(u/f): post-run slot")
 		fmt.Println(" footprint, high-water used / free-list population — steady used across")
 		if *latency {
 			fmt.Println(" -deltopics churn shows retired windows being recycled.")

@@ -5,7 +5,7 @@
 // against the recorded operation history (no duplication, no loss of
 // completed enqueues, per-enqueuer FIFO).
 //
-// -smoke is the quick CI mode: few rounds per queue, plus five
+// -smoke is the quick CI mode: few rounds per queue, plus six
 // broker iterations — a 2-heap broker crashed via a single member's
 // access stream, recovered from its catalog and stamps, and audited
 // for delivered-or-recovered-exactly-once; an acked broker whose
@@ -24,7 +24,12 @@
 // compactions), crashed anywhere — including mid-delete and
 // mid-compaction — and audited: a delete that returned never
 // resurrects, a torn delete leaves the topic intact, and the
-// exactly-once guarantee holds over every surviving topic.
+// exactly-once guarantee holds over every surviving topic; and a
+// heap-topic broker mixing delay and priority publishes against a
+// logical clock, crashed anywhere in the entry log's push/pop
+// protocol and audited — nothing delivered early, nothing twice,
+// the recovered heaps pop in key order, and at most one in-flight
+// pop-min window is lost.
 //
 // Each broker smoke runs with an event-trace-enabled observer
 // (internal/obs); when an audit fails, the last trace events — the
@@ -45,6 +50,7 @@ import (
 	"os"
 
 	"repro/internal/broker"
+	"repro/internal/dheap"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/pmem"
@@ -155,6 +161,12 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("%-24s ok (topics deleted mid-traffic, tombstone + compaction recovery, no resurrection, exactly-once)\n", "broker-topic-churn")
+		}
+		if err := brokerDelaySmoke(*seed); err != nil {
+			fmt.Printf("%-24s FAIL: %v\n", "broker-delay-topics", err)
+			failed = true
+		} else {
+			fmt.Printf("%-24s ok (delay + priority heaps, crash, pop-min recovery, nothing early, exactly-once)\n", "broker-delay-topics")
 		}
 	}
 	if failed {
@@ -678,6 +690,173 @@ func brokerDelSmokeRun(seed int64, threads int, o *obs.Observer) error {
 	// poll window (4), plus the churn drain's window (3).
 	if lost > 7 {
 		return fmt.Errorf("%d acknowledged messages lost (allowance 7)", lost)
+	}
+	return nil
+}
+
+// brokerDelaySmoke is one heap-topic iteration: a 2-heap broker
+// brought up empty with Open carries a delay topic and a priority
+// topic; a sequential driver advances a logical clock, publishing
+// timers with near-future deadlines and jobs with random ranks, and
+// every third tick drains one topic's ready backlog, until a crash
+// scheduled on one member's access stream downs the set — anywhere
+// in the entry log's push or pop-min protocol. The broker is
+// recovered by Open and audited: both topics come back with their
+// kinds, the delay heap gates everything at time zero, nothing was
+// delivered before its deadline or delivered twice, the recovered
+// backlog pops in nondecreasing key order with intact payloads, and
+// at most one in-flight pop-min window is lost.
+func brokerDelaySmoke(seed int64) error {
+	const threads = 2
+	o := obs.New(obs.Config{Threads: threads, TraceEvents: traceEvents})
+	return dumpOnFail(o, "broker-delay-topics", brokerDelaySmokeRun(seed, threads, o))
+}
+
+func brokerDelaySmokeRun(seed int64, threads int, o *obs.Observer) error {
+	const popWindow = 6
+	rng := rand.New(rand.NewSource(seed + 5))
+	hs := pmem.NewSet(2, pmem.Config{Bytes: 64 << 20, Mode: pmem.ModeCrash, MaxThreads: threads})
+	b, err := broker.Open(hs, broker.Options{Threads: threads, Observer: o})
+	if err != nil {
+		return err
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{Name: "timers", Kind: broker.KindDelay, Shards: 1, MaxPayload: 24}); err != nil {
+		return err
+	}
+	if _, err := b.CreateTopic(0, broker.TopicConfig{Name: "urgent", Kind: broker.KindPriority, Shards: 1, MaxPayload: 24}); err != nil {
+		return err
+	}
+	// 24-byte payload: id, key, and an integrity word binding the two,
+	// so a torn or misdirected entry cannot masquerade as a delivery.
+	payload := func(id, key uint64) []byte {
+		p := make([]byte, 24)
+		copy(p, broker.U64(id))
+		copy(p[8:], broker.U64(key))
+		copy(p[16:], broker.U64(id^key^0xd11a))
+		return p
+	}
+	hs.Heap(rng.Intn(2)).ScheduleCrashAtAccess(int64(rng.Intn(30_000)) + 5_000)
+
+	clock := uint64(1)
+	acked := map[uint64]bool{}
+	delivered := map[uint64]bool{}
+	timers, urgent := b.Topic("timers"), b.Topic("urgent")
+	for id := uint64(1); ; id++ {
+		clock++
+		var perr error
+		crashed := pmem.Protect(func() {
+			if id%2 == 0 {
+				deadline := clock + uint64(rng.Intn(48))
+				perr = timers.PublishAt(1, payload(id, deadline), deadline)
+			} else {
+				rank := uint64(rng.Intn(500))
+				perr = urgent.PublishPriority(1, payload(id, rank), rank)
+			}
+		})
+		if crashed {
+			break
+		}
+		switch {
+		case perr == nil:
+			acked[id] = true
+		case errors.Is(perr, dheap.ErrFull):
+			// Arena backpressure: the publish never happened; the drain
+			// below frees slots.
+		default:
+			return fmt.Errorf("publish %d: %v", id, perr)
+		}
+		if id%3 == 0 {
+			t := timers
+			if id%6 == 0 {
+				t = urgent
+			}
+			now := clock
+			var got [][]byte
+			if pmem.Protect(func() { got, perr = t.DequeueReadyBatch(0, now, popWindow) }) {
+				break
+			}
+			if perr != nil {
+				return fmt.Errorf("dequeue: %v", perr)
+			}
+			for _, p := range got {
+				mid, mkey := broker.AsU64(p[:8]), broker.AsU64(p[8:16])
+				if broker.AsU64(p[16:24]) != mid^mkey^0xd11a {
+					return fmt.Errorf("message %d delivered corrupted", mid)
+				}
+				if delivered[mid] {
+					return fmt.Errorf("message %d delivered twice before the crash", mid)
+				}
+				delivered[mid] = true
+				if t == timers && mkey > now {
+					return fmt.Errorf("message %d delivered %d ticks before its deadline", mid, mkey-now)
+				}
+			}
+		}
+	}
+	if !hs.Crashed() {
+		return fmt.Errorf("crash never fired")
+	}
+	hs.FinalizeCrash(rng)
+	hs.Restart()
+
+	r, err := broker.Open(hs, broker.Options{Observer: o})
+	if err != nil {
+		return err
+	}
+	rt, ru := r.Topic("timers"), r.Topic("urgent")
+	if rt == nil || ru == nil {
+		return fmt.Errorf("heap topics did not recover")
+	}
+	if rt.Kind() != broker.KindDelay || ru.Kind() != broker.KindPriority {
+		return fmt.Errorf("heap topics recovered with wrong kinds (%v, %v)", rt.Kind(), ru.Kind())
+	}
+	// Every surviving deadline is in the future of time zero: the
+	// recovered delay heap must gate its whole backlog.
+	if got, derr := rt.DequeueReadyBatch(0, 0, popWindow); derr != nil {
+		return derr
+	} else if len(got) != 0 {
+		return fmt.Errorf("recovered delay topic delivered %d messages at time zero", len(got))
+	}
+	seen := map[uint64]bool{}
+	for id := range delivered {
+		seen[id] = true
+	}
+	for _, t := range []*broker.Topic{rt, ru} {
+		last := uint64(0)
+		for {
+			got, derr := t.DequeueReadyBatch(0, ^uint64(0), popWindow)
+			if derr != nil {
+				return derr
+			}
+			if len(got) == 0 {
+				break
+			}
+			for _, p := range got {
+				mid, mkey := broker.AsU64(p[:8]), broker.AsU64(p[8:16])
+				if broker.AsU64(p[16:24]) != mid^mkey^0xd11a {
+					return fmt.Errorf("recovered message %d corrupted", mid)
+				}
+				if seen[mid] {
+					return fmt.Errorf("message %d duplicated across crash", mid)
+				}
+				seen[mid] = true
+				if mkey < last {
+					return fmt.Errorf("%s popped out of key order: %d after %d", t.Name(), mkey, last)
+				}
+				last = mkey
+			}
+		}
+	}
+	lost := 0
+	for id := range acked {
+		if !seen[id] {
+			lost++
+		}
+	}
+	// Only a pop-min batch cut off between its consumed stamps and the
+	// delivery may drop messages: at most one window.
+	if lost > popWindow {
+		return fmt.Errorf("%d acknowledged publishes lost (allowance %d)", lost, popWindow)
 	}
 	return nil
 }

@@ -44,7 +44,15 @@
 // max-merges per-thread acked indices and redelivers everything
 // beyond them), and the broker layers per-group durable lease records
 // and lease takeover on top for exactly-once processing across both
-// consumer and whole-broker crashes. An optional observability layer
+// consumer and whole-broker crashes. Beyond FIFO order, topics come
+// in delay and priority kinds (TopicConfig.Kind) backed by
+// internal/dheap, a durable priority queue extending the same
+// discipline to heap order: the durable state is a checksummed
+// per-thread entry log while the min-heap on (key, seq) stays
+// volatile and is rebuilt at recovery, so PublishAt/PublishPriority
+// ride one fence per batch, pop-min (DequeueReady, gated on the
+// deadline for delay topics) one fence per delivered batch, and
+// sift-up/sift-down persist nothing. An optional observability layer
 // (internal/obs) watches it all from plain DRAM at zero persist
 // cost — per-thread allocation-free latency histograms per op,
 // topic/group gauges with per-shard lag, a lock-free event trace,
@@ -63,7 +71,9 @@
 // kills exercising lease takeover), live topic creation
 // (-dyntopics, measuring fences per mid-run CreateTopic), topic
 // retirement churn (-deltopics, measuring fences per mid-run
-// DeleteTopic plus the recycled-window slot footprint), and per-op
+// DeleteTopic plus the recycled-window slot footprint), delay and
+// priority topics (-delay/-prio, measuring fences per heap publish
+// and per pop-min), and per-op
 // latency percentiles (-latency, p50/p99/p999 columns); cmd/brokerstat
 // dumps one observed workload's snapshot as Prometheus text or JSON.
 package repro

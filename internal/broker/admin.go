@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/blobq"
+	"repro/internal/dheap"
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/queues"
@@ -183,7 +184,21 @@ func openExisting(hs *pmem.HeapSet, opts Options) (*Broker, error) {
 		}
 		seen[tc.Name] = true
 	}
+	var mkMu sync.Mutex
+	var mkErr error
 	b := build(hs, threads, lay.topics, lay.locs, lay.bases, lay.nextGlobal, func(view *pmem.Heap, tc TopicConfig) *shard {
+		if tc.Kind.heapKind() {
+			q, err := dheap.Recover(view, threads)
+			if err != nil {
+				mkMu.Lock()
+				if mkErr == nil {
+					mkErr = fmt.Errorf("broker: topic %q: %w", tc.Name, err)
+				}
+				mkMu.Unlock()
+				return &shard{}
+			}
+			return &shard{heapq: q}
+		}
 		if tc.MaxPayload == 0 {
 			if tc.Acked {
 				return &shard{fixed: queues.RecoverOptUnlinkedQAcked(view, threads)}
@@ -194,6 +209,9 @@ func openExisting(hs *pmem.HeapSet, opts Options) (*Broker, error) {
 			Threads: threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked,
 		})}
 	})
+	if mkErr != nil {
+		return nil, mkErr
+	}
 	for g, loc := range lay.leaseLocs {
 		lr, err := readLeaseRegion(hs.Heap(loc.heap), loc.heap, loc.base, g, lay.leaseCaps[g])
 		if err != nil {
@@ -277,13 +295,14 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 	// earlier deletes) before bumping a mark, then claim the fresh
 	// windows and fence the marks. On error the popped free windows go
 	// back — nothing durable has happened yet.
+	width := slotsForKind(tc.Kind)
 	tmp := append([]int(nil), b.cat.marks...)
 	locs := make([]shardLoc, tc.Shards)
 	reused := make([]bool, tc.Shards)
 	var popped []shardLoc
 	unpop := func() {
 		for _, loc := range popped {
-			b.cat.releaseSlots(loc.heap, loc.base, slotsPerShard)
+			b.cat.releaseSlots(loc.heap, loc.base, width)
 		}
 	}
 	for si := range locs {
@@ -293,19 +312,19 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 			return nil, fmt.Errorf("broker: placement policy put topic %q shard %d on heap %d of %d",
 				tc.Name, si, hi, b.hs.Len())
 		}
-		if base, ok := b.cat.takeFree(hi, slotsPerShard); ok {
+		if base, ok := b.cat.takeFree(hi, width); ok {
 			locs[si] = shardLoc{heap: hi, base: base}
 			reused[si] = true
 			popped = append(popped, locs[si])
 			continue
 		}
-		if tmp[hi]+slotsPerShard > b.hs.Heap(hi).RootSlots() {
+		if tmp[hi]+width > b.hs.Heap(hi).RootSlots() {
 			unpop()
 			return nil, fmt.Errorf("broker: heap %d out of root slots (topic %q shard %d needs %d, %d left)",
-				hi, tc.Name, si, slotsPerShard, b.hs.Heap(hi).RootSlots()-tmp[hi])
+				hi, tc.Name, si, width, b.hs.Heap(hi).RootSlots()-tmp[hi])
 		}
 		locs[si] = shardLoc{heap: hi, base: tmp[hi]}
-		tmp[hi] += slotsPerShard
+		tmp[hi] += width
 	}
 	marksDirty := false
 	for hi := range tmp {
@@ -337,7 +356,7 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 			defer wg.Done()
 			h := b.hs.Heap(hi)
 			for _, si := range shards {
-				view := h.View(locs[si].base, slotsPerShard)
+				view := h.View(locs[si].base, width)
 				if reused[si] {
 					// Scrub a free-list window's root slots before building
 					// on it: the retired queue's slots (acked frontier,
@@ -347,19 +366,24 @@ func (b *Broker) CreateTopic(tid int, tc TopicConfig) (*Topic, error) {
 					// this heap orders the scrub durably before the
 					// record's anchor, so a crash never sees a committed
 					// topic on an unscrubbed window.
-					for slot := 0; slot < slotsPerShard; slot++ {
+					for slot := 0; slot < width; slot++ {
 						view.Store(tid, view.RootAddr(slot), 0)
 						view.Flush(tid, view.RootAddr(slot))
 					}
 				}
 				var s *shard
-				if tc.MaxPayload == 0 {
+				switch {
+				case tc.Kind.heapKind():
+					s = &shard{heapq: dheap.New(view, dheap.Config{
+						Threads: b.threads, MaxPayload: tc.MaxPayload, InitTid: tid,
+					})}
+				case tc.MaxPayload == 0:
 					if tc.Acked {
 						s = &shard{fixed: queues.NewOptUnlinkedQAckedAs(view, b.threads, tid)}
 					} else {
 						s = &shard{fixed: queues.NewOptUnlinkedQAs(view, b.threads, tid)}
 					}
-				} else {
+				default:
 					s = &shard{blob: blobq.New(view, blobq.Config{
 						Threads: b.threads, MaxPayload: tc.MaxPayload, Acked: tc.Acked, InitTid: tid,
 					})}
@@ -521,6 +545,15 @@ func (b *Broker) DeleteTopic(tid int, name string) error {
 	if t == nil {
 		return fmt.Errorf("broker: no topic %q", name)
 	}
+	if t.cfg.Kind.heapKind() {
+		// The dheap's entry region is AllocRaw'd from the member heap,
+		// which has no free path, so retiring the window would strand the
+		// region and a re-created heap topic would leak one arena per
+		// churn cycle. Refused until dheap regions are recyclable (see
+		// the ROADMAP follow-on).
+		return fmt.Errorf("broker: DeleteTopic on %s topic %q not supported (heap-topic deletion is a ROADMAP follow-on)",
+			t.cfg.Kind, name)
+	}
 	// Reserve log space up front. A log too full for a tombstone but
 	// holding debris is compacted instead — the new generation simply
 	// omits the topic, which is the same atomic flip.
@@ -575,7 +608,7 @@ func (b *Broker) DeleteTopic(tid int, name string) error {
 	// same slots, and the windows join the free list.
 	for si, loc := range t.locs {
 		b.hs.Heap(loc.heap).ReleaseView(t.shards[si].h)
-		b.cat.releaseSlots(loc.heap, loc.base, slotsPerShard)
+		b.cat.releaseSlots(loc.heap, loc.base, slotsForKind(t.cfg.Kind))
 	}
 
 	// Debris past half the record space triggers reclamation of the log

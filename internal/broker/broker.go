@@ -96,16 +96,64 @@ import (
 	"sync/atomic"
 
 	"repro/internal/blobq"
+	"repro/internal/dheap"
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/queues"
 )
 
-// slotsPerShard is the root-slot window width handed to each shard's
-// queue. Eight covers the highest slot either queue kind uses (blobq
-// uses slots 2,3,6,7 plus 4 in ack mode; OptUnlinkedQ uses 2,3 plus 4
-// in ack mode).
+// slotsPerShard is the root-slot window width handed to each FIFO
+// shard's queue. Eight covers the highest slot either queue kind uses
+// (blobq uses slots 2,3,6,7 plus 4 in ack mode; OptUnlinkedQ uses 2,3
+// plus 4 in ack mode).
 const slotsPerShard = 8
+
+// heapTopicSlots is the window width of a delay/priority shard: slot
+// 0 anchors the dheap region, slot 1 is reserved for the per-group
+// heap-cursor follow-on. Heap topics are the first window kind
+// narrower than slotsPerShard, so re-creating one over a retired FIFO
+// window exercises the free list's split-bucket path.
+const heapTopicSlots = 2
+
+// slotsForKind maps a topic kind to its shard-window width.
+func slotsForKind(k TopicKind) int {
+	if k == KindFIFO {
+		return slotsPerShard
+	}
+	return heapTopicSlots
+}
+
+// TopicKind selects a topic's delivery order.
+type TopicKind int
+
+const (
+	// KindFIFO is the default: per-shard FIFO order on the paper's
+	// queues (OptUnlinkedQ / blobq).
+	KindFIFO TopicKind = iota
+	// KindDelay orders delivery by deadline: PublishAt(deadline)
+	// publishes, DequeueReady(now) delivers pop-min among messages
+	// whose deadline has passed. Backed by a dheap.Q.
+	KindDelay
+	// KindPriority orders delivery by ascending priority value;
+	// every message is always ready. Backed by a dheap.Q.
+	KindPriority
+)
+
+func (k TopicKind) String() string {
+	switch k {
+	case KindFIFO:
+		return "fifo"
+	case KindDelay:
+		return "delay"
+	case KindPriority:
+		return "priority"
+	default:
+		return fmt.Sprintf("TopicKind(%d)", int(k))
+	}
+}
+
+// heapKind reports whether k is one of the dheap-backed kinds.
+func (k TopicKind) heapKind() bool { return k == KindDelay || k == KindPriority }
 
 // slotAnchor is root slot 0 of every member heap: on heap 0 it anchors
 // the durable catalog, on every other member the heap's membership
@@ -133,6 +181,12 @@ type TopicConfig struct {
 	// are consumed through groups created with NewGroupAcked; plain
 	// groups still work but acknowledge every delivery immediately.
 	Acked bool
+	// Kind selects the delivery order (default KindFIFO). Delay and
+	// priority topics are heap-ordered (see heaptopic.go): they are
+	// published with PublishAt/PublishPriority and consumed with
+	// DequeueReady, require Shards == 1, and are incompatible with
+	// Acked (heap delivery is its own durable consume protocol).
+	Kind TopicKind
 }
 
 // PlacementPolicy chooses the member heap for one shard at topic
@@ -243,8 +297,9 @@ type topicSet struct {
 // byte-payload interface, together with its placement: heap is the
 // member index (the fence domain), h the shard's root-slot view of it.
 type shard struct {
-	fixed *queues.OptUnlinkedQ // MaxPayload == 0
-	blob  *blobq.Queue         // MaxPayload > 0
+	fixed *queues.OptUnlinkedQ // KindFIFO, MaxPayload == 0
+	blob  *blobq.Queue         // KindFIFO, MaxPayload > 0
+	heapq *dheap.Q             // KindDelay / KindPriority
 	heap  int
 	h     *pmem.Heap
 	acked bool
@@ -420,8 +475,21 @@ func validateTopic(tc TopicConfig) error {
 	if tc.Shards <= 0 || tc.Shards > maxCatShards {
 		return fmt.Errorf("broker: topic %q shard count %d out of range [1,%d]", tc.Name, tc.Shards, maxCatShards)
 	}
-	if tc.MaxPayload < 0 || uint64(tc.MaxPayload) >= catAckedBit {
+	if tc.MaxPayload < 0 || uint64(tc.MaxPayload) >= uint64(1)<<catKindShift {
 		return fmt.Errorf("broker: topic %q has invalid MaxPayload %d", tc.Name, tc.MaxPayload)
+	}
+	if tc.Kind < KindFIFO || tc.Kind > KindPriority {
+		return fmt.Errorf("broker: topic %q has invalid kind %d", tc.Name, int(tc.Kind))
+	}
+	if tc.Kind.heapKind() {
+		if tc.Shards != 1 {
+			return fmt.Errorf("broker: %s topic %q must have exactly 1 shard (heap order is global), got %d",
+				tc.Kind, tc.Name, tc.Shards)
+		}
+		if tc.Acked {
+			return fmt.Errorf("broker: %s topic %q cannot be acked (heap delivery is its own durable consume protocol)",
+				tc.Kind, tc.Name)
+		}
 	}
 	return nil
 }
@@ -494,7 +562,7 @@ func build(hs *pmem.HeapSet, threads int, topics []TopicConfig, locs [][]shardLo
 			defer wg.Done()
 			h := hs.Heap(hi)
 			for _, j := range jobs {
-				view := h.View(j.loc.base, slotsPerShard)
+				view := h.View(j.loc.base, slotsForKind(j.t.cfg.Kind))
 				s := mk(view, j.t.cfg)
 				s.heap = hi
 				s.h = view

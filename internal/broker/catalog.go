@@ -71,6 +71,14 @@ const (
 	// topic row (payload capacities are far below 2^62).
 	catAckedBit = uint64(1) << 62
 
+	// catKindShift places the topic kind (2 bits) in the payload word
+	// of a v4 topic record, below the acked bit; validateTopic bounds
+	// MaxPayload under 2^60 so the fields never collide. Legacy v1–v3
+	// catalogs predate topic kinds: their payload words carry kind 0
+	// (KindFIFO), which is exactly what those brokers were.
+	catKindShift = 60
+	catKindMask  = uint64(3) << catKindShift
+
 	// Sanity caps for catalog fields, so a corrupted or truncated
 	// catalog is rejected with an error before its counts are used to
 	// compute out-of-range addresses.
@@ -226,7 +234,7 @@ func readCatalog(hs *pmem.HeapSet) (layoutInfo, error) {
 	}
 	for ti, tl := range lay.locs {
 		for si, loc := range tl {
-			if err := claim(fmt.Sprintf("topic %d shard %d", ti, si), loc, slotsPerShard); err != nil {
+			if err := claim(fmt.Sprintf("topic %d shard %d", ti, si), loc, slotsForKind(lay.topics[ti].Kind)); err != nil {
 				return layoutInfo{}, err
 			}
 		}

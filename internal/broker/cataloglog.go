@@ -257,18 +257,35 @@ func (cl *catalogLog) markAddr(heap int) pmem.Addr {
 }
 
 // takeFree pops a width-wide window from the heap's free list, if one
-// is there. No durable write happens: the high-water mark already
-// covers every freed window, and the tombstone that freed it is
-// already anchored, so reuse is purely a volatile pop (replay reaches
-// the same window by simulating the same records).
+// is there. Exact-fit buckets are preferred; otherwise the smallest
+// wider bucket with stock is split — the request takes the window's
+// head and the remainder goes back as a smaller free window (heap
+// topics, whose windows are narrower than FIFO shards', are the first
+// to split retired FIFO windows this way). No durable write happens:
+// the high-water mark already covers every freed window, and the
+// tombstone that freed it is already anchored, so reuse is purely a
+// volatile pop (replay reaches the same window by simulating the same
+// records, splits included).
 func (cl *catalogLog) takeFree(heap, width int) (int, bool) {
 	fl := cl.free[heap]
-	bases := fl[width]
-	if len(bases) == 0 {
+	if bases := fl[width]; len(bases) > 0 {
+		base := bases[len(bases)-1]
+		fl[width] = bases[:len(bases)-1]
+		return base, true
+	}
+	best := 0
+	for w, bases := range fl {
+		if w > width && len(bases) > 0 && (best == 0 || w < best) {
+			best = w
+		}
+	}
+	if best == 0 {
 		return 0, false
 	}
+	bases := fl[best]
 	base := bases[len(bases)-1]
-	fl[width] = bases[:len(bases)-1]
+	fl[best] = bases[:len(bases)-1]
+	cl.releaseSlots(heap, base+width, best-width)
 	return base, true
 }
 
@@ -396,7 +413,7 @@ func packName(s string) [8]uint64 {
 
 func topicRecord(seq int, tc TopicConfig, locs []shardLoc, base int) ([7]uint64, [][8]uint64) {
 	placeLines := (len(locs) + pmem.WordsPerLine - 1) / pmem.WordsPerLine
-	payloadWord := uint64(tc.MaxPayload)
+	payloadWord := uint64(tc.MaxPayload) | uint64(tc.Kind)<<catKindShift
 	if tc.Acked {
 		payloadWord |= catAckedBit
 	}
@@ -621,12 +638,21 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 		}
 		for i, w := range freedWins[loc.heap] {
 			if loc.base < w.base+w.width && w.base < loc.base+width {
-				if w.base != loc.base || w.width != width {
-					return fmt.Errorf("broker: catalog log record %d claims slots [%d,%d) on heap %d partially overlapping retired window [%d,%d)",
+				if loc.base < w.base || loc.base+width > w.base+w.width {
+					return fmt.Errorf("broker: catalog log record %d claims slots [%d,%d) on heap %d straddling retired window [%d,%d)",
 						rec, loc.base, loc.base+width, loc.heap, w.base, w.base+w.width)
 				}
-				// Exact reuse of a retired window.
+				// Reuse of a retired window: exact, or a sub-range when a
+				// narrower creation split a wider window (takeFree's
+				// split-bucket path takes the head, so a committed claim
+				// always nests). The remainder fragments stay retired.
 				freedWins[loc.heap] = append(freedWins[loc.heap][:i], freedWins[loc.heap][i+1:]...)
+				if loc.base > w.base {
+					freedWins[loc.heap] = append(freedWins[loc.heap], repWin{w.base, loc.base - w.base})
+				}
+				if end, wend := loc.base+width, w.base+w.width; end < wend {
+					freedWins[loc.heap] = append(freedWins[loc.heap], repWin{end, wend - end})
+				}
 				break
 			}
 		}
@@ -727,10 +753,14 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 			if end := base + int(shards); end > lay.nextGlobal {
 				lay.nextGlobal = end
 			}
+			kind := TopicKind((payloadWord & catKindMask) >> catKindShift)
+			if kind > KindPriority {
+				return layoutInfo{}, nil, 0, 0, fmt.Errorf("broker: catalog log record %d has invalid topic kind %d", rec, int(kind))
+			}
 			locs := make([]shardLoc, shards)
 			for s := range locs {
 				locs[s] = unpackLoc(body[1+s/pmem.WordsPerLine][s%pmem.WordsPerLine])
-				if err := claimWin(rec, fmt.Sprintf("topic %q shard %d", name, s), locs[s], slotsPerShard); err != nil {
+				if err := claimWin(rec, fmt.Sprintf("topic %q shard %d", name, s), locs[s], slotsForKind(kind)); err != nil {
 					return layoutInfo{}, nil, 0, 0, err
 				}
 			}
@@ -738,8 +768,9 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 				tc: TopicConfig{
 					Name:       name,
 					Shards:     int(shards),
-					MaxPayload: int(payloadWord &^ catAckedBit),
+					MaxPayload: int(payloadWord &^ (catAckedBit | catKindMask)),
 					Acked:      payloadWord&catAckedBit != 0,
+					Kind:       kind,
 				},
 				locs: locs,
 				base: base,
@@ -784,14 +815,15 @@ func readCatalogV4(r *catReader, hs *pmem.HeapSet, reg pmem.Addr) (layoutInfo, *
 			// Retire the topic's windows: out of the live set, onto the
 			// freed set, in shard order (matching the live broker's
 			// release order, so the rebuilt free list is identical).
+			width := slotsForKind(rt.tc.Kind)
 			for _, loc := range rt.locs {
 				for i, w := range liveWins[loc.heap] {
-					if w.base == loc.base && w.width == slotsPerShard {
+					if w.base == loc.base && w.width == width {
 						liveWins[loc.heap] = append(liveWins[loc.heap][:i], liveWins[loc.heap][i+1:]...)
 						break
 					}
 				}
-				freedWins[loc.heap] = append(freedWins[loc.heap], repWin{loc.base, slotsPerShard})
+				freedWins[loc.heap] = append(freedWins[loc.heap], repWin{loc.base, width})
 			}
 			cl.deadLines += topicRecLines(len(rt.locs)) + tombstoneLines
 		default:

@@ -113,6 +113,9 @@ func (b *Broker) collectRefs(topicNames []string) ([]*consumerShard, error) {
 		if t == nil {
 			return nil, fmt.Errorf("broker: unknown topic %q", name)
 		}
+		if t.cfg.Kind != KindFIFO {
+			return nil, t.kindErr("group subscription", KindFIFO)
+		}
 		for s := 0; s < t.Shards(); s++ {
 			refs = append(refs, &consumerShard{t: t, shard: s, global: t.base + s})
 		}

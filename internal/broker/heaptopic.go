@@ -1,0 +1,215 @@
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Heap-topic data plane: the verbs of KindDelay and KindPriority
+// topics. A heap topic has exactly one shard, backed by a dheap.Q —
+// a durable per-thread entry log plus a volatile min-heap on
+// (key, seq) — instead of a FIFO queue. The key is the delivery
+// deadline (delay topics) or the priority rank (priority topics,
+// lower rank delivered first); equal keys are delivered in publish
+// order via the heap's seq tiebreak.
+//
+// Fence budget (pinned by TestHeapTopicFenceAccounting and the dheap
+// package's own tests): a publish batch of any size costs exactly one
+// fence, a non-empty dequeue batch costs exactly one fence, and
+// sift/gauge/empty-dequeue paths persist nothing — heap maintenance
+// is volatile, so delivery order costs zero ordered persists.
+
+// heapShard returns the single shard's durable heap, or a typed
+// refusal when the topic is of the wrong kind.
+func (t *Topic) heapShard(verb string, want TopicKind) (*shard, error) {
+	if t.cfg.Kind != want {
+		return nil, t.kindErr(verb, want)
+	}
+	return t.shards[0], nil
+}
+
+// PublishAt durably enqueues payload on a delay topic for delivery at
+// deadline (any monotonic uint64 scale the caller also uses for
+// DequeueReady's now). When PublishAt returns nil the message is
+// durable: it survives any crash and is redelivered — never before
+// its deadline — by the recovered topic. One blocking fence per call;
+// use PublishAtBatch to amortize. Returns ErrWrongTopicKind on
+// non-delay topics, ErrTopicDeleted once retired, and dheap.ErrFull
+// (wrapped) when the publisher's entry arena is out of slots.
+func (t *Topic) PublishAt(tid int, payload []byte, deadline uint64) error {
+	return t.heapPublish(tid, "PublishAt", KindDelay, []uint64{deadline}, [][]byte{payload})
+}
+
+// PublishAtBatch enqueues the whole batch with a single blocking
+// fence: element i is delivered no earlier than deadlines[i]. The
+// batch is all-or-nothing against arena capacity — on dheap.ErrFull
+// nothing is published.
+func (t *Topic) PublishAtBatch(tid int, payloads [][]byte, deadlines []uint64) error {
+	return t.heapPublish(tid, "PublishAtBatch", KindDelay, deadlines, payloads)
+}
+
+// PublishPriority durably enqueues payload on a priority topic at the
+// given rank; DequeueReady delivers the lowest rank first, equal
+// ranks in publish order. Durability and error contract match
+// PublishAt.
+func (t *Topic) PublishPriority(tid int, payload []byte, prio uint64) error {
+	return t.heapPublish(tid, "PublishPriority", KindPriority, []uint64{prio}, [][]byte{payload})
+}
+
+// PublishPriorityBatch enqueues the whole batch with a single
+// blocking fence; element i carries rank prios[i].
+func (t *Topic) PublishPriorityBatch(tid int, payloads [][]byte, prios []uint64) error {
+	return t.heapPublish(tid, "PublishPriorityBatch", KindPriority, prios, payloads)
+}
+
+func (t *Topic) heapPublish(tid int, verb string, want TopicKind, keys []uint64, payloads [][]byte) error {
+	s, err := t.heapShard(verb, want)
+	if err != nil {
+		return err
+	}
+	if len(payloads) != len(keys) {
+		panic(fmt.Sprintf("broker: %s on topic %q: %d payloads, %d keys",
+			verb, t.cfg.Name, len(payloads), len(keys)))
+	}
+	if len(payloads) == 0 {
+		return nil
+	}
+	for _, p := range payloads {
+		t.checkPayload(p)
+	}
+	if !t.enter() {
+		return ErrTopicDeleted
+	}
+	defer t.exit()
+	o := t.b.obs
+	if o == nil {
+		if err := s.heapq.PushBatch(tid, keys, payloads); err != nil {
+			return fmt.Errorf("broker: topic %q: %w", t.cfg.Name, err)
+		}
+		return nil
+	}
+	start := obs.Now()
+	if err := s.heapq.PushBatch(tid, keys, payloads); err != nil {
+		return fmt.Errorf("broker: topic %q: %w", t.cfg.Name, err)
+	}
+	o.Lat(tid, obs.OpPublish, start)
+	t.ostats.Published(0, len(payloads))
+	o.Event(tid, obs.OpPublish, t.ostats, 0)
+	return nil
+}
+
+// DequeueReady removes and returns the minimum-key ready message: the
+// earliest-deadline message with deadline <= now on a delay topic,
+// the lowest-rank message on a priority topic (now is ignored). The
+// returned message is durably consumed before the call returns — a
+// crash after return cannot resurrect it — at a cost of one fence.
+// ok is false when nothing is ready. Returns ErrWrongTopicKind on
+// FIFO topics and ErrTopicDeleted once retired.
+func (t *Topic) DequeueReady(tid int, now uint64) (payload []byte, ok bool, err error) {
+	ps, err := t.DequeueReadyBatch(tid, now, 1)
+	if err != nil || len(ps) == 0 {
+		return nil, false, err
+	}
+	return ps[0], true, nil
+}
+
+// DequeueReadyBatch removes up to max ready messages in key order
+// (equal keys in publish order), durably consuming the whole batch
+// with a single fence. An empty result persists nothing.
+func (t *Topic) DequeueReadyBatch(tid int, now uint64, max int) ([][]byte, error) {
+	if t.cfg.Kind == KindFIFO {
+		return nil, t.kindErr("DequeueReady", KindDelay)
+	}
+	if !t.enter() {
+		return nil, ErrTopicDeleted
+	}
+	defer t.exit()
+	maxKey := now
+	if t.cfg.Kind == KindPriority {
+		maxKey = ^uint64(0) // every rank is always ready
+	}
+	s := t.shards[0]
+	o := t.b.obs
+	if o == nil {
+		ps, _ := s.heapq.PopReadyBatch(tid, maxKey, max)
+		return ps, nil
+	}
+	start := obs.Now()
+	ps, _ := s.heapq.PopReadyBatch(tid, maxKey, max)
+	if len(ps) > 0 {
+		o.Lat(tid, obs.OpPoll, start)
+		t.ostats.Delivered(len(ps))
+		o.Event(tid, obs.OpPoll, t.ostats, 0)
+	}
+	return ps, nil
+}
+
+// NackDelayed returns a consumed message to a delay topic with a new
+// deadline of now+delay: the retry-with-backoff idiom. It is a plain
+// durable publish (one fence) of the payload the consumer already
+// holds — the broker does not track redelivery lineage, so the
+// message's new incarnation is indistinguishable from a fresh
+// publish. Delay topics only: on a priority topic the rank, not the
+// clock, orders delivery, so a backoff nack has no meaning there.
+func (t *Topic) NackDelayed(tid int, payload []byte, now, delay uint64) error {
+	if t.cfg.Kind != KindDelay {
+		return t.kindErr("NackDelayed", KindDelay)
+	}
+	return t.PublishAt(tid, payload, now+delay)
+}
+
+// HeapDepth reports the heap topic's total undelivered messages
+// (ready or not). Zero persists; FIFO topics report 0.
+func (t *Topic) HeapDepth() int {
+	if !t.cfg.Kind.heapKind() || !t.enter() {
+		return 0
+	}
+	defer t.exit()
+	return t.shards[0].heapq.Depth()
+}
+
+// ReadyDepth reports how many messages are deliverable at now: all of
+// HeapDepth on a priority topic, the deadline<=now prefix on a delay
+// topic. Zero persists; FIFO topics report 0.
+func (t *Topic) ReadyDepth(now uint64) int {
+	if !t.cfg.Kind.heapKind() || !t.enter() {
+		return 0
+	}
+	defer t.exit()
+	if t.cfg.Kind == KindPriority {
+		now = ^uint64(0)
+	}
+	return t.shards[0].heapq.ReadyDepth(now)
+}
+
+// MinKey reports the smallest undelivered key — the next deadline on
+// a delay topic, the best rank on a priority topic — and whether the
+// heap is non-empty. Zero persists.
+func (t *Topic) MinKey() (uint64, bool) {
+	if !t.cfg.Kind.heapKind() || !t.enter() {
+		return 0, false
+	}
+	defer t.exit()
+	return t.shards[0].heapq.MinKey()
+}
+
+// PublishAt is the broker-level convenience: resolve the named delay
+// topic and publish at deadline.
+func (b *Broker) PublishAt(tid int, topic string, payload []byte, deadline uint64) error {
+	t := b.Topic(topic)
+	if t == nil {
+		return fmt.Errorf("broker: unknown topic %q", topic)
+	}
+	return t.PublishAt(tid, payload, deadline)
+}
+
+// PublishPriority is the broker-level convenience: resolve the named
+// priority topic and publish at rank prio.
+func (b *Broker) PublishPriority(tid int, topic string, payload []byte, prio uint64) error {
+	t := b.Topic(topic)
+	if t == nil {
+		return fmt.Errorf("broker: unknown topic %q", topic)
+	}
+	return t.PublishPriority(tid, payload, prio)
+}

@@ -69,8 +69,14 @@ type Publisher struct {
 }
 
 // NewPublisher returns a publisher for the topic, bound to the
-// producer's tid.
+// producer's tid. Panics on a delay/priority topic: the Publisher's
+// count-based acknowledgment contract has no error slot, so binding
+// one to a heap topic is a construction-time programmer error (heap
+// topics publish through PublishAt/PublishPriority).
 func (t *Topic) NewPublisher(tid int, cfg PublisherConfig) *Publisher {
+	if t.cfg.Kind != KindFIFO {
+		panic(t.kindErr("NewPublisher", KindFIFO).Error())
+	}
 	pol := cfg.Policy
 	if pol == nil {
 		pol = batch.Fixed{N: 1}

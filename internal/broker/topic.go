@@ -16,6 +16,22 @@ import (
 // messages are dropped with the topic, as documented on DeleteTopic).
 var ErrTopicDeleted = errors.New("broker: topic deleted")
 
+// ErrWrongTopicKind reports a verb applied to a topic of the wrong
+// kind: a FIFO verb (Publish/PublishKey/PublishBatch/NewPublisher,
+// group subscription) on a delay/priority topic, or a heap verb
+// (PublishAt/PublishPriority/DequeueReady/NackDelayed) on a FIFO
+// topic. Every refusing path wraps this sentinel with the same
+// diagnostic shape (verb, topic, actual kind, wanted kind) — the
+// ErrLeaseCapacity convention — so callers test
+// errors.Is(err, ErrWrongTopicKind) regardless of which path refused.
+var ErrWrongTopicKind = errors.New("broker: operation does not match topic kind")
+
+// kindErr builds the uniform ErrWrongTopicKind diagnostic.
+func (t *Topic) kindErr(verb string, want TopicKind) error {
+	return fmt.Errorf("%w: %s on topic %q of kind %s (want a %s topic)",
+		ErrWrongTopicKind, verb, t.cfg.Name, t.cfg.Kind, want)
+}
+
 // Topic is one named, sharded durable message stream. Publishing is
 // safe from any number of producers (each with its own tid); ordering
 // is FIFO per shard, so two messages routed to the same shard are
@@ -109,6 +125,9 @@ func (t *Topic) checkPayload(p []byte) {
 // on the shard's own heap. Returns ErrTopicDeleted (and publishes
 // nothing) once the topic is retired.
 func (t *Topic) Publish(tid int, payload []byte) error {
+	if t.cfg.Kind != KindFIFO {
+		return t.kindErr("Publish", KindFIFO)
+	}
 	t.checkPayload(payload)
 	if !t.enter() {
 		return ErrTopicDeleted
@@ -134,6 +153,9 @@ func (t *Topic) Publish(tid int, payload []byte) error {
 // with equal keys share a shard and are delivered in publish order.
 // Returns ErrTopicDeleted once the topic is retired.
 func (t *Topic) PublishKey(tid int, key, payload []byte) error {
+	if t.cfg.Kind != KindFIFO {
+		return t.kindErr("PublishKey", KindFIFO)
+	}
 	t.checkPayload(payload)
 	if !t.enter() {
 		return ErrTopicDeleted
@@ -169,6 +191,9 @@ func (t *Topic) PublishKey(tid int, key, payload []byte) error {
 // Returns ErrTopicDeleted (and publishes nothing) once the topic is
 // retired.
 func (t *Topic) PublishBatch(tid int, payloads [][]byte) error {
+	if t.cfg.Kind != KindFIFO {
+		return t.kindErr("PublishBatch", KindFIFO)
+	}
 	if len(payloads) == 0 {
 		return nil
 	}
@@ -202,11 +227,20 @@ func (t *Topic) Stats() *obs.TopicStats { return t.ostats }
 // recovery audits and drain tools; normal consumption goes through
 // consumer groups, which own shards exclusively. On an acked topic the
 // message is acknowledged immediately (lease + ack in one step).
-// Reports empty once the topic is retired.
+// Reports empty once the topic is retired, and on delay/priority
+// topics, whose heap order has no "oldest" (the signature has no error
+// slot; use DequeueReady, which returns the typed ErrWrongTopicKind
+// from the FIFO side).
 func (t *Topic) DequeueShard(tid, shard int) ([]byte, bool) {
+	if t.cfg.Kind != KindFIFO {
+		return nil, false
+	}
 	if !t.enter() {
 		return nil, false
 	}
 	defer t.exit()
 	return t.shards[shard].consume(tid)
 }
+
+// Kind reports the topic's delivery-order kind.
+func (t *Topic) Kind() TopicKind { return t.cfg.Kind }

@@ -1,0 +1,535 @@
+// Package dheap is a durable priority queue over simulated NVRAM,
+// extending the paper's discipline — per-thread non-temporal stores
+// plus one blocking fence, with order reconstructed at recovery —
+// from FIFO order to heap order.
+//
+// The durable state is deliberately NOT a heap. It is a checksummed
+// per-thread *entry log*: a fixed arena of entry slots per thread
+// inside one pmem region. A publish claims a free slot from the
+// publishing thread's arena, NTStores the entry (seq, key, payload,
+// checksum) and issues a single fence — one fence per batch when
+// batched, exactly like the queues' EnqueueBatch. A pop-min marks the
+// entry consumed with one NTStore of the entry's own seq into the
+// entry's state word and covers a whole ready batch with one fence.
+// The comparator order — the min-heap on (key, seq) — lives purely in
+// DRAM and is rebuilt at recovery by replaying live entries, so
+// sift-up/sift-down cost zero persist instructions and pop-min stays
+// O(1) fences.
+//
+// Soundness of the intent-log scheme:
+//
+//   - A publish is visible (inserted into the volatile heap) only
+//     after its fence, so any entry a consumer can observe is already
+//     durable: delivered messages survive the crash as consumed, not
+//     as duplicates.
+//   - The entry checksum covers seq, key, len and every payload word
+//     but NOT the state word. A crash between the publish NTStores
+//     and the fence leaves a torn entry whose checksum cannot match;
+//     recovery treats it as dead and truncates it from the log —
+//     the same torn-tail discipline as the broker's catalog log.
+//   - The state word is written only by pop, and only ever with the
+//     entry's own seq. Recovery classifies a checksum-valid entry as
+//     consumed iff state == seq. Because seqs are globally unique and
+//     monotone (recovery resumes from max over every seq AND state
+//     word observed, +1), a stale state word left by a previous
+//     occupant of the slot can never equal the new occupant's seq —
+//     consumed entries cannot resurrect, and live entries cannot be
+//     silently swallowed.
+//   - Pop returns payloads only after the consume fence, so a
+//     returned message is durably consumed. A crash between the
+//     consume NTStore and its fence may lose that message (consumed
+//     durably, never returned) — bounded by the pop batch size, the
+//     same loss window the broker's DequeueBatch already documents.
+//
+// Delay topics and priority topics are the same structure with
+// different keys: a deadline gates readiness (PopReady delivers only
+// key <= now), a priority is always ready (now = ^uint64(0)).
+package dheap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pmem"
+)
+
+// dheapMagic brands the region header and salts entry checksums.
+const dheapMagic uint64 = 0x4448656170_31 // "DHeap1"
+
+const (
+	inlinePayload = 3 * pmem.WordBytes // payload bytes carried in the entry's header line
+	slotRegion    = 0                  // root slot anchoring the region base address
+)
+
+// ErrFull reports that the publishing thread's entry arena has no
+// free slot: the caller must drain (pop) or retry — backpressure,
+// not data loss.
+var ErrFull = errors.New("dheap: thread entry arena full")
+
+// Config sizes a new durable heap.
+type Config struct {
+	// Threads is the number of worker threads (tids) that may touch
+	// the heap. Each gets its own entry arena.
+	Threads int
+	// MaxPayload is the largest payload in bytes. 0 means 8 (one
+	// word), matching the fixed-size queues.
+	MaxPayload int
+	// Capacity is the number of entry slots per thread arena.
+	// Defaults to 1024.
+	Capacity int
+	// InitTid is the thread id used for initialization persists.
+	InitTid int
+}
+
+func (c *Config) norm() {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = 8
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+}
+
+// item is one live entry mirrored in the volatile min-heap.
+type item struct {
+	key, seq uint64
+	tid, idx int32
+	payload  []byte
+}
+
+// Q is a durable priority queue. All methods are safe for concurrent
+// use; the volatile index is guarded by one mutex (the durable writes
+// themselves are per-thread and need no locking).
+type Q struct {
+	h      *pmem.Heap
+	region pmem.Addr
+
+	threads    int
+	cap        int
+	stride     int // lines per entry
+	maxPayload int
+
+	seq atomic.Uint64 // last issued seq; next = Add(1)
+
+	mu   sync.Mutex
+	heap []item    // volatile min-heap on (key, seq)
+	free [][]int32 // per-tid free slot indices
+}
+
+// strideFor returns the number of cache lines one entry occupies.
+func strideFor(maxPayload int) int {
+	extra := maxPayload - inlinePayload
+	if extra < 0 {
+		extra = 0
+	}
+	return 1 + (extra+pmem.CacheLineBytes-1)/pmem.CacheLineBytes
+}
+
+// payloadWords is the number of checksummed payload words per entry.
+func (q *Q) payloadWords() int {
+	return 3 + pmem.WordsPerLine*(q.stride-1)
+}
+
+// New formats a durable heap in view's region and anchors it at root
+// slot 0 under the ordered-persist discipline: the region is
+// initialized and its header made durable before the anchor store, so
+// a crash mid-format recovers as "never existed" (the caller's
+// catalog record is what commits the topic).
+func New(view *pmem.Heap, cfg Config) *Q {
+	cfg.norm()
+	q := &Q{
+		h:          view,
+		threads:    cfg.Threads,
+		cap:        cfg.Capacity,
+		stride:     strideFor(cfg.MaxPayload),
+		maxPayload: cfg.MaxPayload,
+	}
+	tid := cfg.InitTid
+	size := int64(1+q.threads*q.cap*q.stride) * pmem.CacheLineBytes
+	q.region = view.AllocRaw(tid, size, pmem.CacheLineBytes)
+	view.InitRange(tid, q.region, size)
+
+	hw := [8]uint64{dheapMagic, uint64(q.threads), uint64(q.cap), uint64(q.stride), uint64(q.maxPayload), 0, 0, 0}
+	hw[7] = headerSum(hw)
+	for i, w := range hw {
+		view.NTStore(tid, q.region+pmem.Addr(i*pmem.WordBytes), w)
+	}
+	view.Fence(tid)
+	view.Store(tid, view.RootAddr(slotRegion), uint64(q.region))
+	view.Persist(tid, view.RootAddr(slotRegion))
+
+	q.initVolatile()
+	return q
+}
+
+// Recover rebuilds a durable heap from view's region after a crash:
+// it replays every entry slot, classifies each as live (checksum
+// valid, state != seq), consumed (checksum valid, state == seq) or
+// dead (torn or virgin — truncated from the log), re-inserts live
+// entries into a fresh volatile min-heap, and resumes the seq counter
+// past every seq and state word ever observed.
+func Recover(view *pmem.Heap, threads int) (*Q, error) {
+	const tid = 0
+	region := pmem.Addr(view.Load(tid, view.RootAddr(slotRegion)))
+	if region == 0 {
+		return nil, errors.New("dheap: recover: no region anchored")
+	}
+	var hw [8]uint64
+	for i := range hw {
+		hw[i] = view.Load(tid, region+pmem.Addr(i*pmem.WordBytes))
+	}
+	if hw[0] != dheapMagic || hw[7] != headerSum(hw) {
+		return nil, fmt.Errorf("dheap: recover: bad region header at %#x", uint64(region))
+	}
+	q := &Q{
+		h:          view,
+		region:     region,
+		threads:    int(hw[1]),
+		cap:        int(hw[2]),
+		stride:     int(hw[3]),
+		maxPayload: int(hw[4]),
+	}
+	if q.threads <= 0 || q.cap <= 0 || q.stride != strideFor(q.maxPayload) {
+		return nil, fmt.Errorf("dheap: recover: inconsistent region header at %#x", uint64(region))
+	}
+	if q.threads < threads {
+		return nil, fmt.Errorf("dheap: recover: region sized for %d threads, need %d", q.threads, threads)
+	}
+	q.initVolatile()
+
+	var maxSeq uint64
+	pw := q.payloadWords()
+	words := make([]uint64, pw)
+	for t := 0; t < q.threads; t++ {
+		// Live entries per arena, in slot order; consumed/dead slots
+		// go back to the free list.
+		for idx := 0; idx < q.cap; idx++ {
+			base := q.entryAddr(int32(t), int32(idx))
+			seq := view.Load(tid, base)
+			key := view.Load(tid, base+1*pmem.WordBytes)
+			length := view.Load(tid, base+2*pmem.WordBytes)
+			state := view.Load(tid, base+3*pmem.WordBytes)
+			sum := view.Load(tid, base+7*pmem.WordBytes)
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			if state > maxSeq {
+				maxSeq = state
+			}
+			q.loadPayloadWords(tid, base, words)
+			valid := seq != 0 && length <= uint64(q.maxPayload) &&
+				sum == entrySum(seq, key, length, words)
+			if !valid || state == seq {
+				// Torn (crash between NTStore and fence), virgin, or
+				// durably consumed: the slot is free.
+				q.free[t] = append(q.free[t], int32(idx))
+				continue
+			}
+			q.heapPush(item{key: key, seq: seq, tid: int32(t), idx: int32(idx),
+				payload: wordsToBytes(words, int(length))})
+		}
+	}
+	q.seq.Store(maxSeq)
+	return q, nil
+}
+
+func (q *Q) initVolatile() {
+	q.free = make([][]int32, q.threads)
+	for t := range q.free {
+		q.free[t] = make([]int32, 0, q.cap)
+		// LIFO free list: append in reverse so slot 0 pops first.
+		for idx := q.cap - 1; idx >= 0; idx-- {
+			q.free[t] = append(q.free[t], int32(idx))
+		}
+	}
+}
+
+// entryAddr returns the address of entry (tid, idx)'s header line.
+func (q *Q) entryAddr(tid, idx int32) pmem.Addr {
+	line := 1 + (int(tid)*q.cap+int(idx))*q.stride
+	return q.region + pmem.Addr(line*pmem.CacheLineBytes)
+}
+
+// loadPayloadWords reads the entry's checksummed payload words
+// (inline words 4..6 of the header line, then every word of the
+// overflow lines) into dst, which must have length payloadWords().
+func (q *Q) loadPayloadWords(tid int, base pmem.Addr, dst []uint64) {
+	dst[0] = q.h.Load(tid, base+4*pmem.WordBytes)
+	dst[1] = q.h.Load(tid, base+5*pmem.WordBytes)
+	dst[2] = q.h.Load(tid, base+6*pmem.WordBytes)
+	for i := 3; i < len(dst); i++ {
+		// Overflow words start at the second line of the entry.
+		off := pmem.Addr((pmem.WordsPerLine + (i - 3)) * pmem.WordBytes)
+		dst[i] = q.h.Load(tid, base+off)
+	}
+}
+
+// Capacity returns the per-thread arena capacity in entries.
+func (q *Q) Capacity() int { return q.cap }
+
+// MaxPayload returns the largest payload the heap accepts.
+func (q *Q) MaxPayload() int { return q.maxPayload }
+
+// Push publishes one entry. One fence.
+func (q *Q) Push(tid int, key uint64, payload []byte) error {
+	return q.PushBatch(tid, []uint64{key}, [][]byte{payload})
+}
+
+// PushBatch publishes len(keys) entries under a single fence
+// (durability amortized like EnqueueBatch). The batch is
+// all-or-nothing with respect to ErrFull: either every entry gets a
+// slot or none is published. Entries become visible to PopReady only
+// after the fence, so anything observable is durable.
+func (q *Q) PushBatch(tid int, keys []uint64, payloads [][]byte) error {
+	if len(keys) != len(payloads) {
+		panic("dheap: PushBatch keys/payloads length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	for _, p := range payloads {
+		if len(p) > q.maxPayload {
+			panic(fmt.Sprintf("dheap: payload %d bytes exceeds MaxPayload %d", len(p), q.maxPayload))
+		}
+	}
+	slots, err := q.takeSlots(tid, len(keys))
+	if err != nil {
+		return err
+	}
+	staged := make([]item, len(keys))
+	for i, key := range keys {
+		seq := q.seq.Add(1)
+		q.writeEntry(tid, slots[i], seq, key, payloads[i])
+		staged[i] = item{key: key, seq: seq, tid: int32(tid), idx: slots[i],
+			payload: append([]byte(nil), payloads[i]...)}
+	}
+	q.h.Fence(tid) // one blocking persist for the whole batch
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range staged {
+		q.heapPush(it)
+	}
+	return nil
+}
+
+// takeSlots claims n free slots from tid's arena, all-or-nothing.
+func (q *Q) takeSlots(tid, n int) ([]int32, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fl := q.free[tid]
+	if len(fl) < n {
+		return nil, fmt.Errorf("%w: tid %d needs %d slots, %d free (capacity %d)",
+			ErrFull, tid, n, len(fl), q.cap)
+	}
+	slots := append([]int32(nil), fl[len(fl)-n:]...)
+	q.free[tid] = fl[:len(fl)-n]
+	return slots, nil
+}
+
+// writeEntry NTStores one entry without fencing. The full payload
+// capacity is written (zero-padded) so the checksum always covers a
+// deterministic word set; the state word (w3) is skipped — it belongs
+// to pop, and excluding it from both write and checksum is what lets
+// a consume mark survive independently of the entry body.
+func (q *Q) writeEntry(tid int, idx int32, seq, key uint64, payload []byte) {
+	base := q.entryAddr(int32(tid), idx)
+	words := make([]uint64, q.payloadWords())
+	bytesToWords(payload, words)
+	// Overflow payload lines first, then the header line with the
+	// checksum as its last word: within each cache line the simulator
+	// crash-truncates to a prefix of the stores issued, so a header
+	// line whose checksum landed implies the whole header landed.
+	for i := 3; i < len(words); i++ {
+		off := pmem.Addr((pmem.WordsPerLine + (i - 3)) * pmem.WordBytes)
+		q.h.NTStore(tid, base+off, words[i])
+	}
+	q.h.NTStore(tid, base, seq)
+	q.h.NTStore(tid, base+1*pmem.WordBytes, key)
+	q.h.NTStore(tid, base+2*pmem.WordBytes, uint64(len(payload)))
+	q.h.NTStore(tid, base+4*pmem.WordBytes, words[0])
+	q.h.NTStore(tid, base+5*pmem.WordBytes, words[1])
+	q.h.NTStore(tid, base+6*pmem.WordBytes, words[2])
+	q.h.NTStore(tid, base+7*pmem.WordBytes, entrySum(seq, key, uint64(len(payload)), words))
+}
+
+// PopReady pops the minimum entry with key <= maxKey. One fence when
+// a message is delivered; zero persists when nothing is ready.
+func (q *Q) PopReady(tid int, maxKey uint64) (payload []byte, key uint64, ok bool) {
+	ps, ks := q.PopReadyBatch(tid, maxKey, 1)
+	if len(ps) == 0 {
+		return nil, 0, false
+	}
+	return ps[0], ks[0], true
+}
+
+// PopReadyBatch pops up to max entries in (key, seq) order, all with
+// key <= maxKey, marking each consumed with one NTStore and covering
+// the whole batch with a single fence. Payloads are returned only
+// after that fence — a returned message is durably consumed — and
+// slots are recycled only after it too, so a torn consume can lose at
+// most one in-flight batch, never duplicate it. An empty pop performs
+// zero persist instructions.
+func (q *Q) PopReadyBatch(tid int, maxKey uint64, max int) (payloads [][]byte, keys []uint64) {
+	if max <= 0 {
+		return nil, nil
+	}
+	q.mu.Lock()
+	var popped []item
+	for len(popped) < max && len(q.heap) > 0 && q.heap[0].key <= maxKey {
+		popped = append(popped, q.heapPop())
+	}
+	q.mu.Unlock()
+	if len(popped) == 0 {
+		return nil, nil
+	}
+	for _, it := range popped {
+		// Consume mark: the entry's own seq into its state word.
+		q.h.NTStore(tid, q.entryAddr(it.tid, it.idx)+3*pmem.WordBytes, it.seq)
+	}
+	q.h.Fence(tid) // one blocking persist for the whole ready batch
+	q.mu.Lock()
+	for _, it := range popped {
+		q.free[it.tid] = append(q.free[it.tid], it.idx)
+	}
+	q.mu.Unlock()
+	payloads = make([][]byte, len(popped))
+	keys = make([]uint64, len(popped))
+	for i, it := range popped {
+		payloads[i] = it.payload
+		keys[i] = it.key
+	}
+	return payloads, keys
+}
+
+// Depth returns the number of live (published, unconsumed) entries.
+func (q *Q) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// ReadyDepth returns the number of live entries with key <= maxKey —
+// for delay topics, how many messages are deliverable right now.
+func (q *Q) ReadyDepth(maxKey uint64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, it := range q.heap {
+		if it.key <= maxKey {
+			n++
+		}
+	}
+	return n
+}
+
+// MinKey returns the smallest live key (the next deadline for a delay
+// topic) and whether the heap is non-empty.
+func (q *Q) MinKey() (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].key, true
+}
+
+// --- volatile min-heap on (key, seq); zero persists by construction ---
+
+func itemLess(a, b item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (q *Q) heapPush(it item) {
+	q.heap = append(q.heap, it)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !itemLess(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Q) heapPop() item {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && itemLess(q.heap[l], q.heap[small]) {
+			small = l
+		}
+		if r < last && itemLess(q.heap[r], q.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
+	return top
+}
+
+// --- checksums and byte/word packing ---
+
+func mix(s, w uint64) uint64 {
+	s ^= w
+	s *= 0x9e3779b97f4a7c15
+	s ^= s >> 29
+	return s
+}
+
+func headerSum(hw [8]uint64) uint64 {
+	s := dheapMagic
+	for _, w := range hw[:7] {
+		s = mix(s, w)
+	}
+	if s == 0 {
+		s = dheapMagic
+	}
+	return s
+}
+
+// entrySum covers seq, key, len and every payload word — but not the
+// state word, which pop owns.
+func entrySum(seq, key, length uint64, payload []uint64) uint64 {
+	s := mix(mix(mix(dheapMagic, seq), key), length)
+	for _, w := range payload {
+		s = mix(s, w)
+	}
+	if s == 0 {
+		s = dheapMagic
+	}
+	return s
+}
+
+func bytesToWords(b []byte, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, c := range b {
+		dst[i/8] |= uint64(c) << (8 * (i % 8))
+	}
+}
+
+func wordsToBytes(words []uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(words[i/8] >> (8 * (i % 8)))
+	}
+	return b
+}

@@ -1,0 +1,498 @@
+package dheap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newHeap(mode pmem.Mode, threads int) *pmem.Heap {
+	return pmem.New(pmem.Config{Bytes: 32 << 20, Mode: mode, MaxThreads: threads})
+}
+
+func payloadFor(key uint64, n int) []byte {
+	p := make([]byte, n)
+	binary.LittleEndian.PutUint64(p, key)
+	for i := 8; i < n; i++ {
+		p[i] = byte(key>>uint(i%8)*8) ^ byte(i)
+	}
+	return p
+}
+
+func drainAll(q *Q, tid int) (payloads [][]byte, keys []uint64) {
+	for {
+		ps, ks := q.PopReadyBatch(tid, ^uint64(0), 64)
+		if len(ps) == 0 {
+			return payloads, keys
+		}
+		payloads = append(payloads, ps...)
+		keys = append(keys, ks...)
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	h := newHeap(0, 2)
+	q := New(h, Config{Threads: 2, MaxPayload: 8, Capacity: 256})
+	rng := rand.New(rand.NewSource(7))
+	var want []uint64
+	for i := 0; i < 200; i++ {
+		key := uint64(rng.Intn(50))
+		want = append(want, key)
+		if err := q.Push(i%2, key, payloadFor(key, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, got := drainAll(q, 0)
+	if len(got) != len(want) {
+		t.Fatalf("popped %d entries, pushed %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("pop order violated at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+// Equal keys must pop in publish (seq) order: the comparator is
+// (key, seq), making delay topics FIFO within a deadline.
+func TestEqualKeysFIFO(t *testing.T) {
+	h := newHeap(0, 1)
+	q := New(h, Config{Threads: 1, MaxPayload: 16, Capacity: 64})
+	for i := 0; i < 20; i++ {
+		p := make([]byte, 16)
+		binary.LittleEndian.PutUint64(p, uint64(i))
+		if err := q.Push(0, 42, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, _ := drainAll(q, 0)
+	for i, p := range ps {
+		if got := binary.LittleEndian.Uint64(p); got != uint64(i) {
+			t.Fatalf("equal-key pop %d returned publish ordinal %d", i, got)
+		}
+	}
+}
+
+func TestReadyGating(t *testing.T) {
+	h := newHeap(0, 1)
+	q := New(h, Config{Threads: 1, Capacity: 64})
+	for _, key := range []uint64{30, 10, 20} {
+		if err := q.Push(0, key, payloadFor(key, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := q.PopReady(0, 9); ok {
+		t.Fatal("popped an entry before its key was ready")
+	}
+	if got := q.ReadyDepth(25); got != 2 {
+		t.Fatalf("ReadyDepth(25) = %d, want 2", got)
+	}
+	if min, ok := q.MinKey(); !ok || min != 10 {
+		t.Fatalf("MinKey = %d,%v, want 10,true", min, ok)
+	}
+	_, key, ok := q.PopReady(0, 15)
+	if !ok || key != 10 {
+		t.Fatalf("PopReady(15) = %d,%v, want 10,true", key, ok)
+	}
+	if _, key, ok = q.PopReady(0, 15); ok {
+		t.Fatalf("PopReady(15) delivered key %d past the gate", key)
+	}
+	ps, ks := q.PopReadyBatch(0, ^uint64(0), 8)
+	if len(ps) != 2 || ks[0] != 20 || ks[1] != 30 {
+		t.Fatalf("final drain = %v, want [20 30]", ks)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("Depth = %d after drain", q.Depth())
+	}
+}
+
+func TestErrFullAllOrNothing(t *testing.T) {
+	h := newHeap(0, 2)
+	q := New(h, Config{Threads: 2, Capacity: 4})
+	keys := []uint64{1, 2, 3}
+	ps := [][]byte{payloadFor(1, 8), payloadFor(2, 8), payloadFor(3, 8)}
+	if err := q.PushBatch(0, keys, ps); err != nil {
+		t.Fatal(err)
+	}
+	// 1 slot left in tid 0's arena: a 3-entry batch must fail whole.
+	if err := q.PushBatch(0, keys, ps); err == nil {
+		t.Fatal("over-capacity PushBatch succeeded")
+	} else if !errorsIs(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if q.Depth() != 3 {
+		t.Fatalf("failed batch published %d entries (all-or-nothing broken)", q.Depth()-3)
+	}
+	// The other thread's arena is unaffected.
+	if err := q.PushBatch(1, keys, ps); err != nil {
+		t.Fatalf("tid 1 push after tid 0 ErrFull: %v", err)
+	}
+	// Draining frees the slots again.
+	drainAll(q, 0)
+	if err := q.PushBatch(0, keys, ps); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}
+
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestFenceAccounting pins the package's durability budget: publish =
+// one fence per batch however deep the sifts, pop-min = one fence per
+// ready batch plus one NTStore per entry, empty pops and every gauge
+// = zero persist instructions.
+func TestFenceAccounting(t *testing.T) {
+	h := newHeap(0, 1)
+	q := New(h, Config{Threads: 1, MaxPayload: 8, Capacity: 256})
+	rng := rand.New(rand.NewSource(3))
+
+	const batch = 64
+	keys := make([]uint64, batch)
+	ps := make([][]byte, batch)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1000)) // random keys: real sift work
+		ps[i] = payloadFor(keys[i], 8)
+	}
+	d := h.DeltaOf(0)
+	if err := q.PushBatch(0, keys, ps); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Delta(); s.Fences != 1 {
+		t.Fatalf("publish batch of %d cost %d fences, want 1", batch, s.Fences)
+	} else if want := uint64(batch * 7); s.NTStores != want {
+		t.Fatalf("publish batch of %d cost %d NTStores, want %d", batch, s.NTStores, want)
+	}
+
+	d = h.DeltaOf(0)
+	ps2, _ := q.PopReadyBatch(0, ^uint64(0), 16)
+	if s := d.Delta(); s.Fences != 1 {
+		t.Fatalf("pop batch cost %d fences, want 1", s.Fences)
+	} else if s.NTStores != uint64(len(ps2)) {
+		t.Fatalf("pop batch of %d cost %d NTStores, want one per entry", len(ps2), s.NTStores)
+	}
+
+	// Gauges and not-ready pops persist nothing.
+	d = h.DeltaOf(0)
+	q.Depth()
+	q.ReadyDepth(10)
+	q.MinKey()
+	if _, _, ok := q.PopReady(0, 0); ok {
+		t.Fatal("PopReady(0) delivered")
+	}
+	if s := d.Delta(); s.Fences != 0 || s.NTStores != 0 || s.Flushes != 0 {
+		t.Fatalf("gauges/empty pop persisted: %+v", s)
+	}
+}
+
+// TestRecover round-trips a mixed live/consumed state through a clean
+// crash: live entries recover exactly once in heap order, consumed
+// entries never resurrect, and the seq counter resumes past
+// everything so later publishes keep FIFO-within-key.
+func TestRecover(t *testing.T) {
+	h := newHeap(pmem.ModeCrash, 2)
+	q := New(h, Config{Threads: 2, MaxPayload: 40, Capacity: 64})
+	consumed := map[uint64]bool{}
+	for i := 0; i < 40; i++ {
+		key := uint64(i % 10)
+		if err := q.Push(i%2, key, payloadFor(uint64(i)+100, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps, _ := q.PopReadyBatch(0, ^uint64(0), 15)
+	for _, p := range ps {
+		consumed[binary.LittleEndian.Uint64(p)] = true
+	}
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(1)))
+	h.Restart()
+
+	r, err := Recover(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth() != 25 {
+		t.Fatalf("recovered depth %d, want 25", r.Depth())
+	}
+	// New publishes after recovery must sort after recovered entries
+	// of the same key (seq continuity).
+	if err := r.Push(0, 0, payloadFor(999, 40)); err != nil {
+		t.Fatal(err)
+	}
+	rps, rks := drainAll(r, 1)
+	seen := map[uint64]bool{}
+	for i, p := range rps {
+		id := binary.LittleEndian.Uint64(p)
+		if consumed[id] {
+			t.Fatalf("consumed entry %d resurrected", id)
+		}
+		if seen[id] {
+			t.Fatalf("entry %d recovered twice", id)
+		}
+		seen[id] = true
+		if i > 0 && rks[i] < rks[i-1] {
+			t.Fatalf("recovered pop order violated at %d", i)
+		}
+		if want := payloadFor(id, 40); string(p) != string(want) {
+			t.Fatalf("entry %d payload corrupted across recovery", id)
+		}
+	}
+	if len(rps) != 26 {
+		t.Fatalf("drained %d entries, want 26", len(rps))
+	}
+	// The key-0 entries: recovered ones (ids 100,110,120,130 minus
+	// consumed) must precede the post-recovery 999.
+	last0 := -1
+	for i, k := range rks {
+		if k == 0 {
+			last0 = i
+		}
+	}
+	if got := binary.LittleEndian.Uint64(rps[last0]); got != 999 {
+		t.Fatalf("post-recovery publish popped before recovered same-key entries (last key-0 id %d)", got)
+	}
+}
+
+// TestTornPublishTruncated is the satellite torn-tail coverage: crash
+// at every access offset inside a publish (between its NTStores and
+// its fence) and require recovery to either keep the entry whole or
+// truncate it entirely — never a torn half-entry — while previously
+// fenced entries survive untouched. MaxPayload 40 forces a two-line
+// entry so the sweep crosses a payload-line/header-line boundary.
+func TestTornPublishTruncated(t *testing.T) {
+	sawLost, sawKept := false, false
+	for off := int64(1); ; off++ {
+		h := newHeap(pmem.ModeCrash, 1)
+		q := New(h, Config{Threads: 1, MaxPayload: 40, Capacity: 16})
+		for i := uint64(1); i <= 3; i++ {
+			if err := q.Push(0, i, payloadFor(i, 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.ScheduleCrashAtAccess(h.AccessCount() + off)
+		crashed := pmem.Protect(func() {
+			if err := q.Push(0, 7, payloadFor(7, 40)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !crashed {
+			h.CrashNow()
+		}
+		h.FinalizeCrash(rand.New(rand.NewSource(off)))
+		h.Restart()
+		r, err := Recover(h, 1)
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		ps, ks := drainAll(r, 0)
+		want := map[uint64]bool{1: true, 2: true, 3: true}
+		got7 := 0
+		for i, p := range ps {
+			id := binary.LittleEndian.Uint64(p)
+			if id == 7 {
+				got7++
+				if ks[i] != 7 || string(p) != string(payloadFor(7, 40)) {
+					t.Fatalf("off %d: torn entry recovered corrupted (key %d)", off, ks[i])
+				}
+				continue
+			}
+			if !want[id] {
+				t.Fatalf("off %d: unexpected or duplicate entry %d", off, id)
+			}
+			delete(want, id)
+			if string(p) != string(payloadFor(id, 40)) {
+				t.Fatalf("off %d: fenced entry %d corrupted by neighbour's torn publish", off, id)
+			}
+		}
+		if len(want) != 0 {
+			t.Fatalf("off %d: fenced entries lost: %v", off, want)
+		}
+		if got7 > 1 {
+			t.Fatalf("off %d: torn entry duplicated", off)
+		}
+		sawLost = sawLost || got7 == 0
+		sawKept = sawKept || got7 == 1
+		if !crashed {
+			break // swept past the whole publish
+		}
+	}
+	if !sawLost || !sawKept {
+		t.Fatalf("sweep did not cover both outcomes (lost=%v kept=%v)", sawLost, sawKept)
+	}
+}
+
+// TestConsumedSlotNoResurrection reuses one slot (capacity 1) and
+// crashes at every offset inside the reusing publish: the previously
+// consumed entry must never come back live, because its stale state
+// word still equals its own seq while any new occupant carries a
+// strictly larger seq.
+func TestConsumedSlotNoResurrection(t *testing.T) {
+	for off := int64(1); ; off++ {
+		h := newHeap(pmem.ModeCrash, 1)
+		q := New(h, Config{Threads: 1, MaxPayload: 8, Capacity: 1})
+		if err := q.Push(0, 5, payloadFor(5, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := q.PopReady(0, ^uint64(0)); !ok {
+			t.Fatal("pop failed")
+		}
+		h.ScheduleCrashAtAccess(h.AccessCount() + off)
+		crashed := pmem.Protect(func() {
+			if err := q.Push(0, 9, payloadFor(9, 8)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !crashed {
+			h.CrashNow()
+		}
+		h.FinalizeCrash(rand.New(rand.NewSource(off * 17)))
+		h.Restart()
+		r, err := Recover(h, 1)
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		ps, _ := drainAll(r, 0)
+		for _, p := range ps {
+			if id := binary.LittleEndian.Uint64(p); id == 5 {
+				t.Fatalf("off %d: consumed entry resurrected after slot reuse", off)
+			}
+		}
+		if len(ps) > 1 {
+			t.Fatalf("off %d: %d entries from a 1-slot arena", off, len(ps))
+		}
+		if !crashed {
+			break
+		}
+	}
+}
+
+// TestCrashFuzz drives concurrent pushers and poppers into a randomly
+// scheduled crash and audits delivered-or-recovered-exactly-once with
+// the documented loss allowance (one in-flight pop batch per popper).
+func TestCrashFuzz(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	const (
+		pushers  = 2
+		poppers  = 2
+		perTid   = 400
+		popBatch = 8
+	)
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			h := newHeap(pmem.ModeCrash, pushers+poppers)
+			q := New(h, Config{Threads: pushers + poppers, MaxPayload: 16, Capacity: perTid + 8})
+			rng := rand.New(rand.NewSource(seed))
+			h.ScheduleCrashAtAccess(h.AccessCount() + int64(rng.Intn(12000)) + 500)
+
+			acked := make([][]bool, pushers) // fenced publishes
+			delivered := make(chan []byte, 2*pushers*perTid)
+			done := make(chan struct{})
+			for p := 0; p < pushers; p++ {
+				acked[p] = make([]bool, perTid)
+			}
+			var wg, pwg sync.WaitGroup
+			for p := 0; p < pushers; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					prng := rand.New(rand.NewSource(seed*100 + int64(p)))
+					for i := 0; i < perTid; i++ {
+						payload := make([]byte, 16)
+						binary.LittleEndian.PutUint64(payload, uint64(p))
+						binary.LittleEndian.PutUint64(payload[8:], uint64(i))
+						key := uint64(prng.Intn(64))
+						var err error
+						if pmem.Protect(func() { err = q.Push(p, key, payload) }) {
+							return
+						}
+						if err != nil {
+							i-- // ErrFull: retry
+							continue
+						}
+						acked[p][i] = true
+					}
+				}()
+			}
+			for c := 0; c < poppers; c++ {
+				tid := pushers + c
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					for {
+						var ps [][]byte
+						if pmem.Protect(func() { ps, _ = q.PopReadyBatch(tid, ^uint64(0), popBatch) }) {
+							return
+						}
+						for _, p := range ps {
+							delivered <- p
+						}
+						select {
+						case <-done:
+							if len(ps) == 0 {
+								return
+							}
+						default:
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(done)
+			pwg.Wait()
+			if !h.Crashed() {
+				h.CrashNow()
+			}
+			close(delivered)
+			h.FinalizeCrash(rand.New(rand.NewSource(seed * 31)))
+			h.Restart()
+			r, err := Recover(h, pushers+poppers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[[2]uint64]int)
+			for p := range delivered {
+				counts[[2]uint64{binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:])}]++
+			}
+			rps, _ := drainAll(r, 0)
+			for _, p := range rps {
+				counts[[2]uint64{binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:])}]++
+			}
+			lost := 0
+			for p := 0; p < pushers; p++ {
+				for i := 0; i < perTid; i++ {
+					n := counts[[2]uint64{uint64(p), uint64(i)}]
+					if n > 1 {
+						t.Fatalf("seed %d: message %d/%d seen %d times", seed, p, i, n)
+					}
+					if acked[p][i] && n == 0 {
+						lost++
+					}
+					if !acked[p][i] && n > 1 {
+						t.Fatalf("seed %d: unacked message %d/%d seen %d times", seed, p, i, n)
+					}
+				}
+			}
+			if allow := poppers * popBatch; lost > allow {
+				t.Fatalf("seed %d: lost %d acked messages, allowance %d", seed, lost, allow)
+			}
+		})
+	}
+}

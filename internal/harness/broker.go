@@ -111,6 +111,17 @@ type BrokerConfig struct {
 	// churned windows are recycled through the free list instead of
 	// growing the heaps' high-water marks.
 	DelTopics int
+	// DelayTopics and PrioTopics create that many heap-backed topics
+	// (KindDelay / KindPriority) beside the FIFO ones, driven by a
+	// dedicated heap-traffic thread: each cycle durably publishes one
+	// Batch-sized window per heap topic (one fence, deadlines / ranks
+	// from a logical clock) and pops up to DequeueBatch ready messages
+	// per topic (one fence per non-empty batch). The fence deltas land
+	// in HeapPubFences/HeapPopFences, so HeapFencesPerPublish ~ 1/Batch
+	// and HeapFencesPerPop ~ 1/DequeueBatch are directly visible beside
+	// the FIFO columns.
+	DelayTopics int
+	PrioTopics  int
 	// Duration bounds the produce phase. Consumers drain afterwards.
 	Duration  time.Duration
 	HeapBytes int64
@@ -176,6 +187,12 @@ func (c *BrokerConfig) norm() {
 	}
 	if c.ProduceGapNs < 0 {
 		c.ProduceGapNs = 0
+	}
+	if c.DelayTopics < 0 {
+		c.DelayTopics = 0
+	}
+	if c.PrioTopics < 0 {
+		c.PrioTopics = 0
 	}
 	if c.Poller {
 		c.Kills = 0
@@ -243,6 +260,19 @@ type BrokerResult struct {
 	DelTopicFences uint64
 	SlotsUsed      int
 	SlotsFree      int
+
+	// Heap-topic statistics: messages durably published to and popped
+	// from the delay/priority topics by the heap-traffic thread, and
+	// the blocking persists those calls cost. The two ratios below are
+	// the bench-guarded counters: publishes amortize to ~1/Batch fences
+	// per message and pops to ~1/DequeueBatch, with zero persists spent
+	// on heap maintenance (sift) by construction.
+	DelayTopics   int
+	PrioTopics    int
+	HeapPublished uint64
+	HeapPopped    uint64
+	HeapPubFences uint64
+	HeapPopFences uint64
 
 	// PerHeap is each member heap's total event counters for the
 	// measured phase (all threads).
@@ -395,6 +425,27 @@ func (r BrokerResult) DelFencesPerDelete() float64 {
 	return float64(r.DelTopicFences) / float64(r.DelTopics)
 }
 
+// HeapFencesPerPublish returns blocking persists per message durably
+// published to a delay/priority topic — ~1/Batch, since a whole
+// publish batch rides one fence. 0 without heap topics.
+func (r BrokerResult) HeapFencesPerPublish() float64 {
+	if r.HeapPublished == 0 {
+		return 0
+	}
+	return float64(r.HeapPubFences) / float64(r.HeapPublished)
+}
+
+// HeapFencesPerPop returns blocking persists per message durably
+// consumed from a delay/priority topic — ~1/DequeueBatch, one fence
+// covering each non-empty pop-min batch; empty pops and all heap
+// maintenance persist nothing. 0 without heap topics.
+func (r BrokerResult) HeapFencesPerPop() float64 {
+	if r.HeapPopped == 0 {
+		return 0
+	}
+	return float64(r.HeapPopFences) / float64(r.HeapPopped)
+}
+
 // IdleFencesPerPoll returns blocking persists per poll of an idle
 // consumer whose shards are all empty — ~0 with empty-poll fence
 // elision.
@@ -446,6 +497,11 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		delTid = threads // and the topic-retirement thread
 		threads++
 	}
+	heapTid := -1
+	if cfg.DelayTopics+cfg.PrioTopics > 0 {
+		heapTid = threads // and the delay/priority heap-traffic thread
+		threads++
+	}
 	pcfg := pmem.Config{
 		Bytes:      cfg.HeapBytes,
 		Mode:       pmem.ModePerf,
@@ -488,6 +544,29 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		if _, err := b.CreateTopic(0, tc); err != nil {
 			return BrokerResult{}, err
 		}
+	}
+	// Heap-backed topics live beside the FIFO ones but outside the
+	// consumer group (heap delivery is its own durable protocol).
+	var heapTopics []*broker.Topic
+	for i := 0; i < cfg.DelayTopics; i++ {
+		t, err := b.CreateTopic(0, broker.TopicConfig{
+			Name: fmt.Sprintf("delay-%d", i), Shards: 1,
+			MaxPayload: cfg.Payload, Kind: broker.KindDelay,
+		})
+		if err != nil {
+			return BrokerResult{}, err
+		}
+		heapTopics = append(heapTopics, t)
+	}
+	for i := 0; i < cfg.PrioTopics; i++ {
+		t, err := b.CreateTopic(0, broker.TopicConfig{
+			Name: fmt.Sprintf("prio-%d", i), Shards: 1,
+			MaxPayload: cfg.Payload, Kind: broker.KindPriority,
+		})
+		if err != nil {
+			return BrokerResult{}, err
+		}
+		heapTopics = append(heapTopics, t)
 	}
 	// leaseClock is a logical clock so kills can expire leases
 	// instantly instead of sleeping out wall-clock TTLs.
@@ -818,6 +897,83 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		}()
 	}
 
+	// The heap-traffic thread: each cycle durably publishes one
+	// Batch-sized window to every delay/priority topic (deadlines and
+	// ranks off a logical clock, one fence per window) and pops the
+	// ready backlog in DequeueBatch-sized batches (one fence per
+	// non-empty batch), so both amortization ratios are measured on
+	// the real broker paths. The produce phase ends with a full drain:
+	// every heap-published message is also popped.
+	var heapPublished, heapPopped, heapPubFences, heapPopFences atomic.Uint64
+	var heapErr error
+	var heapErrMu sync.Mutex
+	if heapTid >= 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			fail := func(err error) {
+				heapErrMu.Lock()
+				heapErr = fmt.Errorf("harness: heap-topic traffic failed: %w", err)
+				heapErrMu.Unlock()
+			}
+			clock := uint64(1)
+			keys := make([]uint64, cfg.Batch)
+			window := make([][]byte, cfg.Batch)
+			// pop drains the ready backlog in DequeueBatch-sized batches;
+			// draining each cycle keeps the per-thread entry arena bounded
+			// at ~one publish window regardless of the Batch/DequeueBatch
+			// ratio.
+			pop := func(t *broker.Topic) bool {
+				for {
+					d := hs.DeltaOf(heapTid)
+					ps, err := t.DequeueReadyBatch(heapTid, clock, cfg.DequeueBatch)
+					if err != nil {
+						fail(err)
+						return false
+					}
+					heapPopFences.Add(d.Delta().Fences)
+					heapPopped.Add(uint64(len(ps)))
+					if len(ps) < cfg.DequeueBatch {
+						return true
+					}
+				}
+			}
+			for done := false; !done; {
+				done = stop.Load()
+				for _, t := range heapTopics {
+					for j := range window {
+						clock++
+						keys[j] = clock
+						window[j] = payload(clock)
+					}
+					d := hs.DeltaOf(heapTid)
+					var err error
+					if t.Kind() == broker.KindDelay {
+						err = t.PublishAtBatch(heapTid, window, keys)
+					} else {
+						err = t.PublishPriorityBatch(heapTid, window, keys)
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
+					heapPubFences.Add(d.Delta().Fences)
+					heapPublished.Add(uint64(cfg.Batch))
+					if !pop(t) {
+						return
+					}
+				}
+			}
+			clock = ^uint64(0) // final drain: everything is ready
+			for _, t := range heapTopics {
+				if !pop(t) {
+					return
+				}
+			}
+		}()
+	}
+
 	var adoptErr error
 	var adoptErrMu sync.Mutex
 	if cfg.Kills > 0 {
@@ -947,6 +1103,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 	if delErr != nil {
 		return BrokerResult{}, delErr
 	}
+	if heapErr != nil {
+		return BrokerResult{}, heapErr
+	}
 	if churnErr != nil {
 		return BrokerResult{}, churnErr
 	}
@@ -964,6 +1123,9 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		Stolen: stolen.Load(), Scans: scans.Load(),
 		DynTopics: dynCreated.Load(), DynTopicFences: dynFences.Load(),
 		DelTopics: delCycles.Load(), DelTopicFences: delFences.Load(),
+		DelayTopics: cfg.DelayTopics, PrioTopics: cfg.PrioTopics,
+		HeapPublished: heapPublished.Load(), HeapPopped: heapPopped.Load(),
+		HeapPubFences: heapPubFences.Load(), HeapPopFences: heapPopFences.Load(),
 		Elapsed: elapsed,
 	}
 	res.SlotsUsed, res.SlotsFree = b.SlotFootprint()
