@@ -107,6 +107,10 @@ func TestHeapTopicKindMismatch(t *testing.T) {
 	wantKindErr("DequeueReady/fifo", err)
 	_, err = fifo.DequeueReadyBatch(0, 1, 8)
 	wantKindErr("DequeueReadyBatch/fifo", err)
+	// Both heap kinds accept this verb, so the refusal names both.
+	if !strings.Contains(err.Error(), "want a delay or priority topic") {
+		t.Fatalf("DequeueReadyBatch/fifo diagnostic %q does not name both heap kinds", err)
+	}
 	wantKindErr("Broker.PublishAt/fifo", b.PublishAt(0, "fifo", p, 1))
 	wantKindErr("Broker.PublishPriority/fifo", b.PublishPriority(0, "fifo", p, 1))
 
@@ -204,6 +208,20 @@ func TestHeapTopicDelayPriority(t *testing.T) {
 		t.Fatal("nacked message never redelivered")
 	} else if id, _ := decodeHeapPayload(t, p); id != 9 {
 		t.Fatalf("nack redelivered id %d, want 9", id)
+	}
+
+	// A huge backoff saturates at the max deadline instead of wrapping
+	// uint64 to "ready now".
+	if err := delay.NackDelayed(0, heapPayload(11, 0), 100, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := delay.DequeueReady(0, ^uint64(0)-1); ok {
+		t.Fatal("wrapped nack deadline delivered early")
+	}
+	if p, ok, _ := delay.DequeueReady(0, ^uint64(0)); !ok {
+		t.Fatal("saturated nack never deliverable")
+	} else if id, _ := decodeHeapPayload(t, p); id != 11 {
+		t.Fatalf("saturated nack delivered id %d, want 11", id)
 	}
 
 	// Priority: shuffled ranks come out sorted, equal ranks FIFO.

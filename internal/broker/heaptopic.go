@@ -119,7 +119,10 @@ func (t *Topic) DequeueReady(tid int, now uint64) (payload []byte, ok bool, err 
 // with a single fence. An empty result persists nothing.
 func (t *Topic) DequeueReadyBatch(tid int, now uint64, max int) ([][]byte, error) {
 	if t.cfg.Kind == KindFIFO {
-		return nil, t.kindErr("DequeueReady", KindDelay)
+		// Both heap kinds accept this verb, so the uniform kindErr
+		// (which names a single wanted kind) would mislead here.
+		return nil, fmt.Errorf("%w: DequeueReady on topic %q of kind %s (want a delay or priority topic)",
+			ErrWrongTopicKind, t.cfg.Name, t.cfg.Kind)
 	}
 	if !t.enter() {
 		return nil, ErrTopicDeleted
@@ -156,7 +159,11 @@ func (t *Topic) NackDelayed(tid int, payload []byte, now, delay uint64) error {
 	if t.cfg.Kind != KindDelay {
 		return t.kindErr("NackDelayed", KindDelay)
 	}
-	return t.PublishAt(tid, payload, now+delay)
+	deadline := now + delay
+	if deadline < now { // saturate: a huge backoff must not wrap to "ready now"
+		deadline = ^uint64(0)
+	}
+	return t.PublishAt(tid, payload, deadline)
 }
 
 // HeapDepth reports the heap topic's total undelivered messages

@@ -200,7 +200,11 @@ func Recover(view *pmem.Heap, threads int) (*Q, error) {
 	if q.threads < threads {
 		return nil, fmt.Errorf("dheap: recover: region sized for %d threads, need %d", q.threads, threads)
 	}
-	q.initVolatile()
+	// Free lists start EMPTY: only slots the scan below classifies as
+	// dead or consumed are freed. Pre-filling (initVolatile) would
+	// leave live entries' slots claimable and a later Push could
+	// silently overwrite a durably-published message.
+	q.emptyFreeLists()
 
 	var maxSeq uint64
 	pw := q.payloadWords()
@@ -238,14 +242,23 @@ func Recover(view *pmem.Heap, threads int) (*Q, error) {
 	return q, nil
 }
 
+// initVolatile builds the fresh-format volatile state: every slot of
+// every arena sits on its thread's free list.
 func (q *Q) initVolatile() {
-	q.free = make([][]int32, q.threads)
+	q.emptyFreeLists()
 	for t := range q.free {
-		q.free[t] = make([]int32, 0, q.cap)
 		// LIFO free list: append in reverse so slot 0 pops first.
 		for idx := q.cap - 1; idx >= 0; idx-- {
 			q.free[t] = append(q.free[t], int32(idx))
 		}
+	}
+}
+
+// emptyFreeLists allocates empty per-thread free lists.
+func (q *Q) emptyFreeLists() {
+	q.free = make([][]int32, q.threads)
+	for t := range q.free {
+		q.free[t] = make([]int32, 0, q.cap)
 	}
 }
 

@@ -267,6 +267,115 @@ func TestRecover(t *testing.T) {
 	}
 }
 
+// TestRecoverFullArenaBackpressure crashes with every slot of the
+// arena holding a live entry and requires Recover to leave the free
+// list empty: a Push into the recovered full arena must refuse with
+// ErrFull rather than claim (and overwrite) a live slot, and every
+// recovered entry must survive a second crash intact.
+func TestRecoverFullArenaBackpressure(t *testing.T) {
+	h := newHeap(pmem.ModeCrash, 1)
+	q := New(h, Config{Threads: 1, MaxPayload: 8, Capacity: 4})
+	for i := uint64(1); i <= 4; i++ {
+		if err := q.Push(0, i, payloadFor(i, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(2)))
+	h.Restart()
+	r, err := Recover(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("recovered depth %d, want 4", r.Depth())
+	}
+	if err := r.Push(0, 9, payloadFor(9, 8)); !errorsIs(err, ErrFull) {
+		t.Fatalf("Push into fully-live recovered arena = %v, want ErrFull", err)
+	}
+	// Second crash without consuming anything: all four live entries
+	// must come back a second time, unduplicated and uncorrupted.
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(3)))
+	h.Restart()
+	r2, err := Recover(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, ks := drainAll(r2, 0)
+	if len(ps) != 4 {
+		t.Fatalf("second recovery drained %d entries, want 4", len(ps))
+	}
+	seen := map[uint64]bool{}
+	for i, p := range ps {
+		id := binary.LittleEndian.Uint64(p)
+		if id != ks[i] || id < 1 || id > 4 || seen[id] {
+			t.Fatalf("second recovery pop %d: key %d payload id %d", i, ks[i], id)
+		}
+		seen[id] = true
+		if string(p) != string(payloadFor(id, 8)) {
+			t.Fatalf("entry %d corrupted across double recovery", id)
+		}
+	}
+	// Draining freed all four slots: exactly capacity pushes fit again.
+	for i := uint64(10); i < 14; i++ {
+		if err := r2.Push(0, i, payloadFor(i, 8)); err != nil {
+			t.Fatalf("push %d after drain: %v", i, err)
+		}
+	}
+	if err := r2.Push(0, 14, payloadFor(14, 8)); !errorsIs(err, ErrFull) {
+		t.Fatalf("over-capacity push after drain = %v, want ErrFull", err)
+	}
+}
+
+// TestRecoverPartialConsumeFreeList pins the free-list census after a
+// mixed recovery: with 2 of 6 entries consumed before the crash,
+// exactly 2 slots (the consumed ones) are claimable afterwards.
+func TestRecoverPartialConsumeFreeList(t *testing.T) {
+	h := newHeap(pmem.ModeCrash, 1)
+	q := New(h, Config{Threads: 1, MaxPayload: 8, Capacity: 6})
+	for i := uint64(1); i <= 6; i++ {
+		if err := q.Push(0, i, payloadFor(i, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ps, _ := q.PopReadyBatch(0, ^uint64(0), 2); len(ps) != 2 {
+		t.Fatalf("popped %d, want 2", len(ps))
+	}
+	h.CrashNow()
+	h.FinalizeCrash(rand.New(rand.NewSource(5)))
+	h.Restart()
+	r, err := Recover(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("recovered depth %d, want 4", r.Depth())
+	}
+	for i := uint64(20); i < 22; i++ {
+		if err := r.Push(0, i, payloadFor(i, 8)); err != nil {
+			t.Fatalf("push into consumed slot: %v", err)
+		}
+	}
+	if err := r.Push(0, 22, payloadFor(22, 8)); !errorsIs(err, ErrFull) {
+		t.Fatalf("push past consumed-slot budget = %v, want ErrFull", err)
+	}
+	// Nothing recovered was overwritten by the two reuse pushes.
+	ps, _ := drainAll(r, 0)
+	got := map[uint64]bool{}
+	for _, p := range ps {
+		got[binary.LittleEndian.Uint64(p)] = true
+	}
+	for _, id := range []uint64{3, 4, 5, 6, 20, 21} {
+		if !got[id] {
+			t.Fatalf("entry %d lost (drained ids %v)", id, got)
+		}
+	}
+	if len(ps) != 6 {
+		t.Fatalf("drained %d entries, want 6", len(ps))
+	}
+}
+
 // TestTornPublishTruncated is the satellite torn-tail coverage: crash
 // at every access offset inside a publish (between its NTStores and
 // its fence) and require recovery to either keep the entry whole or
